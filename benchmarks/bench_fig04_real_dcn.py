@@ -1,0 +1,46 @@
+"""Figure 4: verifying the (synthesized stand-in for the) real DCN.
+
+Paper shape to reproduce: vanilla Batfish runs out of memory; Batfish
+with prefix sharding finishes near the memory limit; S2 finishes fastest
+with the lowest per-worker memory; enabling sharding on S2 *slows it
+down* because memory is sufficient (§5.3).
+"""
+
+from conftest import emit
+from repro.harness import ROW_HEADERS, format_table, run_fig4_real_dcn
+
+
+def test_fig04_real_dcn(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig4_real_dcn(scale=1, workers=4),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ROW_HEADERS,
+        [r.as_cells() for r in rows],
+        title="Figure 4 — real-DCN substitute: time and peak memory",
+    )
+    emit("fig04", table)
+    by_series = {r.series: r for r in rows}
+    # the paper's qualitative claims
+    assert by_series["batfish"].status == "oom"
+    assert by_series["batfish+sharding"].status == "ok"
+    assert by_series["s2"].status == "ok"
+    assert by_series["s2-nosharding"].status == "ok"
+    # S2 beats sharded Batfish on time and memory
+    assert (
+        by_series["s2"].modeled_time
+        < by_series["batfish+sharding"].modeled_time
+    )
+    assert (
+        by_series["s2"].peak_memory
+        < by_series["batfish+sharding"].peak_memory
+    )
+    # with memory sufficient, sharding slows S2 down (§5.3 observation)
+    assert (
+        by_series["s2-nosharding"].modeled_time
+        < by_series["s2"].modeled_time
+    )
+    # and sharding still lowers S2's peak memory
+    assert by_series["s2"].peak_memory <= by_series["s2-nosharding"].peak_memory

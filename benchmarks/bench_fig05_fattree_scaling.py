@@ -1,0 +1,46 @@
+"""Figure 5: FatTree size sweep — Batfish vs Bonsai vs S2 x {1,8,16}.
+
+Paper shape to reproduce: Batfish OOMs first (between the first and
+second sweep sizes), Bonsai survives longer but is compute-bound and
+eventually times out, S2 with more workers reaches the largest sizes with
+the lowest per-worker memory.
+"""
+
+from conftest import emit
+from repro.harness import ROW_HEADERS, format_table, run_fig5_fattree_scaling
+
+
+def test_fig05_fattree_scaling(benchmark):
+    rows = benchmark.pedantic(
+        run_fig5_fattree_scaling, rounds=1, iterations=1
+    )
+    table = format_table(
+        ROW_HEADERS,
+        [r.as_cells() for r in rows],
+        title="Figure 5 — FatTree sweep: Batfish / Bonsai / S2 workers",
+    )
+    emit("fig05", table)
+    first_size = rows[0].workload
+    largest = rows[-1].workload
+    by_key = {(r.series, r.workload): r for r in rows}
+    # Batfish handles the smallest size, OOMs beyond it
+    assert by_key[("batfish", first_size)].status == "ok"
+    assert by_key[("batfish", largest)].status == "oom"
+    # S2 reaches the largest size with multiple workers
+    assert by_key[("s2-8w", largest)].status == "ok"
+    assert by_key[("s2-16w", largest)].status == "ok"
+    # per-worker memory decreases with the worker count at every size
+    for workload in {r.workload for r in rows}:
+        assert (
+            by_key[("s2-16w", workload)].peak_memory
+            <= by_key[("s2-8w", workload)].peak_memory
+            <= by_key[("s2-1w", workload)].peak_memory
+        )
+    # Bonsai stays memory-light wherever it finishes
+    bonsai_rows = [r for r in rows if r.series == "bonsai"]
+    ok_bonsai = [r for r in bonsai_rows if r.status == "ok"]
+    assert ok_bonsai, "bonsai should finish at least the smallest size"
+    assert all(
+        r.peak_memory <= by_key[("batfish", first_size)].peak_memory
+        for r in ok_bonsai
+    )

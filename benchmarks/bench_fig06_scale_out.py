@@ -1,0 +1,34 @@
+"""Figure 6: scaling out a fixed FatTree from 1 to 16 workers.
+
+Paper shape to reproduce: running time and per-worker peak memory fall
+steeply up to ~8 workers, then flatten (§5.5).
+"""
+
+from conftest import emit
+from repro.harness import ROW_HEADERS, format_table, run_fig6_scale_out
+
+WORKER_COUNTS = (1, 2, 4, 8, 12, 16)
+
+
+def test_fig06_scale_out(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig6_scale_out(k=8, worker_counts=WORKER_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ROW_HEADERS,
+        [r.as_cells() for r in rows],
+        title="Figure 6 — scale-out on the FatTree60 analogue (k=8)",
+    )
+    emit("fig06", table)
+    assert all(r.status == "ok" for r in rows)
+    by_workers = dict(zip(WORKER_COUNTS, rows))
+    # steep improvement up to 8 workers...
+    assert by_workers[8].modeled_time < by_workers[1].modeled_time * 0.6
+    assert by_workers[8].peak_memory < by_workers[1].peak_memory * 0.7
+    # ...then flat: 16 workers gains little over 8 (within 25%)
+    assert by_workers[16].modeled_time < by_workers[8].modeled_time * 1.25
+    # memory decreases monotonically with the worker count
+    peaks = [by_workers[w].peak_memory for w in WORKER_COUNTS]
+    assert peaks == sorted(peaks, reverse=True)

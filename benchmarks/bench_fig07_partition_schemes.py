@@ -1,0 +1,53 @@
+"""Figure 7: comparing network partition schemes.
+
+Paper shape to reproduce: random/expert/metis differ only slightly; the
+load-imbalanced extreme is far worse; the communication-heaviest extreme
+costs only a little (§5.6) — performance tracks load balance, not cut.
+"""
+
+from conftest import emit
+from repro.harness import format_table, run_fig7_partition_schemes
+
+HEADERS = [
+    "series", "workload", "status", "total", "cp", "dp", "peak-mem", "rpc-KB"
+]
+
+
+def test_fig07_partition_schemes(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig7_partition_schemes(k=8, workers=8, include_dcn=True),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        HEADERS,
+        [
+            [
+                r.series,
+                r.workload,
+                r.status,
+                round(r.modeled_time),
+                round(r.extra.get("cp_modeled", 0)),
+                round(r.extra.get("dp_modeled", 0)),
+                f"{r.peak_memory / (1 << 20):.1f}MB",
+                round(r.extra.get("rpc_bytes", 0) / 1e3),
+            ]
+            for r in rows
+        ],
+        title="Figure 7 — partition schemes (total / CP / DP splits)",
+    )
+    emit("fig07", table)
+    assert all(r.status == "ok" for r in rows)
+    for workload in {r.workload for r in rows}:
+        by_scheme = {
+            r.series: r for r in rows if r.workload == workload
+        }
+        balanced = [
+            by_scheme[s].modeled_time for s in ("random", "expert", "metis")
+        ]
+        # the three balanced schemes are within 30% of each other
+        assert max(balanced) < min(balanced) * 1.3, workload
+        # the load-imbalanced extreme is clearly worse than all of them
+        assert by_scheme["imbalanced"].modeled_time > max(balanced) * 1.2
+        # the communication-heavy extreme is at worst mildly worse
+        assert by_scheme["commheavy"].modeled_time < max(balanced) * 1.3

@@ -1,0 +1,62 @@
+"""Figure 10: distributed data-plane verification vs centralized.
+
+Paper shape to reproduce: S2 is faster than Batfish for both all-pair and
+single-pair reachability, in both phases (predicate computation and
+symbolic forwarding); the predicate phase shows the largest speedup; the
+speedup grows with the FatTree size; even a single-pair check engages all
+workers (§5.8).
+"""
+
+from conftest import emit
+from repro.harness import format_table, run_fig10_dpv
+
+HEADERS = [
+    "series", "workload", "pred", "fwd-allpair", "fwd-single", "peak-mem"
+]
+
+
+def test_fig10_dpv(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig10_dpv(workers=8), rounds=1, iterations=1
+    )
+    table = format_table(
+        HEADERS,
+        [
+            [
+                r.series,
+                r.workload,
+                round(r.extra["phase_predicates"]),
+                round(r.extra.get("phase_forward_allpair", 0)),
+                round(r.extra.get("phase_forward_singlepair", 0)),
+                f"{r.peak_memory / (1 << 20):.1f}MB",
+            ]
+            for r in rows
+        ],
+        title="Figure 10 — DPV phases: Batfish vs S2 (modeled units)",
+    )
+    emit("fig10", table)
+    workloads = list(dict.fromkeys(r.workload for r in rows))
+    by_key = {(r.series, r.workload): r for r in rows}
+    s2_series = next(r.series for r in rows if r.series != "batfish")
+    speedups = []
+    for workload in workloads:
+        batfish = by_key[("batfish", workload)]
+        s2 = by_key[(s2_series, workload)]
+        # S2 wins both phases
+        assert (
+            s2.extra["phase_predicates"] < batfish.extra["phase_predicates"]
+        )
+        assert (
+            s2.extra["phase_forward_allpair"]
+            < batfish.extra["phase_forward_allpair"]
+        )
+        assert (
+            s2.extra["phase_forward_singlepair"]
+            < batfish.extra["phase_forward_singlepair"]
+        )
+        speedups.append(
+            batfish.extra["phase_predicates"]
+            / max(1.0, s2.extra["phase_predicates"])
+        )
+    # the predicate-phase speedup grows with the FatTree size
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the core substrates.
+
+Unlike the figure benchmarks (one timed experiment), these measure the
+hot primitives under pytest-benchmark's repeated sampling: BDD apply
+throughput, cross-engine serialization, LPM trie lookups, configuration
+parsing, and a full control-plane round — the numbers to watch when
+optimizing, and the baseline for regression tracking.
+"""
+
+import random
+
+from repro.bdd.engine import BddEngine
+from repro.bdd.headerspace import HeaderEncoding
+from repro.bdd.serialize import deserialize, serialize
+from repro.config.cisco import parse_cisco
+from repro.dataplane.fib import Fib, FibAction, FibEntry, NextHop
+from repro.net.fattree import FatTreeSpec, build_fattree, render_configs
+from repro.net.ip import Prefix
+from repro.routing.engine import SimulationEngine
+
+
+def test_bdd_prefix_conjunctions(benchmark):
+    """AND-ing prefix cubes: the predicate-compilation inner loop."""
+    encoding = HeaderEncoding()
+    engine = encoding.make_engine()
+    rng = random.Random(5)
+    prefixes = [
+        Prefix(rng.getrandbits(32), rng.randint(8, 24)) for _ in range(200)
+    ]
+    cubes = [encoding.prefix_bdd(engine, p) for p in prefixes]
+
+    def work():
+        acc = 1
+        for cube in cubes:
+            acc = engine.or_(acc, engine.and_(cube, engine.not_(acc)))
+        return acc
+
+    benchmark(work)
+
+
+def test_bdd_serialization_roundtrip(benchmark):
+    """Serialize + re-encode a mid-size BDD (a cross-worker packet)."""
+    encoding = HeaderEncoding()
+    source = encoding.make_engine()
+    rng = random.Random(6)
+    u = 0
+    for _ in range(60):
+        p = Prefix(rng.getrandbits(32), rng.randint(8, 20))
+        u = source.or_(u, encoding.prefix_bdd(source, p))
+    destination = encoding.make_engine()
+
+    def work():
+        return deserialize(destination, serialize(source, u))
+
+    benchmark(work)
+
+
+def test_lpm_trie_lookups(benchmark):
+    """Longest-prefix-match over a 1000-entry FIB."""
+    rng = random.Random(7)
+    fib = Fib("r")
+    for i in range(1000):
+        fib.add(
+            FibEntry(
+                prefix=Prefix(rng.getrandbits(32), rng.randint(8, 28)),
+                action=FibAction.FORWARD,
+                next_hops=(NextHop(iface=f"e{i % 32}", node="x"),),
+            )
+        )
+    probes = [rng.getrandbits(32) for _ in range(500)]
+
+    def work():
+        return sum(1 for p in probes if fib.lookup(p) is not None)
+
+    benchmark(work)
+
+
+def test_parse_cisco_config(benchmark):
+    """Parsing one synthesized FatTree switch config."""
+    texts = render_configs(FatTreeSpec(k=8))
+    sample = next(iter(texts.values()))[1]
+    benchmark(parse_cisco, sample)
+
+
+def test_control_plane_round(benchmark):
+    """One pull round across every node of FatTree k=6."""
+    engine = SimulationEngine(build_fattree(6))
+    for node in engine.nodes.values():
+        node.begin_shard(None)
+    # warm up to a mid-convergence state
+    for round_token in range(2):
+        for node in engine.nodes.values():
+            node.pull_round(engine._bgp_resolver, round_token)
+    counter = [10]
+
+    def work():
+        token = counter[0]
+        counter[0] += 1
+        for node in engine.nodes.values():
+            node.pull_round(engine._bgp_resolver, token)
+
+    benchmark(work)

@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every ``bench_figNN_*`` file reproduces one figure of the paper's §5: it
+runs the experiment once under ``benchmark.pedantic`` (so the recorded
+time is the real experiment, not a repeated micro-op), prints the
+resulting table, and writes it to ``benchmarks/results/figNN.txt`` so
+``pytest benchmarks/ --benchmark-only`` leaves a browsable record.
+
+Sweep sizes honor the ``S2_BENCH_SIZES`` environment variable
+(comma-separated FatTree k values; default ``4,6,8``).
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_table(name: str, table: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table + "\n")
+
+
+def emit(name: str, table: str) -> None:
+    """Print the figure table and persist it."""
+    print(f"\n{table}\n")
+    save_table(name, table)

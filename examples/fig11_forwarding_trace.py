@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Figure 11 rendered: distributed forwarding steps on FatTree4.
+
+Reproduces the paper's illustration: checking reachability from one edge
+switch to an edge switch in a *different pod* triggers symbolic packet
+forwarding on every worker — the packet copies at the core layer to
+explore all equal-cost paths, and each pod boundary crossed is a
+sidecar-serialized BDD transfer.
+
+Run:  python examples/fig11_forwarding_trace.py
+"""
+
+from repro.dataplane.forwarding import FinalState
+from repro.dist.controller import S2Controller, S2Options
+from repro.net.fattree import build_fattree
+from repro.net.ip import Prefix
+
+SOURCE = "edge-0-0"
+DESTINATION = "edge-3-1"
+PREFIX = Prefix.parse("10.3.1.0/24")
+
+
+def main():
+    snapshot = build_fattree(4)
+    # the expert scheme puts each pod on its own worker, like the figure
+    options = S2Options(
+        num_workers=4, partition_scheme="expert", num_shards=2
+    )
+    with S2Controller(snapshot, options) as controller:
+        controller.run_control_plane()
+        controller.build_data_plane()
+        assignment = controller.partition.assignment
+
+        print(f"checking reachability {SOURCE} -> {DESTINATION} ({PREFIX})")
+        print("worker assignment (expert scheme: one pod per worker):")
+        for worker_id in range(4):
+            members = sorted(
+                n for n, w in assignment.items() if w == worker_id
+            )
+            print(f"  worker{worker_id}: {', '.join(members)}")
+
+        dpo = controller.dpo
+        header = options.encoding.prefix_bdd(dpo.engine, PREFIX)
+        finals = dpo.forward([SOURCE], header, trace=True)
+
+        arrived = sorted(
+            f.path
+            for f in finals
+            if f.state is FinalState.ARRIVE and f.node == DESTINATION
+        )
+        print(f"\n{len(arrived)} forwarding paths found:")
+        step = 0
+        for path in arrived:
+            rendered = []
+            for a, b in zip(path, path[1:]):
+                step += 1
+                crossing = assignment[a] != assignment[b]
+                marker = f" ={step}=> " if crossing else f" -{step}-> "
+                rendered.append(f"{a}{marker}")
+            print("  " + "".join(rendered) + path[-1])
+        print("\n(=N=> steps cross workers: the BDD is serialized by the "
+              "sending sidecar and re-encoded by the receiving worker)")
+        print(f"cross-worker symbolic packets: "
+              f"{dpo.stats.packets_crossed}, supersteps: "
+              f"{dpo.stats.supersteps}")
+
+        workers_touched = {
+            assignment[node] for f in finals for node in (f.path or ())
+        }
+        print(f"workers engaged by this single-pair check: "
+              f"{sorted(workers_touched)} — all of them, as §5.8 observes")
+
+
+if __name__ == "__main__":
+    main()

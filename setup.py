@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Shim for environments without the `wheel` package, where PEP 660
+# editable installs are unavailable (pip falls back to setup.py develop).
+setup()

@@ -1,0 +1,23 @@
+"""S2: a distributed configuration verifier for hyper-scale networks.
+
+Reproduction of Wang et al., SIGCOMM 2025.  The top level re-exports the
+public API; the subpackages are:
+
+- :mod:`repro.net`        IPv4/topology primitives + FatTree/DCN synthesizers
+- :mod:`repro.config`     vendor parsers and the vendor-independent model
+- :mod:`repro.routing`    BGP/OSPF switch models and the fixed-point engine
+- :mod:`repro.bdd`        BDD engine, serialization, header encoding
+- :mod:`repro.dataplane`  FIBs, predicates, symbolic forwarding, queries
+- :mod:`repro.dist`       the S2 framework: controller/workers/sidecars,
+  partitioning, prefix sharding, orchestrators, resource model
+- :mod:`repro.core`       the :class:`S2Verifier` facade
+- :mod:`repro.baselines`  Batfish and Bonsai comparison verifiers
+- :mod:`repro.harness`    experiment runner used by ``benchmarks/``
+"""
+
+__version__ = "1.0.0"
+
+from .core.s2 import S2Verifier, VerificationResult, verify_snapshot  # noqa: F401
+from .dataplane.queries import Query  # noqa: F401
+from .dist.controller import S2Options  # noqa: F401
+from .net.ip import Prefix  # noqa: F401

@@ -1,0 +1,10 @@
+"""Baselines the paper compares S2 against: Batfish and Bonsai."""
+
+from .batfish import BatfishStats, BatfishVerifier  # noqa: F401
+from .bonsai import (  # noqa: F401
+    BonsaiStats,
+    BonsaiTimeout,
+    BonsaiVerifier,
+    CompressionError,
+    QuotientClasses,
+)

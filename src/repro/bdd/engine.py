@@ -1,0 +1,350 @@
+"""A from-scratch reduced ordered BDD engine.
+
+Each S2 worker owns a *private* engine instance (§4.3 option 2): BDD
+operations on one worker never contend with another's, and each node table
+stays small.  The table capacity is configurable so the paper's node-table
+saturation behaviour (bounded by ``O(2^32)``) can be reproduced at model
+scale — exceeding it raises :class:`BddOverflowError`.
+
+Implementation notes: nodes are hash-consed triples ``(var, low, high)``
+stored in parallel lists and addressed by integer id; ``0``/``1`` are the
+terminal FALSE/TRUE.  Binary operations use memoized Shannon expansion.
+Recursion depth is bounded by the variable count (packet headers are at
+most a few hundred bits), so plain recursion is safe and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+FALSE = 0
+TRUE = 1
+
+
+class BddOverflowError(RuntimeError):
+    """The node table exceeded its configured capacity."""
+
+
+class BddEngine:
+    """A reduced, ordered BDD manager over ``num_vars`` Boolean variables."""
+
+    def __init__(self, num_vars: int, node_limit: int = 1 << 24) -> None:
+        if num_vars <= 0:
+            raise ValueError("num_vars must be positive")
+        self.num_vars = num_vars
+        self.node_limit = node_limit
+        # Parallel arrays indexed by node id; slots 0/1 are terminals and
+        # carry a sentinel variable one past the last real level.
+        self._var: List[int] = [num_vars, num_vars]
+        self._low: List[int] = [FALSE, TRUE]
+        self._high: List[int] = [FALSE, TRUE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._or_cache: Dict[Tuple[int, int], int] = {}
+        self._xor_cache: Dict[Tuple[int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._exists_cache: Dict[Tuple[int, int], int] = {}
+        self.ops = 0  # performed apply steps; the DPV time-model unit
+
+    # -- structure -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._var)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._var)
+
+    def var_of(self, u: int) -> int:
+        return self._var[u]
+
+    def low_of(self, u: int) -> int:
+        return self._low[u]
+
+    def high_of(self, u: int) -> int:
+        return self._high[u]
+
+    def mk(self, var: int, low: int, high: int) -> int:
+        """Hash-consed node constructor (the only way nodes are created)."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        if len(self._var) >= self.node_limit:
+            raise BddOverflowError(
+                f"BDD node table exceeded {self.node_limit} nodes"
+            )
+        node_id = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node_id
+        return node_id
+
+    # -- literals ------------------------------------------------------------
+
+    def var(self, index: int) -> int:
+        """The BDD for "variable ``index`` is 1"."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range")
+        return self.mk(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> int:
+        """The BDD for "variable ``index`` is 0"."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range")
+        return self.mk(index, TRUE, FALSE)
+
+    def cube(self, assignments: Dict[int, bool]) -> int:
+        """Conjunction of literals, built bottom-up without apply calls."""
+        u = TRUE
+        for index in sorted(assignments, reverse=True):
+            if assignments[index]:
+                u = self.mk(index, FALSE, u)
+            else:
+                u = self.mk(index, u, FALSE)
+        return u
+
+    # -- boolean operations --------------------------------------------------------
+
+    def and_(self, a: int, b: int) -> int:
+        if a == b:
+            return a
+        if a == FALSE or b == FALSE:
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE:
+            return a
+        key = (a, b) if a <= b else (b, a)
+        found = self._and_cache.get(key)
+        if found is not None:
+            return found
+        self.ops += 1
+        var_a, var_b = self._var[a], self._var[b]
+        top = min(var_a, var_b)
+        a_low, a_high = (
+            (self._low[a], self._high[a]) if var_a == top else (a, a)
+        )
+        b_low, b_high = (
+            (self._low[b], self._high[b]) if var_b == top else (b, b)
+        )
+        result = self.mk(
+            top, self.and_(a_low, b_low), self.and_(a_high, b_high)
+        )
+        self._and_cache[key] = result
+        return result
+
+    def or_(self, a: int, b: int) -> int:
+        if a == b:
+            return a
+        if a == TRUE or b == TRUE:
+            return TRUE
+        if a == FALSE:
+            return b
+        if b == FALSE:
+            return a
+        key = (a, b) if a <= b else (b, a)
+        found = self._or_cache.get(key)
+        if found is not None:
+            return found
+        self.ops += 1
+        var_a, var_b = self._var[a], self._var[b]
+        top = min(var_a, var_b)
+        a_low, a_high = (
+            (self._low[a], self._high[a]) if var_a == top else (a, a)
+        )
+        b_low, b_high = (
+            (self._low[b], self._high[b]) if var_b == top else (b, b)
+        )
+        result = self.mk(top, self.or_(a_low, b_low), self.or_(a_high, b_high))
+        self._or_cache[key] = result
+        return result
+
+    def xor(self, a: int, b: int) -> int:
+        if a == b:
+            return FALSE
+        if a == FALSE:
+            return b
+        if b == FALSE:
+            return a
+        if a == TRUE:
+            return self.not_(b)
+        if b == TRUE:
+            return self.not_(a)
+        key = (a, b) if a <= b else (b, a)
+        found = self._xor_cache.get(key)
+        if found is not None:
+            return found
+        self.ops += 1
+        var_a, var_b = self._var[a], self._var[b]
+        top = min(var_a, var_b)
+        a_low, a_high = (
+            (self._low[a], self._high[a]) if var_a == top else (a, a)
+        )
+        b_low, b_high = (
+            (self._low[b], self._high[b]) if var_b == top else (b, b)
+        )
+        result = self.mk(top, self.xor(a_low, b_low), self.xor(a_high, b_high))
+        self._xor_cache[key] = result
+        return result
+
+    def not_(self, a: int) -> int:
+        if a == FALSE:
+            return TRUE
+        if a == TRUE:
+            return FALSE
+        found = self._not_cache.get(a)
+        if found is not None:
+            return found
+        self.ops += 1
+        result = self.mk(
+            self._var[a], self.not_(self._low[a]), self.not_(self._high[a])
+        )
+        self._not_cache[a] = result
+        self._not_cache[result] = a
+        return result
+
+    def diff(self, a: int, b: int) -> int:
+        """Set difference ``a ∧ ¬b``."""
+        return self.and_(a, self.not_(b))
+
+    def implies(self, a: int, b: int) -> bool:
+        """True when the packet set ``a`` is a subset of ``b``."""
+        return self.diff(a, b) == FALSE
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f ∧ g) ∨ (¬f ∧ h)``."""
+        return self.or_(self.and_(f, g), self.and_(self.not_(f), h))
+
+    def exists(self, u: int, var: int) -> int:
+        """Existential quantification of one variable."""
+        if u in (FALSE, TRUE):
+            return u
+        node_var = self._var[u]
+        if node_var > var:
+            return u
+        key = (u, var)
+        found = self._exists_cache.get(key)
+        if found is not None:
+            return found
+        self.ops += 1
+        if node_var == var:
+            result = self.or_(self._low[u], self._high[u])
+        else:
+            result = self.mk(
+                node_var,
+                self.exists(self._low[u], var),
+                self.exists(self._high[u], var),
+            )
+        self._exists_cache[key] = result
+        return result
+
+    def set_var(self, u: int, var: int, value: bool) -> int:
+        """Force ``var`` to ``value`` in every packet of ``u``.
+
+        This is the waypoint "write rule" (§4.4): quantify the bit away,
+        then conjoin the literal.
+        """
+        literal = self.var(var) if value else self.nvar(var)
+        return self.and_(self.exists(u, var), literal)
+
+    # -- analysis ---------------------------------------------------------------------
+
+    def sat_count(self, u: int, over_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments.
+
+        By default counts over all ``num_vars`` variables.  With
+        ``over_vars`` given, counts over the first ``over_vars`` variables
+        only — ``u`` must not depend on any later variable (checked).
+        """
+        width = self.num_vars if over_vars is None else over_vars
+        if width < self.num_vars:
+            support = self.support(u)
+            if support and support[-1] >= width:
+                raise ValueError(
+                    f"BDD depends on variable {support[-1]} >= {width}"
+                )
+        memo: Dict[int, int] = {FALSE: 0, TRUE: 1}
+
+        def count(node: int) -> int:
+            """Assignments over variables [var(node), num_vars)."""
+            found = memo.get(node)
+            if found is not None:
+                return found
+            var = self._var[node]
+            low, high = self._low[node], self._high[node]
+            total = count(low) * (1 << (self._var[low] - var - 1)) + count(
+                high
+            ) * (1 << (self._var[high] - var - 1))
+            memo[node] = total
+            return total
+
+        if u == FALSE:
+            return 0
+        full = count(u) << self._var[u]  # extend below the root to var 0
+        return full >> (self.num_vars - width)
+
+    def any_sat(self, u: int) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment (unset variables are free), or None."""
+        if u == FALSE:
+            return None
+        assignment: Dict[int, bool] = {}
+        while u != TRUE:
+            if self._low[u] != FALSE:
+                assignment[self._var[u]] = False
+                u = self._low[u]
+            else:
+                assignment[self._var[u]] = True
+                u = self._high[u]
+        return assignment
+
+    def support(self, u: int) -> List[int]:
+        """The variables ``u`` actually depends on, ascending."""
+        seen = set()
+        result = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node in (FALSE, TRUE) or node in seen:
+                continue
+            seen.add(node)
+            result.add(self._var[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return sorted(result)
+
+    def nodes_of(self, u: int) -> Iterator[Tuple[int, int, int, int]]:
+        """Reachable nodes of ``u`` as (id, var, low, high), children first.
+
+        This is the serialization order: every child id precedes its
+        parents, so a consumer can rebuild bottom-up with plain ``mk``.
+        """
+        seen = set()
+        order: List[int] = []
+
+        def visit(node: int) -> None:
+            if node in (FALSE, TRUE) or node in seen:
+                return
+            seen.add(node)
+            visit(self._low[node])
+            visit(self._high[node])
+            order.append(node)
+
+        visit(u)
+        for node in order:
+            yield node, self._var[node], self._low[node], self._high[node]
+
+    def size_of(self, u: int) -> int:
+        """Number of internal nodes reachable from ``u``."""
+        return sum(1 for _ in self.nodes_of(u))
+
+    def clear_caches(self) -> None:
+        """Drop operation memos (the node table itself is kept)."""
+        self._and_cache.clear()
+        self._or_cache.clear()
+        self._xor_cache.clear()
+        self._not_cache.clear()
+        self._exists_cache.clear()

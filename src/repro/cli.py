@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+``verify``     run S2 on a snapshot directory (or a synthesized topology)
+               and report reachability plus resource usage;
+``partition``  show how a snapshot would be split across workers;
+``shards``     show the prefix shards (DPDG components and packing);
+``synthesize`` write a FatTree or DCN snapshot to a directory;
+``trace``      print the forwarding paths of one source→destination pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config.loader import Snapshot, load_snapshot_dir, write_snapshot_dir
+from .core.s2 import S2Verifier
+from .dataplane.queries import Query
+from .dist.controller import S2Options
+from .dist.partition import SCHEMES, estimate_loads, partition
+from .dist.sharding import build_dpdg, make_shards
+from .harness.reporting import format_table
+from .net.ip import Prefix
+
+
+def _load(args) -> Snapshot:
+    if args.snapshot == "fattree":
+        from .net.fattree import build_fattree
+
+        return build_fattree(args.k)
+    if args.snapshot == "dcn":
+        from .net.dcn import build_dcn
+
+        return build_dcn(scale=args.scale)
+    return load_snapshot_dir(args.snapshot)
+
+
+def _add_snapshot_args(parser) -> None:
+    parser.add_argument(
+        "snapshot",
+        help="snapshot directory, or 'fattree' / 'dcn' to synthesize",
+    )
+    parser.add_argument("--k", type=int, default=4, help="FatTree pods")
+    parser.add_argument("--scale", type=int, default=1, help="DCN scale")
+
+
+def cmd_verify(args) -> int:
+    snapshot = _load(args)
+    options = S2Options(
+        num_workers=args.workers,
+        num_shards=args.shards,
+        partition_scheme=args.scheme,
+        enforce_memory=not args.no_memory_limit,
+    )
+    with S2Verifier(snapshot, options) as verifier:
+        query = None
+        if args.src and args.dst:
+            prefix = Prefix.parse(args.prefix) if args.prefix else None
+            query = Query.single_pair(args.src, args.dst, prefix)
+        result = verifier.verify(query=query, check_loops=args.check_loops)
+        print(result.summary())
+        if result.loop_violations:
+            print(f"loops found: {len(result.loop_violations)}")
+            for violation in result.loop_violations[:5]:
+                print(f"  at {violation.node}: {violation.example}")
+        if args.verbose and result.report is not None:
+            rows = [
+                [
+                    w.name,
+                    w.node_count,
+                    f"{w.peak_bytes / (1 << 20):.2f}MB",
+                    round(w.modeled_time),
+                    f"{w.rpc_bytes_sent / 1e3:.0f}KB",
+                ]
+                for w in result.report.workers
+            ]
+            print()
+            print(
+                format_table(
+                    ["worker", "nodes", "peak-mem", "modeled-time", "rpc"],
+                    rows,
+                )
+            )
+        return 0 if result.ok else 1
+
+
+def cmd_partition(args) -> int:
+    snapshot = _load(args)
+    loads = estimate_loads(snapshot)
+    result = partition(
+        snapshot, args.workers, scheme=args.scheme
+    )
+    rows = []
+    for worker_id, members in enumerate(result.segments()):
+        load = sum(loads.get(n, 1) for n in members)
+        preview = ", ".join(members[:6]) + (" ..." if len(members) > 6 else "")
+        rows.append([worker_id, len(members), load, preview])
+    print(
+        format_table(
+            ["worker", "nodes", "est-load", "members"],
+            rows,
+            title=f"{args.scheme} partition of {snapshot.name} "
+            f"(edge cut {result.edge_cut(snapshot.topology)}, "
+            f"imbalance {result.imbalance(loads):.2f})",
+        )
+    )
+    return 0
+
+
+def cmd_shards(args) -> int:
+    snapshot = _load(args)
+    dpdg = build_dpdg(snapshot)
+    components = dpdg.weakly_connected_components()
+    print(
+        f"{len(dpdg.prefixes)} prefixes, {len(dpdg.edges)} dependencies, "
+        f"{len(components)} independent components "
+        f"(largest: {len(components[0]) if components else 0})"
+    )
+    shards = make_shards(snapshot, args.shards)
+    rows = []
+    for shard in shards:
+        sample = ", ".join(str(p) for p in sorted(shard.prefixes)[:4])
+        if len(shard) > 4:
+            sample += " ..."
+        rows.append([shard.index, len(shard), sample])
+    print(format_table(["shard", "prefixes", "sample"], rows))
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    if args.kind == "fattree":
+        from .net.fattree import FatTreeSpec, render_configs
+
+        texts = render_configs(
+            FatTreeSpec(k=args.k, juniper_fraction=args.juniper_fraction)
+        )
+    else:
+        from .net.dcn import default_spec, render_configs
+
+        texts = render_configs(default_spec(args.scale))
+    write_snapshot_dir(args.out, texts)
+    print(f"wrote {len(texts)} device configs to {args.out}/configs/")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    snapshot = _load(args)
+    options = S2Options(
+        num_workers=args.workers, partition_scheme=args.scheme
+    )
+    from .dataplane.forwarding import FinalState
+    from .dist.controller import S2Controller
+
+    with S2Controller(snapshot, options) as controller:
+        controller.run_control_plane()
+        controller.build_data_plane()
+        dpo = controller.dpo
+        header = (
+            options.encoding.prefix_bdd(dpo.engine, Prefix.parse(args.prefix))
+            if args.prefix
+            else 1
+        )
+        finals = dpo.forward([args.src], header, trace=True)
+        shown = 0
+        for final in sorted(finals, key=lambda f: (f.state.value, f.path or ())):
+            if args.dst and final.node != args.dst:
+                continue
+            path = " -> ".join(final.path or (final.node,))
+            print(f"[{final.state.value:9s}] {path}")
+            shown += 1
+        if not shown:
+            print("no matching forwarding paths")
+            return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="S2: distributed network configuration verification",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="verify a snapshot with S2")
+    _add_snapshot_args(verify)
+    verify.add_argument("--workers", type=int, default=4)
+    verify.add_argument("--shards", type=int, default=0)
+    verify.add_argument("--scheme", choices=SCHEMES, default="metis")
+    verify.add_argument("--src", help="single-pair source node")
+    verify.add_argument("--dst", help="single-pair destination node")
+    verify.add_argument("--prefix", help="header-space prefix for the query")
+    verify.add_argument("--check-loops", action="store_true")
+    verify.add_argument("--no-memory-limit", action="store_true")
+    verify.add_argument("-v", "--verbose", action="store_true")
+    verify.set_defaults(func=cmd_verify)
+
+    part = sub.add_parser("partition", help="preview a worker partition")
+    _add_snapshot_args(part)
+    part.add_argument("--workers", type=int, default=4)
+    part.add_argument("--scheme", choices=SCHEMES, default="metis")
+    part.set_defaults(func=cmd_partition)
+
+    shards = sub.add_parser("shards", help="preview the prefix shards")
+    _add_snapshot_args(shards)
+    shards.add_argument("--shards", type=int, default=20)
+    shards.set_defaults(func=cmd_shards)
+
+    synth = sub.add_parser("synthesize", help="write a synthetic snapshot")
+    synth.add_argument("kind", choices=["fattree", "dcn"])
+    synth.add_argument("out", help="output directory")
+    synth.add_argument("--k", type=int, default=4)
+    synth.add_argument("--scale", type=int, default=1)
+    synth.add_argument("--juniper-fraction", type=float, default=0.0)
+    synth.set_defaults(func=cmd_synthesize)
+
+    trace = sub.add_parser("trace", help="print forwarding paths")
+    _add_snapshot_args(trace)
+    trace.add_argument("--workers", type=int, default=4)
+    trace.add_argument("--scheme", choices=SCHEMES, default="metis")
+    trace.add_argument("--src", required=True)
+    trace.add_argument("--dst")
+    trace.add_argument("--prefix")
+    trace.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

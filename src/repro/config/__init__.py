@@ -1,0 +1,38 @@
+"""Configuration substrate: vendor parsers and the vendor-independent model."""
+
+from .ast import (  # noqa: F401
+    Acl,
+    AclLine,
+    Action,
+    Aggregate,
+    AsPathList,
+    BgpConfig,
+    BgpNeighbor,
+    CommunityList,
+    ConditionalAdvertisement,
+    DeviceConfig,
+    InterfaceConfig,
+    OspfConfig,
+    PrefixList,
+    RemovePrivateAsMode,
+    RouteMap,
+    StaticRoute,
+    VendorBehavior,
+    community,
+    format_community,
+    parse_community,
+)
+from .arista import parse_arista  # noqa: F401
+from .cisco import parse_cisco  # noqa: F401
+from .juniper import parse_juniper  # noqa: F401
+from .lexer import ConfigSyntaxError  # noqa: F401
+from .loader import (  # noqa: F401
+    Snapshot,
+    derive_topology,
+    load_snapshot_dir,
+    make_snapshot,
+    parse_device,
+    sniff_dialect,
+    write_snapshot_dir,
+)
+from .policy import PolicyEngine, PolicyError, apply_remove_private_as  # noqa: F401

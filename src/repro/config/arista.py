@@ -1,0 +1,72 @@
+"""Parser for the Arista-EOS-like configuration dialect.
+
+The third vendor frontend.  EOS deliberately tracks IOS syntax, so this
+parser subclasses the Cisco-like one and overrides only the genuine
+divergences — which is precisely how multi-vendor DCNs end up with subtle
+vendor-specific behaviours (§2.1):
+
+* ``maximum-paths N ecmp M`` — EOS takes an extra ECMP argument; the
+  effective multipath limit is ``M``;
+* ``neighbor X remove-private-as all`` — EOS spells the strip-everything
+  variant explicitly, and this dialect's VSB profile strips *all* private
+  ASNs (the other interpretation from the Cisco-like dialect);
+* interface names are ``EthernetN``;
+* ``ip community-list expanded`` is accepted and treated as standard
+  (EOS permits regex community lists; our standard matching is the subset
+  the synthesized networks use).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import DeviceConfig, RemovePrivateAsMode, VendorBehavior
+from .cisco import CiscoParser
+from .lexer import ConfigSyntaxError, Line
+
+ARISTAISH_BEHAVIOR = VendorBehavior(
+    vendor="aristaish",
+    # This vendor strips every private ASN (§2.1 VSB).
+    remove_private_as_mode=RemovePrivateAsMode.ALL,
+)
+
+
+class AristaParser(CiscoParser):
+    """EOS-flavoured deviations on top of the IOS-like grammar."""
+
+    def __init__(self, text: str) -> None:
+        super().__init__(text)
+        self._config.behavior = ARISTAISH_BEHAVIOR
+
+    def _parse_neighbor_line(
+        self, neighbor, words: List[str], line: Line
+    ) -> None:
+        # EOS: `neighbor X remove-private-as [all [replace-as]]`
+        if words[0] == "remove-private-as":
+            neighbor.remove_private_as = True
+            return
+        super()._parse_neighbor_line(neighbor, words, line)
+
+    def _parse_community_list(self, words: List[str], line: Line) -> None:
+        # EOS accepts `standard` and `expanded`; normalize to standard.
+        if words[2] == "expanded":
+            words = words[:2] + ["standard"] + words[3:]
+        super()._parse_community_list(words, line)
+
+
+def _rewrite_maximum_paths(text: str) -> str:
+    """Normalize ``maximum-paths N ecmp M`` to the effective limit M."""
+    lines = []
+    for raw in text.splitlines():
+        words = raw.split()
+        if len(words) == 4 and words[0] == "maximum-paths" and words[2] == "ecmp":
+            indent = raw[: len(raw) - len(raw.lstrip())]
+            lines.append(f"{indent}maximum-paths {words[3]}")
+        else:
+            lines.append(raw)
+    return "\n".join(lines) + ("\n" if text.endswith("\n") else "")
+
+
+def parse_arista(text: str) -> DeviceConfig:
+    """Parse Arista-like configuration text into a :class:`DeviceConfig`."""
+    return AristaParser(_rewrite_maximum_paths(text)).parse()

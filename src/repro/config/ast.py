@@ -1,0 +1,462 @@
+"""Vendor-independent (VI) configuration model.
+
+The parsers in :mod:`repro.config.cisco` and :mod:`repro.config.juniper`
+translate vendor text into these dataclasses; everything downstream (the
+routing models, the partitioner, the verifiers) consumes only this layer,
+mirroring Batfish's vendor-independent representation.
+
+Vendor-specific behaviours (VSBs) that survive normalization — e.g. the two
+industry interpretations of ``remove-private-AS`` — are captured explicitly
+in :class:`VendorBehavior` so the switch model can reproduce them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.ip import Prefix
+
+# Private ASNs per RFC 6996 (16-bit range; we model 16-bit ASNs).
+PRIVATE_AS_MIN = 64512
+PRIVATE_AS_MAX = 65534
+
+
+def is_private_as(asn: int) -> bool:
+    return PRIVATE_AS_MIN <= asn <= PRIVATE_AS_MAX
+
+
+def community(asn: int, value: int) -> int:
+    """Encode an ``asn:value`` community as a 32-bit integer."""
+    return ((asn & 0xFFFF) << 16) | (value & 0xFFFF)
+
+
+def format_community(value: int) -> str:
+    return f"{(value >> 16) & 0xFFFF}:{value & 0xFFFF}"
+
+
+def parse_community(text: str) -> int:
+    asn_text, _, value_text = text.partition(":")
+    return community(int(asn_text), int(value_text))
+
+
+class Action(enum.Enum):
+    """Permit/deny action shared by ACLs, prefix lists, and route maps."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+class Origin(enum.IntEnum):
+    """BGP origin attribute; lower is preferred."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+class RemovePrivateAsMode(enum.Enum):
+    """The two observed vendor interpretations of ``remove-private-AS``.
+
+    ``ALL`` strips every private ASN from the AS path; ``LEADING`` strips
+    only the private ASNs preceding the first non-private one (§2.1).
+    """
+
+    ALL = "all"
+    LEADING = "leading"
+
+
+@dataclass(frozen=True)
+class VendorBehavior:
+    """The VSB profile attached to a device by its parser."""
+
+    vendor: str = "generic"
+    remove_private_as_mode: RemovePrivateAsMode = RemovePrivateAsMode.ALL
+    default_local_pref: int = 100
+    default_max_paths: int = 1
+
+
+# -- policy structures ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrefixListLine:
+    """One ``ip prefix-list`` entry: action + prefix + optional ge/le."""
+
+    seq: int
+    action: Action
+    prefix: Prefix
+    ge: Optional[int] = None
+    le: Optional[int] = None
+
+    def matches(self, candidate: Prefix) -> bool:
+        if not self.prefix.contains(candidate):
+            return False
+        low = self.ge if self.ge is not None else self.prefix.length
+        high = self.le if self.le is not None else (
+            self.ge if self.ge is not None else self.prefix.length
+        )
+        if self.le is not None:
+            high = self.le
+        elif self.ge is not None:
+            high = 32
+        return low <= candidate.length <= high
+
+
+@dataclass
+class PrefixList:
+    name: str
+    lines: List[PrefixListLine] = field(default_factory=list)
+
+    def permits(self, candidate: Prefix) -> bool:
+        """First-match semantics with an implicit deny at the end."""
+        for line in sorted(self.lines, key=lambda l: l.seq):
+            if line.matches(candidate):
+                return line.action is Action.PERMIT
+        return False
+
+
+@dataclass(frozen=True)
+class CommunityListLine:
+    action: Action
+    communities: Tuple[int, ...]
+
+    def matches(self, present: frozenset) -> bool:
+        """A standard community-list line matches when all its values are present."""
+        return all(value in present for value in self.communities)
+
+
+@dataclass
+class CommunityList:
+    name: str
+    lines: List[CommunityListLine] = field(default_factory=list)
+
+    def permits(self, present: frozenset) -> bool:
+        for line in self.lines:
+            if line.matches(present):
+                return line.action is Action.PERMIT
+        return False
+
+
+@dataclass(frozen=True)
+class AsPathListLine:
+    action: Action
+    regex: str
+
+
+@dataclass
+class AsPathList:
+    name: str
+    lines: List[AsPathListLine] = field(default_factory=list)
+
+
+# -- route-map match clauses ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchPrefixList:
+    name: str
+
+
+@dataclass(frozen=True)
+class MatchCommunityList:
+    name: str
+
+
+@dataclass(frozen=True)
+class MatchAsPathList:
+    name: str
+
+
+@dataclass(frozen=True)
+class MatchTag:
+    tag: int
+
+
+MatchClause = object  # any of the Match* dataclasses
+
+
+# -- route-map set clauses --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetLocalPref:
+    value: int
+
+
+@dataclass(frozen=True)
+class SetMed:
+    value: int
+
+
+@dataclass(frozen=True)
+class SetOrigin:
+    value: Origin
+
+
+@dataclass(frozen=True)
+class SetWeight:
+    value: int
+
+
+@dataclass(frozen=True)
+class SetCommunities:
+    """Set (replace) or add communities; ``additive`` keeps existing ones."""
+
+    communities: Tuple[int, ...]
+    additive: bool = False
+
+
+@dataclass(frozen=True)
+class SetDeleteCommunities:
+    """Delete the communities matched by a community list."""
+
+    community_list: str
+
+
+@dataclass(frozen=True)
+class SetAsPathPrepend:
+    asns: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SetAsPathReplace:
+    """AS_PATH overwrite (§2.3): replace the whole path with the own ASN.
+
+    Used by the DCN operators to prevent route drops caused by repeated
+    layer ASNs.  ``asn=None`` means "the configuring device's own ASN".
+    """
+
+    asn: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SetNextHop:
+    address: int
+
+
+@dataclass(frozen=True)
+class SetTag:
+    tag: int
+
+
+SetClause = object  # any of the Set* dataclasses
+
+
+@dataclass
+class RouteMapClause:
+    """One sequenced term of a route map.
+
+    All matches must hold for the clause to fire (standard conjunctive
+    semantics); an empty match list matches everything.
+    """
+
+    seq: int
+    action: Action
+    matches: List[MatchClause] = field(default_factory=list)
+    sets: List[SetClause] = field(default_factory=list)
+
+
+@dataclass
+class RouteMap:
+    name: str
+    clauses: List[RouteMapClause] = field(default_factory=list)
+
+    def sorted_clauses(self) -> List[RouteMapClause]:
+        return sorted(self.clauses, key=lambda c: c.seq)
+
+
+# -- ACLs -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AclLine:
+    """One packet-filter line over the 5-tuple (any field may be wildcard)."""
+
+    seq: int
+    action: Action
+    src: Optional[Prefix] = None
+    dst: Optional[Prefix] = None
+    protocol: Optional[int] = None
+    dst_port: Optional[Tuple[int, int]] = None  # inclusive range
+
+
+@dataclass
+class Acl:
+    name: str
+    lines: List[AclLine] = field(default_factory=list)
+
+    def sorted_lines(self) -> List[AclLine]:
+        return sorted(self.lines, key=lambda l: l.seq)
+
+
+# -- protocol configuration --------------------------------------------------
+
+
+@dataclass
+class BgpNeighbor:
+    """One eBGP/iBGP session, keyed by the peer's interface address."""
+
+    peer_ip: int
+    remote_as: int
+    import_policy: Optional[str] = None
+    export_policy: Optional[str] = None
+    remove_private_as: bool = False
+    next_hop_self: bool = True
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``aggregate-address``: activates when a contributor route exists."""
+
+    prefix: Prefix
+    summary_only: bool = False
+    attribute_map: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ConditionalAdvertisement:
+    """Cisco conditional advertisement: advertise ``prefix`` to a neighbor
+    only when ``watch_prefix`` is present (``when_present``) or absent in
+    the RIB.  This is the second source of prefix dependencies (§4.5).
+    """
+
+    prefix: Prefix
+    watch_prefix: Prefix
+    when_present: bool = True
+
+
+@dataclass
+class BgpConfig:
+    asn: int
+    router_id: int = 0
+    neighbors: List[BgpNeighbor] = field(default_factory=list)
+    networks: List[Prefix] = field(default_factory=list)
+    aggregates: List[Aggregate] = field(default_factory=list)
+    conditionals: List[ConditionalAdvertisement] = field(default_factory=list)
+    maximum_paths: int = 1
+    redistribute: List[str] = field(default_factory=list)  # "connected", "static", "ospf"
+
+    def neighbor_for(self, peer_ip: int) -> Optional[BgpNeighbor]:
+        for neighbor in self.neighbors:
+            if neighbor.peer_ip == peer_ip:
+                return neighbor
+        return None
+
+
+@dataclass
+class OspfInterfaceConfig:
+    area: int = 0
+    cost: int = 1
+    passive: bool = False
+
+
+@dataclass
+class OspfConfig:
+    process_id: int = 1
+    router_id: int = 0
+    reference_bandwidth: int = 100_000
+    interfaces: Dict[str, OspfInterfaceConfig] = field(default_factory=dict)
+    redistribute: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class StaticRoute:
+    prefix: Prefix
+    next_hop: Optional[int] = None      # next-hop address
+    interface: Optional[str] = None     # or an outgoing interface
+    discard: bool = False               # Null0 — intentional blackhole
+    admin_distance: int = 1
+    tag: int = 0
+
+
+@dataclass
+class InterfaceConfig:
+    name: str
+    address: Optional[int] = None
+    prefix: Optional[Prefix] = None     # the interface subnet
+    acl_in: Optional[str] = None
+    acl_out: Optional[str] = None
+    shutdown: bool = False
+    description: str = ""
+
+
+@dataclass
+class DeviceConfig:
+    """The complete vendor-independent configuration of one device."""
+
+    hostname: str
+    behavior: VendorBehavior = field(default_factory=VendorBehavior)
+    interfaces: Dict[str, InterfaceConfig] = field(default_factory=dict)
+    bgp: Optional[BgpConfig] = None
+    ospf: Optional[OspfConfig] = None
+    static_routes: List[StaticRoute] = field(default_factory=list)
+    route_maps: Dict[str, RouteMap] = field(default_factory=dict)
+    prefix_lists: Dict[str, PrefixList] = field(default_factory=dict)
+    community_lists: Dict[str, CommunityList] = field(default_factory=dict)
+    as_path_lists: Dict[str, AsPathList] = field(default_factory=dict)
+    acls: Dict[str, Acl] = field(default_factory=dict)
+
+    def interface_for_address(self, address: int) -> Optional[InterfaceConfig]:
+        """The interface whose subnet contains ``address``, if any."""
+        for interface in self.interfaces.values():
+            if interface.prefix is not None and interface.prefix.contains_ip(
+                address
+            ):
+                return interface
+        return None
+
+    def validate(self) -> List[str]:
+        """Return a list of referential-integrity problems (empty = clean)."""
+        problems: List[str] = []
+
+        def check_route_map(name: Optional[str], where: str) -> None:
+            if name is not None and name not in self.route_maps:
+                problems.append(f"{where} references missing route-map {name}")
+
+        if self.bgp is not None:
+            for neighbor in self.bgp.neighbors:
+                where = f"bgp neighbor {neighbor.peer_ip}"
+                check_route_map(neighbor.import_policy, where)
+                check_route_map(neighbor.export_policy, where)
+            for aggregate in self.bgp.aggregates:
+                check_route_map(
+                    aggregate.attribute_map, f"aggregate {aggregate.prefix}"
+                )
+        for route_map in self.route_maps.values():
+            for clause in route_map.clauses:
+                for match in clause.matches:
+                    if (
+                        isinstance(match, MatchPrefixList)
+                        and match.name not in self.prefix_lists
+                    ):
+                        problems.append(
+                            f"route-map {route_map.name} references missing "
+                            f"prefix-list {match.name}"
+                        )
+                    if (
+                        isinstance(match, MatchCommunityList)
+                        and match.name not in self.community_lists
+                    ):
+                        problems.append(
+                            f"route-map {route_map.name} references missing "
+                            f"community-list {match.name}"
+                        )
+                    if (
+                        isinstance(match, MatchAsPathList)
+                        and match.name not in self.as_path_lists
+                    ):
+                        problems.append(
+                            f"route-map {route_map.name} references missing "
+                            f"as-path list {match.name}"
+                        )
+        for interface in self.interfaces.values():
+            for acl_name in (interface.acl_in, interface.acl_out):
+                if acl_name is not None and acl_name not in self.acls:
+                    problems.append(
+                        f"interface {interface.name} references missing "
+                        f"ACL {acl_name}"
+                    )
+        return problems

@@ -1,0 +1,521 @@
+"""Parser for the Cisco-IOS-like configuration dialect.
+
+This is one of the two vendor frontends (the other is
+:mod:`repro.config.juniper`).  It covers the feature set the paper's DCN
+relies on: eBGP with per-neighbor route maps, ``network`` statements,
+``aggregate-address`` with ``summary-only`` and attribute maps, conditional
+advertisement, prefix/community/as-path lists, extended ACLs, OSPF with
+``network ... area`` statements, static routes (including ``Null0``), and
+the ``remove-private-as`` VSB.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net.ip import Prefix, parse_ip
+from .ast import (
+    Acl,
+    AclLine,
+    Action,
+    Aggregate,
+    AsPathList,
+    AsPathListLine,
+    BgpConfig,
+    BgpNeighbor,
+    CommunityList,
+    CommunityListLine,
+    ConditionalAdvertisement,
+    DeviceConfig,
+    InterfaceConfig,
+    MatchAsPathList,
+    MatchCommunityList,
+    MatchPrefixList,
+    Origin,
+    OspfConfig,
+    OspfInterfaceConfig,
+    PrefixList,
+    PrefixListLine,
+    RemovePrivateAsMode,
+    RouteMap,
+    RouteMapClause,
+    SetAsPathPrepend,
+    SetAsPathReplace,
+    SetCommunities,
+    SetDeleteCommunities,
+    SetLocalPref,
+    SetMed,
+    SetNextHop,
+    SetOrigin,
+    SetTag,
+    SetWeight,
+    StaticRoute,
+    VendorBehavior,
+    parse_community,
+)
+from .lexer import ConfigSyntaxError, Line, split_lines
+
+CISCOISH_BEHAVIOR = VendorBehavior(
+    vendor="ciscoish",
+    # This vendor strips only the leading private ASNs (§2.1 VSB).
+    remove_private_as_mode=RemovePrivateAsMode.LEADING,
+)
+
+
+def _action(word: str, line: Line) -> Action:
+    if word == "permit":
+        return Action.PERMIT
+    if word == "deny":
+        return Action.DENY
+    raise ConfigSyntaxError(f"expected permit/deny, got {word}", line.number, line.raw)
+
+
+class CiscoParser:
+    """Single-pass, line-oriented parser building a :class:`DeviceConfig`."""
+
+    def __init__(self, text: str) -> None:
+        self._lines = split_lines(text)
+        self._index = 0
+        self._config = DeviceConfig(hostname="", behavior=CISCOISH_BEHAVIOR)
+        # OSPF `network` statements are resolved against interfaces after
+        # the whole file is read.
+        self._ospf_networks: List[tuple] = []
+
+    # -- cursor helpers -----------------------------------------------------
+
+    def _peek(self) -> Optional[Line]:
+        if self._index < len(self._lines):
+            return self._lines[self._index]
+        return None
+
+    def _next(self) -> Line:
+        line = self._lines[self._index]
+        self._index += 1
+        return line
+
+    def _block(self, parent_indent: int) -> List[Line]:
+        """Consume and return the indented block following the current line."""
+        block: List[Line] = []
+        while True:
+            line = self._peek()
+            if line is None or line.indent <= parent_indent:
+                break
+            block.append(self._next())
+        return block
+
+    # -- top level ------------------------------------------------------------
+
+    def parse(self) -> DeviceConfig:
+        while (line := self._peek()) is not None:
+            head = line.first
+            if head == "hostname":
+                self._next()
+                self._config.hostname = line.words[1]
+            elif head == "interface":
+                self._parse_interface(self._next())
+            elif head == "router":
+                self._parse_router(self._next())
+            elif head == "ip":
+                self._parse_ip_statement(self._next())
+            elif head == "route-map":
+                self._parse_route_map(self._next())
+            else:
+                raise ConfigSyntaxError(
+                    f"unrecognized statement {head!r}", line.number, line.raw
+                )
+        if not self._config.hostname:
+            raise ConfigSyntaxError("missing hostname")
+        self._resolve_ospf_networks()
+        return self._config
+
+    # -- interfaces -------------------------------------------------------------
+
+    def _parse_interface(self, header: Line) -> None:
+        name = header.words[1]
+        interface = InterfaceConfig(name=name)
+        ospf_cost: Optional[int] = None
+        for line in self._block(header.indent):
+            words = line.words
+            if words[:2] == ["ip", "address"]:
+                interface.address = parse_ip(words[2])
+                prefix = Prefix.from_ip_mask(words[2], words[3])
+                interface.prefix = prefix
+            elif words[:2] == ["ip", "access-group"]:
+                if words[3] == "in":
+                    interface.acl_in = words[2]
+                elif words[3] == "out":
+                    interface.acl_out = words[2]
+                else:
+                    raise ConfigSyntaxError(
+                        "access-group direction must be in/out",
+                        line.number,
+                        line.raw,
+                    )
+            elif words[:3] == ["ip", "ospf", "cost"]:
+                ospf_cost = int(words[3])
+            elif words == ["shutdown"]:
+                interface.shutdown = True
+            elif words[0] == "description":
+                interface.description = " ".join(words[1:])
+            else:
+                raise ConfigSyntaxError(
+                    f"unrecognized interface statement {words[0]!r}",
+                    line.number,
+                    line.raw,
+                )
+        self._config.interfaces[name] = interface
+        if ospf_cost is not None:
+            ospf = self._ensure_ospf()
+            ospf.interfaces.setdefault(name, OspfInterfaceConfig()).cost = (
+                ospf_cost
+            )
+
+    # -- routers --------------------------------------------------------------
+
+    def _ensure_ospf(self) -> OspfConfig:
+        if self._config.ospf is None:
+            self._config.ospf = OspfConfig()
+        return self._config.ospf
+
+    def _parse_router(self, header: Line) -> None:
+        kind = header.words[1]
+        if kind == "bgp":
+            self._parse_bgp(header)
+        elif kind == "ospf":
+            self._parse_ospf(header)
+        else:
+            raise ConfigSyntaxError(
+                f"unsupported routing process {kind!r}", header.number, header.raw
+            )
+
+    def _parse_bgp(self, header: Line) -> None:
+        bgp = BgpConfig(asn=int(header.words[2]))
+        neighbors: dict = {}
+        for line in self._block(header.indent):
+            words = line.words
+            if words[:2] == ["bgp", "router-id"]:
+                bgp.router_id = parse_ip(words[2])
+            elif words[0] == "maximum-paths":
+                bgp.maximum_paths = int(words[1])
+            elif words[0] == "neighbor":
+                peer_ip = parse_ip(words[1])
+                neighbor = neighbors.get(peer_ip)
+                if neighbor is None:
+                    neighbor = BgpNeighbor(peer_ip=peer_ip, remote_as=0)
+                    neighbors[peer_ip] = neighbor
+                self._parse_neighbor_line(neighbor, words[2:], line)
+            elif words[0] == "network":
+                if len(words) >= 4 and words[2] == "mask":
+                    bgp.networks.append(Prefix.from_ip_mask(words[1], words[3]))
+                else:
+                    bgp.networks.append(Prefix.parse(words[1]))
+            elif words[0] == "aggregate-address":
+                # v4 spelling: `aggregate-address A.B.C.D M.M.M.M ...`;
+                # slash spelling (used for IPv6): `aggregate-address P/L ...`
+                if "/" in words[1]:
+                    prefix = Prefix.parse(words[1])
+                    rest = words[2:]
+                else:
+                    prefix = Prefix.from_ip_mask(words[1], words[2])
+                    rest = words[3:]
+                summary_only = "summary-only" in rest
+                attribute_map = None
+                if "attribute-map" in rest:
+                    attribute_map = rest[rest.index("attribute-map") + 1]
+                bgp.aggregates.append(
+                    Aggregate(
+                        prefix=prefix,
+                        summary_only=summary_only,
+                        attribute_map=attribute_map,
+                    )
+                )
+            elif words[0] == "redistribute":
+                bgp.redistribute.append(words[1])
+            elif words[0] == "advertise":
+                # Dialect shorthand for conditional advertisement:
+                #   advertise <prefix> exist <prefix>
+                #   advertise <prefix> non-exist <prefix>
+                bgp.conditionals.append(
+                    ConditionalAdvertisement(
+                        prefix=Prefix.parse(words[1]),
+                        watch_prefix=Prefix.parse(words[3]),
+                        when_present=(words[2] == "exist"),
+                    )
+                )
+            else:
+                raise ConfigSyntaxError(
+                    f"unrecognized bgp statement {words[0]!r}",
+                    line.number,
+                    line.raw,
+                )
+        bgp.neighbors = list(neighbors.values())
+        for neighbor in bgp.neighbors:
+            if neighbor.remote_as == 0:
+                raise ConfigSyntaxError(
+                    f"neighbor {neighbor.peer_ip} has no remote-as",
+                    header.number,
+                    header.raw,
+                )
+        self._config.bgp = bgp
+
+    @staticmethod
+    def _parse_neighbor_line(
+        neighbor: BgpNeighbor, words: List[str], line: Line
+    ) -> None:
+        if words[0] == "remote-as":
+            neighbor.remote_as = int(words[1])
+        elif words[0] == "route-map":
+            if words[2] == "in":
+                neighbor.import_policy = words[1]
+            elif words[2] == "out":
+                neighbor.export_policy = words[1]
+            else:
+                raise ConfigSyntaxError(
+                    "route-map direction must be in/out", line.number, line.raw
+                )
+        elif words[0] == "remove-private-as":
+            neighbor.remove_private_as = True
+        elif words[0] == "description":
+            neighbor.description = " ".join(words[1:])
+        else:
+            raise ConfigSyntaxError(
+                f"unrecognized neighbor statement {words[0]!r}",
+                line.number,
+                line.raw,
+            )
+
+    def _parse_ospf(self, header: Line) -> None:
+        ospf = self._ensure_ospf()
+        ospf.process_id = int(header.words[2])
+        for line in self._block(header.indent):
+            words = line.words
+            if words[0] == "router-id":
+                ospf.router_id = parse_ip(words[1])
+            elif words[0] == "network" and words[3] == "area":
+                # network <addr> <wildcard> area <n>
+                addr = parse_ip(words[1])
+                wildcard = parse_ip(words[2])
+                self._ospf_networks.append((addr, wildcard, int(words[4])))
+            elif words[0] == "passive-interface":
+                ospf.interfaces.setdefault(
+                    words[1], OspfInterfaceConfig()
+                ).passive = True
+            elif words[0] == "redistribute":
+                ospf.redistribute.append(words[1])
+            else:
+                raise ConfigSyntaxError(
+                    f"unrecognized ospf statement {words[0]!r}",
+                    line.number,
+                    line.raw,
+                )
+
+    def _resolve_ospf_networks(self) -> None:
+        """Map OSPF ``network`` statements onto configured interfaces."""
+        if not self._ospf_networks:
+            return
+        ospf = self._ensure_ospf()
+        for addr, wildcard, area in self._ospf_networks:
+            mask = (~wildcard) & 0xFFFFFFFF
+            for interface in self._config.interfaces.values():
+                if interface.address is None:
+                    continue
+                if (interface.address & mask) == (addr & mask):
+                    entry = ospf.interfaces.setdefault(
+                        interface.name, OspfInterfaceConfig()
+                    )
+                    entry.area = area
+
+    # -- global ip statements ----------------------------------------------------
+
+    def _parse_ip_statement(self, line: Line) -> None:
+        words = line.words
+        if words[1] == "route":
+            self._parse_static_route(words, line)
+        elif words[1] == "prefix-list":
+            self._parse_prefix_list(words, line)
+        elif words[1] == "community-list":
+            self._parse_community_list(words, line)
+        elif words[1] == "as-path":
+            self._parse_as_path_list(words, line)
+        elif words[1] == "access-list":
+            self._parse_acl(line)
+        else:
+            raise ConfigSyntaxError(
+                f"unrecognized ip statement {words[1]!r}", line.number, line.raw
+            )
+
+    def _parse_static_route(self, words: List[str], line: Line) -> None:
+        prefix = Prefix.from_ip_mask(words[2], words[3])
+        target = words[4]
+        tag = 0
+        if "tag" in words:
+            tag = int(words[words.index("tag") + 1])
+        if target.lower() == "null0":
+            route = StaticRoute(prefix=prefix, discard=True, tag=tag)
+        elif target[0].isdigit():
+            route = StaticRoute(prefix=prefix, next_hop=parse_ip(target), tag=tag)
+        else:
+            route = StaticRoute(prefix=prefix, interface=target, tag=tag)
+        self._config.static_routes.append(route)
+
+    def _parse_prefix_list(self, words: List[str], line: Line) -> None:
+        # ip prefix-list NAME seq N permit|deny PREFIX [ge N] [le N]
+        name = words[2]
+        if words[3] != "seq":
+            raise ConfigSyntaxError("expected seq", line.number, line.raw)
+        seq = int(words[4])
+        action = _action(words[5], line)
+        prefix = Prefix.parse(words[6])
+        ge = le = None
+        rest = words[7:]
+        if "ge" in rest:
+            ge = int(rest[rest.index("ge") + 1])
+        if "le" in rest:
+            le = int(rest[rest.index("le") + 1])
+        plist = self._config.prefix_lists.setdefault(name, PrefixList(name))
+        plist.lines.append(PrefixListLine(seq, action, prefix, ge, le))
+
+    def _parse_community_list(self, words: List[str], line: Line) -> None:
+        # ip community-list standard NAME permit|deny C1 [C2 ...]
+        if words[2] != "standard":
+            raise ConfigSyntaxError(
+                "only standard community-lists supported", line.number, line.raw
+            )
+        name = words[3]
+        action = _action(words[4], line)
+        communities = tuple(parse_community(w) for w in words[5:])
+        clist = self._config.community_lists.setdefault(
+            name, CommunityList(name)
+        )
+        clist.lines.append(CommunityListLine(action, communities))
+
+    def _parse_as_path_list(self, words: List[str], line: Line) -> None:
+        # ip as-path access-list NAME permit|deny REGEX
+        if words[2] != "access-list":
+            raise ConfigSyntaxError("expected access-list", line.number, line.raw)
+        name = words[3]
+        action = _action(words[4], line)
+        regex = " ".join(words[5:])
+        alist = self._config.as_path_lists.setdefault(name, AsPathList(name))
+        alist.lines.append(AsPathListLine(action, regex))
+
+    def _parse_acl(self, header: Line) -> None:
+        # ip access-list extended NAME, then indented numbered lines.
+        words = header.words
+        if words[2] != "extended":
+            raise ConfigSyntaxError(
+                "only extended ACLs supported", header.number, header.raw
+            )
+        acl = self._config.acls.setdefault(words[3], Acl(words[3]))
+        for line in self._block(header.indent):
+            acl.lines.append(self._parse_acl_line(line))
+
+    @staticmethod
+    def _parse_acl_line(line: Line) -> AclLine:
+        # <seq> permit|deny <proto|ip> <src|any> <dst|any> [eq P | range A B]
+        words = line.words
+        seq = int(words[0])
+        action = _action(words[1], line)
+        proto_word = words[2]
+        protocol = None
+        if proto_word != "ip":
+            protocol = {"tcp": 6, "udp": 17, "icmp": 1}.get(proto_word)
+            if protocol is None:
+                protocol = int(proto_word)
+
+        def parse_side(word: str) -> Optional[Prefix]:
+            if word == "any":
+                return None
+            return Prefix.parse(word)
+
+        src = parse_side(words[3])
+        dst = parse_side(words[4])
+        dst_port = None
+        rest = words[5:]
+        if rest[:1] == ["eq"]:
+            port = int(rest[1])
+            dst_port = (port, port)
+        elif rest[:1] == ["range"]:
+            dst_port = (int(rest[1]), int(rest[2]))
+        return AclLine(
+            seq=seq,
+            action=action,
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            dst_port=dst_port,
+        )
+
+    # -- route maps ---------------------------------------------------------------
+
+    def _parse_route_map(self, header: Line) -> None:
+        # route-map NAME permit|deny SEQ
+        words = header.words
+        name = words[1]
+        action = _action(words[2], header)
+        seq = int(words[3])
+        clause = RouteMapClause(seq=seq, action=action)
+        for line in self._block(header.indent):
+            lwords = line.words
+            if lwords[0] == "match":
+                clause.matches.append(self._parse_match(lwords, line))
+            elif lwords[0] == "set":
+                clause.sets.append(self._parse_set(lwords, line))
+            else:
+                raise ConfigSyntaxError(
+                    f"unrecognized route-map statement {lwords[0]!r}",
+                    line.number,
+                    line.raw,
+                )
+        route_map = self._config.route_maps.setdefault(name, RouteMap(name))
+        route_map.clauses.append(clause)
+
+    @staticmethod
+    def _parse_match(words: List[str], line: Line):
+        if words[1:4] == ["ip", "address", "prefix-list"]:
+            return MatchPrefixList(words[4])
+        if words[1] == "community":
+            return MatchCommunityList(words[2])
+        if words[1] == "as-path":
+            return MatchAsPathList(words[2])
+        raise ConfigSyntaxError(
+            f"unrecognized match {' '.join(words[1:])!r}", line.number, line.raw
+        )
+
+    @staticmethod
+    def _parse_set(words: List[str], line: Line):
+        if words[1] == "local-preference":
+            return SetLocalPref(int(words[2]))
+        if words[1] in ("metric", "med"):
+            return SetMed(int(words[2]))
+        if words[1] == "weight":
+            return SetWeight(int(words[2]))
+        if words[1] == "origin":
+            return SetOrigin(Origin[words[2].upper()])
+        if words[1] == "community":
+            rest = words[2:]
+            additive = rest and rest[-1] == "additive"
+            if additive:
+                rest = rest[:-1]
+            return SetCommunities(
+                tuple(parse_community(w) for w in rest), additive=bool(additive)
+            )
+        if words[1] == "comm-list" and words[3] == "delete":
+            return SetDeleteCommunities(words[2])
+        if words[1] == "as-path" and words[2] == "prepend":
+            return SetAsPathPrepend(tuple(int(w) for w in words[3:]))
+        if words[1] == "as-path" and words[2] == "replace":
+            # `set as-path replace any` — the AS_PATH overwrite policy.
+            return SetAsPathReplace()
+        if words[1:3] == ["ip", "next-hop"]:
+            return SetNextHop(parse_ip(words[3]))
+        if words[1] == "tag":
+            return SetTag(int(words[2]))
+        raise ConfigSyntaxError(
+            f"unrecognized set {' '.join(words[1:])!r}", line.number, line.raw
+        )
+
+
+def parse_cisco(text: str) -> DeviceConfig:
+    """Parse Cisco-like configuration text into a :class:`DeviceConfig`."""
+    return CiscoParser(text).parse()

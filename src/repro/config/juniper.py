@@ -1,0 +1,462 @@
+"""Parser for the Juniper-JunOS-like configuration dialect.
+
+The second vendor frontend.  It parses the brace-structured grammar into a
+generic tree first, then lowers the tree into the same
+:class:`~repro.config.ast.DeviceConfig` the Cisco-like parser produces —
+so a snapshot can freely mix vendors, as the paper's DCN does (5+ vendors).
+
+This dialect carries the *other* ``remove-private-AS`` interpretation
+(strip all private ASNs), exercising the VSB machinery end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.ip import Prefix, parse_ip
+from .ast import (
+    Acl,
+    AclLine,
+    Action,
+    Aggregate,
+    AsPathList,
+    AsPathListLine,
+    BgpConfig,
+    BgpNeighbor,
+    CommunityList,
+    CommunityListLine,
+    DeviceConfig,
+    InterfaceConfig,
+    MatchAsPathList,
+    MatchCommunityList,
+    MatchPrefixList,
+    OspfConfig,
+    OspfInterfaceConfig,
+    PrefixList,
+    PrefixListLine,
+    RemovePrivateAsMode,
+    RouteMap,
+    RouteMapClause,
+    SetAsPathPrepend,
+    SetAsPathReplace,
+    SetCommunities,
+    SetLocalPref,
+    SetMed,
+    StaticRoute,
+    VendorBehavior,
+    parse_community,
+)
+from .lexer import ConfigSyntaxError, tokenize_braces
+
+JUNIPERISH_BEHAVIOR = VendorBehavior(
+    vendor="juniperish",
+    # This vendor strips every private ASN (§2.1 VSB).
+    remove_private_as_mode=RemovePrivateAsMode.ALL,
+)
+
+
+@dataclass
+class Node:
+    """One node of the generic brace tree: ``name args { children }``."""
+
+    name: str
+    args: List[str] = field(default_factory=list)
+    children: List["Node"] = field(default_factory=list)
+    line: int = 0
+
+    def child(self, name: str) -> Optional["Node"]:
+        for node in self.children:
+            if node.name == name:
+                return node
+        return None
+
+    def all(self, name: str) -> List["Node"]:
+        return [node for node in self.children if node.name == name]
+
+    def leaf_args(self, name: str) -> Optional[List[str]]:
+        """Args of the first child leaf called ``name``, if present."""
+        node = self.child(name)
+        return node.args if node is not None else None
+
+
+def parse_tree(text: str) -> Node:
+    """Parse brace-structured text into a :class:`Node` tree."""
+    tokens = list(tokenize_braces(text))
+    root = Node(name="<root>")
+    stack = [root]
+    pending: List[str] = []
+    pending_line = 0
+    for token, line_no in tokens:
+        if token in ("[", "]"):
+            pass  # brackets only group member words; flattening suffices
+        elif token == "{":
+            if not pending:
+                raise ConfigSyntaxError("unexpected '{'", line_no)
+            node = Node(pending[0], pending[1:], line=pending_line)
+            stack[-1].children.append(node)
+            stack.append(node)
+            pending = []
+        elif token == "}":
+            if pending:
+                node = Node(pending[0], pending[1:], line=pending_line)
+                stack[-1].children.append(node)
+                pending = []
+            if len(stack) == 1:
+                raise ConfigSyntaxError("unbalanced '}'", line_no)
+            stack.pop()
+        elif token == ";":
+            if pending:
+                node = Node(pending[0], pending[1:], line=pending_line)
+                stack[-1].children.append(node)
+                pending = []
+        else:
+            if not pending:
+                pending_line = line_no
+            pending.append(token)
+    if pending:
+        root.children.append(Node(pending[0], pending[1:], line=pending_line))
+    if len(stack) != 1:
+        raise ConfigSyntaxError("unbalanced '{' at end of input")
+    return root
+
+
+class JuniperParser:
+    """Lowers the brace tree into a :class:`DeviceConfig`."""
+
+    def __init__(self, text: str) -> None:
+        self._tree = parse_tree(text)
+        self._config = DeviceConfig(hostname="", behavior=JUNIPERISH_BEHAVIOR)
+
+    def parse(self) -> DeviceConfig:
+        for section in self._tree.children:
+            handler = {
+                "system": self._lower_system,
+                "interfaces": self._lower_interfaces,
+                "routing-options": self._lower_routing_options,
+                "protocols": self._lower_protocols,
+                "policy-options": self._lower_policy_options,
+                "firewall": self._lower_firewall,
+            }.get(section.name)
+            if handler is None:
+                raise ConfigSyntaxError(
+                    f"unrecognized section {section.name!r}", section.line
+                )
+            handler(section)
+        if not self._config.hostname:
+            raise ConfigSyntaxError("missing system host-name")
+        return self._config
+
+    # -- sections ----------------------------------------------------------
+
+    def _lower_system(self, section: Node) -> None:
+        args = section.leaf_args("host-name")
+        if args:
+            self._config.hostname = args[0]
+
+    def _lower_interfaces(self, section: Node) -> None:
+        for iface_node in section.children:
+            interface = InterfaceConfig(name=iface_node.name)
+            unit = iface_node.child("unit")
+            family = unit.child("family") if unit else iface_node.child("family")
+            inet = family.child("inet") if family else None
+            if inet is not None:
+                address = inet.leaf_args("address")
+                if address:
+                    addr_text, _, length = address[0].partition("/")
+                    interface.address = parse_ip(addr_text)
+                    # Prefix() masks host bits, giving the subnet prefix.
+                    interface.prefix = Prefix(interface.address, int(length))
+                filt = inet.child("filter")
+                if filt is not None:
+                    inp = filt.leaf_args("input")
+                    out = filt.leaf_args("output")
+                    interface.acl_in = inp[0] if inp else None
+                    interface.acl_out = out[0] if out else None
+            if iface_node.child("disable") is not None:
+                interface.shutdown = True
+            self._config.interfaces[interface.name] = interface
+
+    def _lower_routing_options(self, section: Node) -> None:
+        rid = section.leaf_args("router-id")
+        asn = section.leaf_args("autonomous-system")
+        if asn:
+            bgp = self._ensure_bgp(int(asn[0]))
+            if rid:
+                bgp.router_id = parse_ip(rid[0])
+        maxp = section.leaf_args("maximum-paths")
+        if maxp:
+            self._ensure_bgp(0).maximum_paths = int(maxp[0])
+        static = section.child("static")
+        if static is not None:
+            for route_node in static.all("route"):
+                prefix = Prefix.parse(route_node.args[0])
+                if route_node.child("discard") is not None or (
+                    "discard" in route_node.args
+                ):
+                    self._config.static_routes.append(
+                        StaticRoute(prefix=prefix, discard=True)
+                    )
+                else:
+                    nh = route_node.leaf_args("next-hop")
+                    if nh is None:
+                        raise ConfigSyntaxError(
+                            f"static route {prefix} lacks next-hop/discard",
+                            route_node.line,
+                        )
+                    self._config.static_routes.append(
+                        StaticRoute(prefix=prefix, next_hop=parse_ip(nh[0]))
+                    )
+
+    def _ensure_bgp(self, asn: int) -> BgpConfig:
+        if self._config.bgp is None:
+            self._config.bgp = BgpConfig(asn=asn)
+        elif asn and self._config.bgp.asn == 0:
+            self._config.bgp.asn = asn
+        return self._config.bgp
+
+    def _lower_protocols(self, section: Node) -> None:
+        bgp_node = section.child("bgp")
+        if bgp_node is not None:
+            self._lower_bgp(bgp_node)
+        ospf_node = section.child("ospf")
+        if ospf_node is not None:
+            self._lower_ospf(ospf_node)
+
+    def _lower_bgp(self, bgp_node: Node) -> None:
+        bgp = self._ensure_bgp(0)
+        for group in bgp_node.all("group"):
+            group_import = group.leaf_args("import")
+            group_export = group.leaf_args("export")
+            for neighbor_node in group.all("neighbor"):
+                peer_ip = parse_ip(neighbor_node.args[0])
+                peer_as_args = neighbor_node.leaf_args("peer-as")
+                if peer_as_args is None:
+                    peer_as_args = group.leaf_args("peer-as")
+                if peer_as_args is None:
+                    raise ConfigSyntaxError(
+                        f"neighbor {neighbor_node.args[0]} lacks peer-as",
+                        neighbor_node.line,
+                    )
+                imp = neighbor_node.leaf_args("import") or group_import
+                exp = neighbor_node.leaf_args("export") or group_export
+                remove_private = (
+                    neighbor_node.child("remove-private") is not None
+                    or group.child("remove-private") is not None
+                )
+                bgp.neighbors.append(
+                    BgpNeighbor(
+                        peer_ip=peer_ip,
+                        remote_as=int(peer_as_args[0]),
+                        import_policy=imp[0] if imp else None,
+                        export_policy=exp[0] if exp else None,
+                        remove_private_as=remove_private,
+                    )
+                )
+        multipath = bgp_node.leaf_args("multipath")
+        if multipath:
+            bgp.maximum_paths = int(multipath[0])
+        for agg in bgp_node.all("aggregate"):
+            for route_node in agg.all("route"):
+                bgp.aggregates.append(
+                    Aggregate(
+                        prefix=Prefix.parse(route_node.args[0]),
+                        summary_only="summary-only" in route_node.args
+                        or route_node.child("summary-only") is not None,
+                    )
+                )
+        for network in bgp_node.all("network"):
+            bgp.networks.append(Prefix.parse(network.args[0]))
+        for redis in bgp_node.all("redistribute"):
+            bgp.redistribute.append(redis.args[0])
+
+    def _lower_ospf(self, ospf_node: Node) -> None:
+        ospf = self._config.ospf or OspfConfig()
+        self._config.ospf = ospf
+        rid = ospf_node.leaf_args("router-id")
+        if rid:
+            ospf.router_id = parse_ip(rid[0])
+        for area_node in ospf_node.all("area"):
+            area_id = int(area_node.args[0])
+            for iface_node in area_node.all("interface"):
+                entry = ospf.interfaces.setdefault(
+                    iface_node.args[0], OspfInterfaceConfig()
+                )
+                entry.area = area_id
+                metric = iface_node.leaf_args("metric")
+                if metric:
+                    entry.cost = int(metric[0])
+                if iface_node.child("passive") is not None:
+                    entry.passive = True
+
+    def _lower_policy_options(self, section: Node) -> None:
+        for node in section.children:
+            if node.name == "prefix-list":
+                plist = self._config.prefix_lists.setdefault(
+                    node.args[0], PrefixList(node.args[0])
+                )
+                for seq, entry in enumerate(node.children, start=1):
+                    plist.lines.append(
+                        PrefixListLine(
+                            seq=seq,
+                            action=Action.PERMIT,
+                            prefix=Prefix.parse(entry.name),
+                        )
+                    )
+            elif node.name == "community":
+                # community NAME members [ 65000:1 65000:2 ]
+                name = node.args[0]
+                rest = node.args[1:]
+                if rest and rest[0] == "members":
+                    rest = rest[1:]
+                clist = self._config.community_lists.setdefault(
+                    name, CommunityList(name)
+                )
+                clist.lines.append(
+                    CommunityListLine(
+                        Action.PERMIT,
+                        tuple(parse_community(w) for w in rest),
+                    )
+                )
+            elif node.name == "as-path":
+                # as-path NAME "regex"
+                alist = self._config.as_path_lists.setdefault(
+                    node.args[0], AsPathList(node.args[0])
+                )
+                regex = " ".join(node.args[1:]).strip('"')
+                alist.lines.append(AsPathListLine(Action.PERMIT, regex))
+            elif node.name == "policy-statement":
+                self._lower_policy_statement(node)
+            else:
+                raise ConfigSyntaxError(
+                    f"unrecognized policy-options entry {node.name!r}",
+                    node.line,
+                )
+
+    def _lower_policy_statement(self, node: Node) -> None:
+        route_map = self._config.route_maps.setdefault(
+            node.args[0], RouteMap(node.args[0])
+        )
+        for seq, term in enumerate(node.all("term"), start=1):
+            clause = RouteMapClause(seq=seq * 10, action=Action.PERMIT)
+            from_node = term.child("from")
+            if from_node is not None:
+                for match in from_node.children:
+                    if match.name == "prefix-list":
+                        clause.matches.append(MatchPrefixList(match.args[0]))
+                    elif match.name == "community":
+                        clause.matches.append(
+                            MatchCommunityList(match.args[0])
+                        )
+                    elif match.name == "as-path":
+                        clause.matches.append(MatchAsPathList(match.args[0]))
+                    else:
+                        raise ConfigSyntaxError(
+                            f"unrecognized from condition {match.name!r}",
+                            match.line,
+                        )
+            then_node = term.child("then")
+            accepted: Optional[bool] = None
+            if then_node is not None:
+                for action in then_node.children:
+                    if action.name == "accept":
+                        accepted = True
+                    elif action.name == "reject":
+                        accepted = False
+                    elif action.name == "local-preference":
+                        clause.sets.append(SetLocalPref(int(action.args[0])))
+                    elif action.name == "metric":
+                        clause.sets.append(SetMed(int(action.args[0])))
+                    elif action.name == "community":
+                        if action.args[0] == "add":
+                            values = self._community_values(action.args[1])
+                            clause.sets.append(
+                                SetCommunities(values, additive=True)
+                            )
+                        elif action.args[0] == "set":
+                            values = self._community_values(action.args[1])
+                            clause.sets.append(SetCommunities(values))
+                        else:
+                            raise ConfigSyntaxError(
+                                "community action must be add/set",
+                                action.line,
+                            )
+                    elif action.name == "as-path-prepend":
+                        clause.sets.append(
+                            SetAsPathPrepend(
+                                tuple(int(a) for a in action.args)
+                            )
+                        )
+                    elif action.name == "as-path-replace":
+                        clause.sets.append(SetAsPathReplace())
+                    else:
+                        raise ConfigSyntaxError(
+                            f"unrecognized then action {action.name!r}",
+                            action.line,
+                        )
+            if accepted is False:
+                clause.action = Action.DENY
+            route_map.clauses.append(clause)
+
+    def _community_values(self, list_name: str) -> Tuple[int, ...]:
+        """Resolve a named community definition into its member values."""
+        clist = self._config.community_lists.get(list_name)
+        if clist is None:
+            raise ConfigSyntaxError(f"unknown community {list_name!r}")
+        values: List[int] = []
+        for line in clist.lines:
+            values.extend(line.communities)
+        return tuple(values)
+
+    def _lower_firewall(self, section: Node) -> None:
+        family = section.child("family")
+        inet = family.child("inet") if family else section
+        for filter_node in inet.all("filter"):
+            acl = self._config.acls.setdefault(
+                filter_node.args[0], Acl(filter_node.args[0])
+            )
+            for seq, term in enumerate(filter_node.all("term"), start=1):
+                from_node = term.child("from")
+                src = dst = None
+                protocol = None
+                dst_port = None
+                if from_node is not None:
+                    src_args = from_node.leaf_args("source-address")
+                    dst_args = from_node.leaf_args("destination-address")
+                    proto_args = from_node.leaf_args("protocol")
+                    port_args = from_node.leaf_args("destination-port")
+                    if src_args:
+                        src = Prefix.parse(src_args[0])
+                    if dst_args:
+                        dst = Prefix.parse(dst_args[0])
+                    if proto_args:
+                        protocol = {"tcp": 6, "udp": 17, "icmp": 1}.get(
+                            proto_args[0], None
+                        )
+                        if protocol is None:
+                            protocol = int(proto_args[0])
+                    if port_args:
+                        port = int(port_args[0])
+                        dst_port = (port, port)
+                then_node = term.child("then")
+                action = Action.PERMIT
+                if then_node is not None and (
+                    then_node.child("discard") is not None
+                    or then_node.child("reject") is not None
+                ):
+                    action = Action.DENY
+                acl.lines.append(
+                    AclLine(
+                        seq=seq * 10,
+                        action=action,
+                        src=src,
+                        dst=dst,
+                        protocol=protocol,
+                        dst_port=dst_port,
+                    )
+                )
+
+
+def parse_juniper(text: str) -> DeviceConfig:
+    """Parse Juniper-like configuration text into a :class:`DeviceConfig`."""
+    return JuniperParser(text).parse()

@@ -1,0 +1,77 @@
+"""Tokenization helpers shared by the vendor config parsers.
+
+The Cisco-like dialect is line-oriented with significant leading whitespace;
+the Juniper-like dialect is brace-structured.  Both parsers start from the
+same primitive: a stream of :class:`Line` records with indentation, or a
+stream of word/punctuation tokens for the brace grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class ConfigSyntaxError(ValueError):
+    """Raised with file/line context when a config cannot be parsed."""
+
+    def __init__(self, message: str, line_no: int = 0, line: str = "") -> None:
+        context = f" at line {line_no}: {line.strip()!r}" if line_no else ""
+        super().__init__(f"{message}{context}")
+        self.line_no = line_no
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Line:
+    """One non-empty, non-comment config line."""
+
+    number: int
+    indent: int
+    words: List[str]
+    raw: str
+
+    @property
+    def first(self) -> str:
+        return self.words[0]
+
+
+def split_lines(text: str) -> List[Line]:
+    """Split config text into :class:`Line` records.
+
+    Blank lines and comment lines (``!`` or ``#``) are dropped; indentation
+    is measured in spaces (tabs count as one).
+    """
+    lines: List[Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith(("!", "#")):
+            continue
+        indent = len(raw) - len(raw.lstrip())
+        lines.append(Line(number, indent, stripped.split(), raw))
+    return lines
+
+
+def tokenize_braces(text: str) -> Iterator[tuple]:
+    """Tokenize brace-structured (Juniper-like) text.
+
+    Yields ``(token, line_no)`` where token is a word, ``{``, ``}``, ``;``,
+    ``[`` or ``]``.  Comments run from ``#`` to end of line.
+    """
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        code = raw.split("#", 1)[0]
+        buffer = ""
+        for char in code:
+            if char in "{};[]":
+                if buffer:
+                    yield buffer, line_no
+                    buffer = ""
+                yield char, line_no
+            elif char.isspace():
+                if buffer:
+                    yield buffer, line_no
+                    buffer = ""
+            else:
+                buffer += char
+        if buffer:
+            yield buffer, line_no

@@ -1,0 +1,179 @@
+"""Snapshot loading: a directory of vendor configs → a parsed network.
+
+A *snapshot* mirrors Batfish's layout: a ``configs/`` directory with one
+file per device.  The loader detects the dialect per file (Cisco-like
+``.cfg`` line syntax vs Juniper-like ``.conf`` braces — or by sniffing the
+content), parses each into a :class:`~repro.config.ast.DeviceConfig`, and
+derives the layer-3 topology from interface subnets.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..net.ip import Prefix
+from ..net.topology import Interface, InterfaceRef, Topology, TopologyNode
+from .arista import parse_arista
+from .ast import DeviceConfig
+from .cisco import parse_cisco
+from .juniper import parse_juniper
+from .lexer import ConfigSyntaxError
+
+
+@dataclass
+class Snapshot:
+    """A parsed network: device configs plus the derived L3 topology."""
+
+    configs: Dict[str, DeviceConfig]
+    topology: Topology
+    name: str = "snapshot"
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def validate(self) -> Dict[str, List[str]]:
+        """Per-device referential problems; empty dict means clean."""
+        problems = {}
+        for hostname, config in self.configs.items():
+            found = config.validate()
+            if found:
+                problems[hostname] = found
+        return problems
+
+
+_JUNIPER_SECTIONS = (
+    "system",
+    "interfaces",
+    "protocols",
+    "routing-options",
+    "policy-options",
+    "firewall",
+)
+
+
+def sniff_dialect(text: str) -> str:
+    """Guess the dialect of a config file from its first code line."""
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if not stripped or stripped.startswith(("!", "#")):
+            continue
+        first = stripped.split()[0]
+        return "juniperish" if first in _JUNIPER_SECTIONS else "ciscoish"
+    return "ciscoish"
+
+
+def parse_device(text: str, dialect: Optional[str] = None) -> DeviceConfig:
+    """Parse one device config, auto-detecting the dialect if not given."""
+    if dialect is None:
+        dialect = sniff_dialect(text)
+    if dialect == "ciscoish":
+        return parse_cisco(text)
+    if dialect == "juniperish":
+        return parse_juniper(text)
+    if dialect == "aristaish":
+        return parse_arista(text)
+    raise ConfigSyntaxError(f"unknown dialect {dialect!r}")
+
+
+def derive_topology(configs: Dict[str, DeviceConfig]) -> Topology:
+    """Infer the L3 topology: interfaces sharing a subnet are linked.
+
+    Point-to-point subnets (/31, /30) produce one link; anything broader is
+    treated as a LAN and linked pairwise (rare in DCNs, but parsed
+    snapshots may contain them).
+    """
+    topology = Topology()
+    # subnet -> [(node, iface-name, address)]
+    subnets: Dict[Prefix, List[Tuple[str, str, int]]] = {}
+    for hostname, config in configs.items():
+        node = TopologyNode(name=hostname)
+        for iface in config.interfaces.values():
+            if iface.shutdown or iface.address is None or iface.prefix is None:
+                continue
+            node.add_interface(
+                Interface(iface.name, iface.address, iface.prefix)
+            )
+            subnets.setdefault(iface.prefix, []).append(
+                (hostname, iface.name, iface.address)
+            )
+        topology.add_node(node)
+    for prefix, members in subnets.items():
+        if len(members) < 2:
+            continue
+        # Pairwise links; for /31 and /30 this is exactly one link.
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                a_host, a_iface, _ = members[i]
+                b_host, b_iface, _ = members[j]
+                if a_host == b_host:
+                    continue
+                topology.add_link(
+                    InterfaceRef(a_host, a_iface),
+                    InterfaceRef(b_host, b_iface),
+                )
+    return topology
+
+
+def load_snapshot_dir(path: str, name: Optional[str] = None) -> Snapshot:
+    """Load a snapshot directory (``<path>/configs/*.cfg|*.conf``)."""
+    configs_dir = os.path.join(path, "configs")
+    if not os.path.isdir(configs_dir):
+        configs_dir = path
+    configs: Dict[str, DeviceConfig] = {}
+    for entry in sorted(os.listdir(configs_dir)):
+        full = os.path.join(configs_dir, entry)
+        if not os.path.isfile(full):
+            continue
+        dialect: Optional[str] = None
+        if entry.endswith(".cfg"):
+            dialect = "ciscoish"
+        elif entry.endswith(".conf"):
+            dialect = "juniperish"
+        elif entry.endswith(".eos"):
+            dialect = "aristaish"
+        elif not entry.endswith((".txt",)):
+            continue
+        with open(full, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        config = parse_device(text, dialect)
+        if config.hostname in configs:
+            raise ConfigSyntaxError(
+                f"duplicate hostname {config.hostname} in {entry}"
+            )
+        configs[config.hostname] = config
+    return make_snapshot(configs, name=name or os.path.basename(path))
+
+
+def make_snapshot(
+    configs: Dict[str, DeviceConfig],
+    topology: Optional[Topology] = None,
+    name: str = "snapshot",
+) -> Snapshot:
+    """Build a snapshot from parsed configs, deriving topology if needed."""
+    if topology is None:
+        topology = derive_topology(configs)
+    return Snapshot(configs=configs, topology=topology, name=name)
+
+
+def write_snapshot_dir(
+    path: str, texts: Dict[str, Tuple[str, str]]
+) -> None:
+    """Write config texts to a snapshot directory.
+
+    ``texts`` maps hostname -> (dialect, text).  Used by the synthesizers
+    so generated networks take the same file-based path as real ones.
+    """
+    suffixes = {"ciscoish": ".cfg", "juniperish": ".conf", "aristaish": ".eos"}
+    configs_dir = os.path.join(path, "configs")
+    os.makedirs(configs_dir, exist_ok=True)
+    for hostname, (dialect, text) in texts.items():
+        suffix = suffixes.get(dialect, ".cfg")
+        with open(
+            os.path.join(configs_dir, hostname + suffix),
+            "w",
+            encoding="utf-8",
+        ) as handle:
+            handle.write(text)

@@ -1,0 +1,12 @@
+"""Public facade of the S2 reproduction."""
+
+from .analysis import (  # noqa: F401
+    LinkFailureAnalyzer,
+    LinkFailureReport,
+    ReachabilityDiff,
+    ReachabilityMatrix,
+    compare_snapshots,
+    compute_matrix,
+    without_link,
+)
+from .s2 import S2Verifier, VerificationResult, verify_snapshot  # noqa: F401

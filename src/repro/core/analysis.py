@@ -1,0 +1,188 @@
+"""What-if analysis on top of the verifier: change review and link failures.
+
+The verifiers answer "is the network correct *now*"; operators usually ask
+comparative questions — "what breaks if I apply this change?" (§2.1's
+failure mitigation edits) and "what breaks if this link dies?" (the
+analysis-based verifiers' signature query, §6.2, answered here by honest
+re-simulation rather than abstraction).
+
+The building block is the :class:`ReachabilityMatrix`: the boolean
+src→dst closure over a chosen endpoint set, cheap to diff.  On top of it:
+
+* :func:`compare_snapshots` — verify two snapshots (before/after a config
+  change) and report lost/gained pairs;
+* :class:`LinkFailureAnalyzer` — re-verify the snapshot with each link
+  removed and report the pairs each failure would break, distinguishing
+  fragile links from ECMP-protected ones.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..config.loader import Snapshot, make_snapshot
+from ..dataplane.queries import Query
+from ..dist.controller import S2Options
+from ..net.topology import Link
+from .s2 import S2Verifier
+
+
+@dataclass(frozen=True)
+class ReachabilityMatrix:
+    """The reachable src→dst pairs over a fixed endpoint set."""
+
+    endpoints: Tuple[str, ...]
+    pairs: FrozenSet[Tuple[str, str]]
+
+    def holds(self, src: str, dst: str) -> bool:
+        return (src, dst) in self.pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def diff(self, other: "ReachabilityMatrix") -> "ReachabilityDiff":
+        """Pairs lost and gained going from ``self`` to ``other``."""
+        return ReachabilityDiff(
+            lost=tuple(sorted(self.pairs - other.pairs)),
+            gained=tuple(sorted(other.pairs - self.pairs)),
+        )
+
+
+@dataclass(frozen=True)
+class ReachabilityDiff:
+    lost: Tuple[Tuple[str, str], ...]
+    gained: Tuple[Tuple[str, str], ...]
+
+    @property
+    def breaks_anything(self) -> bool:
+        return bool(self.lost)
+
+    def summary(self) -> str:
+        if not self.lost and not self.gained:
+            return "no reachability change"
+        parts = []
+        if self.lost:
+            parts.append(f"{len(self.lost)} pairs lost")
+        if self.gained:
+            parts.append(f"{len(self.gained)} pairs gained")
+        return ", ".join(parts)
+
+
+def compute_matrix(
+    snapshot: Snapshot,
+    endpoints: Optional[Sequence[str]] = None,
+    options: Optional[S2Options] = None,
+) -> ReachabilityMatrix:
+    """Verify ``snapshot`` and return its reachability matrix.
+
+    ``endpoints`` defaults to every prefix-announcing device.  A fresh
+    verifier (with its own workers and stores) runs per call, so matrices
+    for different snapshots never share state.
+    """
+    with S2Verifier(snapshot, options or S2Options(num_workers=2)) as verifier:
+        if endpoints is None:
+            endpoints = verifier.controller.prefix_holders()
+        checker = verifier.checker()
+        result = checker.check_reachability(
+            Query(sources=tuple(endpoints), destinations=tuple(endpoints))
+        )
+        return ReachabilityMatrix(
+            endpoints=tuple(endpoints),
+            pairs=frozenset(result.pairs()),
+        )
+
+
+def compare_snapshots(
+    before: Snapshot,
+    after: Snapshot,
+    endpoints: Optional[Sequence[str]] = None,
+    options: Optional[S2Options] = None,
+) -> ReachabilityDiff:
+    """Change review: the reachability delta from ``before`` to ``after``."""
+    base = compute_matrix(before, endpoints, options)
+    return base.diff(compute_matrix(after, base.endpoints, options))
+
+
+def without_link(snapshot: Snapshot, link: Link) -> Snapshot:
+    """A copy of ``snapshot`` with one link failed.
+
+    The failure is modeled the way operators see it: both endpoint
+    interfaces go down (``shutdown``), which removes the link from the
+    derived topology and the BGP sessions riding it.
+    """
+    configs = copy.deepcopy(snapshot.configs)
+    for endpoint in (link.a, link.b):
+        config = configs[endpoint.node]
+        iface = config.interfaces.get(endpoint.interface)
+        if iface is not None:
+            iface.shutdown = True
+    failed = make_snapshot(configs, name=f"{snapshot.name}-minus-{link.a}")
+    failed.metadata.update(snapshot.metadata)
+    # re-annotate synthesizer hints lost by re-derivation
+    for node in failed.topology.nodes():
+        original = snapshot.topology.node(node.name)
+        node.role = original.role
+        node.pod = original.pod
+        node.layer = original.layer
+        node.cluster = original.cluster
+    return failed
+
+
+@dataclass
+class LinkFailureReport:
+    """Per-link impact of a single failure."""
+
+    link: str
+    status: str                   # "safe" | "breaks" | "oom" | "no-converge"
+    lost_pairs: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def is_safe(self) -> bool:
+        return self.status == "safe"
+
+
+class LinkFailureAnalyzer:
+    """Single-link failure sweep by honest re-simulation."""
+
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        endpoints: Optional[Sequence[str]] = None,
+        options: Optional[S2Options] = None,
+    ) -> None:
+        self.snapshot = snapshot
+        self.options = options or S2Options(num_workers=2)
+        self.baseline = compute_matrix(snapshot, endpoints, self.options)
+
+    def analyze_link(self, link: Link) -> LinkFailureReport:
+        from ..routing.engine import ConvergenceError
+
+        name = f"{link.a}--{link.b}"
+        failed = without_link(self.snapshot, link)
+        try:
+            matrix = compute_matrix(
+                failed, self.baseline.endpoints, self.options
+            )
+        except ConvergenceError:
+            return LinkFailureReport(link=name, status="no-converge")
+        diff = self.baseline.diff(matrix)
+        if diff.breaks_anything:
+            return LinkFailureReport(
+                link=name, status="breaks", lost_pairs=diff.lost
+            )
+        return LinkFailureReport(link=name, status="safe")
+
+    def sweep(
+        self, links: Optional[Sequence[Link]] = None
+    ) -> List[LinkFailureReport]:
+        """Analyze every link (or the given subset), worst first."""
+        if links is None:
+            links = list(self.snapshot.topology.links())
+        reports = [self.analyze_link(link) for link in links]
+        reports.sort(key=lambda r: (-len(r.lost_pairs), r.link))
+        return reports
+
+    def fragile_links(self) -> List[LinkFailureReport]:
+        return [r for r in self.sweep() if not r.is_safe]

@@ -1,0 +1,21 @@
+"""Data-plane substrate: FIBs, predicates, symbolic forwarding, queries."""
+
+from .fib import Fib, FibAction, FibEntry, NextHop, NextHopResolver, build_fib  # noqa: F401
+from .forwarding import (  # noqa: F401
+    DEFAULT_MAX_HOPS,
+    FinalPacket,
+    FinalState,
+    ForwardingContext,
+    SymbolicPacket,
+    inject,
+    run_to_completion,
+)
+from .predicates import PortPredicates, compile_predicates  # noqa: F401
+from .queries import (  # noqa: F401
+    MultipathViolation,
+    PropertyChecker,
+    PropertyViolation,
+    Query,
+    ReachabilityResult,
+)
+from .verifier import DataPlaneVerifier  # noqa: F401

@@ -1,0 +1,260 @@
+"""FIB construction: merge per-protocol RIBs into forwarding entries.
+
+A :class:`Fib` maps prefixes to actions (forward out ports / receive
+locally / discard) with longest-prefix-match semantics, realized both as a
+binary trie (for concrete lookups and tests) and as a length-sorted entry
+list (for predicate compilation, which needs "all entries, most specific
+first").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..net.ip import Prefix
+from ..routing.route import BgpRoute, Protocol, Route
+
+
+class FibAction(enum.Enum):
+    FORWARD = "forward"
+    RECEIVE = "receive"
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class NextHop:
+    """One resolved forwarding target."""
+
+    iface: str
+    node: str            # adjacent device reached through ``iface``
+    address: int = 0
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    prefix: Prefix
+    action: FibAction
+    next_hops: Tuple[NextHop, ...] = ()
+    protocol: Optional[Protocol] = None
+
+    def describe(self) -> str:
+        if self.action is FibAction.FORWARD:
+            vias = ", ".join(f"{h.iface}->{h.node}" for h in self.next_hops)
+            return f"{self.prefix} forward via [{vias}]"
+        return f"{self.prefix} {self.action.value}"
+
+
+class _TrieNode:
+    __slots__ = ("children", "entry")
+
+    def __init__(self) -> None:
+        self.children: List[Optional[_TrieNode]] = [None, None]
+        self.entry: Optional[FibEntry] = None
+
+
+class Fib:
+    """The forwarding table of one device (dual-stack: one trie per
+    address family)."""
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+        self._roots: Dict[int, _TrieNode] = {32: _TrieNode(), 128: _TrieNode()}
+        self._entries: Dict[Prefix, FibEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, entry: FibEntry) -> None:
+        """Insert an entry, replacing any previous entry for its prefix."""
+        self._entries[entry.prefix] = entry
+        node = self._roots[entry.prefix.width]
+        for bit in entry.prefix.bits():
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        node.entry = entry
+
+    def lookup(self, address: int, width: int = 32) -> Optional[FibEntry]:
+        """Longest-prefix-match lookup of a concrete address."""
+        node = self._roots[width]
+        best = node.entry
+        top = width - 1
+        for i in range(width):
+            bit = (address >> (top - i)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.entry is not None:
+                best = node.entry
+        return best
+
+    def entries(self, width: Optional[int] = None) -> List[FibEntry]:
+        """Entries ordered most-specific first (predicate order),
+        optionally restricted to one address family."""
+        selected = (
+            self._entries.values()
+            if width is None
+            else [e for e in self._entries.values() if e.prefix.width == width]
+        )
+        return sorted(
+            selected,
+            key=lambda e: (-e.prefix.length, e.prefix.width, e.prefix.network),
+        )
+
+    def entry_for(self, prefix: Prefix) -> Optional[FibEntry]:
+        return self._entries.get(prefix)
+
+
+# -- building ------------------------------------------------------------------
+
+
+class NextHopResolver:
+    """Resolves next-hop addresses to (interface, adjacent node)."""
+
+    def __init__(
+        self,
+        iface_of_addr: Dict[int, Tuple[str, str]],
+        local_iface_for: Dict[str, Dict[int, str]],
+    ) -> None:
+        # address -> (owning node, its interface)
+        self._iface_of_addr = iface_of_addr
+        # node -> (peer address -> local interface)
+        self._local_iface_for = local_iface_for
+
+    @classmethod
+    def from_snapshot(cls, snapshot) -> "NextHopResolver":
+        iface_of_addr: Dict[int, Tuple[str, str]] = {}
+        local_iface_for: Dict[str, Dict[int, str]] = {}
+        for node in snapshot.topology.nodes():
+            for iface in node.interfaces.values():
+                iface_of_addr[iface.address] = (node.name, iface.name)
+        for node in snapshot.topology.nodes():
+            table: Dict[int, str] = {}
+            for link in snapshot.topology.links_of(node.name):
+                local = link.local(node.name)
+                remote = link.other(node.name)
+                remote_addr = snapshot.topology.interface_address(remote)
+                table[remote_addr] = local.interface
+            local_iface_for[node.name] = table
+        return cls(iface_of_addr, local_iface_for)
+
+    def resolve(self, node: str, next_hop_addr: int) -> Optional[NextHop]:
+        owner = self._iface_of_addr.get(next_hop_addr)
+        local_iface = self._local_iface_for.get(node, {}).get(next_hop_addr)
+        if owner is None or local_iface is None:
+            return None
+        return NextHop(
+            iface=local_iface, node=owner[0], address=next_hop_addr
+        )
+
+
+def build_fib(
+    node: str,
+    local_prefixes: FrozenSet[Prefix],
+    main_routes: Iterable[Route],
+    bgp_routes: Dict[Prefix, Tuple[BgpRoute, ...]],
+    resolver: NextHopResolver,
+) -> Fib:
+    """Merge a node's RIBs into its FIB.
+
+    Per prefix, the protocol with the lowest administrative distance wins;
+    within the winner, all (ECMP) next hops are installed.  Prefixes the
+    node originates resolve to RECEIVE — symbolic packets reaching them
+    have arrived (§4.3 final state 1).
+    """
+    fib = Fib(node)
+    # admin distance per prefix currently installed
+    installed_ad: Dict[Prefix, int] = {}
+
+    # Originated prefixes terminate locally *unless* a real route exists —
+    # a redistributed static (Null0 / out an interface) must keep its
+    # forwarding action, so originations install at a sentinel distance
+    # any genuine protocol route overrides.
+    LOCAL_FALLBACK_AD = 250
+    for prefix in local_prefixes:
+        fib.add(
+            FibEntry(prefix=prefix, action=FibAction.RECEIVE)
+        )
+        installed_ad[prefix] = LOCAL_FALLBACK_AD
+
+    for route in main_routes:
+        current = installed_ad.get(route.prefix)
+        if current is not None and current <= route.admin_distance:
+            continue
+        if route.protocol is Protocol.CONNECTED:
+            entry = FibEntry(
+                prefix=route.prefix,
+                action=FibAction.RECEIVE,
+                protocol=Protocol.CONNECTED,
+            )
+        elif route.discard:
+            entry = FibEntry(
+                prefix=route.prefix,
+                action=FibAction.DROP,
+                protocol=route.protocol,
+            )
+        elif route.interface is not None:
+            # static route out of an interface: the far side (if any) is
+            # the topology's problem; an unconnected interface is an edge
+            # port and such packets EXIT there.
+            entry = FibEntry(
+                prefix=route.prefix,
+                action=FibAction.FORWARD,
+                next_hops=(NextHop(iface=route.interface, node=""),),
+                protocol=route.protocol,
+            )
+        else:
+            hop = (
+                resolver.resolve(node, route.next_hop)
+                if route.next_hop is not None
+                else None
+            )
+            if hop is None:
+                # unresolvable next hop: the packet is dropped here
+                entry = FibEntry(
+                    prefix=route.prefix,
+                    action=FibAction.DROP,
+                    protocol=route.protocol,
+                )
+            else:
+                entry = FibEntry(
+                    prefix=route.prefix,
+                    action=FibAction.FORWARD,
+                    next_hops=(hop,),
+                    protocol=route.protocol,
+                )
+        fib.add(entry)
+        installed_ad[route.prefix] = route.admin_distance
+
+    for prefix, routes in bgp_routes.items():
+        if not routes:
+            continue
+        ad = routes[0].protocol.admin_distance
+        current = installed_ad.get(prefix)
+        if current is not None and current <= ad:
+            continue
+        hops: List[NextHop] = []
+        for route in routes:
+            hop = resolver.resolve(node, route.next_hop)
+            if hop is not None and hop not in hops:
+                hops.append(hop)
+        if hops:
+            entry = FibEntry(
+                prefix=prefix,
+                action=FibAction.FORWARD,
+                next_hops=tuple(sorted(hops, key=lambda h: h.address)),
+                protocol=routes[0].protocol,
+            )
+        else:
+            # A selected route whose next hop is not adjacent cannot be
+            # installed; matching packets drop here (Null0-equivalent).
+            entry = FibEntry(
+                prefix=prefix,
+                action=FibAction.DROP,
+                protocol=routes[0].protocol,
+            )
+        fib.add(entry)
+        installed_ad[prefix] = ad
+    return fib

@@ -1,0 +1,87 @@
+"""Port predicate compilation (§4.3, "pre-computing predicates").
+
+For each device the verifier derives, from its FIB and ACLs:
+
+* a **forwarding predicate** per port — the packets LPM-forwarded out of it;
+* **ACL predicates** per port — the packets permitted inbound/outbound;
+* a **receive predicate** — packets terminating at this device (Arrive);
+* a **drop predicate** — packets discarded here (Blackhole), including the
+  implicit drop of packets matching no FIB entry.
+
+Compilation walks the FIB most-specific-first, carving each entry's packet
+set out of the not-yet-covered space, which realizes exact LPM semantics
+as a disjoint partition: forwarding + receive + drop predicates tile the
+full header space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..bdd.engine import FALSE, TRUE, BddEngine
+from ..bdd.headerspace import HeaderEncoding
+from ..config.ast import DeviceConfig
+from .fib import Fib, FibAction
+
+
+@dataclass
+class PortPredicates:
+    """The compiled predicates of one device on one worker's engine."""
+
+    node: str
+    forward: Dict[str, int] = field(default_factory=dict)  # iface -> BDD
+    acl_in: Dict[str, int] = field(default_factory=dict)
+    acl_out: Dict[str, int] = field(default_factory=dict)
+    receive: int = FALSE
+    drop: int = FALSE
+
+    def acl_in_for(self, iface: Optional[str]) -> int:
+        """Inbound permit predicate (TRUE for injected/unfiltered ports)."""
+        if iface is None:
+            return TRUE
+        return self.acl_in.get(iface, TRUE)
+
+    def acl_out_for(self, iface: str) -> int:
+        return self.acl_out.get(iface, TRUE)
+
+
+def compile_predicates(
+    config: DeviceConfig,
+    fib: Fib,
+    engine: BddEngine,
+    encoding: HeaderEncoding,
+) -> PortPredicates:
+    """Compile one device's FIB and ACLs into :class:`PortPredicates`."""
+    predicates = PortPredicates(node=fib.node)
+    covered = FALSE
+    # One encoding covers one address family; the other family's FIB
+    # entries belong to that family's verification pass.
+    for entry in fib.entries(width=encoding.address_bits):
+        match = encoding.prefix_bdd(engine, entry.prefix)
+        fresh = engine.diff(match, covered)
+        if fresh == FALSE:
+            covered = engine.or_(covered, match)
+            continue
+        if entry.action is FibAction.RECEIVE:
+            predicates.receive = engine.or_(predicates.receive, fresh)
+        elif entry.action is FibAction.DROP:
+            predicates.drop = engine.or_(predicates.drop, fresh)
+        else:
+            for hop in entry.next_hops:
+                existing = predicates.forward.get(hop.iface, FALSE)
+                predicates.forward[hop.iface] = engine.or_(existing, fresh)
+        covered = engine.or_(covered, match)
+    # Packets matching no FIB entry are implicitly dropped here.
+    predicates.drop = engine.or_(predicates.drop, engine.not_(covered))
+
+    for iface in config.interfaces.values():
+        if iface.acl_in is not None and iface.acl_in in config.acls:
+            predicates.acl_in[iface.name] = encoding.acl_bdd(
+                engine, config.acls[iface.acl_in]
+            )
+        if iface.acl_out is not None and iface.acl_out in config.acls:
+            predicates.acl_out[iface.name] = encoding.acl_bdd(
+                engine, config.acls[iface.acl_out]
+            )
+    return predicates

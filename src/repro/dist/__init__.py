@@ -1,0 +1,26 @@
+"""The S2 distributed verification framework (the paper's contribution)."""
+
+from .controller import S2Controller, S2Options  # noqa: F401
+from .cpo import ControlPlaneOrchestrator, ControlPlaneStats  # noqa: F401
+from .dpo import DataPlaneOrchestrator, DataPlaneStats  # noqa: F401
+from .message import PacketBatch, PacketEnvelope, RouteBatch, measured_size  # noqa: F401
+from .partition import SCHEMES, PartitionResult, estimate_loads, partition  # noqa: F401
+from .resources import (  # noqa: F401
+    DEFAULT_WORKER_CAPACITY,
+    ClusterReport,
+    CostModel,
+    SimulatedOOM,
+    WorkerResources,
+)
+from .runtime import Runtime, SequentialRuntime, ThreadedRuntime, make_runtime  # noqa: F401
+from .sharding import (  # noqa: F401
+    Dpdg,
+    PrefixShard,
+    build_dpdg,
+    make_shards,
+    pack_components,
+    validate_shards,
+)
+from .sidecar import Sidecar  # noqa: F401
+from .storage import RouteStore  # noqa: F401
+from .worker import ShadowNode, Worker  # noqa: F401

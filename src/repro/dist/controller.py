@@ -1,0 +1,198 @@
+"""The S2 controller (§3.2): parser, partitioner, CPO, and DPO.
+
+:class:`S2Controller` wires the whole distributed pipeline together for
+one snapshot: partition the topology, instantiate workers and sidecars,
+run the sharded control-plane fixed point, build the distributed data
+plane, and hand out a property checker.  :mod:`repro.core` wraps this in
+the high-level :class:`~repro.core.s2.S2Verifier` API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd.headerspace import HeaderEncoding
+from ..config.loader import Snapshot
+from ..net.ip import Prefix
+from ..routing.engine import BgpResult
+from ..routing.route import BgpRoute
+from .cpo import ControlPlaneOrchestrator, ControlPlaneStats
+from .dpo import DataPlaneOrchestrator, DataPlaneStats
+from .partition import PartitionResult, partition
+from .resources import (
+    DEFAULT_WORKER_CAPACITY,
+    ClusterReport,
+    CostModel,
+    WorkerResources,
+)
+from .runtime import Runtime, make_runtime
+from .sharding import PrefixShard, make_shards, validate_shards
+from .sidecar import Sidecar
+from .storage import RouteStore
+from .worker import Worker
+
+
+@dataclass
+class S2Options:
+    """Tuning knobs of an S2 run (defaults mirror the paper's setup at
+    model scale: METIS partitioning, 20 shards, 100GB-per-worker)."""
+
+    num_workers: int = 4
+    partition_scheme: str = "metis"
+    num_shards: int = 0                  # 0 disables prefix sharding
+    worker_capacity: int = DEFAULT_WORKER_CAPACITY
+    cost_model: CostModel = field(default_factory=CostModel)
+    encoding: HeaderEncoding = field(default_factory=HeaderEncoding)
+    node_limit: int = 1 << 22            # per-worker BDD table capacity
+    controller_node_limit: int = 1 << 24
+    max_rounds: int = 200
+    max_hops: int = 24
+    runtime: str = "sequential"      # "sequential" | "threaded" | "process"
+    seed: int = 7
+    store_dir: Optional[str] = None
+    enforce_memory: bool = True
+    refine_shards: bool = False      # §7 runtime dependency refinement
+
+
+class S2Controller:
+    """Owns the workers, sidecars, orchestrators, and the route store."""
+
+    def __init__(self, snapshot: Snapshot, options: Optional[S2Options] = None) -> None:
+        self.snapshot = snapshot
+        self.options = options or S2Options()
+        opts = self.options
+        self.partition: PartitionResult = partition(
+            snapshot,
+            opts.num_workers,
+            scheme=opts.partition_scheme,
+            seed=opts.seed,
+        )
+        self.store = RouteStore(opts.store_dir)
+        capacity = opts.worker_capacity if opts.enforce_memory else (1 << 62)
+        self._pool = None
+        if opts.runtime == "process":
+            # Real OS processes, one per worker; phases run through a
+            # thread pool whose threads block on the worker pipes, so the
+            # worker processes execute concurrently.
+            from .process_runtime import ProcessWorkerPool
+
+            self._pool = ProcessWorkerPool(
+                snapshot=snapshot,
+                assignment=self.partition.assignment,
+                num_workers=opts.num_workers,
+                capacity=capacity,
+                cost_model=opts.cost_model,
+                max_hops=opts.max_hops,
+            )
+            self.workers = self._pool.proxies
+            self.runtime: Runtime = make_runtime("threaded")
+        else:
+            self.runtime = make_runtime(opts.runtime)
+            self.workers: List[Worker] = [
+                Worker(
+                    worker_id=i,
+                    snapshot=snapshot,
+                    assignment=self.partition.assignment,
+                    resources=WorkerResources(
+                        name=f"worker{i}",
+                        capacity=capacity,
+                        model=opts.cost_model,
+                    ),
+                    max_hops=opts.max_hops,
+                )
+                for i in range(opts.num_workers)
+            ]
+        self.sidecars = [Sidecar(worker) for worker in self.workers]
+        for sidecar in self.sidecars:
+            sidecar.register_peers(self.sidecars)
+        self.shards: List[PrefixShard] = []
+        if opts.num_shards and opts.num_shards > 1:
+            self.shards = make_shards(snapshot, opts.num_shards, seed=opts.seed)
+            problems = validate_shards(self.shards, snapshot)
+            if problems:
+                raise ValueError(f"invalid shards: {problems[:3]}")
+        self.cpo = ControlPlaneOrchestrator(
+            self.workers,
+            self.sidecars,
+            self.store,
+            runtime=self.runtime,
+            max_rounds=opts.max_rounds,
+        )
+        self.dpo = DataPlaneOrchestrator(
+            self.workers,
+            self.sidecars,
+            snapshot,
+            encoding=opts.encoding,
+            runtime=self.runtime,
+            node_limit=opts.node_limit,
+            controller_node_limit=opts.controller_node_limit,
+        )
+        self._cp_done = False
+
+    # -- pipeline ---------------------------------------------------------
+
+    def run_control_plane(self) -> ControlPlaneStats:
+        stats = self.cpo.run(
+            self.shards if self.shards else None,
+            refine=self.options.refine_shards,
+        )
+        self._cp_done = True
+        return stats
+
+    def build_data_plane(self) -> DataPlaneStats:
+        if not self._cp_done:
+            self.run_control_plane()
+        self.dpo.build(self.store)
+        return self.dpo.stats
+
+    def checker(self):
+        self.build_data_plane()
+        return self.dpo.checker()
+
+    # -- results ------------------------------------------------------------
+
+    def report(self) -> ClusterReport:
+        return ClusterReport(workers=[w.resources for w in self.workers])
+
+    def collected_ribs(self) -> BgpResult:
+        """Merge every worker's stored shards: the network-wide RIBs.
+
+        This is the oracle interface the equivalence tests compare against
+        the monolithic engine.
+        """
+        merged: BgpResult = {}
+        for worker in self.workers:
+            for node, routes in self.store.merged_routes(
+                worker.worker_id
+            ).items():
+                merged[node] = dict(routes)
+        for name in self.snapshot.configs:
+            merged.setdefault(name, {})
+        return merged
+
+    def total_route_count(self) -> int:
+        return sum(
+            len(routes)
+            for node_routes in self.collected_ribs().values()
+            for routes in node_routes.values()
+        )
+
+    def prefix_holders(self) -> List[str]:
+        holders = []
+        for hostname, config in sorted(self.snapshot.configs.items()):
+            if config.bgp is not None and config.bgp.networks:
+                holders.append(hostname)
+        return holders
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+        self.store.close()
+        self.runtime.close()
+
+    def __enter__(self) -> "S2Controller":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

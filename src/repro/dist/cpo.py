@@ -1,0 +1,231 @@
+"""The control plane orchestrator (CPO, §4.2).
+
+Schedules protocols in sequence (IGPs before BGP), and for BGP runs the
+distributed fixed point once per prefix shard: each round every worker
+computes its nodes' exports (phase A), the sidecars ship the boundary
+advertisements (measured bytes), and every worker's nodes pull and merge
+(phase B).  The round repeats until *all* workers report no change —
+Algorithm 1 with the pull relays batched per worker pair.
+
+When a shard converges, its routes are flushed to the
+:class:`~repro.dist.storage.RouteStore` and the in-memory RIBs are freed,
+which is exactly what bounds the per-worker peak at one shard (§4.5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..routing.engine import ConvergenceError
+from .runtime import Runtime, SequentialRuntime
+from .sharding import PrefixShard
+from .sidecar import Sidecar
+from .storage import RouteStore
+from .worker import Worker
+
+
+@dataclass
+class ControlPlaneStats:
+    bgp_rounds: int = 0
+    ospf_rounds: int = 0
+    shards_run: int = 0
+    shards_merged: int = 0  # §7 refinement: shards absorbed into reruns
+    modeled_wall_time: float = 0.0
+    measured_seconds: float = 0.0
+    route_flush_bytes: int = 0
+    peak_candidate_routes: int = 0  # summed over workers, any instant
+    total_selected_routes: int = 0
+
+
+class ControlPlaneOrchestrator:
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        sidecars: Sequence[Sidecar],
+        store: RouteStore,
+        runtime: Optional[Runtime] = None,
+        max_rounds: int = 200,
+    ) -> None:
+        self.workers = list(workers)
+        self.sidecars = list(sidecars)
+        self.store = store
+        self.runtime = runtime or SequentialRuntime()
+        self.max_rounds = max_rounds
+        self.stats = ControlPlaneStats()
+
+    # -- helpers ------------------------------------------------------------
+
+    def _modeled_barrier(self, deltas: List[float]) -> None:
+        """Advance the modeled wall clock by the slowest worker's phase."""
+        if deltas:
+            self.stats.modeled_wall_time += max(deltas)
+
+    # -- OSPF phase -----------------------------------------------------------
+
+    def run_ospf(self) -> None:
+        if not any(worker.has_ospf() for worker in self.workers):
+            return
+        for _round in range(self.max_rounds):
+            batch_maps = self.runtime.map(
+                [w.compute_ospf_exports for w in self.workers]
+            )
+            for sidecar, batches in zip(self.sidecars, batch_maps):
+                for batch in batches.values():
+                    sidecar.send_routes(batch)
+            changed_flags = self.runtime.map(
+                [w.pull_ospf_round for w in self.workers]
+            )
+            self.stats.ospf_rounds += 1
+            if not any(changed_flags):
+                break
+        else:
+            raise ConvergenceError(
+                f"OSPF did not converge within {self.max_rounds} rounds"
+            )
+        self.runtime.map(
+            [w.install_ospf_routes for w in self.workers]
+        )
+
+    # -- BGP phase ------------------------------------------------------------------
+
+    def run_bgp_shard(self, shard: Optional[PrefixShard]) -> None:
+        """Converge one shard and flush it (the non-refining path)."""
+        self._converge_shard(shard)
+        self._flush_shard(shard.index if shard is not None else 0)
+
+    def _converge_shard(self, shard: Optional[PrefixShard]) -> None:
+        for worker in self.workers:
+            worker.begin_shard(shard)
+        for round_token in range(self.max_rounds):
+            clocks_before = [w.resources.modeled_time for w in self.workers]
+            # Phase A: snapshot exports, batch the boundary ones.
+            batch_maps = self.runtime.map(
+                [
+                    (lambda w=w: w.compute_exports(round_token))
+                    for w in self.workers
+                ]
+            )
+            for sidecar, batches in zip(self.sidecars, batch_maps):
+                for batch in batches.values():
+                    sidecar.send_routes(batch)
+            # Phase B: pull and merge.
+            outcomes = self.runtime.map(
+                [
+                    (lambda w=w: w.pull_round(round_token))
+                    for w in self.workers
+                ]
+            )
+            candidate_total = 0
+            for worker, outcome in zip(self.workers, outcomes):
+                worker.update_memory()
+                worker.resources.charge_route_round(outcome.updates_processed)
+                candidate_total += outcome.candidate_routes
+            self.stats.peak_candidate_routes = max(
+                self.stats.peak_candidate_routes, candidate_total
+            )
+            # The round ends at a barrier: the slowest worker (route work
+            # plus its share of RPC) bounds the modeled wall clock.
+            self._modeled_barrier(
+                [
+                    w.resources.modeled_time - before
+                    for w, before in zip(self.workers, clocks_before)
+                ]
+            )
+            self.stats.bgp_rounds += 1
+            if not any(outcome.changed for outcome in outcomes):
+                break
+        else:
+            raise ConvergenceError(
+                f"BGP did not converge within {self.max_rounds} rounds"
+            )
+
+    def _flush_shard(self, flush_index: int) -> None:
+        """Flush the converged shard to persistent storage, freeing RIBs."""
+        results = self.runtime.map(
+            [
+                (lambda w=w: w.flush_shard(self.store, flush_index))
+                for w in self.workers
+            ]
+        )
+        flush_deltas = []
+        for worker, (written, selected) in zip(self.workers, results):
+            self.stats.route_flush_bytes += written
+            self.stats.total_selected_routes += selected
+            flush_deltas.append(worker.resources.charge_shard_overhead())
+        self._modeled_barrier(flush_deltas)
+        self.stats.shards_run += 1
+
+    # -- §7 extension: runtime dependency refinement --------------------------
+
+    def _collect_observed_dependencies(self) -> set:
+        found: set = set()
+        for deps in self.runtime.map(
+            [w.observed_dependencies for w in self.workers]
+        ):
+            found |= deps
+        return found
+
+    def run_bgp_refining(self, shards: Sequence[PrefixShard]) -> None:
+        """Run shards with runtime dependency refinement (§7).
+
+        After a shard converges, workers report any prefix dependency
+        they observed pointing *outside* the shard (an unforeseen
+        dependency the DPDG missed).  The affected shards are merged and
+        the union recomputed; since flush indices grow monotonically, a
+        recomputation simply supersedes earlier results for its prefixes.
+        """
+        pending: List[PrefixShard] = list(shards)
+        flush_index = 0
+        while pending:
+            shard = pending.pop(0)
+            self._converge_shard(shard)
+            unmet = {
+                watch
+                for _prefix, watch in self._collect_observed_dependencies()
+                if watch not in shard
+            }
+            if unmet:
+                absorbed = [
+                    other
+                    for other in pending
+                    if other.prefixes & unmet
+                ]
+                merged_prefixes = set(shard.prefixes)
+                for other in absorbed:
+                    pending.remove(other)
+                    merged_prefixes |= other.prefixes
+                # Watches held by *already flushed* shards simply join the
+                # merged shard: the recomputation's higher flush index
+                # supersedes their earlier results for those prefixes.
+                merged_prefixes |= unmet
+                self.stats.shards_merged += 1 + len(absorbed)
+                pending.insert(
+                    0,
+                    PrefixShard(
+                        index=shard.index,
+                        prefixes=frozenset(merged_prefixes),
+                    ),
+                )
+                continue
+            self._flush_shard(flush_index)
+            flush_index += 1
+
+    def run(
+        self,
+        shards: Optional[Sequence[PrefixShard]] = None,
+        refine: bool = False,
+    ) -> ControlPlaneStats:
+        """IGPs first, then BGP over every shard (None = single pass)."""
+        started = time.perf_counter()
+        self.run_ospf()
+        if shards and refine:
+            self.run_bgp_refining(shards)
+        elif shards:
+            for shard in shards:
+                self.run_bgp_shard(shard)
+        else:
+            self.run_bgp_shard(None)
+        self.stats.measured_seconds = time.perf_counter() - started
+        return self.stats

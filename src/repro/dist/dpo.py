@@ -1,0 +1,179 @@
+"""The data plane orchestrator (DPO, §3.2, §4.3).
+
+Workflow: (1) every worker builds the FIBs of its nodes from the route
+store and compiles forwarding/ACL predicates into its *own* BDD engine;
+(2) symbolic packets are injected at the query's sources and forwarded in
+bulk-synchronous supersteps — each worker drains its local queue, packets
+crossing a segment boundary are serialized, shipped by the sidecars, and
+re-encoded into the receiving worker's engine.  Finals are collected back
+into the controller's engine for property checking.
+
+The per-step modeled time is the *maximum* of the workers' BDD-operation
+counts: operations on one engine serialize against its node table, but
+engines on different workers proceed in parallel — the §4.3 parallelism
+argument, and the source of Figure 10's speedups.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd.engine import BddEngine
+from ..bdd.headerspace import HeaderEncoding
+from ..bdd.serialize import deserialize, serialize
+from ..config.loader import Snapshot
+from ..dataplane.fib import NextHopResolver
+from ..dataplane.forwarding import FinalPacket, FinalState
+from ..dataplane.queries import PropertyChecker
+from .runtime import Runtime, SequentialRuntime
+from .sidecar import Sidecar
+from .storage import RouteStore
+from .worker import Worker
+
+
+@dataclass
+class DataPlaneStats:
+    predicate_modeled_time: float = 0.0
+    forward_modeled_time: float = 0.0
+    predicate_seconds: float = 0.0
+    forward_seconds: float = 0.0
+    supersteps: int = 0
+    packets_crossed: int = 0
+    finals: int = 0
+
+    @property
+    def modeled_total(self) -> float:
+        return self.predicate_modeled_time + self.forward_modeled_time
+
+
+class DataPlaneOrchestrator:
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        sidecars: Sequence[Sidecar],
+        snapshot: Snapshot,
+        encoding: Optional[HeaderEncoding] = None,
+        runtime: Optional[Runtime] = None,
+        node_limit: int = 1 << 24,
+        controller_node_limit: int = 1 << 24,
+    ) -> None:
+        self.workers = list(workers)
+        self.sidecars = list(sidecars)
+        self.snapshot = snapshot
+        self.encoding = encoding or HeaderEncoding()
+        self.runtime = runtime or SequentialRuntime()
+        self.node_limit = node_limit
+        self.engine: BddEngine = self.encoding.make_engine(
+            node_limit=controller_node_limit
+        )
+        self.stats = DataPlaneStats()
+        self._built = False
+
+    # -- phase 1: FIBs + predicates --------------------------------------
+
+    def build(self, store: RouteStore) -> None:
+        if self._built:
+            return
+        started = time.perf_counter()
+        resolver = NextHopResolver.from_snapshot(self.snapshot)
+        ops_list = self.runtime.map(
+            [
+                (
+                    lambda w=w: w.build_dataplane(
+                        store, resolver, self.encoding, self.node_limit
+                    )
+                )
+                for w in self.workers
+            ]
+        )
+        deltas = []
+        for worker, ops in zip(self.workers, ops_list):
+            deltas.append(worker.resources.charge_bdd_ops(ops))
+        if deltas:
+            self.stats.predicate_modeled_time += max(deltas)
+        self.stats.predicate_seconds += time.perf_counter() - started
+        self._built = True
+
+    # -- waypoints ------------------------------------------------------------
+
+    def install_waypoints(self, transits: Sequence[str]) -> None:
+        for worker in self.workers:
+            worker.clear_waypoints()
+            for index, transit in enumerate(transits):
+                worker.set_waypoint_bit(transit, index)
+
+    # -- phase 2: forwarding -----------------------------------------------------
+
+    def forward(
+        self, sources: Sequence[str], header_bdd: int, trace: bool = False
+    ) -> List[FinalPacket]:
+        """Distributed symbolic forwarding; finals land in ``self.engine``.
+
+        ``header_bdd`` is a BDD in the *controller's* engine; it is
+        serialized once and re-encoded by each worker hosting a source.
+        """
+        assert self._built, "call build() before forward()"
+        started = time.perf_counter()
+        payload = serialize(self.engine, header_bdd)
+        source_list = list(sources)
+        for worker in self.workers:
+            worker.reset_dataplane_run()
+            worker.inject_header(source_list, payload, trace)
+        while True:
+            clocks_before = [w.resources.modeled_time for w in self.workers]
+            results = self.runtime.map(
+                [w.drain for w in self.workers]
+            )
+            batch_count = 0
+            for worker, sidecar, (_, batches, ops) in zip(
+                self.workers, self.sidecars, results
+            ):
+                worker.resources.charge_bdd_ops(ops)
+                for batch in batches.values():
+                    self.stats.packets_crossed += len(batch.envelopes)
+                    sidecar.send_packets(batch)
+                    batch_count += 1
+            deltas = [
+                w.resources.modeled_time - before
+                for w, before in zip(self.workers, clocks_before)
+            ]
+            if deltas:
+                self.stats.forward_modeled_time += max(deltas)
+            self.stats.supersteps += 1
+            if batch_count == 0 and not any(
+                w.pending_packets for w in self.workers
+            ):
+                break
+        finals = self._collect_finals()
+        self.stats.finals += len(finals)
+        self.stats.forward_seconds += time.perf_counter() - started
+        return finals
+
+    def _collect_finals(self) -> List[FinalPacket]:
+        finals: List[FinalPacket] = []
+        for worker in self.workers:
+            for record in worker.collect_finals():
+                finals.append(
+                    FinalPacket(
+                        state=record["state"],
+                        node=record["node"],
+                        bdd=deserialize(self.engine, record["payload"]),
+                        source=record["source"],
+                        hops=record["hops"],
+                        path=record["path"],
+                        out_port=record["out_port"],
+                    )
+                )
+        return finals
+
+    # -- property checking ------------------------------------------------------------
+
+    def checker(self) -> PropertyChecker:
+        return PropertyChecker(
+            self.engine,
+            self.encoding,
+            self.forward,
+            install_waypoints=self.install_waypoints,
+        )

@@ -1,0 +1,66 @@
+"""Wire messages between sidecars, with real serialization accounting.
+
+All cross-worker traffic is expressed as these dataclasses.  The in-process
+transports deliver the objects directly but still *pickle them once* to
+measure the bytes an RPC transport would move (the paper uses gRPC with
+Java serialization; we charge the measured payload size to the sender's
+resource model).  The process transport actually ships the pickled bytes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd.serialize import SerializedBdd
+from ..net.ip import Prefix
+from ..routing.route import BgpRoute
+
+# (exporting node, importer-side session local address) -> exported routes
+BoundaryExports = Dict[Tuple[str, int], List[BgpRoute]]
+
+# (exporting node, importer-side local address) -> OSPF distance vector
+OspfExports = Dict[Tuple[str, int], Dict[Prefix, Tuple[int, frozenset]]]
+
+
+@dataclass(frozen=True)
+class RouteBatch:
+    """One round's boundary route advertisements toward one worker."""
+
+    source_worker: int
+    target_worker: int
+    round_token: int
+    exports: BoundaryExports
+    ospf_exports: Optional[OspfExports] = None
+
+    def route_count(self) -> int:
+        return sum(len(routes) for routes in self.exports.values())
+
+
+@dataclass(frozen=True)
+class PacketEnvelope:
+    """A symbolic packet crossing a worker boundary (§4.3).
+
+    The BDD travels in serialized form; the receiving worker re-encodes
+    it in its own engine (the "option 2" design the paper adopts).
+    """
+
+    payload: SerializedBdd
+    node: str
+    in_port: str
+    hops: int
+    source: str
+    path: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
+class PacketBatch:
+    source_worker: int
+    target_worker: int
+    envelopes: Tuple[PacketEnvelope, ...]
+
+
+def measured_size(message: object) -> int:
+    """The bytes an RPC transport would move for ``message``."""
+    return len(pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))

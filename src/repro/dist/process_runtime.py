@@ -1,0 +1,338 @@
+"""Process-backed workers: real scale-out on one machine.
+
+The in-process runtimes exercise S2's algorithms; this module runs each
+worker in its **own OS process**, connected to the controller by a pipe —
+the closest a single machine gets to the paper's deployment (one JVM per
+logical server, gRPC sidecars).  Phases execute with true parallelism:
+the controller issues a phase to every worker through a thread pool, each
+thread blocks on its pipe (releasing the GIL) while the worker processes
+compute concurrently.
+
+Design notes:
+
+* :class:`WorkerProcessProxy` mirrors the :class:`~repro.dist.worker.Worker`
+  surface the orchestrators and sidecars use, so the CPO/DPO code is the
+  same for in-process and process-backed clusters.
+* Resource accounting stays controller-side: the remote worker enforces
+  its memory ceiling (raising :class:`SimulatedOOM` in situ, relayed back
+  and re-raised by the proxy) and returns work counts; the proxy's local
+  :class:`WorkerResources` mirror is charged by the orchestrators exactly
+  as for in-process workers.
+* Shard results are flushed to the shared on-disk
+  :class:`~repro.dist.storage.RouteStore` *by the worker process*, so
+  converged RIBs never transit the control pipe (matching §3.1's
+  write-to-persistent-storage step).
+* Processes are forked before any thread exists and are shut down (or
+  killed after a grace period) by :meth:`ProcessWorkerPool.close`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bdd.engine import BddOverflowError
+from ..bdd.headerspace import HeaderEncoding
+from ..config.loader import Snapshot
+from .resources import SimulatedOOM, WorkerResources
+from .sharding import PrefixShard
+from .storage import RouteStore
+from .worker import PullOutcome, Worker
+
+_RELAYED_EXCEPTIONS = {
+    "SimulatedOOM": SimulatedOOM,
+    "BddOverflowError": BddOverflowError,
+}
+
+
+class RemoteWorkerError(RuntimeError):
+    """An unexpected exception inside a worker process."""
+
+
+def _worker_main(
+    connection,
+    worker_id: int,
+    snapshot: Snapshot,
+    assignment: Dict[str, int],
+    capacity: int,
+    cost_model,
+    max_hops: int,
+) -> None:
+    """The worker process service loop: execute commands off the pipe."""
+    resources = WorkerResources(
+        name=f"worker{worker_id}", capacity=capacity, model=cost_model
+    )
+    worker = Worker(
+        worker_id=worker_id,
+        snapshot=snapshot,
+        assignment=assignment,
+        resources=resources,
+        max_hops=max_hops,
+    )
+    stores: Dict[str, RouteStore] = {}
+
+    def store_for(directory: str) -> RouteStore:
+        if directory not in stores:
+            stores[directory] = RouteStore(directory)
+        return stores[directory]
+
+    while True:
+        try:
+            command, args = connection.recv()
+        except EOFError:
+            break
+        if command == "stop":
+            connection.send(("ok", None))
+            break
+        try:
+            if command == "flush_shard":
+                directory, shard_index = args
+                shard_routes = worker.finish_shard()
+                written = store_for(directory).write_shard(
+                    worker_id, shard_index, shard_routes
+                )
+                selected = sum(
+                    len(routes)
+                    for node_routes in shard_routes.values()
+                    for routes in node_routes.values()
+                )
+                result = (written, selected)
+            elif command == "build_dataplane":
+                directory, encoding, node_limit = args
+                from ..dataplane.fib import NextHopResolver
+
+                resolver = NextHopResolver.from_snapshot(snapshot)
+                result = worker.build_dataplane(
+                    store_for(directory), resolver, encoding, node_limit
+                )
+            elif command == "merged_routes":
+                (directory,) = args
+                result = store_for(directory).merged_routes(worker_id)
+            elif command == "pending_packets":
+                result = worker.pending_packets
+            else:
+                result = getattr(worker, command)(*args)
+            # PullOutcome travels fine; attach fresh memory telemetry so
+            # the proxy mirror can track the peak without extra round
+            # trips.
+            telemetry = (
+                resources.current_bytes,
+                resources.peak_bytes,
+                resources.candidate_routes,
+                resources.bdd_nodes,
+                resources.fib_entries,
+                resources.oom,
+            )
+            connection.send(("ok", (result, telemetry)))
+        except Exception as exc:  # noqa: BLE001 — relayed to the controller
+            connection.send(
+                (
+                    "exc",
+                    (
+                        type(exc).__name__,
+                        str(exc),
+                        traceback.format_exc(),
+                    ),
+                )
+            )
+    connection.close()
+
+
+class WorkerProcessProxy:
+    """Controller-side handle for one worker process.
+
+    Exposes the Worker methods the orchestrators and sidecars call; each
+    call is one request/response on the pipe.  The proxy keeps a local
+    :class:`WorkerResources` mirror for the cost model.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        connection,
+        process,
+        resources: WorkerResources,
+    ) -> None:
+        self.worker_id = worker_id
+        self.resources = resources
+        self._connection = connection
+        self._process = process
+        # One in-flight request per pipe: phases call one method per
+        # worker concurrently, and sidecar deliveries interleave.
+        self._lock = threading.Lock()
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _call(self, command: str, *args) -> Any:
+        with self._lock:
+            self._connection.send((command, args))
+            status, payload = self._connection.recv()
+        if status == "exc":
+            name, message, trace = payload
+            exc_type = _RELAYED_EXCEPTIONS.get(name)
+            if exc_type is SimulatedOOM:
+                self.resources.oom = True
+                raise SimulatedOOM(
+                    self.resources.name,
+                    self.resources.current_bytes,
+                    self.resources.capacity,
+                )
+            if exc_type is not None:
+                raise exc_type(message)
+            raise RemoteWorkerError(f"{name}: {message}\n{trace}")
+        result, telemetry = payload
+        (
+            self.resources.current_bytes,
+            peak,
+            self.resources.candidate_routes,
+            self.resources.bdd_nodes,
+            self.resources.fib_entries,
+            oom,
+        ) = telemetry
+        self.resources.peak_bytes = max(self.resources.peak_bytes, peak)
+        self.resources.oom = self.resources.oom or oom
+        return result
+
+    # -- control plane ---------------------------------------------------------
+
+    def begin_shard(self, shard: Optional[PrefixShard]) -> None:
+        self._call("begin_shard", shard)
+
+    def compute_exports(self, round_token: int):
+        return self._call("compute_exports", round_token)
+
+    def deliver_routes(self, batch) -> None:
+        self._call("deliver_routes", batch)
+
+    def pull_round(self, round_token: int) -> PullOutcome:
+        return self._call("pull_round", round_token)
+
+    def update_memory(self, enforce: bool = True) -> int:
+        return self._call("update_memory", enforce)
+
+    def observed_dependencies(self) -> set:
+        return self._call("observed_dependencies")
+
+    def flush_shard(self, store: RouteStore, shard_index: int) -> Tuple[int, int]:
+        """Flush the converged shard to the shared store, worker-side."""
+        return self._call("flush_shard", store.directory, shard_index)
+
+    # -- OSPF -----------------------------------------------------------------------
+
+    def has_ospf(self) -> bool:
+        return self._call("has_ospf")
+
+    def compute_ospf_exports(self):
+        return self._call("compute_ospf_exports")
+
+    def pull_ospf_round(self) -> bool:
+        return self._call("pull_ospf_round")
+
+    def install_ospf_routes(self) -> None:
+        self._call("install_ospf_routes")
+
+    # -- data plane ------------------------------------------------------------------
+
+    def build_dataplane(
+        self,
+        store: RouteStore,
+        resolver,
+        encoding: HeaderEncoding,
+        node_limit: int = 1 << 24,
+    ) -> int:
+        del resolver  # rebuilt worker-side from the snapshot
+        return self._call(
+            "build_dataplane", store.directory, encoding, node_limit
+        )
+
+    def set_waypoint_bit(self, node: str, metadata_index: int) -> None:
+        self._call("set_waypoint_bit", node, metadata_index)
+
+    def clear_waypoints(self) -> None:
+        self._call("clear_waypoints")
+
+    def inject_header(self, sources, header_payload, trace: bool) -> None:
+        self._call("inject_header", sources, header_payload, trace)
+
+    def deliver_packets(self, batch) -> None:
+        self._call("deliver_packets", batch)
+
+    def drain(self):
+        return self._call("drain")
+
+    def collect_finals(self):
+        return self._call("collect_finals")
+
+    def reset_dataplane_run(self) -> None:
+        self._call("reset_dataplane_run")
+
+    @property
+    def pending_packets(self) -> int:
+        return self._call("pending_packets")
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def stop(self, timeout: float = 5.0) -> None:
+        try:
+            with self._lock:
+                self._connection.send(("stop", ()))
+                self._connection.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout)
+        self._connection.close()
+
+
+class ProcessWorkerPool:
+    """Spawns one process per worker and hands out proxies."""
+
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        assignment: Dict[str, int],
+        num_workers: int,
+        capacity: int,
+        cost_model,
+        max_hops: int = 24,
+    ) -> None:
+        context = mp.get_context("fork" if os.name == "posix" else "spawn")
+        self.proxies: List[WorkerProcessProxy] = []
+        for worker_id in range(num_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    worker_id,
+                    snapshot,
+                    assignment,
+                    capacity,
+                    cost_model,
+                    max_hops,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self.proxies.append(
+                WorkerProcessProxy(
+                    worker_id,
+                    parent_conn,
+                    process,
+                    WorkerResources(
+                        name=f"worker{worker_id}",
+                        capacity=capacity,
+                        model=cost_model,
+                    ),
+                )
+            )
+
+    def close(self) -> None:
+        for proxy in self.proxies:
+            proxy.stop()

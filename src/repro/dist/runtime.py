@@ -1,0 +1,67 @@
+"""Execution backends for worker phases.
+
+The orchestrators express each phase as "run this thunk on every worker";
+the runtime decides how.  ``sequential`` executes workers one by one in a
+deterministic order — the modeled clock still accounts for parallelism, so
+this is the default for reproducible experiments.  ``threaded`` runs the
+phase on a thread pool: the numbers are identical (phases are data-race
+free by the two-phase round design), but the real concurrency machinery —
+mailboxes, shadow proxies, batched sidecar traffic — is exercised under
+interleaving, which the concurrency tests rely on.
+
+(A note on fidelity: CPython's GIL means threads add little wall-clock
+speedup for this pure-Python workload; the paper's wall-clock scaling
+claims are reproduced through the modeled clock, as DESIGN.md documents.)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Runtime:
+    """Maps thunks over workers; subclasses choose the execution policy."""
+
+    def map(self, thunks: Sequence[Callable[[], T]]) -> List[T]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SequentialRuntime(Runtime):
+    """Deterministic in-order execution (the default)."""
+
+    def map(self, thunks: Sequence[Callable[[], T]]) -> List[T]:
+        return [thunk() for thunk in thunks]
+
+
+class ThreadedRuntime(Runtime):
+    """One thread per worker phase, joined at the phase barrier."""
+
+    def __init__(self, max_threads: Optional[int] = None) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=max_threads or 16)
+
+    def map(self, thunks: Sequence[Callable[[], T]]) -> List[T]:
+        futures = [self._pool.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_runtime(kind: str, max_threads: Optional[int] = None) -> Runtime:
+    if kind == "sequential":
+        return SequentialRuntime()
+    if kind == "threaded":
+        return ThreadedRuntime(max_threads)
+    raise ValueError(f"unknown runtime {kind!r}")

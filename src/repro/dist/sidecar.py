@@ -1,0 +1,46 @@
+"""Sidecars: the communication layer between controller and workers (§3.2).
+
+Each worker (and the controller) has a sidecar holding the node→worker
+assignment; all cross-worker traffic flows sidecar→sidecar.  The in-process
+transport delivers objects directly but charges the sender's resource
+model with the *measured* serialized size of every message, so the
+communication columns of the figures come from real payloads, not guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .message import PacketBatch, RouteBatch, measured_size
+from .resources import WorkerResources
+from .worker import Worker
+
+
+class Sidecar:
+    """One worker's sidecar.  ``peers`` is filled by the controller."""
+
+    def __init__(self, worker: Worker) -> None:
+        self.worker = worker
+        self.peers: Dict[int, "Sidecar"] = {}
+
+    @property
+    def worker_id(self) -> int:
+        return self.worker.worker_id
+
+    def register_peers(self, sidecars: List["Sidecar"]) -> None:
+        self.peers = {s.worker_id: s for s in sidecars}
+
+    # -- sending (charged to this worker) --------------------------------
+
+    def send_routes(self, batch: RouteBatch) -> int:
+        size = measured_size(batch)
+        self.worker.resources.charge_rpc(size, messages=1)
+        self.peers[batch.target_worker].worker.deliver_routes(batch)
+        return size
+
+    def send_packets(self, batch: PacketBatch) -> int:
+        size = measured_size(batch)
+        self.worker.resources.charge_rpc(size, messages=1)
+        self.peers[batch.target_worker].worker.deliver_packets(batch)
+        return size

@@ -1,0 +1,87 @@
+"""Per-shard route persistence (§3.1: "write it to persistent storage").
+
+When a prefix shard finishes, each worker flushes the shard's selected
+routes to disk and frees the in-memory RIBs, which is what caps peak
+memory at one shard's footprint.  The store really writes pickle files
+(one per worker × shard) under a spool directory, so the flush cost and
+the reload path (the data-plane phase needs all shards back) are genuine.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..net.ip import Prefix
+from ..routing.route import BgpRoute
+
+# node -> prefix -> selected ECMP routes
+ShardRoutes = Dict[str, Dict[Prefix, Tuple[BgpRoute, ...]]]
+
+
+class RouteStore:
+    """Spool directory holding per-(worker, shard) route files."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="s2-routes-")
+            self._owned = True
+        else:
+            os.makedirs(directory, exist_ok=True)
+            self._owned = False
+        self.directory = directory
+        self._files: List[str] = []
+        self.bytes_written = 0
+
+    def _path(self, worker_id: int, shard_index: int) -> str:
+        return os.path.join(
+            self.directory, f"worker{worker_id:03d}-shard{shard_index:04d}.rib"
+        )
+
+    def write_shard(
+        self, worker_id: int, shard_index: int, routes: ShardRoutes
+    ) -> int:
+        """Persist one worker's results for one shard; returns bytes."""
+        path = self._path(worker_id, shard_index)
+        payload = pickle.dumps(routes, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        self._files.append(path)
+        self.bytes_written += len(payload)
+        return len(payload)
+
+    def read_shard(self, worker_id: int, shard_index: int) -> ShardRoutes:
+        path = self._path(worker_id, shard_index)
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def iter_worker_shards(self, worker_id: int) -> Iterator[ShardRoutes]:
+        """All shard files of one worker, in shard order."""
+        prefix = f"worker{worker_id:03d}-"
+        for name in sorted(os.listdir(self.directory)):
+            if name.startswith(prefix) and name.endswith(".rib"):
+                with open(
+                    os.path.join(self.directory, name), "rb"
+                ) as handle:
+                    yield pickle.load(handle)
+
+    def merged_routes(self, worker_id: int) -> ShardRoutes:
+        """Union of every shard's routes for one worker's nodes."""
+        merged: ShardRoutes = {}
+        for shard_routes in self.iter_worker_shards(worker_id):
+            for node, routes in shard_routes.items():
+                merged.setdefault(node, {}).update(routes)
+        return merged
+
+    def close(self) -> None:
+        if self._owned and os.path.isdir(self.directory):
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "RouteStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

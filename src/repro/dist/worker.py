@@ -1,0 +1,445 @@
+"""The S2 worker (§3.2): real nodes, shadow nodes, and per-worker DPV.
+
+A worker hosts the :class:`~repro.routing.node.RouterNode` models of its
+assigned switches ("real" nodes) and lightweight :class:`ShadowNode`
+stand-ins for every switch hosted elsewhere.  A real node pulling routes
+calls ``neighbor.advertise(...)`` without knowing which kind it got —
+shadows answer from the worker's mailbox, which the sidecars fill with the
+boundary advertisements of remote workers each round (the batched
+equivalent of the paper's RPC relay, Figure 2).
+
+Rounds are two-phase (compute exports, then pull), i.e. Jacobi iteration:
+every node reads neighbor state as of the round start.  This is what makes
+the distributed fixed point independent of how nodes are spread across
+workers — S2's RIBs match the monolithic engine's exactly.
+
+For the data plane the worker owns a private BDD engine (§4.3 option 2),
+builds FIBs for its real nodes from the route store, compiles predicates,
+and forwards symbolic packets; packets leaving its segment are serialized
+into :class:`~repro.dist.message.PacketEnvelope` batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..bdd.engine import BddEngine
+from ..bdd.headerspace import HeaderEncoding
+from ..bdd.serialize import deserialize, packed_size, serialize
+from ..config.loader import Snapshot
+from ..dataplane.fib import NextHopResolver, build_fib
+from ..dataplane.forwarding import (
+    FinalPacket,
+    ForwardingContext,
+    PacketBuffer,
+    SymbolicPacket,
+)
+from ..dataplane.predicates import compile_predicates
+from ..net.ip import Prefix
+from ..routing.node import RouterNode
+from ..routing.ospf import OspfProcess
+from ..routing.route import BgpRoute, Route
+from .message import (
+    BoundaryExports,
+    OspfExports,
+    PacketBatch,
+    PacketEnvelope,
+    RouteBatch,
+)
+from .resources import CostModel, WorkerResources
+from .sharding import PrefixShard
+from .storage import RouteStore, ShardRoutes
+
+
+class ShadowNode:
+    """Stand-in for a switch hosted on another worker (§3.2).
+
+    Behaves exactly like a real node from a neighbor's point of view: its
+    ``advertise`` returns the routes the real node exported this round —
+    read from the worker's mailbox instead of computed locally.
+    """
+
+    def __init__(self, name: str, worker: "Worker") -> None:
+        self.name = name
+        self._worker = worker
+
+    def advertise(self, to_peer_addr: int, round_token: int = -1) -> List[BgpRoute]:
+        return self._worker.mailbox.get((self.name, to_peer_addr), [])
+
+    def advertise_ospf(
+        self, to_peer_addr: int = None
+    ) -> Dict[Prefix, Tuple[int, frozenset]]:
+        return self._worker.ospf_mailbox.get((self.name, to_peer_addr), {})
+
+
+@dataclass
+class PullOutcome:
+    changed: bool
+    updates_processed: int
+    candidate_routes: int
+
+
+class Worker:
+    """One S2 worker: a segment's switch models plus the DPV context."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        snapshot: Snapshot,
+        assignment: Dict[str, int],
+        resources: Optional[WorkerResources] = None,
+        max_hops: int = 24,
+    ) -> None:
+        self.worker_id = worker_id
+        self.snapshot = snapshot
+        self.assignment = assignment
+        self.max_hops = max_hops
+        self.resources = resources or WorkerResources(name=f"worker{worker_id}")
+        self.nodes: Dict[str, RouterNode] = {}
+        self.ospf: Dict[str, OspfProcess] = {}
+        self._shadows: Dict[str, ShadowNode] = {}
+        self.mailbox: Dict[Tuple[str, int], List[BgpRoute]] = {}
+        self.ospf_mailbox: Dict[
+            Tuple[str, int], Dict[Prefix, Tuple[int, frozenset]]
+        ] = {}
+        for hostname, owner in sorted(assignment.items()):
+            if owner == worker_id:
+                config = snapshot.configs[hostname]
+                self.nodes[hostname] = RouterNode(config, snapshot.topology)
+                self.ospf[hostname] = OspfProcess(config, snapshot.topology)
+        self.resources.node_count = len(self.nodes)
+        # -- data-plane state (populated by the DPO phase) --
+        self.engine: Optional[BddEngine] = None
+        self.encoding: Optional[HeaderEncoding] = None
+        self.context: Optional[ForwardingContext] = None
+        self._buffer: Optional[PacketBuffer] = None
+        self._finals: List[FinalPacket] = []
+        self._fib_entries = 0
+
+    # -- node resolution -------------------------------------------------
+
+    def _resolve(self, name: str):
+        node = self.nodes.get(name)
+        if node is not None:
+            return node
+        shadow = self._shadows.get(name)
+        if shadow is None:
+            shadow = ShadowNode(name, self)
+            self._shadows[name] = shadow
+        return shadow
+
+    def owns(self, name: str) -> bool:
+        return name in self.nodes
+
+    # -- control plane: shard lifecycle ------------------------------------
+
+    def begin_shard(self, shard: Optional[PrefixShard]) -> None:
+        prefixes = shard.prefixes if shard is not None else None
+        for node in self.nodes.values():
+            node.begin_shard(prefixes)
+        self.mailbox.clear()
+
+    def finish_shard(self) -> ShardRoutes:
+        """Collect the shard's selected routes and free the RIBs."""
+        result: ShardRoutes = {}
+        for hostname, node in self.nodes.items():
+            selected = node.finish_shard()
+            if selected:
+                result[hostname] = selected
+            node.begin_shard(frozenset())  # free per-shard memory
+        self.mailbox.clear()
+        self.update_memory(enforce=False)
+        return result
+
+    def observed_dependencies(self) -> set:
+        """Runtime-discovered (prefix, watched-prefix) dependencies (§7),
+        aggregated across this worker's real nodes for the current shard."""
+        found: set = set()
+        for node in self.nodes.values():
+            found |= node.observed_dependencies
+        return found
+
+    def flush_shard(self, store: RouteStore, shard_index: int) -> Tuple[int, int]:
+        """Finish the shard and persist it (§3.1: write to disk).
+
+        Returns ``(bytes written, selected routes)``.  In the process
+        runtime this happens inside the worker process, so converged RIBs
+        never travel over the control pipe.
+        """
+        shard_routes = self.finish_shard()
+        written = store.write_shard(self.worker_id, shard_index, shard_routes)
+        selected = sum(
+            len(routes)
+            for node_routes in shard_routes.values()
+            for routes in node_routes.values()
+        )
+        return written, selected
+
+    # -- control plane: one round (two phases) ---------------------------------
+
+    def compute_exports(self, round_token: int) -> Dict[int, RouteBatch]:
+        """Phase A: every real node computes this round's exports.
+
+        Local sessions are warmed into the node's export cache; sessions
+        whose importer lives elsewhere are batched per target worker.
+        """
+        boundary: Dict[int, BoundaryExports] = {}
+        for hostname, node in sorted(self.nodes.items()):
+            for session in node.sessions:
+                exports = node.advertise(session.peer_ip, round_token)
+                owner = self.assignment.get(session.neighbor)
+                if owner is None or owner == self.worker_id:
+                    continue
+                boundary.setdefault(owner, {})[
+                    (hostname, session.peer_ip)
+                ] = exports
+        return {
+            target: RouteBatch(
+                source_worker=self.worker_id,
+                target_worker=target,
+                round_token=round_token,
+                exports=exports,
+            )
+            for target, exports in boundary.items()
+        }
+
+    def deliver_routes(self, batch: RouteBatch) -> None:
+        """Sidecar delivery: fill the mailbox the shadows answer from."""
+        for key, routes in batch.exports.items():
+            self.mailbox[key] = routes
+        if batch.ospf_exports:
+            for key, vector in batch.ospf_exports.items():
+                self.ospf_mailbox[key] = vector
+
+    def pull_round(self, round_token: int) -> PullOutcome:
+        """Phase B: every real node pulls from its (real or shadow) peers."""
+        changed = False
+        updates = 0
+        for hostname in sorted(self.nodes):
+            node = self.nodes[hostname]
+            changed |= node.pull_round(self._resolve, round_token)
+            updates += node.route_count()
+        candidates = sum(node.route_count() for node in self.nodes.values())
+        return PullOutcome(
+            changed=changed,
+            updates_processed=updates,
+            candidate_routes=candidates,
+        )
+
+    # -- control plane: OSPF rounds ----------------------------------------------
+
+    def has_ospf(self) -> bool:
+        return any(process.enabled for process in self.ospf.values())
+
+    def compute_ospf_exports(self) -> Dict[int, RouteBatch]:
+        boundary: Dict[int, OspfExports] = {}
+        for hostname, process in sorted(self.ospf.items()):
+            if not process.enabled:
+                continue
+            for adjacency in process.adjacencies:
+                owner = self.assignment.get(adjacency.neighbor)
+                if owner is None or owner == self.worker_id:
+                    continue
+                # The remote puller identifies itself by its own local
+                # address, which is this adjacency's peer address.
+                boundary.setdefault(owner, {})[
+                    (hostname, adjacency.peer_addr)
+                ] = process.advertise_ospf(adjacency.peer_addr)
+        return {
+            target: RouteBatch(
+                source_worker=self.worker_id,
+                target_worker=target,
+                round_token=-1,
+                exports={},
+                ospf_exports=exports,
+            )
+            for target, exports in boundary.items()
+        }
+
+    def pull_ospf_round(self) -> bool:
+        changed = False
+        for hostname in sorted(self.ospf):
+            process = self.ospf[hostname]
+            changed |= process.pull_round(self._resolve_ospf)
+        return changed
+
+    def _resolve_ospf(self, name: str):
+        process = self.ospf.get(name)
+        if process is not None:
+            return process
+        return self._resolve(name)  # shadow answers advertise_ospf
+
+    def install_ospf_routes(self) -> None:
+        for hostname, process in self.ospf.items():
+            node = self.nodes[hostname]
+            for route in process.routes():
+                node.main_rib.add(route)
+
+    # -- resource accounting -------------------------------------------------------
+
+    def update_memory(self, enforce: bool = True) -> int:
+        candidates = sum(node.route_count() for node in self.nodes.values())
+        candidates += sum(len(routes) for routes in self.mailbox.values())
+        bdd_nodes = self.engine.node_count if self.engine is not None else 0
+        return self.resources.update_memory(
+            candidates,
+            bdd_nodes,
+            fib_entries=self._fib_entries,
+            enforce=enforce,
+        )
+
+    # -- data plane -------------------------------------------------------------------
+
+    def build_dataplane(
+        self,
+        store: RouteStore,
+        resolver: NextHopResolver,
+        encoding: HeaderEncoding,
+        node_limit: int = 1 << 24,
+    ) -> int:
+        """Build FIBs (from the route store) and compile predicates into
+        this worker's private engine.  Returns BDD ops spent (phase 1 of
+        Figure 10)."""
+        self.encoding = encoding
+        self.engine = encoding.make_engine(node_limit=node_limit)
+        self.context = ForwardingContext(
+            self.engine,
+            encoding,
+            self.snapshot.topology,
+            max_hops=self.max_hops,
+        )
+        self._buffer = PacketBuffer(self.engine)
+        merged = store.merged_routes(self.worker_id)
+        ops_before = self.engine.ops
+        for hostname, node in sorted(self.nodes.items()):
+            main_routes: List[Route] = []
+            for prefix in node.main_rib.prefixes():
+                main_routes.extend(node.main_rib.routes_for(prefix))
+            fib = build_fib(
+                hostname,
+                node.local_prefixes,
+                main_routes,
+                merged.get(hostname, {}),
+                resolver,
+            )
+            self._fib_entries += len(fib)
+            self.context.add_node(
+                compile_predicates(
+                    self.snapshot.configs[hostname],
+                    fib,
+                    self.engine,
+                    self.encoding,
+                )
+            )
+        self.update_memory()
+        return self.engine.ops - ops_before
+
+    def set_waypoint_bit(self, node: str, metadata_index: int) -> None:
+        if self.context is not None and self.owns(node):
+            self.context.set_waypoint_bit(node, metadata_index)
+
+    def clear_waypoints(self) -> None:
+        if self.context is not None:
+            self.context.waypoint_bits.clear()
+
+    def inject_header(self, sources: List[str], header_payload, trace: bool) -> None:
+        """Inject a (serialized) header-space BDD at owned source nodes."""
+        assert self.engine is not None and self.context is not None
+        header = deserialize(self.engine, header_payload)
+        for source in sources:
+            if not self.owns(source):
+                continue
+            self._buffer.push(
+                SymbolicPacket(
+                    bdd=header,
+                    node=source,
+                    in_port=None,
+                    hops=0,
+                    source=source,
+                    path=(source,) if trace else None,
+                )
+            )
+
+    def deliver_packets(self, batch: PacketBatch) -> None:
+        assert self.engine is not None
+        for envelope in batch.envelopes:
+            bdd = deserialize(self.engine, envelope.payload)
+            self._buffer.push(
+                SymbolicPacket(
+                    bdd=bdd,
+                    node=envelope.node,
+                    in_port=envelope.in_port,
+                    hops=envelope.hops,
+                    source=envelope.source,
+                    path=envelope.path,
+                )
+            )
+
+    def drain(self) -> Tuple[int, Dict[int, PacketBatch], int]:
+        """Process the local queue to exhaustion (one DPO superstep).
+
+        Returns (finals produced, per-target outgoing batches, BDD ops).
+        """
+        assert self.context is not None and self.engine is not None
+        ops_before = self.engine.ops
+        outgoing: Dict[int, List[PacketEnvelope]] = {}
+        produced = 0
+        while self._buffer:
+            for packet in self._buffer.pop_wave():
+                finals, forwarded = self.context.process(packet)
+                self._finals.extend(finals)
+                produced += len(finals)
+                for hop in forwarded:
+                    owner = self.assignment.get(hop.node, self.worker_id)
+                    if owner == self.worker_id:
+                        self._buffer.push(hop)
+                    else:
+                        outgoing.setdefault(owner, []).append(
+                            PacketEnvelope(
+                                payload=serialize(self.engine, hop.bdd),
+                                node=hop.node,
+                                in_port=hop.in_port,
+                                hops=hop.hops,
+                                source=hop.source,
+                                path=hop.path,
+                            )
+                        )
+        self.update_memory()
+        batches = {
+            target: PacketBatch(
+                source_worker=self.worker_id,
+                target_worker=target,
+                envelopes=tuple(envelopes),
+            )
+            for target, envelopes in outgoing.items()
+        }
+        return produced, batches, self.engine.ops - ops_before
+
+    def collect_finals(self) -> List[dict]:
+        """Serialize accumulated finals for the controller's engine."""
+        assert self.engine is not None
+        collected = []
+        for final in self._finals:
+            collected.append(
+                {
+                    "state": final.state,
+                    "node": final.node,
+                    "payload": serialize(self.engine, final.bdd),
+                    "source": final.source,
+                    "hops": final.hops,
+                    "path": final.path,
+                    "out_port": final.out_port,
+                }
+            )
+        return collected
+
+    def reset_dataplane_run(self) -> None:
+        """Clear per-query state (queue + finals), keeping predicates."""
+        assert self.engine is not None
+        self._buffer = PacketBuffer(self.engine)
+        self._finals.clear()
+
+    @property
+    def pending_packets(self) -> int:
+        return len(self._buffer) if self._buffer is not None else 0

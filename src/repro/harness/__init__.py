@@ -1,0 +1,25 @@
+"""Experiment harness: scaled sizes, per-figure runners, table output."""
+
+from .experiments import (  # noqa: F401
+    ROW_HEADERS,
+    ExperimentRow,
+    run_batfish,
+    run_bonsai,
+    run_fig4_real_dcn,
+    run_fig5_fattree_scaling,
+    run_fig6_scale_out,
+    run_fig7_partition_schemes,
+    run_fig8_sharding_necessity,
+    run_fig9_shard_count,
+    run_fig10_dpv,
+    run_s2,
+    sweep_sizes,
+)
+from .reporting import format_bytes, format_status, format_table  # noqa: F401
+from .scaling import (  # noqa: F401
+    PAPER_SIZES,
+    SCALED_SIZES,
+    ScaledSize,
+    capacity_for_sweep,
+    sweep,
+)

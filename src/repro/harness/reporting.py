@@ -1,0 +1,61 @@
+"""Plain-text tables for the benchmark harness and EXPERIMENTS.md.
+
+Every figure-reproduction benchmark prints one of these tables with the
+same rows/series the paper plots, so `pytest benchmarks/ --benchmark-only`
+output doubles as the experiment record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    materialized: List[List[str]] = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    for row in materialized:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_bytes(value: int) -> str:
+    """Human-readable modeled memory (MB at our scale)."""
+    return f"{value / (1 << 20):.1f}MB"
+
+
+def format_status(status: str) -> str:
+    """Render a run status the way the paper's figures mark failures."""
+    return {"ok": "ok", "oom": "OOM", "bdd-overflow": "OVF", "timeout": "T/O"}.get(
+        status, status
+    )

@@ -1,0 +1,16 @@
+"""Network primitives and topology synthesizers.
+
+Only the dependency-free primitives are re-exported here; the synthesizers
+(`repro.net.fattree`, `repro.net.dcn`) sit above the config layer and are
+imported by their full module path (or via :mod:`repro.core`) to keep the
+package import graph acyclic.
+"""
+
+from .ip import AddressError, Prefix, format_ip, parse_ip, summarize  # noqa: F401
+from .topology import (  # noqa: F401
+    Interface,
+    InterfaceRef,
+    Link,
+    Topology,
+    TopologyNode,
+)

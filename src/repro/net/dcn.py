@@ -1,0 +1,615 @@
+"""Synthesized hyper-scale-DCN-style network (substitute for §2.3's DCN).
+
+The paper evaluates on a proprietary 16K-switch datacenter whose configs we
+cannot obtain.  This module generates a structurally equivalent network at
+configurable scale, reproducing every §2.3 trait that matters to S2:
+
+* multi-layer Clos clusters of *different depths* (3-layer and 5-layer
+  clusters coexist) joined by a fabric layer and border (backbone) routers;
+* one ASN per layer (so AS paths repeat across clusters), with an
+  **AS_PATH overwrite** policy on the fabric's downward exports — without
+  it, cross-cluster routes are dropped by AS-path loop prevention;
+* **route aggregation** at 5-layer cluster tops (layer ≥ 3): business VLAN
+  and management loopback ranges are summarized ``summary-only`` and tagged
+  with communities via attribute maps;
+* community-based filtering at the border: backbone routers reject
+  management aggregates, so loopbacks stay DC-internal;
+* valley-free enforcement via a ``FROM-UP`` community set on import from
+  upper layers and denied on export to upper layers;
+* heterogeneous ECMP limits (16/32/64) across same-layer switches;
+* a mix of the two vendor dialects with differing ``remove-private-AS``
+  behaviours, plus a *legacy* cluster whose aggregation layer kept a public
+  ASN — the combination that makes the VSB observable at the border;
+* conditional advertisement: the default route is originated by the
+  backbone only while the external prefix is present.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config.loader import Snapshot, make_snapshot, parse_device
+from .ip import Prefix, format_ip
+from .topology import Topology
+
+LINK_SPACE = Prefix.parse("100.64.0.0/10")
+
+# Layer ASNs (private, RFC 6996) — one per layer across the whole DCN.
+LAYER_ASNS = {0: 64601, 1: 64602, 2: 64603, 3: 64604, 4: 64605}
+LEGACY_AGG_ASN = 3000          # public ASN kept by the legacy cluster's aggs
+FABRIC_ASN = 64700
+BACKBONE_ASNS = (4200, 4201)   # public border ASNs
+
+COMM_FROM_UP = "65000:99"      # learned-from-upper-layer marker
+COMM_AGG = "65000:200"         # business VLAN aggregate
+COMM_MGMT = "65000:201"        # management loopback aggregate
+
+EXTERNAL_PREFIX = Prefix.parse("8.8.8.0/24")
+DEFAULT_PREFIX = Prefix.parse("0.0.0.0/0")
+
+ECMP_CHOICES = (64, 32, 16)    # heterogeneous maximum-paths (§2.3)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One Clos cluster: ``widths[i]`` switches at layer ``i``.
+
+    ``aggregate`` enables VLAN/loopback summarization at the top layer
+    (the paper does this at layer 3 and above, i.e. 5-layer clusters).
+    ``legacy`` swaps the aggregation layer's ASN for a public one.
+    """
+
+    widths: Tuple[int, ...]
+    aggregate: bool = False
+    legacy: bool = False
+
+    @property
+    def depth(self) -> int:
+        return len(self.widths)
+
+
+@dataclass(frozen=True)
+class DcnSpec:
+    clusters: Tuple[ClusterSpec, ...]
+    fabric_width: int = 4
+    juniper_fraction: float = 0.3
+    # Dual stack (§2.3: the DCN's IPv6 routes outnumber its IPv4 routes;
+    # the paper's S2 is IPv4-only and lists IPv6 as future work — this
+    # reproduction implements it).  When enabled, TORs announce a /64
+    # business prefix and aggregating cluster tops summarize the /48.
+    ipv6: bool = False
+
+    @property
+    def num_switches(self) -> int:
+        return (
+            sum(sum(c.widths) for c in self.clusters)
+            + self.fabric_width
+            + len(BACKBONE_ASNS)
+        )
+
+
+def default_spec(scale: int = 1) -> DcnSpec:
+    """The default mixed DCN: two 3-layer clusters, one legacy 3-layer
+    cluster, and one aggregating 5-layer cluster, scaled by ``scale``."""
+    s = max(1, scale)
+    return DcnSpec(
+        clusters=(
+            ClusterSpec(widths=(4 * s, 2 * s, 2)),
+            ClusterSpec(widths=(4 * s, 2 * s, 2)),
+            ClusterSpec(widths=(3 * s, 2 * s, 2), legacy=True),
+            ClusterSpec(widths=(6 * s, 3 * s, 2 * s, 2, 2), aggregate=True),
+        ),
+        fabric_width=max(2, 2 * s),
+    )
+
+
+@dataclass
+class _Neighbor:
+    iface: str
+    peer_addr: int
+    peer_asn: int
+    direction: str          # "up" | "down" | "peer"
+    remove_private_as: bool = False
+
+
+@dataclass
+class _Device:
+    name: str
+    asn: int
+    layer: int                         # global layer; fabric=90, backbone=99
+    cluster: Optional[int]
+    role: str
+    dialect: str = "ciscoish"
+    max_paths: int = 64
+    interfaces: List[Tuple[str, int, int]] = field(default_factory=list)
+    neighbors: List[_Neighbor] = field(default_factory=list)
+    networks: List[Prefix] = field(default_factory=list)
+    vlan_aggregate: Optional[Prefix] = None
+    vlan6_aggregate: Optional[Prefix] = None
+    mgmt_aggregate: Optional[Prefix] = None
+    overwrite_down: bool = False       # AS_PATH overwrite on down exports
+    border_filter: bool = False        # deny MGMT community on import
+    conditional_default: bool = False  # advertise 0/0 while 8.8.8/24 exists
+    external: bool = False             # owns the external stub prefix
+
+
+class _AddressPlan:
+    def __init__(self, space: Prefix) -> None:
+        self._limit = space.broadcast
+        self._next = space.network
+
+    def next_p2p(self) -> Tuple[int, int]:
+        low = self._next
+        if low + 1 > self._limit:
+            raise ValueError("link address space exhausted")
+        self._next += 2
+        return low, low + 1
+
+
+def vlan_prefix(cluster: int, tor: int) -> Prefix:
+    """Business prefix announced by TOR ``tor`` of ``cluster``."""
+    if tor > 255 or cluster > 255:
+        raise ValueError("cluster/tor index exceeds the 10/8 plan")
+    return Prefix((10 << 24) | (cluster << 16) | (tor << 8), 24)
+
+
+def loopback_prefix(cluster: int, tor: int) -> Prefix:
+    """Management loopback of TOR ``tor`` of ``cluster``."""
+    return Prefix((172 << 24) | (16 << 16) | (cluster << 8) | tor, 32)
+
+
+def vlan6_prefix(cluster: int, tor: int) -> Prefix:
+    """IPv6 business prefix announced by TOR ``tor`` of ``cluster``."""
+    return Prefix.parse(f"2001:db8:{cluster:x}:{tor:x}::/64")
+
+
+def cluster_vlan6_aggregate(cluster: int) -> Prefix:
+    return Prefix.parse(f"2001:db8:{cluster:x}::/48")
+
+
+def cluster_vlan_aggregate(cluster: int) -> Prefix:
+    return Prefix((10 << 24) | (cluster << 16), 16)
+
+
+def cluster_mgmt_aggregate(cluster: int) -> Prefix:
+    return Prefix((172 << 24) | (16 << 16) | (cluster << 8), 24)
+
+
+def _build_devices(spec: DcnSpec) -> List[_Device]:
+    plan = _AddressPlan(LINK_SPACE)
+    devices: Dict[str, _Device] = {}
+
+    def connect(lower: _Device, upper: _Device) -> None:
+        """Wire a link where ``upper`` is the higher-layer device."""
+        addr_low, addr_high = plan.next_p2p()
+        iface_l = f"eth{len(lower.interfaces)}"
+        iface_u = f"eth{len(upper.interfaces)}"
+        lower.interfaces.append((iface_l, addr_low, 31))
+        upper.interfaces.append((iface_u, addr_high, 31))
+        lower.neighbors.append(
+            _Neighbor(iface_l, addr_high, upper.asn, "up")
+        )
+        upper.neighbors.append(
+            _Neighbor(iface_u, addr_low, lower.asn, "down")
+        )
+
+    ecmp_counter = 0
+
+    def pick_ecmp() -> int:
+        nonlocal ecmp_counter
+        ecmp_counter += 1
+        return ECMP_CHOICES[ecmp_counter % len(ECMP_CHOICES)]
+
+    # -- clusters ----------------------------------------------------------
+    for c_index, cluster in enumerate(spec.clusters):
+        tiers: List[List[_Device]] = []
+        for layer, width in enumerate(cluster.widths):
+            asn = LAYER_ASNS[layer]
+            if cluster.legacy and layer == 1:
+                asn = LEGACY_AGG_ASN
+            tier: List[_Device] = []
+            for i in range(width):
+                role = "tor" if layer == 0 else f"t{layer}"
+                device = _Device(
+                    name=f"c{c_index}-t{layer}-{i}",
+                    asn=asn,
+                    layer=layer,
+                    cluster=c_index,
+                    role=role,
+                    max_paths=pick_ecmp(),
+                    # §2.3: switches overwrite the AS_PATH of routes they
+                    # send *down*; with one ASN per layer, a route that
+                    # went up and comes back down would otherwise be
+                    # dropped by the same-layer receiver's loop check —
+                    # even between two TORs of the same cluster.
+                    overwrite_down=(layer >= 1),
+                )
+                devices[device.name] = device
+                tier.append(device)
+            tiers.append(tier)
+        # TOR originations.
+        for t, tor in enumerate(tiers[0]):
+            tor.networks.append(vlan_prefix(c_index, t))
+            tor.networks.append(loopback_prefix(c_index, t))
+            if spec.ipv6:
+                tor.networks.append(vlan6_prefix(c_index, t))
+        # Full bipartite wiring between consecutive tiers.
+        for layer in range(len(tiers) - 1):
+            for lower in tiers[layer]:
+                for upper in tiers[layer + 1]:
+                    connect(lower, upper)
+        # Aggregation at the cluster top (paper: layer >= 3).
+        if cluster.aggregate:
+            for top in tiers[-1]:
+                top.vlan_aggregate = cluster_vlan_aggregate(c_index)
+                top.mgmt_aggregate = cluster_mgmt_aggregate(c_index)
+                if spec.ipv6:
+                    top.vlan6_aggregate = cluster_vlan6_aggregate(c_index)
+
+    # -- fabric ---------------------------------------------------------------
+    fabric: List[_Device] = []
+    for i in range(spec.fabric_width):
+        device = _Device(
+            name=f"fab-{i}",
+            asn=FABRIC_ASN,
+            layer=90,
+            cluster=None,
+            role="fabric",
+            max_paths=pick_ecmp(),
+            overwrite_down=True,
+        )
+        devices[device.name] = device
+        fabric.append(device)
+    for c_index, cluster in enumerate(spec.clusters):
+        top_layer = cluster.depth - 1
+        tops = [
+            d
+            for d in devices.values()
+            if d.cluster == c_index and d.layer == top_layer
+        ]
+        for top in tops:
+            for fab in fabric:
+                connect(top, fab)
+
+    # -- backbone ----------------------------------------------------------------
+    backbones: List[_Device] = []
+    for i, asn in enumerate(BACKBONE_ASNS):
+        device = _Device(
+            name=f"bb-{i}",
+            asn=asn,
+            layer=99,
+            cluster=None,
+            role="backbone",
+            max_paths=64,
+            border_filter=True,
+            conditional_default=True,
+            external=(i == 0),
+        )
+        devices[device.name] = device
+        backbones.append(device)
+        for fab in fabric:
+            connect(fab, device)
+    # Border peering between the two backbone routers, with the
+    # remove-private-AS VSB applied on both sides.
+    bb0, bb1 = backbones[0], backbones[1]
+    addr_low, addr_high = plan.next_p2p()
+    iface0 = f"eth{len(bb0.interfaces)}"
+    iface1 = f"eth{len(bb1.interfaces)}"
+    bb0.interfaces.append((iface0, addr_low, 31))
+    bb1.interfaces.append((iface1, addr_high, 31))
+    bb0.neighbors.append(
+        _Neighbor(iface0, addr_high, bb1.asn, "peer", remove_private_as=True)
+    )
+    bb1.neighbors.append(
+        _Neighbor(iface1, addr_low, bb0.asn, "peer", remove_private_as=True)
+    )
+    # External stub on bb-0: the watch prefix for conditional default.
+    if bb0.external:
+        stub = f"eth{len(bb0.interfaces)}"
+        bb0.interfaces.append((stub, EXTERNAL_PREFIX.network + 1, 24))
+        bb0.networks.append(EXTERNAL_PREFIX)
+
+    # -- dialect assignment -----------------------------------------------------
+    # The top-of-cluster, fabric, and backbone switches stay on the
+    # ciscoish dialect (attribute-maps, conditional advertisement); lower
+    # layers rotate through the vendor mix.
+    mixed = [
+        d
+        for d in devices.values()
+        if d.role not in ("fabric", "backbone")
+        and d.vlan_aggregate is None
+    ]
+    if spec.juniper_fraction > 0:
+        stride = max(1, round(1 / spec.juniper_fraction))
+        for i, device in enumerate(sorted(mixed, key=lambda d: d.name)):
+            if i % stride == 0:
+                device.dialect = "juniperish"
+            elif i % stride == 1:
+                # EOS-flavoured third vendor (same grammar family as the
+                # ciscoish dialect, opposite remove-private-AS VSB).
+                device.dialect = "aristaish"
+    return list(devices.values())
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def _policy_blocks_cisco(device: _Device) -> List[str]:
+    lines: List[str] = []
+    lines += [
+        f"ip community-list standard CL-FROM-UP permit {COMM_FROM_UP}",
+        f"ip community-list standard CL-MGMT permit {COMM_MGMT}",
+        # Routes learned from an upper layer carry the FROM-UP marker and
+        # a lower local-pref: together with the EXPORT-UP filter this
+        # enforces valley-free routing even though the AS_PATH overwrite
+        # erases path-length evidence (down-learned paths must always
+        # beat up-learned ones, or ECMP ties would route traffic back up
+        # and loop it through the fabric).
+        "route-map IMPORT-UP permit 10",
+        f" set community {COMM_FROM_UP} additive",
+        " set local-preference 90",
+        "route-map EXPORT-UP deny 5",
+        " match community CL-FROM-UP",
+        "route-map EXPORT-UP permit 10",
+    ]
+    if device.overwrite_down:
+        lines += [
+            "route-map EXPORT-DOWN permit 10",
+            " set as-path replace any",
+        ]
+    if device.vlan_aggregate is not None:
+        lines += [
+            "route-map AGG-TAG permit 10",
+            f" set community {COMM_AGG} additive",
+            "route-map MGMT-TAG permit 10",
+            f" set community {COMM_MGMT} additive",
+        ]
+    if device.border_filter:
+        lines += [
+            "route-map BORDER-IN deny 5",
+            " match community CL-MGMT",
+            "route-map BORDER-IN permit 10",
+            # Peer-learned routes get a lower local-pref than DC-internal
+            # ones.  Besides being standard border practice, this keeps the
+            # control plane at a unique fixed point: without it the two
+            # border routers form a BGP "disagree" gadget over each other's
+            # remove-private-AS-shortened paths (the paper's multiple-
+            # converged-states caveat, §7).
+            "route-map PEER-IN deny 5",
+            " match community CL-MGMT",
+            "route-map PEER-IN permit 10",
+            " set local-preference 80",
+        ]
+    return lines
+
+
+def _render_cisco(device: _Device) -> str:
+    lines = [f"hostname {device.name}", "!"]
+    for iface, addr, length in device.interfaces:
+        mask = format_ip(Prefix(addr, length).mask)
+        lines += [
+            f"interface {iface}",
+            f" ip address {format_ip(addr)} {mask}",
+            "!",
+        ]
+    lines += _policy_blocks_cisco(device)
+    lines.append("!")
+    lines.append(f"router bgp {device.asn}")
+    # crc32, not hash(): router-ids must be stable across interpreter runs
+    # (hash randomization would desynchronize multi-process workers).
+    router_id = (193 << 24) | (zlib.crc32(device.name.encode()) & 0xFFFFFF)
+    lines.append(f" bgp router-id {format_ip(router_id)}")
+    lines.append(f" maximum-paths {device.max_paths}")
+    for neighbor in device.neighbors:
+        peer = format_ip(neighbor.peer_addr)
+        lines.append(f" neighbor {peer} remote-as {neighbor.peer_asn}")
+        if neighbor.direction == "up":
+            lines.append(f" neighbor {peer} route-map IMPORT-UP in")
+            lines.append(f" neighbor {peer} route-map EXPORT-UP out")
+        elif neighbor.direction == "down" and device.overwrite_down:
+            lines.append(f" neighbor {peer} route-map EXPORT-DOWN out")
+        elif neighbor.direction == "peer":
+            if device.border_filter:
+                lines.append(f" neighbor {peer} route-map PEER-IN in")
+            if neighbor.remove_private_as:
+                lines.append(f" neighbor {peer} remove-private-as")
+        if neighbor.direction == "down" and device.border_filter:
+            lines.append(f" neighbor {peer} route-map BORDER-IN in")
+    for prefix in device.networks:
+        if prefix.is_ipv6:
+            lines.append(f" network {prefix}")
+        else:
+            lines.append(
+                f" network {format_ip(prefix.network)} "
+                f"mask {format_ip(prefix.mask)}"
+            )
+    if device.vlan6_aggregate is not None:
+        lines.append(
+            f" aggregate-address {device.vlan6_aggregate} "
+            f"summary-only attribute-map AGG-TAG"
+        )
+    if device.vlan_aggregate is not None:
+        agg = device.vlan_aggregate
+        lines.append(
+            f" aggregate-address {format_ip(agg.network)} "
+            f"{format_ip(agg.mask)} summary-only attribute-map AGG-TAG"
+        )
+    if device.mgmt_aggregate is not None:
+        agg = device.mgmt_aggregate
+        lines.append(
+            f" aggregate-address {format_ip(agg.network)} "
+            f"{format_ip(agg.mask)} summary-only attribute-map MGMT-TAG"
+        )
+    if device.conditional_default:
+        lines.append(
+            f" network 0.0.0.0 mask 0.0.0.0"
+        )
+        lines.append(
+            f" advertise {DEFAULT_PREFIX} exist {EXTERNAL_PREFIX}"
+        )
+    lines.append("!")
+    return "\n".join(lines) + "\n"
+
+
+def _render_juniper(device: _Device) -> str:
+    out = ["system {", f"    host-name {device.name};", "}", "interfaces {"]
+    for iface, addr, length in device.interfaces:
+        out += [
+            f"    {iface} {{",
+            "        unit 0 {",
+            "            family {",
+            "                inet {",
+            f"                    address {format_ip(addr)}/{length};",
+            "                }",
+            "            }",
+            "        }",
+            "    }",
+        ]
+    out.append("}")
+    out += [
+        "routing-options {",
+        f"    autonomous-system {device.asn};",
+        "}",
+    ]
+    overwrite_policy = []
+    if device.overwrite_down:
+        overwrite_policy = [
+            "    policy-statement EXPORT-DOWN {",
+            "        term overwrite {",
+            "            then {",
+            "                as-path-replace;",
+            "                accept;",
+            "            }",
+            "        }",
+            "    }",
+        ]
+    out += [
+        "policy-options {",
+        f"    community FROM-UP members [ {COMM_FROM_UP} ];",
+        *overwrite_policy,
+        "    policy-statement IMPORT-UP {",
+        "        term mark {",
+        "            then {",
+        "                community add FROM-UP;",
+        "                local-preference 90;",
+        "                accept;",
+        "            }",
+        "        }",
+        "    }",
+        "    policy-statement EXPORT-UP {",
+        "        term no-valley {",
+        "            from {",
+        "                community FROM-UP;",
+        "            }",
+        "            then {",
+        "                reject;",
+        "            }",
+        "        }",
+        "        term rest {",
+        "            then {",
+        "                accept;",
+        "            }",
+        "        }",
+        "    }",
+        "}",
+    ]
+    out += [
+        "protocols {",
+        "    bgp {",
+        f"        multipath {device.max_paths};",
+        "        group up {",
+        "            import IMPORT-UP;",
+        "            export EXPORT-UP;",
+    ]
+    for neighbor in device.neighbors:
+        if neighbor.direction != "up":
+            continue
+        out += [
+            f"            neighbor {format_ip(neighbor.peer_addr)} {{",
+            f"                peer-as {neighbor.peer_asn};",
+            "            }",
+        ]
+    out.append("        }")
+    down = [n for n in device.neighbors if n.direction != "up"]
+    if down:
+        out.append("        group down {")
+        if device.overwrite_down:
+            out.append("            export EXPORT-DOWN;")
+        for neighbor in down:
+            out += [
+                f"            neighbor {format_ip(neighbor.peer_addr)} {{",
+                f"                peer-as {neighbor.peer_asn};",
+                "            }",
+            ]
+        out.append("        }")
+    for prefix in device.networks:
+        out.append(f"        network {prefix};")
+    out += ["    }", "}"]
+    return "\n".join(out) + "\n"
+
+
+def render_configs(spec: DcnSpec) -> Dict[str, Tuple[str, str]]:
+    """Render hostname -> (dialect, config-text) for the DCN."""
+    devices = _build_devices(spec)
+    texts: Dict[str, Tuple[str, str]] = {}
+    for device in devices:
+        if device.dialect == "juniperish":
+            texts[device.name] = ("juniperish", _render_juniper(device))
+        else:
+            # the aristaish dialect shares the IOS-like grammar; the
+            # dialect tag selects the parser (and therefore the VSB).
+            texts[device.name] = (device.dialect, _render_cisco(device))
+    return texts
+
+
+def build_dcn(
+    spec: Optional[DcnSpec] = None, scale: int = 1, ipv6: bool = False
+) -> Snapshot:
+    """Synthesize the DCN-like network and return its parsed snapshot."""
+    if spec is None:
+        spec = default_spec(scale)
+    if ipv6 and not spec.ipv6:
+        spec = DcnSpec(
+            clusters=spec.clusters,
+            fabric_width=spec.fabric_width,
+            juniper_fraction=spec.juniper_fraction,
+            ipv6=True,
+        )
+    texts = render_configs(spec)
+    configs = {
+        hostname: parse_device(text, dialect)
+        for hostname, (dialect, text) in texts.items()
+    }
+    snapshot = make_snapshot(configs, name=f"dcn-x{scale}")
+    _annotate(snapshot.topology, spec)
+    snapshot.metadata["kind"] = "dcn"
+    snapshot.metadata["scale"] = str(scale)
+    return snapshot
+
+
+def _annotate(topology: Topology, spec: DcnSpec) -> None:
+    for node in topology.nodes():
+        if node.name.startswith("fab-"):
+            node.role, node.layer = "fabric", 90
+        elif node.name.startswith("bb-"):
+            node.role, node.layer = "backbone", 99
+        else:
+            cluster_text, layer_text, _ = node.name.split("-")
+            node.cluster = int(cluster_text[1:])
+            node.layer = int(layer_text[1:])
+            node.role = "tor" if node.layer == 0 else f"t{node.layer}"
+
+
+def tor_prefixes(snapshot: Snapshot) -> Dict[str, List[Prefix]]:
+    """The VLAN prefixes announced by each TOR, keyed by hostname."""
+    result: Dict[str, List[Prefix]] = {}
+    for hostname, config in snapshot.configs.items():
+        node = snapshot.topology.node(hostname)
+        if node.role != "tor" or config.bgp is None:
+            continue
+        result[hostname] = [
+            p for p in config.bgp.networks if p.length == 24
+        ]
+    return result

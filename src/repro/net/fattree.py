@@ -1,0 +1,301 @@
+"""Synthesized FatTree networks (the paper's ACORN-derived workload, §5.2).
+
+``build_fattree(k)`` produces a k-pod FatTree running eBGP with a unique
+ASN per switch, ECMP up to 64 paths, and one or more /24 host prefixes
+announced by every edge switch.  The synthesizer emits *vendor config
+text* and pushes it through the real parsers, so generated networks take
+exactly the same path as user-provided snapshots.
+
+Paper size mapping: FatTree``10k/2`` in the paper means ``k`` pods here —
+FatTree40 is ``k=40`` (2000 switches), FatTree90 is ``k=90`` (10125
+switches).  The benchmarks run scaled-down ``k`` by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config.loader import Snapshot, make_snapshot, parse_device
+from .ip import Prefix, format_ip
+from .topology import Topology
+
+LINK_SPACE = Prefix.parse("100.64.0.0/10")
+HOST_SPACE = Prefix.parse("10.0.0.0/8")
+ASN_BASE = 1000
+DEFAULT_MAX_PATHS = 64
+
+
+@dataclass(frozen=True)
+class FatTreeSpec:
+    """Parameters of a synthesized FatTree."""
+
+    k: int                         # number of pods (must be even)
+    prefixes_per_edge: int = 1     # host /24s announced by each edge switch
+    max_paths: int = DEFAULT_MAX_PATHS
+    juniper_fraction: float = 0.0  # fraction of switches using the 2nd dialect
+
+    def __post_init__(self) -> None:
+        if self.k < 2 or self.k % 2:
+            raise ValueError("k must be an even integer >= 2")
+        if self.k > 126:
+            raise ValueError("k must fit the 10/8 addressing plan (k <= 126)")
+
+    @property
+    def half(self) -> int:
+        return self.k // 2
+
+    @property
+    def num_edges(self) -> int:
+        return self.k * self.half
+
+    @property
+    def num_aggs(self) -> int:
+        return self.k * self.half
+
+    @property
+    def num_cores(self) -> int:
+        return self.half * self.half
+
+    @property
+    def num_switches(self) -> int:
+        return self.num_edges + self.num_aggs + self.num_cores
+
+    @property
+    def num_prefixes(self) -> int:
+        return self.num_edges * self.prefixes_per_edge
+
+    def estimated_total_routes(self) -> int:
+        """Rough O(prefixes × switches) total-route estimate (§2.2)."""
+        return self.num_prefixes * self.num_switches
+
+
+def paper_size_name(k: int) -> str:
+    """The paper's name for a k-pod FatTree (FatTree40 == k=40)."""
+    return f"FatTree{k}"
+
+
+@dataclass
+class _Switch:
+    name: str
+    asn: int
+    role: str            # "edge" | "agg" | "core"
+    pod: Optional[int]
+    index: int           # global index within role
+    interfaces: List[Tuple[str, int, int]]  # (name, address, prefix-length)
+    neighbors: List[Tuple[str, int, int]]   # (iface-name, peer-addr, peer-asn)
+    networks: List[Prefix]
+
+
+class _AddressPlan:
+    """Sequential /31 allocator for point-to-point links."""
+
+    def __init__(self, space: Prefix) -> None:
+        self._base = space.network
+        self._limit = space.broadcast
+        self._next = space.network
+
+    def next_p2p(self) -> Tuple[int, int, Prefix]:
+        low = self._next
+        if low + 1 > self._limit:
+            raise ValueError("link address space exhausted")
+        self._next += 2
+        return low, low + 1, Prefix(low, 31)
+
+
+def _edge_prefixes(spec: FatTreeSpec, pod: int, idx: int) -> List[Prefix]:
+    """Host prefixes announced by edge ``idx`` of ``pod``: 10.pod.X.0/24."""
+    prefixes = []
+    for p in range(spec.prefixes_per_edge):
+        third_octet = idx * spec.prefixes_per_edge + p
+        if third_octet > 255:
+            raise ValueError("too many host prefixes per pod for 10/8 plan")
+        network = (10 << 24) | (pod << 16) | (third_octet << 8)
+        prefixes.append(Prefix(network, 24))
+    return prefixes
+
+
+def _build_switches(spec: FatTreeSpec) -> List[_Switch]:
+    half = spec.half
+    plan = _AddressPlan(LINK_SPACE)
+    switches: Dict[str, _Switch] = {}
+
+    def new_switch(
+        name: str, asn: int, role: str, pod: Optional[int], index: int
+    ) -> _Switch:
+        switch = _Switch(
+            name=name,
+            asn=asn,
+            role=role,
+            pod=pod,
+            index=index,
+            interfaces=[],
+            neighbors=[],
+            networks=[],
+        )
+        switches[name] = switch
+        return switch
+
+    asn = ASN_BASE
+    for pod in range(spec.k):
+        for i in range(half):
+            edge = new_switch(f"edge-{pod}-{i}", asn, "edge", pod, pod * half + i)
+            edge.networks = _edge_prefixes(spec, pod, i)
+            asn += 1
+        for i in range(half):
+            new_switch(f"agg-{pod}-{i}", asn, "agg", pod, pod * half + i)
+            asn += 1
+    for c in range(spec.num_cores):
+        new_switch(f"core-{c}", asn, "core", None, c)
+        asn += 1
+
+    def connect(a: _Switch, b: _Switch) -> None:
+        addr_a, addr_b, _prefix = plan.next_p2p()
+        iface_a = f"eth{len(a.interfaces)}"
+        iface_b = f"eth{len(b.interfaces)}"
+        a.interfaces.append((iface_a, addr_a, 31))
+        b.interfaces.append((iface_b, addr_b, 31))
+        a.neighbors.append((iface_a, addr_b, b.asn))
+        b.neighbors.append((iface_b, addr_a, a.asn))
+
+    # Pod wiring: full bipartite edge <-> agg within a pod.
+    for pod in range(spec.k):
+        for i in range(half):
+            for j in range(half):
+                connect(
+                    switches[f"edge-{pod}-{i}"], switches[f"agg-{pod}-{j}"]
+                )
+    # Core wiring: core c connects to agg (c // half) of every pod.
+    for c in range(spec.num_cores):
+        agg_index = c // half
+        for pod in range(spec.k):
+            connect(switches[f"core-{c}"], switches[f"agg-{pod}-{agg_index}"])
+
+    return list(switches.values())
+
+
+def _render_cisco(switch: _Switch, spec: FatTreeSpec) -> str:
+    lines = [f"hostname {switch.name}", "!"]
+    for iface, addr, length in switch.interfaces:
+        mask = format_ip(Prefix(addr, length).mask)
+        lines += [
+            f"interface {iface}",
+            f" ip address {format_ip(addr)} {mask}",
+            "!",
+        ]
+    lines.append(f"router bgp {switch.asn}")
+    lines.append(f" bgp router-id {format_ip((192 << 24) | switch.asn)}")
+    lines.append(f" maximum-paths {spec.max_paths}")
+    for _iface, peer_addr, peer_asn in switch.neighbors:
+        lines.append(f" neighbor {format_ip(peer_addr)} remote-as {peer_asn}")
+    for prefix in switch.networks:
+        lines.append(
+            f" network {format_ip(prefix.network)} mask {format_ip(prefix.mask)}"
+        )
+    lines.append("!")
+    return "\n".join(lines) + "\n"
+
+
+def _render_juniper(switch: _Switch, spec: FatTreeSpec) -> str:
+    out = [
+        "system {",
+        f"    host-name {switch.name};",
+        "}",
+        "interfaces {",
+    ]
+    for iface, addr, length in switch.interfaces:
+        out += [
+            f"    {iface} {{",
+            "        unit 0 {",
+            "            family {",
+            "                inet {",
+            f"                    address {format_ip(addr)}/{length};",
+            "                }",
+            "            }",
+            "        }",
+            "    }",
+        ]
+    out.append("}")
+    out += [
+        "routing-options {",
+        f"    router-id {format_ip((192 << 24) | switch.asn)};",
+        f"    autonomous-system {switch.asn};",
+        "}",
+        "protocols {",
+        "    bgp {",
+        f"        multipath {spec.max_paths};",
+        "        group fabric {",
+    ]
+    for _iface, peer_addr, peer_asn in switch.neighbors:
+        out += [
+            f"            neighbor {format_ip(peer_addr)} {{",
+            f"                peer-as {peer_asn};",
+            "            }",
+        ]
+    out.append("        }")
+    for prefix in switch.networks:
+        out.append(f"        network {prefix};")
+    out += ["    }", "}"]
+    return "\n".join(out) + "\n"
+
+
+def render_configs(spec: FatTreeSpec) -> Dict[str, Tuple[str, str]]:
+    """Render hostname -> (dialect, config-text) for the FatTree."""
+    switches = _build_switches(spec)
+    texts: Dict[str, Tuple[str, str]] = {}
+    for i, switch in enumerate(switches):
+        use_juniper = (
+            spec.juniper_fraction > 0
+            and (i % max(1, round(1 / spec.juniper_fraction))) == 0
+        )
+        if use_juniper:
+            texts[switch.name] = ("juniperish", _render_juniper(switch, spec))
+        else:
+            texts[switch.name] = ("ciscoish", _render_cisco(switch, spec))
+    return texts
+
+
+def build_fattree(
+    k: int,
+    prefixes_per_edge: int = 1,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    juniper_fraction: float = 0.0,
+) -> Snapshot:
+    """Synthesize a k-pod FatTree and return its parsed snapshot.
+
+    The returned snapshot's topology nodes carry ``role``/``pod`` hints
+    consumed by the expert partition scheme and load estimation.
+    """
+    spec = FatTreeSpec(
+        k=k,
+        prefixes_per_edge=prefixes_per_edge,
+        max_paths=max_paths,
+        juniper_fraction=juniper_fraction,
+    )
+    texts = render_configs(spec)
+    configs = {
+        hostname: parse_device(text, dialect)
+        for hostname, (dialect, text) in texts.items()
+    }
+    snapshot = make_snapshot(configs, name=f"fattree-k{k}")
+    _annotate(snapshot.topology)
+    snapshot.metadata["k"] = str(k)
+    snapshot.metadata["kind"] = "fattree"
+    return snapshot
+
+
+def _annotate(topology: Topology) -> None:
+    """Attach role/pod/layer metadata parsed back from switch names."""
+    for node in topology.nodes():
+        role, _, rest = node.name.partition("-")
+        node.role = role
+        if role in ("edge", "agg"):
+            pod_text, _, _idx = rest.partition("-")
+            node.pod = int(pod_text)
+            node.layer = 0 if role == "edge" else 1
+        else:
+            node.layer = 2
+
+
+# The §4.1 per-role load estimates live with the partitioner
+# (repro.dist.partition.estimate_loads), which consumes them.

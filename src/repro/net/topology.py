@@ -1,0 +1,220 @@
+"""Network topology model: nodes, interfaces, and point-to-point links.
+
+The topology is the substrate every later stage consumes: the partitioner
+cuts it into segments, the control plane walks its adjacencies to form BGP
+sessions, and the data plane forwards symbolic packets along its links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .ip import Prefix, format_ip
+
+
+@dataclass(frozen=True)
+class InterfaceRef:
+    """A (node, interface-name) endpoint of a link."""
+
+    node: str
+    interface: str
+
+    def __str__(self) -> str:
+        return f"{self.node}[{self.interface}]"
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected point-to-point link between two interfaces."""
+
+    a: InterfaceRef
+    b: InterfaceRef
+
+    def other(self, node: str) -> InterfaceRef:
+        """The endpoint on the far side of ``node``."""
+        if self.a.node == node:
+            return self.b
+        if self.b.node == node:
+            return self.a
+        raise KeyError(f"{node} is not an endpoint of {self}")
+
+    def local(self, node: str) -> InterfaceRef:
+        """The endpoint on ``node``'s side."""
+        if self.a.node == node:
+            return self.a
+        if self.b.node == node:
+            return self.b
+        raise KeyError(f"{node} is not an endpoint of {self}")
+
+    def __str__(self) -> str:
+        return f"{self.a} <-> {self.b}"
+
+
+@dataclass
+class Interface:
+    """A configured interface: an address within a (usually /31) subnet."""
+
+    name: str
+    address: int
+    prefix: Prefix
+
+    @property
+    def address_text(self) -> str:
+        return format_ip(self.address)
+
+
+@dataclass
+class TopologyNode:
+    """A device in the topology, with its interfaces and metadata.
+
+    ``role`` and ``pod``/``layer`` are synthesizer hints used by the expert
+    partition scheme and by load estimation; they are optional for parsed
+    real-world snapshots.
+    """
+
+    name: str
+    interfaces: Dict[str, Interface] = field(default_factory=dict)
+    role: str = "unknown"
+    pod: Optional[int] = None
+    layer: Optional[int] = None
+    cluster: Optional[int] = None
+
+    def add_interface(self, interface: Interface) -> None:
+        if interface.name in self.interfaces:
+            raise ValueError(
+                f"duplicate interface {interface.name} on {self.name}"
+            )
+        self.interfaces[interface.name] = interface
+
+
+class Topology:
+    """An undirected multigraph of :class:`TopologyNode` joined by links."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, TopologyNode] = {}
+        self._links: List[Link] = []
+        self._adjacency: Dict[str, List[Link]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: TopologyNode) -> TopologyNode:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node {node.name}")
+        self._nodes[node.name] = node
+        self._adjacency[node.name] = []
+        return node
+
+    def add_link(self, a: InterfaceRef, b: InterfaceRef) -> Link:
+        for ref in (a, b):
+            if ref.node not in self._nodes:
+                raise KeyError(f"unknown node {ref.node}")
+            if ref.interface not in self._nodes[ref.node].interfaces:
+                raise KeyError(f"unknown interface {ref}")
+        link = Link(a, b)
+        self._links.append(link)
+        self._adjacency[a.node].append(link)
+        self._adjacency[b.node].append(link)
+        return link
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> TopologyNode:
+        return self._nodes[name]
+
+    def nodes(self) -> Iterator[TopologyNode]:
+        return iter(self._nodes.values())
+
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    def links(self) -> Iterator[Link]:
+        return iter(self._links)
+
+    def links_of(self, name: str) -> List[Link]:
+        return list(self._adjacency[name])
+
+    def neighbors(self, name: str) -> List[str]:
+        """Names of nodes adjacent to ``name`` (with multiplicity removed)."""
+        seen: Set[str] = set()
+        result: List[str] = []
+        for link in self._adjacency[name]:
+            other = link.other(name).node
+            if other not in seen:
+                seen.add(other)
+                result.append(other)
+        return result
+
+    def degree(self, name: str) -> int:
+        return len(self._adjacency[name])
+
+    def link_between(self, a: str, b: str) -> Optional[Link]:
+        """The first link joining nodes ``a`` and ``b``, if any."""
+        for link in self._adjacency[a]:
+            if link.other(a).node == b:
+                return link
+        return None
+
+    def edge_list(self) -> List[Tuple[str, str]]:
+        """Links as (node, node) name pairs; used by the partitioner."""
+        return [(link.a.node, link.b.node) for link in self._links]
+
+    def interface_address(self, ref: InterfaceRef) -> int:
+        return self._nodes[ref.node].interfaces[ref.interface].address
+
+    def subgraph_nodes(self, names: Iterable[str]) -> "Topology":
+        """A new topology restricted to ``names`` and the links among them."""
+        wanted = set(names)
+        sub = Topology()
+        for name in wanted:
+            original = self._nodes[name]
+            clone = TopologyNode(
+                name=original.name,
+                interfaces=dict(original.interfaces),
+                role=original.role,
+                pod=original.pod,
+                layer=original.layer,
+                cluster=original.cluster,
+            )
+            sub.add_node(clone)
+        for link in self._links:
+            if link.a.node in wanted and link.b.node in wanted:
+                sub.add_link(link.a, link.b)
+        return sub
+
+    def is_connected(self) -> bool:
+        """True when every node is reachable from the first node."""
+        names = self.node_names()
+        if not names:
+            return True
+        seen = {names[0]}
+        frontier = [names[0]]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(names)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation.
+
+        Every link endpoint must exist, and the two ends of a link must sit
+        in the same subnet (the synthesizers always produce /31 links, but
+        parsed snapshots may use /30 or larger).
+        """
+        for link in self._links:
+            ia = self._nodes[link.a.node].interfaces[link.a.interface]
+            ib = self._nodes[link.b.node].interfaces[link.b.interface]
+            if ia.prefix != ib.prefix:
+                raise ValueError(
+                    f"link {link} endpoints in different subnets: "
+                    f"{ia.prefix} vs {ib.prefix}"
+                )

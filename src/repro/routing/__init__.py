@@ -1,0 +1,20 @@
+"""Control-plane substrate: routes, RIBs, protocol models, and the engine."""
+
+from .engine import (  # noqa: F401
+    BgpResult,
+    ConvergenceError,
+    SimulationEngine,
+    SimulationStats,
+    collect_network_prefixes,
+)
+from .node import BgpSession, RouterNode  # noqa: F401
+from .ospf import OspfProcess  # noqa: F401
+from .rib import BgpRib, MainRib  # noqa: F401
+from .route import (  # noqa: F401
+    BgpRoute,
+    Origin,
+    Protocol,
+    Route,
+    decision_key,
+    ecmp_key,
+)

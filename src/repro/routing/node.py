@@ -1,0 +1,441 @@
+"""The per-switch routing model (the Batfish-node equivalent).
+
+:class:`RouterNode` wraps one device's vendor-independent config and
+implements the *pull*-based route exchange of the paper's Algorithm 1: each
+round, a node asks every neighbor for its current advertisement and merges
+the result into its RIB.  The node is **fully agnostic** of where the
+neighbor lives — it only ever calls ``resolver(name).advertise(addr, shard)``.
+The distributed framework substitutes a shadow proxy for remote neighbors
+(§4.2); the monolithic engine passes the real objects.
+
+The BGP pipeline implemented here:
+
+export:  best route → next-hop/self, MED cleared, own-ASN prepend (eBGP)
+         → remove-private-AS (per the vendor's VSB mode) → export route-map
+         (which may AS_PATH-overwrite) → wire
+import:  eBGP loop check → local-pref reset → import route-map → adj-RIB-in
+
+plus ``network`` origination (optionally gated by conditional
+advertisement), ``aggregate-address`` with contributor activation,
+``summary-only`` suppression, and ECMP selection up to ``maximum-paths``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..config.ast import Aggregate, BgpNeighbor, DeviceConfig
+from ..config.policy import PolicyEngine, apply_remove_private_as
+from ..net.ip import Prefix
+from ..net.topology import Topology
+from .rib import BgpRib, MainRib
+from .route import BgpRoute, Origin, Protocol, Route
+
+ShardFilter = Optional[FrozenSet[Prefix]]
+Resolver = Callable[[str], object]
+
+
+@dataclass
+class BgpSession:
+    """One resolved BGP session (config neighbor + topology adjacency)."""
+
+    local_addr: int
+    peer_ip: int
+    remote_as: int
+    neighbor: str            # resolved neighbor hostname
+    iface: str               # local interface carrying the session
+    import_policy: Optional[str]
+    export_policy: Optional[str]
+    remove_private_as: bool
+    ebgp: bool
+
+    @property
+    def rib_key(self) -> str:
+        """Adj-RIB-in key; distinguishes parallel sessions to one peer."""
+        return f"{self.neighbor}#{self.peer_ip}"
+
+
+class RouterNode:
+    """A single switch's control-plane model."""
+
+    def __init__(
+        self,
+        config: DeviceConfig,
+        topology: Topology,
+    ) -> None:
+        self.config = config
+        self.name = config.hostname
+        self.behavior = config.behavior
+        self.policy = PolicyEngine(config)
+        bgp = config.bgp
+        self.asn = bgp.asn if bgp else 0
+        max_paths = bgp.maximum_paths if bgp else 1
+        self.rib = BgpRib(max_paths=max_paths)
+        self.main_rib = MainRib()
+        self.router_id = self._pick_router_id()
+        self.sessions: List[BgpSession] = []
+        self._sessions_by_peer: Dict[int, BgpSession] = {}
+        self.local_prefixes: FrozenSet[Prefix] = frozenset()
+        self._shard: ShardFilter = None
+        self._export_cache: Dict[int, List[BgpRoute]] = {}
+        self._cache_token = -1
+        # Runtime-discovered prefix dependencies (§7): populated when a
+        # conditional advertisement consults a watch prefix that is not
+        # part of the current shard — the signal the CPO's shard
+        # refinement acts on.
+        self.observed_dependencies: set = set()
+        self._resolve_sessions(topology)
+        self._install_connected(topology)
+        self._install_static()
+        self._compute_local_prefixes()
+
+    # -- construction helpers -------------------------------------------------
+
+    def _pick_router_id(self) -> int:
+        bgp = self.config.bgp
+        if bgp is not None and bgp.router_id:
+            return bgp.router_id
+        addresses = [
+            i.address
+            for i in self.config.interfaces.values()
+            if i.address is not None
+        ]
+        if addresses:
+            return min(addresses)
+        return zlib.crc32(self.name.encode()) & 0xFFFFFFFF
+
+    def _resolve_sessions(self, topology: Topology) -> None:
+        """Match configured neighbors against topology adjacencies."""
+        bgp = self.config.bgp
+        if bgp is None or self.name not in topology:
+            return
+        # peer address -> (neighbor hostname, local iface, local address)
+        adjacency: Dict[int, Tuple[str, str, int]] = {}
+        for link in topology.links_of(self.name):
+            local = link.local(self.name)
+            remote = link.other(self.name)
+            remote_addr = topology.interface_address(remote)
+            local_addr = topology.interface_address(local)
+            adjacency[remote_addr] = (remote.node, local.interface, local_addr)
+        for neighbor in bgp.neighbors:
+            resolved = adjacency.get(neighbor.peer_ip)
+            if resolved is None:
+                continue  # session to an absent peer stays idle
+            hostname, iface, local_addr = resolved
+            session = BgpSession(
+                local_addr=local_addr,
+                peer_ip=neighbor.peer_ip,
+                remote_as=neighbor.remote_as,
+                neighbor=hostname,
+                iface=iface,
+                import_policy=neighbor.import_policy,
+                export_policy=neighbor.export_policy,
+                remove_private_as=neighbor.remove_private_as,
+                ebgp=neighbor.remote_as != bgp.asn,
+            )
+            self.sessions.append(session)
+            self._sessions_by_peer[neighbor.peer_ip] = session
+        self.sessions.sort(key=lambda s: s.peer_ip)
+
+    def _install_connected(self, topology: Topology) -> None:
+        for iface in self.config.interfaces.values():
+            if iface.shutdown or iface.prefix is None:
+                continue
+            self.main_rib.add(
+                Route(
+                    prefix=iface.prefix,
+                    protocol=Protocol.CONNECTED,
+                    admin_distance=Protocol.CONNECTED.admin_distance,
+                )
+            )
+
+    def _install_static(self) -> None:
+        for static in self.config.static_routes:
+            self.main_rib.add(
+                Route(
+                    prefix=static.prefix,
+                    protocol=Protocol.STATIC,
+                    next_hop=static.next_hop,
+                    interface=static.interface,
+                    admin_distance=static.admin_distance,
+                    tag=static.tag,
+                    discard=static.discard,
+                )
+            )
+
+    def _compute_local_prefixes(self) -> None:
+        """Prefixes this node originates into BGP (networks + redistribution)."""
+        bgp = self.config.bgp
+        if bgp is None:
+            self.local_prefixes = frozenset()
+            return
+        prefixes = set(bgp.networks)
+        if "connected" in bgp.redistribute:
+            for iface in self.config.interfaces.values():
+                if iface.prefix is not None and not iface.shutdown:
+                    prefixes.add(iface.prefix)
+        if "static" in bgp.redistribute:
+            for static in self.config.static_routes:
+                prefixes.add(static.prefix)
+        self.local_prefixes = frozenset(prefixes)
+
+    # -- shard lifecycle -----------------------------------------------------
+
+    def begin_shard(self, shard: ShardFilter) -> None:
+        """Start computing a new prefix shard: clear per-shard BGP state."""
+        self.rib.clear()
+        self._shard = shard
+        self._export_cache.clear()
+        self._cache_token = -1
+        self.observed_dependencies.clear()
+
+    def finish_shard(self) -> Dict[Prefix, Tuple[BgpRoute, ...]]:
+        """Return the selected routes of the finished shard (→ storage)."""
+        return {
+            prefix: routes
+            for prefix, routes in self.rib.best_routes().items()
+            if routes
+        }
+
+    def _in_shard(self, prefix: Prefix) -> bool:
+        return self._shard is None or prefix in self._shard
+
+    # -- origination -----------------------------------------------------------
+
+    def _conditional_allows(self, prefix: Prefix) -> bool:
+        """Check conditional-advertisement gates for an originated prefix."""
+        bgp = self.config.bgp
+        if bgp is None:
+            return True
+        for conditional in bgp.conditionals:
+            if conditional.prefix != prefix:
+                continue
+            if not self._in_shard(conditional.watch_prefix):
+                # The watch prefix is being computed in a *different*
+                # shard: its presence/absence here is meaningless.  Record
+                # the unforeseen dependency so the orchestrator can merge
+                # the shards and recompute (§7).
+                self.observed_dependencies.add(
+                    (prefix, conditional.watch_prefix)
+                )
+            present = bool(self.rib.candidates_for(conditional.watch_prefix))
+            if not present:
+                # the watched prefix may be locally originated too
+                present = conditional.watch_prefix in self.local_prefixes
+            if conditional.when_present != present:
+                return False
+        return True
+
+    def originated_routes(self) -> List[BgpRoute]:
+        """Locally originated BGP routes, honoring shard and conditionals."""
+        result = []
+        for prefix in sorted(self.local_prefixes):
+            if not self._in_shard(prefix):
+                continue
+            if not self._conditional_allows(prefix):
+                continue
+            result.append(
+                BgpRoute(
+                    prefix=prefix,
+                    next_hop=0,
+                    from_node=self.name,
+                    as_path=(),
+                    local_pref=self.behavior.default_local_pref,
+                    origin=Origin.IGP,
+                    originator_id=self.router_id,
+                )
+            )
+        return result
+
+    def active_aggregates(self) -> List[Tuple[Aggregate, BgpRoute]]:
+        """Aggregates with at least one contributing route (§4.5)."""
+        bgp = self.config.bgp
+        if bgp is None:
+            return []
+        result = []
+        for aggregate in bgp.aggregates:
+            if not self._in_shard(aggregate.prefix):
+                continue
+            if not self._has_contributor(aggregate.prefix):
+                continue
+            route = BgpRoute(
+                prefix=aggregate.prefix,
+                next_hop=0,
+                from_node=self.name,
+                as_path=(),
+                local_pref=self.behavior.default_local_pref,
+                origin=Origin.IGP,
+                originator_id=self.router_id,
+                aggregate=True,
+            )
+            if aggregate.attribute_map is not None:
+                transformed = self.policy.run(
+                    aggregate.attribute_map, route, self.asn
+                )
+                if transformed is not None:
+                    route = replace(transformed, aggregate=True)
+            result.append((aggregate, route))
+        return result
+
+    def _has_contributor(self, aggregate_prefix: Prefix) -> bool:
+        for prefix in self.local_prefixes:
+            if prefix != aggregate_prefix and aggregate_prefix.contains(prefix):
+                return True
+        for prefix in self.rib.prefixes():
+            if prefix != aggregate_prefix and aggregate_prefix.contains(prefix):
+                if self.rib.best(prefix):
+                    return True
+        return False
+
+    def _suppressed_prefixes(self) -> List[Prefix]:
+        """Prefix space hidden by active ``summary-only`` aggregates."""
+        return [
+            aggregate.prefix
+            for aggregate, _route in self.active_aggregates()
+            if aggregate.summary_only
+        ]
+
+    # -- export ------------------------------------------------------------------
+
+    def advertise(self, to_peer_addr: int, round_token: int = -1) -> List[BgpRoute]:
+        """The routes this node currently exports on the session whose
+        remote end is ``to_peer_addr``.  This is the method the shadow node
+        relays over RPC; its result must stay plain picklable data."""
+        session = self._sessions_by_peer.get(to_peer_addr)
+        if session is None:
+            return []
+        if round_token >= 0:
+            if round_token != self._cache_token:
+                # new round: drop the previous round's snapshot
+                self._export_cache.clear()
+                self._cache_token = round_token
+            cached = self._export_cache.get(to_peer_addr)
+            if cached is not None:
+                return cached
+        exports = self._compute_exports(session)
+        if round_token >= 0:
+            self._export_cache[to_peer_addr] = exports
+        return exports
+
+    def _compute_exports(self, session: BgpSession) -> List[BgpRoute]:
+        suppressed = self._suppressed_prefixes()
+
+        def is_suppressed(prefix: Prefix) -> bool:
+            return any(
+                agg.contains(prefix) and agg != prefix for agg in suppressed
+            )
+
+        outgoing: List[BgpRoute] = []
+        for route in self.originated_routes():
+            if not is_suppressed(route.prefix):
+                outgoing.append(route)
+        for _aggregate, route in self.active_aggregates():
+            outgoing.append(route)
+        self.rib.refresh()
+        seen = {route.prefix for route in outgoing}
+        for prefix, best in self.rib.best_routes().items():
+            if not best or prefix in seen or is_suppressed(prefix):
+                continue
+            chosen = best[0]
+            if chosen.from_node == session.neighbor:
+                continue  # split horizon: never echo a route to its sender
+            if not chosen.ebgp and not session.ebgp:
+                continue  # iBGP-learned routes are not sent to iBGP peers
+            outgoing.append(chosen)
+
+        exports: List[BgpRoute] = []
+        for route in outgoing:
+            wire = replace(
+                route,
+                next_hop=session.local_addr,
+                from_node=self.name,
+                originator_id=self.router_id,
+                med=0,
+                weight=0,
+                aggregate=route.aggregate,
+            )
+            if session.ebgp:
+                as_path = (self.asn,) + wire.as_path
+                if session.remove_private_as:
+                    as_path = (self.asn,) + apply_remove_private_as(
+                        wire.as_path, self.behavior.remove_private_as_mode
+                    )
+                wire = replace(wire, as_path=as_path, ebgp=True)
+            transformed = self.policy.run(
+                session.export_policy, wire, self.asn
+            )
+            if transformed is not None:
+                exports.append(transformed)
+        return exports
+
+    # -- import -------------------------------------------------------------------
+
+    def pull_round(self, resolver: Resolver, round_token: int = -1) -> bool:
+        """One Algorithm-1 round: pull every neighbor's advertisement.
+
+        ``resolver`` maps a hostname to an object exposing ``advertise``:
+        the real node (same worker / monolithic engine) or a shadow proxy
+        (different worker).  Returns True when the RIB changed.
+        """
+        changed = False
+        for session in self.sessions:
+            neighbor = resolver(session.neighbor)
+            if neighbor is None:
+                continue
+            received = neighbor.advertise(session.local_addr, round_token)
+            accepted = self._process_imports(session, received)
+            changed |= self.rib.replace_neighbor_routes(
+                session.rib_key, accepted
+            )
+        if changed:
+            self.rib.refresh()
+        return changed
+
+    def _process_imports(
+        self, session: BgpSession, received: Iterable[BgpRoute]
+    ) -> List[BgpRoute]:
+        accepted: List[BgpRoute] = []
+        for route in received:
+            if not self._in_shard(route.prefix):
+                continue
+            if session.ebgp and self.asn in route.as_path:
+                continue  # AS-path loop prevention
+            incoming = replace(
+                route,
+                from_node=session.neighbor,
+                ebgp=session.ebgp,
+                local_pref=(
+                    self.behavior.default_local_pref
+                    if session.ebgp
+                    else route.local_pref
+                ),
+            )
+            transformed = self.policy.run(
+                session.import_policy, incoming, self.asn
+            )
+            if transformed is None:
+                continue
+            accepted.append(transformed)
+        return accepted
+
+    # -- results ---------------------------------------------------------------
+
+    def bgp_routes(self) -> Dict[Prefix, Tuple[BgpRoute, ...]]:
+        """Selected (post-decision, ECMP) BGP routes of the current shard."""
+        return {
+            prefix: routes
+            for prefix, routes in self.rib.best_routes().items()
+            if routes
+        }
+
+    def route_count(self) -> int:
+        """Candidate paths currently held (the memory-model unit)."""
+        return len(self.rib)
+
+    def interface_for_address(self, address: int) -> Optional[str]:
+        for iface in self.config.interfaces.values():
+            if iface.prefix is not None and iface.prefix.contains_ip(address):
+                return iface.name
+        return None

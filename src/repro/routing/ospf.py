@@ -1,0 +1,146 @@
+"""OSPF model.
+
+The paper's networks are BGP-only, but S2's control-plane orchestrator
+schedules IGPs before EGPs (§4.2), so the substrate supports OSPF.  To fit
+the same pull-based round framework as BGP (and therefore distribute the
+same way), OSPF is computed as a distance-vector fixed point over link
+costs rather than a per-node SPF over a flooded LSDB.  For intra-area
+routing with ECMP this converges to exactly the shortest-path routes SPF
+would produce; it simply takes O(diameter) rounds, like the BGP exchange
+it runs alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..config.ast import DeviceConfig
+from ..net.ip import Prefix
+from ..net.topology import Topology
+from .route import Protocol, Route
+
+Resolver = Callable[[str], object]
+
+# prefix -> (cost, frozenset of next-hop addresses)
+OspfVector = Dict[Prefix, Tuple[int, FrozenSet[int]]]
+
+
+@dataclass
+class OspfAdjacency:
+    """One OSPF-enabled link endpoint."""
+
+    iface: str
+    local_addr: int
+    peer_addr: int
+    neighbor: str
+    cost: int
+    area: int
+
+
+class OspfProcess:
+    """Per-node OSPF state participating in the distributed fixed point."""
+
+    def __init__(self, config: DeviceConfig, topology: Topology) -> None:
+        self.config = config
+        self.name = config.hostname
+        self.enabled = config.ospf is not None
+        self.adjacencies: List[OspfAdjacency] = []
+        self.vector: OspfVector = {}
+        # Peer addresses behind a *local passive* interface: no adjacency
+        # forms there, so we must not answer their pulls either.
+        self._refused_peers: set = set()
+        if not self.enabled:
+            return
+        ospf = config.ospf
+        # Local prefixes of OSPF-enabled interfaces at cost 0.
+        for iface_name, iface_cfg in ospf.interfaces.items():
+            iface = config.interfaces.get(iface_name)
+            if iface is None or iface.prefix is None or iface.shutdown:
+                continue
+            self.vector[iface.prefix] = (0, frozenset())
+        if self.name not in topology:
+            return
+        for link in topology.links_of(self.name):
+            local = link.local(self.name)
+            iface_cfg = ospf.interfaces.get(local.interface)
+            remote = link.other(self.name)
+            if iface_cfg is None or iface_cfg.passive:
+                if iface_cfg is not None:
+                    self._refused_peers.add(
+                        topology.interface_address(remote)
+                    )
+                continue
+            self.adjacencies.append(
+                OspfAdjacency(
+                    iface=local.interface,
+                    local_addr=topology.interface_address(local),
+                    peer_addr=topology.interface_address(remote),
+                    neighbor=remote.node,
+                    cost=iface_cfg.cost,
+                    area=iface_cfg.area,
+                )
+            )
+        self.adjacencies.sort(key=lambda a: a.peer_addr)
+
+    def advertise_ospf(self, to_peer_addr: Optional[int] = None) -> OspfVector:
+        """The distance vector this node exports toward ``to_peer_addr``.
+
+        A passive local interface forms no adjacency, so pulls arriving
+        from its far end get nothing.  ``None`` returns the full vector
+        (used by diagnostics).
+        """
+        if to_peer_addr is not None and to_peer_addr in self._refused_peers:
+            return {}
+        return dict(self.vector)
+
+    def pull_round(self, resolver: Resolver) -> bool:
+        """Relax this node's vector against every neighbor's; True if changed."""
+        if not self.enabled:
+            return False
+        changed = False
+        # Recompute from scratch each round against current neighbor state,
+        # so withdrawn paths disappear (count-to-infinity cannot occur in a
+        # static topology snapshot).
+        fresh: OspfVector = {
+            prefix: entry
+            for prefix, entry in self.vector.items()
+            if entry[0] == 0
+        }
+        for adjacency in self.adjacencies:
+            neighbor = resolver(adjacency.neighbor)
+            if neighbor is None:
+                continue
+            their_vector = neighbor.advertise_ospf(adjacency.local_addr)
+            for prefix, (cost, _hops) in their_vector.items():
+                total = cost + adjacency.cost
+                current = fresh.get(prefix)
+                if current is None or total < current[0]:
+                    fresh[prefix] = (total, frozenset([adjacency.peer_addr]))
+                elif total == current[0] and current[0] != 0:
+                    fresh[prefix] = (
+                        total,
+                        current[1] | frozenset([adjacency.peer_addr]),
+                    )
+        if fresh != self.vector:
+            self.vector = fresh
+            changed = True
+        return changed
+
+    def routes(self) -> List[Route]:
+        """The converged OSPF routes (excluding connected-cost-0 entries)."""
+        result: List[Route] = []
+        for prefix, (cost, next_hops) in sorted(self.vector.items()):
+            if cost == 0:
+                continue
+            for next_hop in sorted(next_hops):
+                result.append(
+                    Route(
+                        prefix=prefix,
+                        protocol=Protocol.OSPF,
+                        next_hop=next_hop,
+                        metric=cost,
+                        admin_distance=Protocol.OSPF.admin_distance,
+                    )
+                )
+        return result

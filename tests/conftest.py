@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+The FatTree-4 and DCN snapshots (and their monolithic simulation results)
+are session-scoped: they are pure functions of the synthesizer inputs, and
+many tests compare against them as the oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.dcn import build_dcn
+from repro.net.fattree import build_fattree
+from repro.routing.engine import SimulationEngine
+
+
+@pytest.fixture(scope="session")
+def fattree4():
+    return build_fattree(4)
+
+
+@pytest.fixture(scope="session")
+def fattree6():
+    return build_fattree(6)
+
+
+@pytest.fixture(scope="session")
+def dcn1():
+    return build_dcn(scale=1)
+
+
+@pytest.fixture(scope="session")
+def fattree4_sim(fattree4):
+    engine = SimulationEngine(fattree4)
+    routes = engine.run()
+    return engine, routes
+
+
+@pytest.fixture(scope="session")
+def dcn1_sim(dcn1):
+    engine = SimulationEngine(dcn1)
+    routes = engine.run()
+    return engine, routes
+
+
+def normalize_ribs(result):
+    """Canonical form for RIB equality across engines/runtimes."""
+    return {
+        host: {
+            prefix: tuple(
+                sorted(routes, key=lambda r: (r.from_node, r.next_hop))
+            )
+            for prefix, routes in table.items()
+        }
+        for host, table in result.items()
+    }

@@ -1,0 +1,134 @@
+"""Tests for the what-if layer: change review and link-failure sweeps."""
+
+import pytest
+
+from repro.core.analysis import (
+    LinkFailureAnalyzer,
+    ReachabilityMatrix,
+    compare_snapshots,
+    compute_matrix,
+    without_link,
+)
+from repro.dist.controller import S2Options
+from repro.net.fattree import build_fattree
+from repro.net.ip import Prefix
+
+
+@pytest.fixture(scope="module")
+def ft4_matrix(fattree4):
+    return compute_matrix(fattree4, options=S2Options(num_workers=2))
+
+
+class TestMatrix:
+    def test_full_mesh_on_healthy_fattree(self, ft4_matrix):
+        assert len(ft4_matrix.endpoints) == 8
+        assert len(ft4_matrix) == 64
+        assert ft4_matrix.holds("edge-0-0", "edge-3-1")
+
+    def test_diff_identity(self, ft4_matrix):
+        diff = ft4_matrix.diff(ft4_matrix)
+        assert not diff.breaks_anything
+        assert diff.summary() == "no reachability change"
+
+    def test_diff_direction(self):
+        a = ReachabilityMatrix(("x", "y"), frozenset([("x", "y")]))
+        b = ReachabilityMatrix(("x", "y"), frozenset([("y", "x")]))
+        diff = a.diff(b)
+        assert diff.lost == (("x", "y"),)
+        assert diff.gained == (("y", "x"),)
+        assert "1 pairs lost, 1 pairs gained" == diff.summary()
+
+
+class TestWithoutLink:
+    def test_link_removed_from_topology(self, fattree4):
+        link = next(iter(fattree4.topology.links()))
+        failed = without_link(fattree4, link)
+        assert failed.topology.link_between(link.a.node, link.b.node) is None
+        # original untouched
+        assert (
+            fattree4.topology.link_between(link.a.node, link.b.node)
+            is not None
+        )
+
+    def test_annotations_preserved(self, fattree4):
+        link = next(iter(fattree4.topology.links()))
+        failed = without_link(fattree4, link)
+        assert failed.topology.node("edge-0-0").role == "edge"
+        assert failed.topology.node("edge-0-0").pod == 0
+
+
+class TestCompareSnapshots:
+    def test_detects_withdrawn_prefix(self, fattree4):
+        import copy
+
+        from repro.config.loader import make_snapshot
+
+        before = fattree4
+        configs = copy.deepcopy(fattree4.configs)
+        configs["edge-2-0"].bgp.networks = []
+        after = make_snapshot(configs, name="after")
+        after.metadata.update(before.metadata)
+        diff = compare_snapshots(before, after)
+        assert diff.breaks_anything
+        # every pair from *other* edges into edge-2-0 is gone; the
+        # self-pair survives via the connected link subnets (the full
+        # header-space flood still arrives at its own interfaces)
+        assert all(dst == "edge-2-0" for _src, dst in diff.lost)
+        assert len(diff.lost) == 7
+
+    def test_no_change_no_diff(self, fattree4):
+        diff = compare_snapshots(fattree4, build_fattree(4))
+        assert not diff.breaks_anything
+        assert diff.gained == ()
+
+
+class TestLinkFailures:
+    def test_fattree_single_link_failures_are_safe(self, fattree4):
+        """k=4 keeps all-pair reachability under any single link failure
+        (ECMP reroutes) — every link report must be 'safe'."""
+        analyzer = LinkFailureAnalyzer(
+            fattree4, options=S2Options(num_workers=2)
+        )
+        links = list(fattree4.topology.links())[:6]  # a representative slice
+        reports = analyzer.sweep(links)
+        assert all(r.is_safe for r in reports), [
+            (r.link, r.status) for r in reports if not r.is_safe
+        ]
+
+    def test_stub_link_failure_breaks_pairs(self):
+        """On a line topology a--b--c every link is a single point of
+        failure: the sweep must flag both."""
+        from repro.config.loader import make_snapshot, parse_device
+
+        def dev(name, asn, ifaces, neighbors, network=None):
+            lines = [f"hostname {name}"]
+            for iname, ip in ifaces:
+                lines += [
+                    f"interface {iname}",
+                    f" ip address {ip} 255.255.255.254",
+                ]
+            lines.append(f"router bgp {asn}")
+            for peer, pasn in neighbors:
+                lines.append(f" neighbor {peer} remote-as {pasn}")
+            if network:
+                lines.append(f" network {network} mask 255.255.255.0")
+            return parse_device("\n".join(lines) + "\n", "ciscoish")
+
+        a = dev("a", 65001, [("e0", "10.0.0.0")], [("10.0.0.1", 65002)],
+                network="10.1.0.0")
+        b = dev(
+            "b", 65002,
+            [("e0", "10.0.0.1"), ("e1", "10.0.0.2")],
+            [("10.0.0.0", 65001), ("10.0.0.3", 65003)],
+        )
+        c = dev("c", 65003, [("e0", "10.0.0.3")], [("10.0.0.2", 65002)],
+                network="10.3.0.0")
+        snapshot = make_snapshot({"a": a, "b": b, "c": c})
+        analyzer = LinkFailureAnalyzer(
+            snapshot, options=S2Options(num_workers=1)
+        )
+        reports = analyzer.fragile_links()
+        assert len(reports) == 2
+        assert all(r.status == "breaks" for r in reports)
+        worst = reports[0]
+        assert ("a", "c") in worst.lost_pairs or ("c", "a") in worst.lost_pairs

@@ -1,0 +1,401 @@
+"""Behavioral tests for the BGP switch model (RouterNode).
+
+Uses small hand-written snapshots so each BGP mechanism — origination,
+loop prevention, split horizon, policies, aggregation, suppression,
+conditional advertisement, remove-private-AS — is observable in isolation.
+"""
+
+from typing import Dict
+
+import pytest
+
+from repro.config.loader import make_snapshot, parse_device
+from repro.net.ip import Prefix, format_ip
+from repro.routing.engine import SimulationEngine
+from repro.routing.route import Origin
+
+
+def chain_snapshot(*device_texts: str):
+    configs = {}
+    for text in device_texts:
+        config = parse_device(text, "ciscoish")
+        configs[config.hostname] = config
+    return make_snapshot(configs)
+
+
+def cisco(hostname, asn, ifaces, neighbors, body=""):
+    """Compact config builder: ifaces = [(name, ip, masklen)],
+    neighbors = [(peer_ip, peer_asn, extra_lines)]."""
+    lines = [f"hostname {hostname}"]
+    for name, ip, length in ifaces:
+        mask = format_ip(Prefix(Prefix.parse(ip).network, length).mask)
+        lines += [f"interface {name}", f" ip address {ip} {mask}"]
+    if body:
+        lines.append(body.rstrip())
+    lines.append(f"router bgp {asn}")
+    lines.append(f" bgp router-id {format_ip(asn)}")
+    for peer_ip, peer_asn, extra in neighbors:
+        lines.append(f" neighbor {peer_ip} remote-as {peer_asn}")
+        for line in extra:
+            lines.append(f" neighbor {peer_ip} {line}")
+    return "\n".join(lines) + "\n"
+
+
+def two_node(a_extra="", b_extra="", a_body="", b_body="",
+             a_neighbor_lines=(), b_neighbor_lines=()):
+    """A --- B over 10.0.0.0/31; A announces 10.1.0.0/24."""
+    a = cisco(
+        "a", 65001,
+        [("eth0", "10.0.0.0", 31)],
+        [("10.0.0.1", 65002, list(a_neighbor_lines))],
+        body=a_body,
+    )
+    a = a.replace(
+        "router bgp 65001",
+        "router bgp 65001\n network 10.1.0.0 mask 255.255.255.0"
+        + (("\n" + a_extra) if a_extra else ""),
+        1,
+    )
+    b = cisco(
+        "b", 65002,
+        [("eth0", "10.0.0.1", 31)],
+        [("10.0.0.0", 65001, list(b_neighbor_lines))],
+        body=b_body,
+    )
+    if b_extra:
+        b = b.replace("router bgp 65002", "router bgp 65002\n" + b_extra, 1)
+    return chain_snapshot(a, b)
+
+
+P_A = Prefix.parse("10.1.0.0/24")
+
+
+def run(snapshot):
+    engine = SimulationEngine(snapshot)
+    return engine, engine.run()
+
+
+class TestBasicsAndOrigination:
+    def test_network_statement_propagates(self):
+        engine, routes = run(two_node())
+        got = routes["b"][P_A]
+        assert len(got) == 1
+        assert got[0].as_path == (65001,)
+        assert got[0].from_node == "a"
+
+    def test_origin_is_igp_and_lp_default(self):
+        _, routes = run(two_node())
+        r = routes["b"][P_A][0]
+        assert r.origin is Origin.IGP
+        assert r.local_pref == 100
+
+    def test_next_hop_is_session_address(self):
+        _, routes = run(two_node())
+        r = routes["b"][P_A][0]
+        assert r.next_hop == Prefix.parse("10.0.0.0").network
+
+    def test_originator_does_not_install_own_prefix_in_bgp_rib(self):
+        _, routes = run(two_node())
+        assert P_A not in routes["a"]
+
+    def test_redistribute_connected(self):
+        snap = two_node(a_extra=" redistribute connected")
+        _, routes = run(snap)
+        link_prefix = Prefix.parse("10.0.0.0/31")
+        # b drops it: its own interface subnet is connected (AD 0), but the
+        # route still traveled; check a exports it by looking at b's rib
+        # candidates via a second device? Simplest: a's local prefixes.
+        engine = SimulationEngine(snap)
+        assert link_prefix in engine.nodes["a"].local_prefixes
+
+    def test_session_to_absent_peer_stays_idle(self):
+        a = cisco(
+            "a", 65001, [("eth0", "10.0.0.0", 31)],
+            [("10.0.0.1", 65002, []), ("10.99.0.1", 65099, [])],
+        )
+        b = cisco(
+            "b", 65002, [("eth0", "10.0.0.1", 31)], [("10.0.0.0", 65001, [])]
+        )
+        snap = chain_snapshot(a, b)
+        engine = SimulationEngine(snap)
+        engine.run()
+        assert len(engine.nodes["a"].sessions) == 1
+
+
+class TestLoopPreventionAndSplitHorizon:
+    def test_as_path_loop_rejected(self):
+        # triangle a-b-c, all distinct ASNs; a's prefix comes back to a
+        # via c with a's ASN in path -> dropped
+        a = cisco("a", 65001, [("eth0", "10.0.0.0", 31), ("eth1", "10.0.0.4", 31)],
+                  [("10.0.0.1", 65002, []), ("10.0.0.5", 65003, [])],)
+        a = a.replace("router bgp 65001",
+                      "router bgp 65001\n network 10.1.0.0 mask 255.255.255.0", 1)
+        b = cisco("b", 65002, [("eth0", "10.0.0.1", 31), ("eth1", "10.0.0.2", 31)],
+                  [("10.0.0.0", 65001, []), ("10.0.0.3", 65003, [])])
+        c = cisco("c", 65003, [("eth0", "10.0.0.3", 31), ("eth1", "10.0.0.5", 31)],
+                  [("10.0.0.2", 65002, []), ("10.0.0.4", 65001, [])])
+        engine, routes = run(chain_snapshot(a, b, c))
+        # a must not have its own prefix as a BGP candidate
+        assert P_A not in routes["a"]
+        # c selects the direct path from a (shorter), b likewise
+        assert routes["c"][P_A][0].as_path == (65001,)
+
+    def test_split_horizon_no_echo(self):
+        engine = SimulationEngine(two_node())
+        engine.run()
+        node_b = engine.nodes["b"]
+        session = node_b.sessions[0]
+        exports = node_b.advertise(session.local_addr)
+        # b's only route came from a; it must not echo it back to a
+        assert all(r.prefix != P_A for r in exports)
+
+
+class TestPolicies:
+    def test_import_policy_sets_local_pref(self):
+        snap = two_node(
+            b_body=(
+                "route-map IN permit 10\n"
+                " set local-preference 250\n"
+            ),
+            b_neighbor_lines=["route-map IN in"],
+        )
+        _, routes = run(snap)
+        assert routes["b"][P_A][0].local_pref == 250
+
+    def test_import_policy_deny_filters(self):
+        snap = two_node(
+            b_body=(
+                "ip prefix-list PL seq 5 permit 10.1.0.0/24\n"
+                "route-map IN deny 10\n"
+                " match ip address prefix-list PL\n"
+                "route-map IN permit 20\n"
+            ),
+            b_neighbor_lines=["route-map IN in"],
+        )
+        _, routes = run(snap)
+        assert P_A not in routes["b"]
+
+    def test_export_policy_tags_community(self):
+        snap = two_node(
+            a_body=(
+                "route-map OUT permit 10\n"
+                " set community 65000:42 additive\n"
+            ),
+            a_neighbor_lines=["route-map OUT out"],
+        )
+        _, routes = run(snap)
+        assert ((65000 << 16) | 42) in routes["b"][P_A][0].communities
+
+    def test_export_policy_prepend(self):
+        snap = two_node(
+            a_body=(
+                "route-map OUT permit 10\n"
+                " set as-path prepend 65001 65001\n"
+            ),
+            a_neighbor_lines=["route-map OUT out"],
+        )
+        _, routes = run(snap)
+        assert routes["b"][P_A][0].as_path == (65001, 65001, 65001)
+
+    def test_as_path_overwrite_on_export(self):
+        snap = two_node(
+            a_body=(
+                "route-map OUT permit 10\n"
+                " set as-path replace any\n"
+            ),
+            a_neighbor_lines=["route-map OUT out"],
+        )
+        _, routes = run(snap)
+        assert routes["b"][P_A][0].as_path == (65001,)
+
+    def test_med_cleared_on_ebgp_export(self):
+        # a sets MED via import on b? simpler: MED set at a via policy is
+        # local; when b re-exports to c the MED must be 0.
+        a = cisco("a", 65001, [("eth0", "10.0.0.0", 31)], [("10.0.0.1", 65002, ["route-map OUT out"])],
+                  body="route-map OUT permit 10\n set metric 77\n")
+        a = a.replace("router bgp 65001",
+                      "router bgp 65001\n network 10.1.0.0 mask 255.255.255.0", 1)
+        b = cisco("b", 65002,
+                  [("eth0", "10.0.0.1", 31), ("eth1", "10.0.0.2", 31)],
+                  [("10.0.0.0", 65001, []), ("10.0.0.3", 65003, [])])
+        c = cisco("c", 65003, [("eth0", "10.0.0.3", 31)], [("10.0.0.2", 65002, [])])
+        _, routes = run(chain_snapshot(a, b, c))
+        assert routes["b"][P_A][0].med == 77   # received from a's export map
+        assert routes["c"][P_A][0].med == 0    # b cleared it on re-export
+
+    def test_remove_private_as_leading_mode(self):
+        # chain: a(private 64512) -> b(public 3000) -> c: b removes private
+        # on export to c; ciscoish LEADING strips 64512 before 3000? path
+        # at b: (3000?, ...) — construct: a originates, path at b = (64512).
+        # b exports to c with remove-private-as: strip(64512)=() then
+        # prepend 3000 -> (3000,)
+        a = cisco("a", 64512, [("eth0", "10.0.0.0", 31)], [("10.0.0.1", 3000, [])])
+        a = a.replace("router bgp 64512",
+                      "router bgp 64512\n network 10.1.0.0 mask 255.255.255.0", 1)
+        b = cisco("b", 3000,
+                  [("eth0", "10.0.0.1", 31), ("eth1", "10.0.0.2", 31)],
+                  [("10.0.0.0", 64512, []),
+                   ("10.0.0.3", 4000, ["remove-private-as"])])
+        c = cisco("c", 4000, [("eth0", "10.0.0.3", 31)], [("10.0.0.2", 3000, [])])
+        _, routes = run(chain_snapshot(a, b, c))
+        assert routes["c"][P_A][0].as_path == (3000,)
+
+
+class TestEcmp:
+    def test_maximum_paths_installs_multipath(self, fattree4_sim):
+        _, routes = fattree4_sim
+        # an edge switch reaches a remote-pod prefix via both aggs
+        remote = Prefix.parse("10.1.1.0/24")
+        assert len(routes["edge-0-0"][remote]) == 2
+
+    def test_max_paths_one_limits(self):
+        # same FatTree but max_paths=1
+        from repro.net.fattree import build_fattree
+
+        snap = build_fattree(4, max_paths=1)
+        _, routes = run(snap)
+        remote = Prefix.parse("10.1.1.0/24")
+        assert len(routes["edge-0-0"][remote]) == 1
+
+
+class TestAggregation:
+    def agg_snapshot(self, summary_only=True, attribute_map=False):
+        """a announces 10.1.1.0/24 -> b aggregates 10.1.0.0/16 -> c."""
+        extra = " summary-only" if summary_only else ""
+        amap = " attribute-map TAG" if attribute_map else ""
+        body = (
+            "route-map TAG permit 10\n set community 65000:200 additive\n"
+            if attribute_map
+            else ""
+        )
+        a = cisco("a", 65001, [("eth0", "10.0.0.0", 31)], [("10.0.0.1", 65002, [])])
+        a = a.replace("router bgp 65001",
+                      "router bgp 65001\n network 10.1.1.0 mask 255.255.255.0", 1)
+        b = cisco("b", 65002,
+                  [("eth0", "10.0.0.1", 31), ("eth1", "10.0.0.2", 31)],
+                  [("10.0.0.0", 65001, []), ("10.0.0.3", 65003, [])],
+                  body=body)
+        b = b.replace(
+            "router bgp 65002",
+            "router bgp 65002\n aggregate-address 10.1.0.0 255.255.0.0"
+            + extra + amap, 1)
+        c = cisco("c", 65003, [("eth0", "10.0.0.3", 31)], [("10.0.0.2", 65002, [])])
+        return chain_snapshot(a, b, c)
+
+    AGG = Prefix.parse("10.1.0.0/16")
+    SPEC = Prefix.parse("10.1.1.0/24")
+
+    def test_aggregate_activated_by_contributor(self):
+        _, routes = run(self.agg_snapshot())
+        assert self.AGG in routes["c"]
+        assert routes["c"][self.AGG][0].as_path == (65002,)
+
+    def test_summary_only_suppresses_specific(self):
+        _, routes = run(self.agg_snapshot(summary_only=True))
+        assert self.SPEC not in routes["c"]
+
+    def test_without_summary_only_specific_leaks(self):
+        _, routes = run(self.agg_snapshot(summary_only=False))
+        assert self.SPEC in routes["c"]
+        assert self.AGG in routes["c"]
+
+    def test_attribute_map_tags_aggregate(self):
+        _, routes = run(self.agg_snapshot(attribute_map=True))
+        assert ((65000 << 16) | 200) in routes["c"][self.AGG][0].communities
+
+    def test_aggregate_inactive_without_contributor(self):
+        # no a: b has no contributor, aggregate must not appear at c
+        b = cisco("b", 65002, [("eth1", "10.0.0.2", 31)], [("10.0.0.3", 65003, [])])
+        b = b.replace(
+            "router bgp 65002",
+            "router bgp 65002\n aggregate-address 10.1.0.0 255.255.0.0 summary-only",
+            1,
+        )
+        c = cisco("c", 65003, [("eth0", "10.0.0.3", 31)], [("10.0.0.2", 65002, [])])
+        _, routes = run(chain_snapshot(b, c))
+        assert self.AGG not in routes["c"]
+
+
+class TestConditionalAdvertisement:
+    def snapshot(self, watch_present: bool):
+        a = cisco("a", 65001, [("eth0", "10.0.0.0", 31)], [("10.0.0.1", 65002, [])])
+        networks = "\n network 10.2.0.0 mask 255.255.255.0"
+        if watch_present:
+            networks += "\n network 8.8.8.0 mask 255.255.255.0"
+        a = a.replace(
+            "router bgp 65001",
+            "router bgp 65001" + networks
+            + "\n advertise 10.2.0.0/24 exist 8.8.8.0/24",
+            1,
+        )
+        b = cisco("b", 65002, [("eth0", "10.0.0.1", 31)], [("10.0.0.0", 65001, [])])
+        return chain_snapshot(a, b)
+
+    def test_advertised_when_watch_present(self):
+        _, routes = run(self.snapshot(watch_present=True))
+        assert Prefix.parse("10.2.0.0/24") in routes["b"]
+
+    def test_withheld_when_watch_absent(self):
+        _, routes = run(self.snapshot(watch_present=False))
+        assert Prefix.parse("10.2.0.0/24") not in routes["b"]
+
+    def test_non_exist_condition(self):
+        a = cisco("a", 65001, [("eth0", "10.0.0.0", 31)], [("10.0.0.1", 65002, [])])
+        a = a.replace(
+            "router bgp 65001",
+            "router bgp 65001\n network 10.2.0.0 mask 255.255.255.0"
+            "\n advertise 10.2.0.0/24 non-exist 8.8.8.0/24",
+            1,
+        )
+        b = cisco("b", 65002, [("eth0", "10.0.0.1", 31)], [("10.0.0.0", 65001, [])])
+        _, routes = run(chain_snapshot(a, b))
+        assert Prefix.parse("10.2.0.0/24") in routes["b"]
+
+
+class TestDcnEndToEnd:
+    """The §2.3 behaviors on the synthesized DCN (integration-level)."""
+
+    def test_cross_cluster_reachability_requires_overwrite(self, dcn1_sim):
+        _, routes = dcn1_sim
+        # a cluster-0 TOR learns a cluster-1 VLAN despite repeated layer ASNs
+        assert Prefix.parse("10.1.0.0/24") in routes["c0-t0-0"]
+
+    def test_aggregation_hides_specifics_outside_cluster(self, dcn1_sim):
+        _, routes = dcn1_sim
+        tor = routes["c0-t0-0"]
+        assert Prefix.parse("10.3.0.0/16") in tor
+        assert Prefix.parse("10.3.0.0/24") not in tor
+
+    def test_border_filters_management_aggregate(self, dcn1_sim):
+        _, routes = dcn1_sim
+        assert Prefix.parse("172.16.3.0/24") not in routes["bb-1"]
+        assert Prefix.parse("10.3.0.0/16") in routes["bb-1"]
+
+    def test_conditional_default_propagates(self, dcn1_sim):
+        _, routes = dcn1_sim
+        assert Prefix.parse("0.0.0.0/0") in routes["c0-t0-0"]
+
+    def test_remove_private_as_at_border(self, dcn1_sim):
+        _, routes = dcn1_sim
+        # bb-1 hears the legacy cluster's VLAN from bb-0 as a candidate;
+        # the selected best is via fabric (peer local-pref 80 < 100), so
+        # check the path shape on a prefix-holders basis instead: the
+        # candidate path via bb-0 was (4200, 3000, 64601) — leading
+        # privates stripped, trailing kept (LEADING mode).
+        engine, _ = dcn1_sim
+        node = engine.nodes["bb-1"]
+        candidates = node.rib.candidates_for(Prefix.parse("10.2.0.0/24"))
+        via_peer = [r for r in candidates if r.from_node == "bb-0"]
+        assert via_peer and via_peer[0].as_path == (4200, 3000, 64601)
+
+    def test_valley_free_no_route_back_up(self, dcn1_sim):
+        engine, _ = dcn1_sim
+        # a cluster top must not export fabric-learned routes back to fabric
+        top = engine.nodes["c0-t2-0"]
+        fabric_sessions = [
+            s for s in top.sessions if s.neighbor.startswith("fab-")
+        ]
+        assert fabric_sessions
+        exports = top.advertise(fabric_sessions[0].local_addr)
+        foreign = Prefix.parse("10.1.0.0/24")  # another cluster's VLAN
+        assert all(r.prefix != foreign for r in exports)

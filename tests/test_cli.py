@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerify:
+    def test_verify_fattree(self, capsys):
+        code = main(["verify", "fattree", "--k", "4", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out and "64/64" in out
+
+    def test_verify_verbose_worker_table(self, capsys):
+        code = main(
+            ["verify", "fattree", "--k", "4", "--workers", "2", "-v"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "worker0" in out and "worker1" in out
+
+    def test_verify_single_pair(self, capsys):
+        code = main(
+            [
+                "verify", "fattree", "--k", "4",
+                "--src", "edge-0-0", "--dst", "edge-1-0",
+                "--prefix", "10.1.0.0/24",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1/1" in out
+
+    def test_verify_oom_exit_code(self, capsys, monkeypatch):
+        from repro.dist import controller
+
+        original = controller.S2Options
+        # shrink capacity through the default options path
+        monkeypatch.setattr(
+            "repro.cli.S2Options",
+            lambda **kw: original(**{**kw, "worker_capacity": 1}),
+        )
+        code = main(["verify", "fattree", "--k", "4"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "OOM" in out
+
+    def test_verify_check_loops(self, capsys):
+        code = main(
+            ["verify", "fattree", "--k", "4", "--check-loops"]
+        )
+        assert code == 0
+
+    def test_verify_snapshot_dir(self, tmp_path, capsys):
+        from repro.config.loader import write_snapshot_dir
+        from repro.net.fattree import FatTreeSpec, render_configs
+
+        write_snapshot_dir(str(tmp_path), render_configs(FatTreeSpec(k=4)))
+        code = main(["verify", str(tmp_path), "--workers", "2"])
+        assert code == 0
+
+
+class TestPartitionAndShards:
+    def test_partition_table(self, capsys):
+        code = main(
+            ["partition", "fattree", "--k", "4", "--workers", "4",
+             "--scheme", "expert"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "edge cut" in out and "imbalance" in out
+
+    def test_shards_table(self, capsys):
+        code = main(["shards", "dcn", "--shards", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dependencies" in out
+        assert "shard" in out
+
+    def test_shards_reports_components(self, capsys):
+        code = main(["shards", "fattree", "--k", "4", "--shards", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8 prefixes, 0 dependencies, 8 independent components" in out
+
+
+class TestSynthesize:
+    def test_synthesize_fattree(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "snap")
+        code = main(["synthesize", "fattree", out_dir, "--k", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "20 device configs" in out
+        # and it round-trips through verify
+        assert main(["verify", out_dir, "--workers", "2"]) == 0
+
+    def test_synthesize_dcn(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "snap")
+        code = main(["synthesize", "dcn", out_dir])
+        assert code == 0
+        assert "device configs" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_paths(self, capsys):
+        code = main(
+            [
+                "trace", "fattree", "--k", "4",
+                "--src", "edge-0-0", "--dst", "edge-1-0",
+                "--prefix", "10.1.0.0/24",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "arrive" in out
+        assert "edge-0-0 -> " in out
+
+    def test_trace_no_match(self, capsys):
+        code = main(
+            [
+                "trace", "fattree", "--k", "4",
+                "--src", "edge-0-0", "--dst", "edge-1-0",
+                "--prefix", "55.0.0.0/8",
+            ]
+        )
+        assert code == 1
+        assert "no matching" in capsys.readouterr().out

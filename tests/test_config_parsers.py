@@ -1,0 +1,481 @@
+"""Tests for the two vendor dialect parsers and the lexer."""
+
+import pytest
+
+from repro.config import (
+    Action,
+    ConfigSyntaxError,
+    RemovePrivateAsMode,
+    parse_cisco,
+    parse_device,
+    parse_juniper,
+    sniff_dialect,
+)
+from repro.config.ast import (
+    MatchCommunityList,
+    MatchPrefixList,
+    SetAsPathReplace,
+    SetCommunities,
+    SetLocalPref,
+    community,
+)
+from repro.config.lexer import split_lines, tokenize_braces
+from repro.net.ip import Prefix, parse_ip
+
+CISCO_FULL = """\
+hostname leaf-1
+!
+interface eth0
+ ip address 10.0.0.1 255.255.255.254
+ ip access-group FILTER in
+!
+interface eth1
+ ip address 10.0.1.1 255.255.255.0
+ shutdown
+!
+ip prefix-list PL-HOSTS seq 5 permit 10.0.0.0/8 le 24
+ip prefix-list PL-HOSTS seq 10 deny 0.0.0.0/0 le 32
+ip community-list standard CL-TAG permit 65000:100
+ip as-path access-list AP-SHORT permit ^65001_
+!
+route-map RM-IN permit 10
+ match ip address prefix-list PL-HOSTS
+ set local-preference 200
+ set community 65000:100 additive
+route-map RM-IN deny 20
+!
+route-map RM-OUT permit 10
+ set as-path prepend 65001 65001
+!
+ip access-list extended FILTER
+ 10 permit tcp any 10.0.1.0/24 eq 443
+ 20 deny ip any any
+!
+router bgp 65001
+ bgp router-id 1.1.1.1
+ maximum-paths 16
+ neighbor 10.0.0.0 remote-as 65002
+ neighbor 10.0.0.0 route-map RM-IN in
+ neighbor 10.0.0.0 route-map RM-OUT out
+ neighbor 10.0.0.0 remove-private-as
+ network 10.0.1.0 mask 255.255.255.0
+ aggregate-address 10.0.0.0 255.255.0.0 summary-only attribute-map RM-OUT
+ advertise 0.0.0.0/0 exist 8.8.8.0/24
+ redistribute connected
+!
+router ospf 1
+ router-id 1.1.1.1
+ network 10.0.0.0 0.0.255.255 area 0
+ passive-interface eth1
+!
+ip route 192.168.0.0 255.255.0.0 Null0 tag 77
+ip route 172.16.0.0 255.240.0.0 10.0.0.0
+"""
+
+JUNIPER_FULL = """\
+system {
+    host-name spine-7;
+}
+interfaces {
+    et-0 {
+        unit 0 {
+            family {
+                inet {
+                    address 10.1.0.1/31;
+                    filter {
+                        input FW-IN;
+                    }
+                }
+            }
+        }
+    }
+}
+routing-options {
+    router-id 7.7.7.7;
+    autonomous-system 65100;
+    static {
+        route 0.0.0.0/0 {
+            next-hop 10.1.0.0;
+        }
+        route 192.168.0.0/16 discard;
+    }
+}
+policy-options {
+    community TAG members [ 65000:7 65000:8 ];
+    prefix-list PL-LOOP {
+        172.16.0.0/12;
+    }
+    policy-statement IMPORT {
+        term one {
+            from {
+                prefix-list PL-LOOP;
+                community TAG;
+            }
+            then {
+                local-preference 150;
+                community add TAG;
+                accept;
+            }
+        }
+        term two {
+            then {
+                as-path-replace;
+                reject;
+            }
+        }
+    }
+}
+protocols {
+    bgp {
+        multipath 32;
+        group up {
+            import IMPORT;
+            neighbor 10.1.0.0 {
+                peer-as 65200;
+            }
+            remove-private;
+        }
+        aggregate {
+            route 10.0.0.0/8 summary-only;
+        }
+        network 10.1.5.0/24;
+    }
+    ospf {
+        area 0 {
+            interface et-0 {
+                metric 10;
+            }
+        }
+    }
+}
+firewall {
+    family {
+        inet {
+            filter FW-IN {
+                term drop-telnet {
+                    from {
+                        protocol tcp;
+                        destination-port 23;
+                    }
+                    then {
+                        discard;
+                    }
+                }
+                term allow {
+                    then {
+                        accept;
+                    }
+                }
+            }
+        }
+    }
+}
+"""
+
+
+class TestLexer:
+    def test_split_lines_skips_comments_and_blanks(self):
+        lines = split_lines("! comment\n\nhostname x\n  indented arg\n")
+        assert [l.words for l in lines] == [["hostname", "x"], ["indented", "arg"]]
+        assert lines[1].indent == 2
+
+    def test_line_numbers(self):
+        lines = split_lines("!\nhostname x\n")
+        assert lines[0].number == 2
+
+    def test_tokenize_braces(self):
+        tokens = [t for t, _ in tokenize_braces("a b { c; } # comment\n")]
+        assert tokens == ["a", "b", "{", "c", ";", "}"]
+
+    def test_tokenize_brackets(self):
+        tokens = [t for t, _ in tokenize_braces("x [ 1:2 3:4 ];")]
+        assert tokens == ["x", "[", "1:2", "3:4", "]", ";"]
+
+
+class TestCiscoParser:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return parse_cisco(CISCO_FULL)
+
+    def test_hostname_and_vsb(self, cfg):
+        assert cfg.hostname == "leaf-1"
+        assert cfg.behavior.vendor == "ciscoish"
+        assert cfg.behavior.remove_private_as_mode is RemovePrivateAsMode.LEADING
+
+    def test_interfaces(self, cfg):
+        eth0 = cfg.interfaces["eth0"]
+        assert eth0.address == parse_ip("10.0.0.1")
+        assert eth0.prefix == Prefix.parse("10.0.0.0/31")
+        assert eth0.acl_in == "FILTER"
+        assert cfg.interfaces["eth1"].shutdown
+
+    def test_bgp_basics(self, cfg):
+        bgp = cfg.bgp
+        assert bgp.asn == 65001
+        assert bgp.router_id == parse_ip("1.1.1.1")
+        assert bgp.maximum_paths == 16
+        assert bgp.networks == [Prefix.parse("10.0.1.0/24")]
+        assert bgp.redistribute == ["connected"]
+
+    def test_neighbor(self, cfg):
+        neighbor = cfg.bgp.neighbors[0]
+        assert neighbor.remote_as == 65002
+        assert neighbor.import_policy == "RM-IN"
+        assert neighbor.export_policy == "RM-OUT"
+        assert neighbor.remove_private_as
+
+    def test_aggregate(self, cfg):
+        agg = cfg.bgp.aggregates[0]
+        assert agg.prefix == Prefix.parse("10.0.0.0/16")
+        assert agg.summary_only
+        assert agg.attribute_map == "RM-OUT"
+
+    def test_conditional(self, cfg):
+        cond = cfg.bgp.conditionals[0]
+        assert cond.prefix == Prefix.parse("0.0.0.0/0")
+        assert cond.watch_prefix == Prefix.parse("8.8.8.0/24")
+        assert cond.when_present
+
+    def test_prefix_list(self, cfg):
+        plist = cfg.prefix_lists["PL-HOSTS"]
+        assert plist.permits(Prefix.parse("10.5.0.0/16"))
+        assert not plist.permits(Prefix.parse("10.5.0.0/25"))  # le 24
+        assert not plist.permits(Prefix.parse("11.0.0.0/8"))
+
+    def test_community_list(self, cfg):
+        clist = cfg.community_lists["CL-TAG"]
+        assert clist.permits(frozenset([community(65000, 100)]))
+        assert not clist.permits(frozenset([community(65000, 101)]))
+
+    def test_route_map_clauses(self, cfg):
+        rm = cfg.route_maps["RM-IN"]
+        clauses = rm.sorted_clauses()
+        assert [c.seq for c in clauses] == [10, 20]
+        assert clauses[0].action is Action.PERMIT
+        assert isinstance(clauses[0].matches[0], MatchPrefixList)
+        assert SetLocalPref(200) in clauses[0].sets
+        assert clauses[1].action is Action.DENY
+
+    def test_acl(self, cfg):
+        acl = cfg.acls["FILTER"]
+        lines = acl.sorted_lines()
+        assert lines[0].protocol == 6
+        assert lines[0].dst == Prefix.parse("10.0.1.0/24")
+        assert lines[0].dst_port == (443, 443)
+        assert lines[1].action is Action.DENY
+        assert lines[1].src is None and lines[1].dst is None
+
+    def test_static_routes(self, cfg):
+        null_route = cfg.static_routes[0]
+        assert null_route.discard and null_route.tag == 77
+        via = cfg.static_routes[1]
+        assert via.next_hop == parse_ip("10.0.0.0")
+
+    def test_ospf(self, cfg):
+        ospf = cfg.ospf
+        assert ospf.router_id == parse_ip("1.1.1.1")
+        # the network statement matched eth0 and eth1 (10.0.x)
+        assert ospf.interfaces["eth0"].area == 0
+        assert ospf.interfaces["eth1"].passive
+
+    def test_validate_clean(self, cfg):
+        assert cfg.validate() == []
+
+    def test_missing_hostname_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_cisco("router bgp 1\n neighbor 1.2.3.4 remote-as 2\n")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_cisco("hostname x\nfrobnicate\n")
+
+    def test_neighbor_without_remote_as_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_cisco(
+                "hostname x\nrouter bgp 1\n neighbor 1.2.3.4 route-map A in\n"
+            )
+
+    def test_validate_reports_missing_references(self):
+        cfg = parse_cisco(
+            "hostname x\n"
+            "router bgp 1\n"
+            " neighbor 1.2.3.4 remote-as 2\n"
+            " neighbor 1.2.3.4 route-map NOPE in\n"
+        )
+        problems = cfg.validate()
+        assert any("NOPE" in p for p in problems)
+
+
+class TestJuniperParser:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return parse_juniper(JUNIPER_FULL)
+
+    def test_hostname_and_vsb(self, cfg):
+        assert cfg.hostname == "spine-7"
+        assert cfg.behavior.remove_private_as_mode is RemovePrivateAsMode.ALL
+
+    def test_interface(self, cfg):
+        et0 = cfg.interfaces["et-0"]
+        assert et0.address == parse_ip("10.1.0.1")
+        assert et0.prefix == Prefix.parse("10.1.0.0/31")
+        assert et0.acl_in == "FW-IN"
+
+    def test_bgp(self, cfg):
+        bgp = cfg.bgp
+        assert bgp.asn == 65100
+        assert bgp.router_id == parse_ip("7.7.7.7")
+        assert bgp.maximum_paths == 32
+        neighbor = bgp.neighbors[0]
+        assert neighbor.remote_as == 65200
+        assert neighbor.import_policy == "IMPORT"
+        assert neighbor.remove_private_as
+        assert bgp.networks == [Prefix.parse("10.1.5.0/24")]
+        agg = bgp.aggregates[0]
+        assert agg.prefix == Prefix.parse("10.0.0.0/8") and agg.summary_only
+
+    def test_static(self, cfg):
+        default = cfg.static_routes[0]
+        assert default.prefix == Prefix.parse("0.0.0.0/0")
+        assert default.next_hop == parse_ip("10.1.0.0")
+        assert cfg.static_routes[1].discard
+
+    def test_policy_statement(self, cfg):
+        rm = cfg.route_maps["IMPORT"]
+        clauses = rm.sorted_clauses()
+        assert len(clauses) == 2
+        first = clauses[0]
+        assert isinstance(first.matches[0], MatchPrefixList)
+        assert isinstance(first.matches[1], MatchCommunityList)
+        assert SetLocalPref(150) in first.sets
+        assert any(
+            isinstance(s, SetCommunities) and s.additive for s in first.sets
+        )
+        assert clauses[1].action is Action.DENY
+        assert any(isinstance(s, SetAsPathReplace) for s in clauses[1].sets)
+
+    def test_community_definition(self, cfg):
+        clist = cfg.community_lists["TAG"]
+        present = frozenset([community(65000, 7), community(65000, 8)])
+        assert clist.permits(present)
+
+    def test_firewall(self, cfg):
+        acl = cfg.acls["FW-IN"]
+        lines = acl.sorted_lines()
+        assert lines[0].action is Action.DENY
+        assert lines[0].protocol == 6
+        assert lines[0].dst_port == (23, 23)
+        assert lines[1].action is Action.PERMIT
+
+    def test_ospf(self, cfg):
+        assert cfg.ospf.interfaces["et-0"].cost == 10
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_juniper("system { host-name x;")
+
+    def test_missing_hostname_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_juniper("interfaces { }")
+
+    def test_neighbor_without_peer_as_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_juniper(
+                "system { host-name x; }\n"
+                "protocols { bgp { group g { neighbor 1.2.3.4 { } } } }"
+            )
+
+
+class TestDialectSniffing:
+    def test_sniff_cisco(self):
+        assert sniff_dialect(CISCO_FULL) == "ciscoish"
+
+    def test_sniff_juniper(self):
+        assert sniff_dialect(JUNIPER_FULL) == "juniperish"
+
+    def test_sniff_skips_comments(self):
+        assert sniff_dialect("! note\nhostname x\n") == "ciscoish"
+        assert sniff_dialect("# note\nsystem { }\n") == "juniperish"
+
+    def test_parse_device_auto(self):
+        assert parse_device(CISCO_FULL).hostname == "leaf-1"
+        assert parse_device(JUNIPER_FULL).hostname == "spine-7"
+
+    def test_parse_device_unknown_dialect(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_device("hostname x\n", dialect="nortel")
+
+
+ARISTA_FULL = """\
+hostname tor-42
+!
+interface Ethernet1
+ ip address 10.0.0.1 255.255.255.254
+!
+ip community-list expanded CL-X permit 65000:5
+!
+router bgp 65042
+ maximum-paths 8 ecmp 64
+ neighbor 10.0.0.0 remote-as 65100
+ neighbor 10.0.0.0 remove-private-as all
+ network 10.42.0.0 mask 255.255.255.0
+!
+"""
+
+
+class TestAristaParser:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        from repro.config.arista import parse_arista
+
+        return parse_arista(ARISTA_FULL)
+
+    def test_vendor_and_vsb(self, cfg):
+        assert cfg.behavior.vendor == "aristaish"
+        assert cfg.behavior.remove_private_as_mode is RemovePrivateAsMode.ALL
+
+    def test_ecmp_argument_wins(self, cfg):
+        # `maximum-paths 8 ecmp 64` -> the ECMP limit is 64
+        assert cfg.bgp.maximum_paths == 64
+
+    def test_remove_private_as_all_spelling(self, cfg):
+        assert cfg.bgp.neighbors[0].remove_private_as
+
+    def test_expanded_community_list_normalized(self, cfg):
+        assert "CL-X" in cfg.community_lists
+
+    def test_plain_cisco_syntax_accepted(self):
+        from repro.config.arista import parse_arista
+
+        cfg = parse_arista(CISCO_FULL)
+        assert cfg.hostname == "leaf-1"
+        assert cfg.behavior.vendor == "aristaish"
+
+    def test_loader_eos_extension(self, tmp_path):
+        import os
+
+        from repro.config.loader import load_snapshot_dir
+
+        os.makedirs(tmp_path / "configs")
+        with open(tmp_path / "configs" / "tor.eos", "w") as handle:
+            handle.write(ARISTA_FULL)
+        snapshot = load_snapshot_dir(str(tmp_path))
+        assert snapshot.configs["tor-42"].behavior.vendor == "aristaish"
+
+    def test_parse_device_dialect(self):
+        from repro.config.loader import parse_device
+
+        cfg = parse_device(ARISTA_FULL, dialect="aristaish")
+        assert cfg.bgp.asn == 65042
+
+    def test_vsb_differs_from_ciscoish(self, cfg):
+        from repro.config.policy import apply_remove_private_as
+
+        path = (3000, 64601)
+        arista = apply_remove_private_as(
+            path, cfg.behavior.remove_private_as_mode
+        )
+        cisco = apply_remove_private_as(
+            path, RemovePrivateAsMode.LEADING
+        )
+        assert arista == (3000,) and cisco == (3000, 64601)

@@ -1,0 +1,361 @@
+"""Tests for predicate compilation, symbolic forwarding, and queries.
+
+Built around a hand-made 4-node line topology where every behaviour
+(receive, forward, ACL drop, Null0 drop, exit port, static loop) can be
+injected precisely.
+"""
+
+import pytest
+
+from repro.bdd.engine import FALSE, TRUE
+from repro.bdd.headerspace import HeaderEncoding
+from repro.config.loader import make_snapshot, parse_device
+from repro.dataplane.fib import NextHopResolver
+from repro.dataplane.forwarding import (
+    FinalState,
+    ForwardingContext,
+    PacketBuffer,
+    SymbolicPacket,
+    inject,
+    run_to_completion,
+)
+from repro.dataplane.queries import Query
+from repro.dataplane.verifier import DataPlaneVerifier
+from repro.net.ip import Prefix, format_ip
+from repro.routing.engine import SimulationEngine
+
+
+def device(hostname, asn, ifaces, neighbors, extra_bgp="", body=""):
+    lines = [f"hostname {hostname}"]
+    for name, ip, length in ifaces:
+        mask = format_ip(Prefix(Prefix.parse(ip).network, length).mask)
+        lines += [f"interface {name}", f" ip address {ip} {mask}"]
+    if body:
+        lines.append(body.rstrip())
+    lines.append(f"router bgp {asn}")
+    for peer, peer_asn in neighbors:
+        lines.append(f" neighbor {peer} remote-as {peer_asn}")
+    if extra_bgp:
+        lines.append(extra_bgp.rstrip())
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture(scope="module")
+def line_env():
+    """src(10.1.0.0/24) -- mid -- dst(10.2.0.0/24); mid has an ACL that
+    drops tcp/23 toward dst, a Null0 for 192.168/16, and an edge stub
+    port with a static route sending 203.0.113.0/24 out of it."""
+    src = device(
+        "src", 65001,
+        [("eth0", "10.0.0.0", 31)],
+        [("10.0.0.1", 65002)],
+        extra_bgp=" network 10.1.0.0 mask 255.255.255.0",
+    )
+    mid = device(
+        "mid", 65002,
+        [("eth0", "10.0.0.1", 31), ("eth1", "10.0.0.2", 31),
+         ("stub", "198.51.100.1", 24)],
+        [("10.0.0.0", 65001), ("10.0.0.3", 65003)],
+        body=(
+            "ip access-list extended NOTELNET\n"
+            " 10 deny tcp any any eq 23\n"
+            " 20 permit ip any any\n"
+            "ip route 192.168.0.0 255.255.0.0 Null0\n"
+            "ip route 203.0.113.0 255.255.255.0 stub\n"
+        ),
+        extra_bgp=" redistribute static",
+    )
+    # attach ACL outbound on eth1 (toward dst)
+    mid = mid.replace(
+        "interface eth1\n ip address 10.0.0.2 255.255.255.254",
+        "interface eth1\n ip address 10.0.0.2 255.255.255.254\n"
+        " ip access-group NOTELNET out",
+    )
+    dst = device(
+        "dst", 65003,
+        [("eth0", "10.0.0.3", 31)],
+        [("10.0.0.2", 65002)],
+        extra_bgp=" network 10.2.0.0 mask 255.255.255.0",
+    )
+    configs = {}
+    for text in (src, mid, dst):
+        cfg = parse_device(text, "ciscoish")
+        configs[cfg.hostname] = cfg
+    snapshot = make_snapshot(configs)
+    engine = SimulationEngine(snapshot)
+    routes = engine.run()
+    encoding = HeaderEncoding(fields=("dst", "proto", "dport"), metadata_bits=2)
+    dpv = DataPlaneVerifier.from_simulation(engine, routes, encoding=encoding)
+    dpv.compile_predicates()
+    return snapshot, engine, dpv, encoding
+
+
+class TestPredicates:
+    def test_predicates_tile_header_space(self, line_env):
+        _, _, dpv, _ = line_env
+        for name, predicates in dpv.context.predicates.items():
+            union = predicates.receive
+            union = dpv.engine.or_(union, predicates.drop)
+            for fwd in predicates.forward.values():
+                union = dpv.engine.or_(union, fwd)
+            assert union == TRUE, f"{name} predicates do not tile"
+
+    def test_receive_disjoint_from_drop(self, line_env):
+        _, _, dpv, _ = line_env
+        for predicates in dpv.context.predicates.values():
+            assert dpv.engine.and_(predicates.receive, predicates.drop) == FALSE
+
+    def test_forward_disjoint_from_receive(self, line_env):
+        _, _, dpv, _ = line_env
+        for predicates in dpv.context.predicates.values():
+            for fwd in predicates.forward.values():
+                assert dpv.engine.and_(fwd, predicates.receive) == FALSE
+
+    def test_lpm_carving(self, line_env):
+        """mid's Null0 for 192.168/16 must not swallow 10.2/24 traffic."""
+        _, _, dpv, encoding = line_env
+        mid = dpv.context.predicates["mid"]
+        to_dst = encoding.prefix_bdd(dpv.engine, Prefix.parse("10.2.0.0/24"))
+        assert dpv.engine.and_(to_dst, mid.drop) == FALSE
+
+    def test_acl_predicate_compiled(self, line_env):
+        _, _, dpv, encoding = line_env
+        mid = dpv.context.predicates["mid"]
+        acl_out = mid.acl_out_for("eth1")
+        telnet = dpv.engine.and_(
+            encoding.value_bdd(dpv.engine, "proto", 6),
+            encoding.value_bdd(dpv.engine, "dport", 23),
+        )
+        assert dpv.engine.and_(telnet, acl_out) == FALSE
+
+
+class TestForwardingFinalStates:
+    def test_arrive(self, line_env):
+        _, _, dpv, encoding = line_env
+        finals = dpv.forward(["src"], TRUE)
+        arrived = [f for f in finals if f.state is FinalState.ARRIVE and f.node == "dst"]
+        assert arrived
+        to_dst = encoding.prefix_bdd(dpv.engine, Prefix.parse("10.2.0.0/24"))
+        got = FALSE
+        for f in arrived:
+            got = dpv.engine.or_(got, f.bdd)
+        # everything headed to 10.2/24 except telnet arrives
+        telnet = dpv.engine.and_(
+            encoding.value_bdd(dpv.engine, "proto", 6),
+            encoding.value_bdd(dpv.engine, "dport", 23),
+        )
+        assert dpv.engine.implies(got, to_dst)
+        assert dpv.engine.and_(got, telnet) == FALSE
+
+    def test_acl_blackhole(self, line_env):
+        _, _, dpv, encoding = line_env
+        telnet_to_dst = dpv.engine.and_(
+            encoding.prefix_bdd(dpv.engine, Prefix.parse("10.2.0.0/24")),
+            dpv.engine.and_(
+                encoding.value_bdd(dpv.engine, "proto", 6),
+                encoding.value_bdd(dpv.engine, "dport", 23),
+            ),
+        )
+        finals = dpv.forward(["src"], telnet_to_dst)
+        assert all(f.state is FinalState.BLACKHOLE for f in finals)
+        assert any(f.node == "mid" for f in finals)
+
+    def test_null0_blackhole(self, line_env):
+        _, _, dpv, encoding = line_env
+        to_null = encoding.prefix_bdd(
+            dpv.engine, Prefix.parse("192.168.5.0/24")
+        )
+        finals = dpv.forward(["src"], to_null)
+        blackholes = [f for f in finals if f.state is FinalState.BLACKHOLE]
+        assert any(f.node == "mid" for f in blackholes)
+
+    def test_exit_via_edge_port(self, line_env):
+        _, _, dpv, encoding = line_env
+        to_stub_route = encoding.prefix_bdd(
+            dpv.engine, Prefix.parse("203.0.113.0/24")
+        )
+        finals = dpv.forward(["src"], to_stub_route)
+        exits = [f for f in finals if f.state is FinalState.EXIT]
+        assert exits and exits[0].node == "mid" and exits[0].out_port == "stub"
+
+    def test_unknown_space_blackholes_at_source(self, line_env):
+        _, _, dpv, encoding = line_env
+        unknown = encoding.prefix_bdd(dpv.engine, Prefix.parse("55.0.0.0/8"))
+        finals = dpv.forward(["src"], unknown)
+        assert len(finals) == 1
+        assert finals[0].state is FinalState.BLACKHOLE
+        assert finals[0].node == "src"
+        assert finals[0].hops == 0
+
+    def test_trace_records_path(self, line_env):
+        _, _, dpv, encoding = line_env
+        to_dst = encoding.prefix_bdd(dpv.engine, Prefix.parse("10.2.0.0/24"))
+        finals = dpv.forward(["src"], to_dst, trace=True)
+        arrived = [f for f in finals if f.state is FinalState.ARRIVE]
+        assert arrived[0].path == ("src", "mid", "dst")
+
+
+class TestLoopDetection:
+    @pytest.fixture(scope="class")
+    def loop_env(self):
+        """Two routers with static default routes pointing at each other:
+        a genuine forwarding loop for unrouted space."""
+        a = device(
+            "a", 65001,
+            [("eth0", "10.0.0.0", 31)],
+            [("10.0.0.1", 65002)],
+            body="ip route 0.0.0.0 0.0.0.0 10.0.0.1\n",
+            extra_bgp=" network 10.1.0.0 mask 255.255.255.0",
+        )
+        b = device(
+            "b", 65002,
+            [("eth0", "10.0.0.1", 31)],
+            [("10.0.0.0", 65001)],
+            body="ip route 0.0.0.0 0.0.0.0 10.0.0.0\n",
+        )
+        configs = {}
+        for text in (a, b):
+            cfg = parse_device(text, "ciscoish")
+            configs[cfg.hostname] = cfg
+        snapshot = make_snapshot(configs)
+        engine = SimulationEngine(snapshot)
+        routes = engine.run()
+        dpv = DataPlaneVerifier.from_simulation(
+            engine, routes, max_hops=12
+        )
+        return dpv
+
+    def test_loop_final_state(self, loop_env):
+        dpv = loop_env
+        finals = dpv.forward(["a"], TRUE)
+        loops = [f for f in finals if f.state is FinalState.LOOP]
+        assert loops
+        # looped packets are those in neither 10.1/24 nor the link subnet
+        assert all(f.hops >= 12 for f in loops)
+
+    def test_loop_free_checker_flags_it(self, loop_env):
+        violations = loop_env.checker().check_loop_free(
+            Query(sources=("a",))
+        )
+        assert violations
+        assert violations[0].state is FinalState.LOOP
+
+    def test_multipath_consistency_flags_divergence(self, loop_env):
+        # from a: 10.1/24 arrives locally; other space loops -> both states
+        # exist but must not overlap; craft an overlap via b instead:
+        violations = loop_env.checker().check_multipath_consistency(
+            Query(sources=("a",))
+        )
+        # arrive/loop/blackhole sets are disjoint here
+        assert violations == []
+
+
+class TestQueries:
+    def test_reachability_result_api(self, line_env):
+        _, _, dpv, _ = line_env
+        result = dpv.check_reachability(
+            Query(sources=("src",), destinations=("dst",))
+        )
+        assert result.holds("src", "dst")
+        assert not result.holds("dst", "src")  # dst was not a source
+        assert result.pairs() == [("src", "dst")]
+
+    def test_single_pair_with_header_space(self, line_env):
+        _, _, dpv, _ = line_env
+        q = Query.single_pair("src", "dst", Prefix.parse("10.2.0.0/25"))
+        result = dpv.check_reachability(q)
+        assert result.holds("src", "dst")
+
+    def test_unreachable_header_space(self, line_env):
+        _, _, dpv, _ = line_env
+        q = Query.single_pair("src", "dst", Prefix.parse("55.0.0.0/8"))
+        result = dpv.check_reachability(q)
+        assert not result.holds("src", "dst")
+
+    def test_waypoint_holds_through_mid(self, line_env):
+        _, _, dpv, _ = line_env
+        q = Query(
+            sources=("src",),
+            destinations=("dst",),
+            transits=("mid",),
+            header_space=Prefix.parse("10.2.0.0/24"),
+        )
+        violations = dpv.checker().check_waypoint(q)
+        assert violations == {"mid": []}
+
+    def test_waypoint_violated_by_unvisited_node(self, line_env):
+        _, _, dpv, _ = line_env
+        # dst-bound traffic never passes through... src? it originates
+        # there; use a transit that is NOT on the path: the stub side has
+        # no node, so use "dst"->"src" direction with transit "dst".
+        q = Query(
+            sources=("src",),
+            destinations=("src",),  # self-arrival of own prefix
+            transits=("dst",),
+            header_space=Prefix.parse("10.1.0.0/24"),
+        )
+        violations = dpv.checker().check_waypoint(q)
+        assert violations["dst"], "traffic to own prefix never visits dst"
+
+    def test_blackhole_checker_reports_witness(self, line_env):
+        _, _, dpv, _ = line_env
+        violations = dpv.checker().check_blackhole_free(
+            Query(sources=("src",), header_space=Prefix.parse("192.168.0.0/16"))
+        )
+        assert violations
+        assert "dst=192.168" in violations[0].example
+
+    def test_multipath_checker_requires_single_source(self, line_env):
+        _, _, dpv, _ = line_env
+        with pytest.raises(ValueError):
+            dpv.checker().check_multipath_consistency(
+                Query(sources=("src", "dst"))
+            )
+
+
+class TestPacketBuffer:
+    def test_merges_same_position(self, line_env):
+        _, _, dpv, encoding = line_env
+        buffer = PacketBuffer(dpv.engine)
+        a = encoding.prefix_bdd(dpv.engine, Prefix.parse("10.2.0.0/25"))
+        b = encoding.prefix_bdd(dpv.engine, Prefix.parse("10.2.0.128/25"))
+        for bdd in (a, b):
+            buffer.push(
+                SymbolicPacket(bdd=bdd, node="mid", in_port="eth0", hops=1, source="src")
+            )
+        wave = buffer.pop_wave()
+        assert len(wave) == 1
+        assert wave[0].bdd == dpv.engine.or_(a, b)
+
+    def test_does_not_merge_different_hops(self, line_env):
+        _, _, dpv, _ = line_env
+        buffer = PacketBuffer(dpv.engine)
+        for hops in (1, 2):
+            buffer.push(
+                SymbolicPacket(bdd=TRUE, node="mid", in_port="eth0", hops=hops, source="src")
+            )
+        first = buffer.pop_wave()
+        second = buffer.pop_wave()
+        assert len(first) == 1 and first[0].hops == 1
+        assert len(second) == 1 and second[0].hops == 2
+
+    def test_traced_packets_bypass_merging(self, line_env):
+        _, _, dpv, _ = line_env
+        buffer = PacketBuffer(dpv.engine)
+        for i in range(2):
+            buffer.push(
+                SymbolicPacket(
+                    bdd=TRUE, node="mid", in_port="eth0", hops=1,
+                    source="src", path=("src",),
+                )
+            )
+        assert len(buffer.pop_wave()) == 2
+
+    def test_bool_and_len(self, line_env):
+        _, _, dpv, _ = line_env
+        buffer = PacketBuffer(dpv.engine)
+        assert not buffer
+        buffer.push(
+            SymbolicPacket(bdd=TRUE, node="x", in_port=None, hops=0, source="x")
+        )
+        assert buffer and len(buffer) == 1

@@ -1,0 +1,232 @@
+"""Tests for the monolithic fixed-point engine: stats, convergence
+behaviour, and failure modes (including genuine BGP oscillation)."""
+
+import pytest
+
+from repro.config.loader import make_snapshot, parse_device
+from repro.net.fattree import build_fattree
+from repro.net.ip import Prefix
+from repro.routing.engine import (
+    ConvergenceError,
+    SimulationEngine,
+    collect_network_prefixes,
+)
+
+
+def build(*texts):
+    configs = {}
+    for text in texts:
+        config = parse_device(text, "ciscoish")
+        configs[config.hostname] = config
+    return make_snapshot(configs)
+
+
+def disagree_gadget():
+    """The classic BGP DISAGREE gadget.
+
+    o originates P.  a and b each prefer the route *via the other peer*
+    (local-pref 200) over the direct route from o (default 100).  Two
+    stable solutions exist; asynchronous schedules settle into one of
+    them (the §7 "multiple converged states" caveat).
+    """
+    o = (
+        "hostname o\n"
+        "interface e0\n ip address 10.0.0.0 255.255.255.254\n"
+        "interface e1\n ip address 10.0.0.2 255.255.255.254\n"
+        "router bgp 65000\n"
+        " network 10.9.0.0 mask 255.255.255.0\n"
+        " neighbor 10.0.0.1 remote-as 65001\n"
+        " neighbor 10.0.0.3 remote-as 65002\n"
+    )
+    prefer_peer = (
+        "ip prefix-list P seq 5 permit 10.9.0.0/24\n"
+        "route-map PREFER-PEER permit 10\n"
+        " match ip address prefix-list P\n"
+        " set local-preference 200\n"
+        "route-map PREFER-PEER permit 20\n"
+    )
+    a = (
+        "hostname a\n"
+        "interface e0\n ip address 10.0.0.1 255.255.255.254\n"
+        "interface e1\n ip address 10.0.0.4 255.255.255.254\n"
+        + prefer_peer
+        + "router bgp 65001\n"
+        " neighbor 10.0.0.0 remote-as 65000\n"
+        " neighbor 10.0.0.5 remote-as 65002\n"
+        " neighbor 10.0.0.5 route-map PREFER-PEER in\n"
+    )
+    b = (
+        "hostname b\n"
+        "interface e0\n ip address 10.0.0.3 255.255.255.254\n"
+        "interface e1\n ip address 10.0.0.5 255.255.255.254\n"
+        + prefer_peer
+        + "router bgp 65002\n"
+        " neighbor 10.0.0.2 remote-as 65000\n"
+        " neighbor 10.0.0.4 remote-as 65001\n"
+        " neighbor 10.0.0.4 route-map PREFER-PEER in\n"
+    )
+    return build(o, a, b)
+
+
+def bad_gadget():
+    """Griffin's BAD GADGET: guaranteed BGP divergence.
+
+    o (center) originates P; the ring a→b→c→a each prefers the route
+    learned from its ring *successor* (local-pref 200) over the direct
+    route from o.  No stable solution exists, so route computation
+    oscillates under every schedule — exercising the §7 limitation that
+    S2 cannot terminate on non-converging networks.
+    """
+    o = (
+        "hostname o\n"
+        "interface e0\n ip address 10.0.0.0 255.255.255.254\n"
+        "interface e1\n ip address 10.0.0.2 255.255.255.254\n"
+        "interface e2\n ip address 10.0.0.4 255.255.255.254\n"
+        "router bgp 65000\n"
+        " network 10.9.0.0 mask 255.255.255.0\n"
+        " neighbor 10.0.0.1 remote-as 65001\n"
+        " neighbor 10.0.0.3 remote-as 65002\n"
+        " neighbor 10.0.0.5 remote-as 65003\n"
+    )
+    prefer = (
+        "ip prefix-list P seq 5 permit 10.9.0.0/24\n"
+        "route-map PREFER permit 10\n"
+        " match ip address prefix-list P\n"
+        " set local-preference 200\n"
+        "route-map PREFER permit 20\n"
+    )
+    a = (
+        "hostname a\n"
+        "interface e0\n ip address 10.0.0.1 255.255.255.254\n"
+        "interface e1\n ip address 10.0.0.6 255.255.255.254\n"
+        "interface e2\n ip address 10.0.0.11 255.255.255.254\n"
+        + prefer
+        + "router bgp 65001\n"
+        " neighbor 10.0.0.0 remote-as 65000\n"
+        " neighbor 10.0.0.7 remote-as 65002\n"
+        " neighbor 10.0.0.7 route-map PREFER in\n"
+        " neighbor 10.0.0.10 remote-as 65003\n"
+    )
+    b = (
+        "hostname b\n"
+        "interface e0\n ip address 10.0.0.3 255.255.255.254\n"
+        "interface e1\n ip address 10.0.0.7 255.255.255.254\n"
+        "interface e2\n ip address 10.0.0.8 255.255.255.254\n"
+        + prefer
+        + "router bgp 65002\n"
+        " neighbor 10.0.0.2 remote-as 65000\n"
+        " neighbor 10.0.0.9 remote-as 65003\n"
+        " neighbor 10.0.0.9 route-map PREFER in\n"
+        " neighbor 10.0.0.6 remote-as 65001\n"
+    )
+    c = (
+        "hostname c\n"
+        "interface e0\n ip address 10.0.0.5 255.255.255.254\n"
+        "interface e1\n ip address 10.0.0.9 255.255.255.254\n"
+        "interface e2\n ip address 10.0.0.10 255.255.255.254\n"
+        + prefer
+        + "router bgp 65003\n"
+        " neighbor 10.0.0.4 remote-as 65000\n"
+        " neighbor 10.0.0.11 remote-as 65001\n"
+        " neighbor 10.0.0.11 route-map PREFER in\n"
+        " neighbor 10.0.0.8 remote-as 65002\n"
+    )
+    return build(o, a, b, c)
+
+
+class TestStats:
+    def test_round_and_route_counters(self, fattree4):
+        engine = SimulationEngine(fattree4)
+        engine.run()
+        stats = engine.stats
+        assert stats.bgp_rounds >= 3
+        assert stats.shards_run == 1
+        assert stats.total_selected_routes == 256
+        assert stats.peak_candidate_routes > 256  # candidates > selected
+        assert stats.work_units > 0
+
+    def test_sharded_run_counts_shards(self, fattree4):
+        from repro.dist.sharding import make_shards
+
+        engine = SimulationEngine(fattree4)
+        shards = make_shards(fattree4, 4)
+        engine.run([s.prefixes for s in shards])
+        assert engine.stats.shards_run == 4
+
+    def test_main_routes_include_connected(self, fattree4):
+        engine = SimulationEngine(fattree4)
+        engine.run()
+        routes = engine.main_routes()
+        # every switch has a connected route per interface
+        assert all(len(rs) > 0 for rs in routes.values())
+
+    def test_local_prefixes_exposed(self, fattree4):
+        engine = SimulationEngine(fattree4)
+        locals_ = engine.local_prefixes()
+        assert Prefix.parse("10.0.0.0/24") in locals_["edge-0-0"]
+        assert locals_["core-0"] == frozenset()
+
+
+class TestConvergenceFailure:
+    def test_disagree_gadget_settles_into_one_solution(self):
+        """DISAGREE has two stable solutions; the sequential engine's
+        asynchronous schedule settles into one (§7's multiple-converged-
+        states caveat — S2 converges 'to one such state')."""
+        snapshot = disagree_gadget()
+        engine = SimulationEngine(snapshot, max_rounds=30)
+        routes = engine.run()
+        P = Prefix.parse("10.9.0.0/24")
+        prefs = sorted(
+            routes[h][P][0].local_pref for h in ("a", "b")
+        )
+        # exactly one of the two got its preferred (peer) path
+        assert prefs == [100, 200]
+
+    def test_bad_gadget_raises(self):
+        snapshot = bad_gadget()
+        engine = SimulationEngine(snapshot, max_rounds=40)
+        with pytest.raises(ConvergenceError):
+            engine.run()
+
+    def test_distributed_bad_gadget_raises_too(self):
+        from repro.dist.controller import S2Controller, S2Options
+
+        snapshot = bad_gadget()
+        with S2Controller(
+            snapshot, S2Options(num_workers=2, max_rounds=40)
+        ) as controller:
+            with pytest.raises(ConvergenceError):
+                controller.run_control_plane()
+
+    def test_round_budget_respected(self, fattree4):
+        # an absurdly small budget trips even on a healthy network
+        engine = SimulationEngine(fattree4, max_rounds=1)
+        with pytest.raises(ConvergenceError):
+            engine.run()
+
+
+class TestPrefixCollection:
+    def test_fattree_counts(self, fattree4):
+        assert len(collect_network_prefixes(fattree4)) == 8
+
+    def test_multi_prefix_edges(self):
+        snapshot = build_fattree(4, prefixes_per_edge=3)
+        assert len(collect_network_prefixes(snapshot)) == 24
+
+    def test_includes_conditional_and_aggregate_prefixes(self, dcn1):
+        prefixes = collect_network_prefixes(dcn1)
+        assert Prefix.parse("0.0.0.0/0") in prefixes
+        assert Prefix.parse("10.3.0.0/16") in prefixes
+
+    def test_includes_redistributed_static(self):
+        snapshot = build(
+            "hostname r\n"
+            "interface e0\n ip address 10.0.0.0 255.255.255.254\n"
+            "ip route 192.168.0.0 255.255.0.0 Null0\n"
+            "router bgp 65001\n"
+            " neighbor 10.0.0.1 remote-as 65002\n"
+            " redistribute static\n"
+        )
+        assert Prefix.parse("192.168.0.0/16") in collect_network_prefixes(
+            snapshot
+        )

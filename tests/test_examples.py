@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The slow, full-size scenarios (dcn_audit, dual_stack_dcn,
+run_all_experiments) are exercised by the benchmarks and EXPERIMENTS.md
+generation; here we run the fast examples exactly as a user would.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("quickstart.py", ["single-pair reachability holds: True"]),
+    (
+        "waypoint_firewall.py",
+        ["WAYPOINT VIOLATED", "MULTIPATH INCONSISTENCY", "S2 verdict"],
+    ),
+    (
+        "fig11_forwarding_trace.py",
+        ["4 forwarding paths found", "all of them"],
+    ),
+    ("scale_out_study.py", ["recommendation:"]),
+    (
+        "link_failure_sweep.py",
+        ["safe to lose", "single point of failure"],
+    ),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES)
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, f"examples/{script}", "4"]
+        if script == "scale_out_study.py"
+        else [sys.executable, f"examples/{script}"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, (
+            f"{script} output missing {needle!r}:\n{result.stdout[-2000:]}"
+        )

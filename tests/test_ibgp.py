@@ -1,0 +1,148 @@
+"""Tests for the iBGP code paths of the switch model.
+
+The synthesized networks are all-eBGP (like the paper's), but the model
+implements the iBGP rules real snapshots need: same-ASN sessions do not
+prepend, preserve local-pref, skip the eBGP loop check, rank below eBGP
+in the decision process, and obey the no-transit rule (iBGP-learned
+routes are not re-advertised to other iBGP peers without a route
+reflector).
+"""
+
+import pytest
+
+from repro.config.loader import make_snapshot, parse_device
+from repro.net.ip import Prefix, format_ip
+from repro.routing.engine import SimulationEngine
+
+P = Prefix.parse("10.9.0.0/24")
+
+
+def device(name, asn, ifaces, neighbors, extra=""):
+    lines = [f"hostname {name}"]
+    for iname, ip in ifaces:
+        lines += [f"interface {iname}", f" ip address {ip} 255.255.255.254"]
+    lines.append(f"router bgp {asn}")
+    lines.append(f" bgp router-id {format_ip(abs(hash(name)) % 255 + 1)}")
+    for peer, peer_asn, *policy in neighbors:
+        lines.append(f" neighbor {peer} remote-as {peer_asn}")
+        for entry in policy:
+            lines.append(f" neighbor {peer} {entry}")
+    if extra:
+        lines.append(extra.rstrip())
+    return parse_device("\n".join(lines) + "\n", "ciscoish")
+
+
+def snapshot_of(*configs):
+    return make_snapshot({c.hostname: c for c in configs})
+
+
+@pytest.fixture(scope="module")
+def ibgp_chain():
+    """a ==iBGP== b ==iBGP== c (all AS 65000), plus eBGP peer d at b.
+
+    a originates P.
+    """
+    a = device(
+        "a", 65000, [("e0", "10.0.0.0")], [("10.0.0.1", 65000)],
+        extra=" network 10.9.0.0 mask 255.255.255.0",
+    )
+    b = device(
+        "b", 65000,
+        [("e0", "10.0.0.1"), ("e1", "10.0.0.2"), ("e2", "10.0.0.4")],
+        [
+            ("10.0.0.0", 65000),
+            ("10.0.0.3", 65000),
+            ("10.0.0.5", 65099),
+        ],
+    )
+    c = device("c", 65000, [("e0", "10.0.0.3")], [("10.0.0.2", 65000)])
+    d = device("d", 65099, [("e0", "10.0.0.5")], [("10.0.0.4", 65000)])
+    snapshot = snapshot_of(a, b, c, d)
+    engine = SimulationEngine(snapshot)
+    routes = engine.run()
+    return engine, routes
+
+
+class TestIbgpAttributes:
+    def test_no_prepend_on_ibgp(self, ibgp_chain):
+        _, routes = ibgp_chain
+        got = routes["b"][P][0]
+        assert got.as_path == ()  # originated, no eBGP hop yet
+        assert not got.ebgp
+
+    def test_local_pref_preserved_across_ibgp(self, ibgp_chain):
+        """iBGP carries local-pref; here the default 100 survives."""
+        _, routes = ibgp_chain
+        assert routes["b"][P][0].local_pref == 100
+
+    def test_ebgp_export_prepends_once(self, ibgp_chain):
+        _, routes = ibgp_chain
+        got = routes["d"][P][0]
+        assert got.as_path == (65000,)
+        assert got.ebgp
+
+    def test_no_transit_rule(self, ibgp_chain):
+        """b must NOT re-advertise the iBGP-learned route to c (no route
+        reflector configured): c never learns P."""
+        _, routes = ibgp_chain
+        assert P not in routes.get("c", {})
+
+    def test_ebgp_learned_goes_to_ibgp_peers(self):
+        """The inverse direction: an eBGP-learned route IS advertised to
+        iBGP peers."""
+        x = device(
+            "x", 65099, [("e0", "10.0.0.0")], [("10.0.0.1", 65000)],
+            extra=" network 10.8.0.0 mask 255.255.0.0",
+        )
+        a = device(
+            "a", 65000,
+            [("e0", "10.0.0.1"), ("e1", "10.0.0.2")],
+            [("10.0.0.0", 65099), ("10.0.0.3", 65000)],
+        )
+        b = device("b", 65000, [("e0", "10.0.0.3")], [("10.0.0.2", 65000)])
+        engine = SimulationEngine(snapshot_of(x, a, b))
+        routes = engine.run()
+        got = routes["b"][Prefix.parse("10.8.0.0/16")][0]
+        assert got.as_path == (65099,)  # no iBGP prepend at a
+        assert not got.ebgp
+
+
+class TestDecisionPreference:
+    def test_ebgp_beats_ibgp_for_same_prefix(self):
+        """a hears P over eBGP (longer path) and over iBGP: eBGP wins at
+        equal local-pref and path length."""
+        # o originates P; a has an eBGP session to o AND an iBGP session
+        # to m, which also peers with o.
+        o = device(
+            "o", 65001,
+            [("e0", "10.0.0.0"), ("e1", "10.0.0.2")],
+            [("10.0.0.1", 65000), ("10.0.0.3", 65000)],
+            extra=" network 10.9.0.0 mask 255.255.255.0",
+        )
+        a = device(
+            "a", 65000,
+            [("e0", "10.0.0.1"), ("e1", "10.0.0.4")],
+            [("10.0.0.0", 65001), ("10.0.0.5", 65000)],
+        )
+        m = device(
+            "m", 65000,
+            [("e0", "10.0.0.3"), ("e1", "10.0.0.5")],
+            [("10.0.0.2", 65001), ("10.0.0.4", 65000)],
+        )
+        engine = SimulationEngine(snapshot_of(o, a, m))
+        routes = engine.run()
+        best = routes["a"][P]
+        assert all(r.ebgp for r in best)
+        assert best[0].from_node == "o"
+
+    def test_distributed_matches_monolithic_with_ibgp(self, ibgp_chain):
+        from tests.conftest import normalize_ribs
+        from repro.dist.controller import S2Controller, S2Options
+
+        engine, expected = ibgp_chain
+        with S2Controller(
+            engine.snapshot, S2Options(num_workers=3)
+        ) as controller:
+            controller.run_control_plane()
+            got = controller.collected_ribs()
+            assert normalize_ribs(got) == normalize_ribs(expected)

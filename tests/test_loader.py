@@ -1,0 +1,155 @@
+"""Tests for snapshot loading: directories, topology derivation, round trips."""
+
+import os
+
+import pytest
+
+from repro.config.lexer import ConfigSyntaxError
+from repro.config.loader import (
+    Snapshot,
+    derive_topology,
+    load_snapshot_dir,
+    make_snapshot,
+    parse_device,
+    write_snapshot_dir,
+)
+from repro.net.dcn import render_configs as render_dcn, default_spec
+from repro.net.fattree import FatTreeSpec, render_configs as render_fattree
+from repro.net.ip import Prefix
+
+
+class TestTopologyDerivation:
+    def test_p2p_subnet_creates_one_link(self):
+        a = parse_device(
+            "hostname a\ninterface e0\n ip address 10.0.0.0 255.255.255.254\n"
+        )
+        b = parse_device(
+            "hostname b\ninterface e0\n ip address 10.0.0.1 255.255.255.254\n"
+        )
+        topology = derive_topology({"a": a, "b": b})
+        assert len(list(topology.links())) == 1
+        assert topology.neighbors("a") == ["b"]
+
+    def test_lan_subnet_links_pairwise(self):
+        configs = {}
+        for i, name in enumerate(("a", "b", "c")):
+            configs[name] = parse_device(
+                f"hostname {name}\ninterface e0\n"
+                f" ip address 10.0.0.{i + 1} 255.255.255.0\n"
+            )
+        topology = derive_topology(configs)
+        assert len(list(topology.links())) == 3  # triangle
+
+    def test_shutdown_interface_excluded(self):
+        a = parse_device(
+            "hostname a\ninterface e0\n"
+            " ip address 10.0.0.0 255.255.255.254\n shutdown\n"
+        )
+        b = parse_device(
+            "hostname b\ninterface e0\n ip address 10.0.0.1 255.255.255.254\n"
+        )
+        topology = derive_topology({"a": a, "b": b})
+        assert len(list(topology.links())) == 0
+
+    def test_lonely_subnet_no_link(self):
+        a = parse_device(
+            "hostname a\ninterface e0\n ip address 10.0.0.1 255.255.255.0\n"
+        )
+        topology = derive_topology({"a": a})
+        assert len(list(topology.links())) == 0
+
+
+class TestSnapshotDirRoundTrip:
+    def test_fattree_write_and_load(self, tmp_path):
+        texts = render_fattree(FatTreeSpec(k=4, juniper_fraction=0.25))
+        write_snapshot_dir(str(tmp_path), texts)
+        files = os.listdir(tmp_path / "configs")
+        assert any(f.endswith(".cfg") for f in files)
+        assert any(f.endswith(".conf") for f in files)
+        snapshot = load_snapshot_dir(str(tmp_path))
+        assert len(snapshot) == 20
+        assert snapshot.topology.is_connected()
+        snapshot.topology.validate()
+
+    def test_dcn_write_and_load(self, tmp_path):
+        texts = render_dcn(default_spec(1))
+        write_snapshot_dir(str(tmp_path), texts)
+        snapshot = load_snapshot_dir(str(tmp_path))
+        assert len(snapshot) == len(texts)
+        assert snapshot.validate() == {}
+
+    def test_loaded_equals_generated_routes(self, tmp_path, fattree4,
+                                            fattree4_sim):
+        """A snapshot loaded from disk simulates identically to the one
+        built in memory."""
+        from repro.routing.engine import SimulationEngine
+        from tests.conftest import normalize_ribs
+
+        texts = render_fattree(FatTreeSpec(k=4))
+        write_snapshot_dir(str(tmp_path), texts)
+        loaded = load_snapshot_dir(str(tmp_path))
+        engine = SimulationEngine(loaded)
+        _, expected = fattree4_sim
+        assert normalize_ribs(engine.run()) == normalize_ribs(expected)
+
+    def test_duplicate_hostname_rejected(self, tmp_path):
+        os.makedirs(tmp_path / "configs")
+        for name in ("x1.cfg", "x2.cfg"):
+            with open(tmp_path / "configs" / name, "w") as handle:
+                handle.write("hostname dup\n")
+        with pytest.raises(ConfigSyntaxError):
+            load_snapshot_dir(str(tmp_path))
+
+    def test_flat_directory_accepted(self, tmp_path):
+        with open(tmp_path / "a.cfg", "w") as handle:
+            handle.write(
+                "hostname a\ninterface e0\n"
+                " ip address 10.0.0.0 255.255.255.254\n"
+            )
+        snapshot = load_snapshot_dir(str(tmp_path))
+        assert "a" in snapshot.configs
+
+    def test_non_config_files_skipped(self, tmp_path):
+        os.makedirs(tmp_path / "configs")
+        with open(tmp_path / "configs" / "README.md", "w") as handle:
+            handle.write("# not a config\n")
+        with open(tmp_path / "configs" / "a.cfg", "w") as handle:
+            handle.write("hostname a\n")
+        snapshot = load_snapshot_dir(str(tmp_path))
+        assert list(snapshot.configs) == ["a"]
+
+
+class TestSnapshotApi:
+    def test_validate_aggregates_problems(self):
+        broken = parse_device(
+            "hostname broken\n"
+            "router bgp 1\n"
+            " neighbor 1.2.3.4 remote-as 2\n"
+            " neighbor 1.2.3.4 route-map MISSING in\n"
+        )
+        snapshot = make_snapshot({"broken": broken})
+        problems = snapshot.validate()
+        assert "broken" in problems
+
+    def test_len(self, fattree4):
+        assert len(fattree4) == 20
+
+    def test_metadata(self, fattree4, dcn1):
+        assert fattree4.metadata["kind"] == "fattree"
+        assert dcn1.metadata["kind"] == "dcn"
+
+
+class TestMixedVendorFatTree:
+    def test_mixed_vendors_converge_identically(self, fattree4_sim):
+        """A FatTree with 25% juniperish switches computes the same routes
+        as the all-cisco one — the vendor frontends are interchangeable."""
+        from repro.net.fattree import build_fattree
+        from repro.routing.engine import SimulationEngine
+        from tests.conftest import normalize_ribs
+
+        mixed = build_fattree(4, juniper_fraction=0.25)
+        vendors = {c.behavior.vendor for c in mixed.configs.values()}
+        assert vendors == {"ciscoish", "juniperish"}
+        engine = SimulationEngine(mixed)
+        _, expected = fattree4_sim
+        assert normalize_ribs(engine.run()) == normalize_ribs(expected)

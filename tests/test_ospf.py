@@ -1,0 +1,175 @@
+"""Tests for the OSPF model and its interaction with BGP redistribution."""
+
+import pytest
+
+from repro.config.loader import make_snapshot, parse_device
+from repro.net.ip import Prefix, format_ip
+from repro.routing.engine import SimulationEngine
+from repro.routing.route import Protocol
+
+
+def ospf_device(hostname, ifaces, costs=None, loopback=None, passive=()):
+    """ifaces = [(name, ip, masklen)]; costs maps iface->cost."""
+    costs = costs or {}
+    lines = [f"hostname {hostname}"]
+    for name, ip, length in ifaces:
+        mask = format_ip(Prefix(Prefix.parse(ip).network, length).mask)
+        lines += [f"interface {name}", f" ip address {ip} {mask}"]
+        if name in costs:
+            lines.append(f" ip ospf cost {costs[name]}")
+    if loopback:
+        mask = format_ip(Prefix.parse(loopback).mask)
+        lines += [
+            "interface lo0",
+            f" ip address {loopback.split('/')[0]} "
+            f"{format_ip(Prefix.parse(loopback).mask)}",
+        ]
+    lines.append("router ospf 1")
+    lines.append(f" router-id {format_ip(abs(hash(hostname)) % 1000 + 1)}")
+    lines.append(" network 0.0.0.0 255.255.255.255 area 0")
+    for iface in passive:
+        lines.append(f" passive-interface {iface}")
+    return "\n".join(lines) + "\n"
+
+
+def build(*texts):
+    configs = {}
+    for text in texts:
+        config = parse_device(text, "ciscoish")
+        configs[config.hostname] = config
+    return make_snapshot(configs)
+
+
+class TestChain:
+    """a --1-- b --1-- c line; a has a loopback."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        snap = build(
+            ospf_device(
+                "a", [("eth0", "10.0.0.0", 31)], loopback="172.16.0.1/32"
+            ),
+            ospf_device(
+                "b", [("eth0", "10.0.0.1", 31), ("eth1", "10.0.0.2", 31)]
+            ),
+            ospf_device("c", [("eth0", "10.0.0.3", 31)]),
+        )
+        engine = SimulationEngine(snap)
+        engine.run_ospf()
+        return engine
+
+    def test_remote_prefix_learned(self, engine):
+        routes = engine.ospf["c"].routes()
+        loop = [r for r in routes if r.prefix == Prefix.parse("172.16.0.1/32")]
+        assert len(loop) == 1
+        assert loop[0].metric == 2  # two hops at cost 1
+
+    def test_next_hop_points_to_neighbor(self, engine):
+        routes = engine.ospf["c"].routes()
+        loop = [r for r in routes if r.prefix == Prefix.parse("172.16.0.1/32")]
+        assert loop[0].next_hop == Prefix.parse("10.0.0.2").network
+
+    def test_adjacent_subnet_cost_one(self, engine):
+        routes = engine.ospf["c"].routes()
+        far_link = [
+            r for r in routes if r.prefix == Prefix.parse("10.0.0.0/31")
+        ]
+        assert far_link and far_link[0].metric == 1
+
+    def test_routes_installed_into_main_rib(self, engine):
+        node = engine.nodes["c"]
+        assert node.main_rib.routes_for(Prefix.parse("172.16.0.1/32"))
+
+    def test_protocol_and_admin_distance(self, engine):
+        routes = engine.ospf["c"].routes()
+        assert all(r.protocol is Protocol.OSPF for r in routes)
+        assert all(r.admin_distance == 110 for r in routes)
+
+
+class TestCostsAndEcmp:
+    def test_interface_cost_respected(self):
+        # diamond: a-b (cost 1), a-c (cost 10), b-d, c-d; a reaches d's
+        # loopback via b
+        snap = build(
+            ospf_device(
+                "a",
+                [("eth0", "10.0.0.0", 31), ("eth1", "10.0.0.2", 31)],
+                costs={"eth1": 10},
+            ),
+            ospf_device(
+                "b", [("eth0", "10.0.0.1", 31), ("eth1", "10.0.0.4", 31)]
+            ),
+            ospf_device(
+                "c", [("eth0", "10.0.0.3", 31), ("eth1", "10.0.0.6", 31)]
+            ),
+            ospf_device(
+                "d",
+                [("eth0", "10.0.0.5", 31), ("eth1", "10.0.0.7", 31)],
+                loopback="172.16.0.9/32",
+            ),
+        )
+        engine = SimulationEngine(snap)
+        engine.run_ospf()
+        routes = [
+            r
+            for r in engine.ospf["a"].routes()
+            if r.prefix == Prefix.parse("172.16.0.9/32")
+        ]
+        assert len(routes) == 1
+        assert routes[0].next_hop == Prefix.parse("10.0.0.1").network
+        assert routes[0].metric == 2
+
+    def test_equal_cost_multipath(self):
+        # same diamond, equal costs: a sees two next hops to d's loopback
+        snap = build(
+            ospf_device(
+                "a", [("eth0", "10.0.0.0", 31), ("eth1", "10.0.0.2", 31)]
+            ),
+            ospf_device(
+                "b", [("eth0", "10.0.0.1", 31), ("eth1", "10.0.0.4", 31)]
+            ),
+            ospf_device(
+                "c", [("eth0", "10.0.0.3", 31), ("eth1", "10.0.0.6", 31)]
+            ),
+            ospf_device(
+                "d",
+                [("eth0", "10.0.0.5", 31), ("eth1", "10.0.0.7", 31)],
+                loopback="172.16.0.9/32",
+            ),
+        )
+        engine = SimulationEngine(snap)
+        engine.run_ospf()
+        routes = [
+            r
+            for r in engine.ospf["a"].routes()
+            if r.prefix == Prefix.parse("172.16.0.9/32")
+        ]
+        assert len(routes) == 2
+        assert {r.next_hop for r in routes} == {
+            Prefix.parse("10.0.0.1").network,
+            Prefix.parse("10.0.0.3").network,
+        }
+
+    def test_passive_interface_forms_no_adjacency(self):
+        snap = build(
+            ospf_device(
+                "a",
+                [("eth0", "10.0.0.0", 31)],
+                loopback="172.16.0.1/32",
+                passive=("eth0",),
+            ),
+            ospf_device("b", [("eth0", "10.0.0.1", 31)]),
+        )
+        engine = SimulationEngine(snap)
+        engine.run_ospf()
+        assert engine.ospf["a"].adjacencies == []
+        routes = engine.ospf["b"].routes()
+        assert all(r.prefix != Prefix.parse("172.16.0.1/32") for r in routes)
+
+
+class TestNonOspfNodes:
+    def test_disabled_process_is_inert(self, fattree4):
+        engine = SimulationEngine(fattree4)
+        engine.run_ospf()  # no OSPF configured anywhere: no-op
+        assert engine.stats.ospf_rounds == 0
+        assert all(not p.enabled for p in engine.ospf.values())

@@ -1,0 +1,120 @@
+"""Tests for the network partitioner and its five schemes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist.partition import (
+    SCHEMES,
+    PartitionResult,
+    estimate_loads,
+    partition,
+)
+
+
+@pytest.fixture(scope="module", params=SCHEMES)
+def scheme(request):
+    return request.param
+
+
+class TestAllSchemes:
+    def test_every_node_assigned_once(self, fattree6, scheme):
+        result = partition(fattree6, 4, scheme=scheme)
+        assert set(result.assignment) == set(fattree6.topology.node_names())
+        assert all(0 <= w < 4 for w in result.assignment.values())
+
+    def test_single_worker_trivial(self, fattree4, scheme):
+        result = partition(fattree4, 1, scheme=scheme)
+        assert set(result.assignment.values()) == {0}
+
+    def test_deterministic(self, fattree6, scheme):
+        a = partition(fattree6, 4, scheme=scheme)
+        b = partition(fattree6, 4, scheme=scheme)
+        assert a.assignment == b.assignment
+
+    def test_all_workers_used(self, fattree6, scheme):
+        result = partition(fattree6, 4, scheme=scheme)
+        assert set(result.assignment.values()) == {0, 1, 2, 3}
+
+    def test_dcn_partitionable(self, dcn1, scheme):
+        result = partition(dcn1, 4, scheme=scheme)
+        assert set(result.assignment) == set(dcn1.topology.node_names())
+
+
+class TestBalance:
+    def test_balanced_schemes_are_balanced(self, fattree6):
+        loads = estimate_loads(fattree6)
+        for scheme in ("metis", "random", "expert"):
+            result = partition(fattree6, 4, scheme=scheme)
+            assert result.imbalance(loads) < 1.35, scheme
+
+    def test_imbalanced_scheme_is_imbalanced(self, fattree6):
+        loads = estimate_loads(fattree6)
+        result = partition(fattree6, 4, scheme="imbalanced")
+        # 3/4 of the network on worker 0 (§5.6)
+        assert result.imbalance(loads) > 2.0
+        segments = result.segments()
+        assert len(segments[0]) >= len(fattree6.topology.node_names()) * 0.7
+
+    def test_metis_cut_not_worse_than_random(self, fattree6):
+        metis = partition(fattree6, 4, scheme="metis")
+        rand = partition(fattree6, 4, scheme="random")
+        assert metis.edge_cut(fattree6.topology) <= rand.edge_cut(
+            fattree6.topology
+        )
+
+    def test_commheavy_cuts_every_link(self, fattree6):
+        result = partition(fattree6, 8, scheme="commheavy")
+        # edges/cores vs aggs: every FatTree link joins different layers
+        assert result.edge_cut(fattree6.topology) == len(
+            list(fattree6.topology.links())
+        )
+
+    def test_expert_keeps_pods_together(self, fattree6):
+        result = partition(fattree6, 3, scheme="expert")
+        topology = fattree6.topology
+        for pod in range(6):
+            members = {
+                result.assignment[n.name]
+                for n in topology.nodes()
+                if n.pod == pod
+            }
+            assert len(members) == 1
+
+
+class TestLoadEstimation:
+    def test_fattree_formula(self, fattree6):
+        loads = estimate_loads(fattree6)
+        # §4.1: core/agg ~ k^3/2, edge ~ k^3/4
+        assert loads["core-0"] == 6 ** 3 // 2
+        assert loads["agg-0-0"] == 6 ** 3 // 2
+        assert loads["edge-0-0"] == 6 ** 3 // 4
+
+    def test_dcn_degree_weighted(self, dcn1):
+        loads = estimate_loads(dcn1)
+        for name, load in loads.items():
+            assert load == max(1, dcn1.topology.degree(name))
+
+
+class TestResultApi:
+    def test_segments_partition_nodes(self, fattree4):
+        result = partition(fattree4, 3, scheme="metis")
+        segments = result.segments()
+        flat = [n for seg in segments for n in seg]
+        assert sorted(flat) == sorted(fattree4.topology.node_names())
+
+    def test_unknown_scheme_rejected(self, fattree4):
+        with pytest.raises(ValueError):
+            partition(fattree4, 2, scheme="voodoo")
+
+    def test_zero_workers_rejected(self, fattree4):
+        with pytest.raises(ValueError):
+            partition(fattree4, 0)
+
+    @given(st.integers(1, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_any_worker_count_covers(self, workers):
+        from repro.net.fattree import build_fattree
+
+        snapshot = build_fattree(4)
+        result = partition(snapshot, workers, scheme="metis")
+        assert len(set(result.assignment)) == 20

@@ -1,0 +1,177 @@
+"""Tests for prefix sharding: DPDG, components, packing, validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist.sharding import (
+    Dpdg,
+    build_dpdg,
+    make_shards,
+    pack_components,
+    validate_shards,
+)
+from repro.net.ip import Prefix
+from repro.routing.engine import collect_network_prefixes
+
+
+class TestDpdg:
+    def test_fattree_has_no_dependencies(self, fattree4):
+        dpdg = build_dpdg(fattree4)
+        assert dpdg.edges == set()
+        assert len(dpdg.prefixes) == 8
+
+    def test_dcn_aggregate_dependencies(self, dcn1):
+        dpdg = build_dpdg(dcn1)
+        agg = Prefix.parse("10.3.0.0/16")
+        deps = {b for a, b in dpdg.edges if a == agg}
+        # the 5-layer cluster's VLAN aggregate depends on its TOR /24s
+        assert Prefix.parse("10.3.0.0/24") in deps
+        assert Prefix.parse("10.3.5.0/24") in deps
+        # but not on another cluster's prefixes
+        assert Prefix.parse("10.1.0.0/24") not in deps
+
+    def test_dcn_conditional_dependency(self, dcn1):
+        dpdg = build_dpdg(dcn1)
+        assert (
+            Prefix.parse("0.0.0.0/0"),
+            Prefix.parse("8.8.8.0/24"),
+        ) in dpdg.edges
+
+    def test_components_group_dependencies(self, dcn1):
+        dpdg = build_dpdg(dcn1)
+        components = dpdg.weakly_connected_components()
+        by_prefix = {}
+        for i, component in enumerate(components):
+            for prefix in component:
+                by_prefix[prefix] = i
+        assert by_prefix[Prefix.parse("10.3.0.0/16")] == by_prefix[
+            Prefix.parse("10.3.0.0/24")
+        ]
+        assert by_prefix[Prefix.parse("0.0.0.0/0")] == by_prefix[
+            Prefix.parse("8.8.8.0/24")
+        ]
+
+    def test_components_cover_all_prefixes_once(self, dcn1):
+        dpdg = build_dpdg(dcn1)
+        components = dpdg.weakly_connected_components()
+        flat = [p for c in components for p in c]
+        assert len(flat) == len(set(flat)) == len(dpdg.prefixes)
+
+    def test_manual_dpdg(self):
+        dpdg = Dpdg()
+        a, b, c = (Prefix.parse(f"10.{i}.0.0/16") for i in range(3))
+        dpdg.add_prefix(c)
+        dpdg.add_dependency(a, b)
+        components = dpdg.weakly_connected_components()
+        assert sorted(map(len, components)) == [1, 2]
+
+
+class TestMakeShards:
+    def test_exact_cover(self, fattree4):
+        shards = make_shards(fattree4, 3)
+        assert validate_shards(shards, fattree4) == []
+        total = sum(len(s) for s in shards)
+        assert total == len(collect_network_prefixes(fattree4))
+
+    def test_dcn_cover_and_cosharding(self, dcn1):
+        shards = make_shards(dcn1, 6)
+        assert validate_shards(shards, dcn1) == []
+
+    def test_fewer_components_than_shards(self, fattree4):
+        shards = make_shards(fattree4, 100)
+        assert len(shards) == 8  # one shard per prefix, no empties
+
+    def test_single_shard(self, fattree4):
+        shards = make_shards(fattree4, 1)
+        assert len(shards) == 1
+        assert len(shards[0]) == 8
+
+    def test_membership_protocol(self, fattree4):
+        shards = make_shards(fattree4, 2)
+        p = Prefix.parse("10.0.0.0/24")
+        assert any(p in shard for shard in shards)
+
+    def test_invalid_count_rejected(self, fattree4):
+        with pytest.raises(ValueError):
+            make_shards(fattree4, 0)
+
+    def test_deterministic_for_seed(self, dcn1):
+        a = make_shards(dcn1, 5, seed=3)
+        b = make_shards(dcn1, 5, seed=3)
+        assert [s.prefixes for s in a] == [s.prefixes for s in b]
+
+    def test_seed_shuffles_equal_size_components(self, fattree4):
+        a = make_shards(fattree4, 4, seed=1)
+        b = make_shards(fattree4, 4, seed=2)
+        # same sizes, (almost certainly) different membership
+        assert sorted(len(s) for s in a) == sorted(len(s) for s in b)
+
+
+class TestPacking:
+    def test_balanced_sizes(self):
+        components = [[Prefix(i << 8, 24)] for i in range(40)]
+        shards = pack_components(components, 8)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_large_component_isolated(self):
+        big = [Prefix(i << 8, 24) for i in range(10)]
+        small = [[Prefix((100 + i) << 8, 24)] for i in range(3)]
+        shards = pack_components([big] + small, 2)
+        sizes = sorted(len(s) for s in shards)
+        assert sizes == [3, 10]
+
+    @given(
+        st.lists(
+            st.integers(1, 6), min_size=1, max_size=20
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lpt_bound(self, component_sizes, num_shards):
+        """Greedy LPT never exceeds mean + largest-component size."""
+        components = []
+        counter = 0
+        for size in component_sizes:
+            component = []
+            for _ in range(size):
+                component.append(Prefix(counter << 8, 24))
+                counter += 1
+            components.append(component)
+        shards = pack_components(components, num_shards)
+        total = sum(component_sizes)
+        effective = min(num_shards, len(components))
+        mean = total / effective
+        assert max(len(s) for s in shards) <= mean + max(component_sizes)
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_cover_property(self, num_shards):
+        components = [[Prefix(i << 8, 24)] for i in range(17)]
+        shards = pack_components(components, num_shards)
+        flat = {p for s in shards for p in s.prefixes}
+        assert len(flat) == 17
+        assert all(len(s) > 0 for s in shards)
+
+
+class TestShardedEqualsUnsharded:
+    """§4.5 correctness: sharding must not change the fixed point."""
+
+    @pytest.mark.parametrize("num_shards", [2, 5])
+    def test_fattree(self, fattree4, fattree4_sim, num_shards):
+        from repro.routing.engine import SimulationEngine
+
+        _, unsharded = fattree4_sim
+        engine = SimulationEngine(fattree4)
+        shards = make_shards(fattree4, num_shards)
+        sharded = engine.run([s.prefixes for s in shards])
+        assert sharded == unsharded
+
+    def test_dcn_with_dependencies(self, dcn1, dcn1_sim):
+        from repro.routing.engine import SimulationEngine
+
+        _, unsharded = dcn1_sim
+        engine = SimulationEngine(dcn1)
+        shards = make_shards(dcn1, 7)
+        sharded = engine.run([s.prefixes for s in shards])
+        assert sharded == unsharded

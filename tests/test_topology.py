@@ -1,0 +1,150 @@
+"""Tests for the topology graph model."""
+
+import pytest
+
+from repro.net.ip import Prefix, parse_ip
+from repro.net.topology import (
+    Interface,
+    InterfaceRef,
+    Link,
+    Topology,
+    TopologyNode,
+)
+
+
+def make_pair():
+    """Two nodes joined by one /31 link."""
+    topo = Topology()
+    a = TopologyNode("a")
+    a.add_interface(Interface("eth0", parse_ip("10.0.0.0"), Prefix.parse("10.0.0.0/31")))
+    b = TopologyNode("b")
+    b.add_interface(Interface("eth0", parse_ip("10.0.0.1"), Prefix.parse("10.0.0.0/31")))
+    topo.add_node(a)
+    topo.add_node(b)
+    topo.add_link(InterfaceRef("a", "eth0"), InterfaceRef("b", "eth0"))
+    return topo
+
+
+class TestConstruction:
+    def test_add_and_lookup(self):
+        topo = make_pair()
+        assert len(topo) == 2
+        assert "a" in topo and "c" not in topo
+        assert topo.node("a").name == "a"
+
+    def test_duplicate_node_rejected(self):
+        topo = make_pair()
+        with pytest.raises(ValueError):
+            topo.add_node(TopologyNode("a"))
+
+    def test_duplicate_interface_rejected(self):
+        node = TopologyNode("x")
+        node.add_interface(Interface("eth0", 1, Prefix.parse("10.0.0.0/31")))
+        with pytest.raises(ValueError):
+            node.add_interface(Interface("eth0", 2, Prefix.parse("10.0.0.0/31")))
+
+    def test_link_requires_known_endpoints(self):
+        topo = make_pair()
+        with pytest.raises(KeyError):
+            topo.add_link(
+                InterfaceRef("a", "eth0"), InterfaceRef("zzz", "eth0")
+            )
+        with pytest.raises(KeyError):
+            topo.add_link(
+                InterfaceRef("a", "ethX"), InterfaceRef("b", "eth0")
+            )
+
+
+class TestQueries:
+    def test_neighbors(self):
+        topo = make_pair()
+        assert topo.neighbors("a") == ["b"]
+        assert topo.neighbors("b") == ["a"]
+
+    def test_degree(self):
+        topo = make_pair()
+        assert topo.degree("a") == 1
+
+    def test_link_between(self):
+        topo = make_pair()
+        link = topo.link_between("a", "b")
+        assert link is not None
+        assert link.other("a").node == "b"
+        assert link.local("b").node == "b"
+        assert topo.link_between("a", "a") is None
+
+    def test_link_other_rejects_non_endpoint(self):
+        topo = make_pair()
+        link = topo.link_between("a", "b")
+        with pytest.raises(KeyError):
+            link.other("c")
+
+    def test_interface_address(self):
+        topo = make_pair()
+        assert topo.interface_address(InterfaceRef("a", "eth0")) == parse_ip(
+            "10.0.0.0"
+        )
+
+    def test_edge_list(self):
+        topo = make_pair()
+        assert topo.edge_list() == [("a", "b")]
+
+    def test_is_connected(self):
+        topo = make_pair()
+        assert topo.is_connected()
+        lonely = TopologyNode("c")
+        topo.add_node(lonely)
+        assert not topo.is_connected()
+
+    def test_validate_accepts_matching_subnets(self):
+        make_pair().validate()
+
+    def test_validate_rejects_mismatched_subnets(self):
+        topo = Topology()
+        a = TopologyNode("a")
+        a.add_interface(Interface("eth0", parse_ip("10.0.0.0"), Prefix.parse("10.0.0.0/31")))
+        b = TopologyNode("b")
+        b.add_interface(Interface("eth0", parse_ip("10.9.0.1"), Prefix.parse("10.9.0.0/31")))
+        topo.add_node(a)
+        topo.add_node(b)
+        topo.add_link(InterfaceRef("a", "eth0"), InterfaceRef("b", "eth0"))
+        with pytest.raises(ValueError):
+            topo.validate()
+
+    def test_subgraph(self, fattree4):
+        topo = fattree4.topology
+        pod0 = [n.name for n in topo.nodes() if n.pod == 0]
+        sub = topo.subgraph_nodes(pod0)
+        assert len(sub) == len(pod0)
+        # pod-internal links survive; links to cores do not
+        assert all(
+            sub.node(l.a.node) and sub.node(l.b.node) for l in sub.links()
+        )
+        assert sub.is_connected()
+
+
+class TestFatTreeShape:
+    def test_counts(self, fattree4):
+        topo = fattree4.topology
+        roles = {}
+        for node in topo.nodes():
+            roles[node.role] = roles.get(node.role, 0) + 1
+        assert roles == {"edge": 8, "agg": 8, "core": 4}
+
+    def test_degrees(self, fattree4):
+        topo = fattree4.topology
+        for node in topo.nodes():
+            if node.role == "edge":
+                assert topo.degree(node.name) == 2
+            elif node.role == "agg":
+                assert topo.degree(node.name) == 4
+            else:
+                assert topo.degree(node.name) == 4
+
+    def test_connected_and_valid(self, fattree4):
+        assert fattree4.topology.is_connected()
+        fattree4.topology.validate()
+
+    def test_dcn_connected_and_valid(self, dcn1):
+        assert dcn1.topology.is_connected()
+        dcn1.topology.validate()
