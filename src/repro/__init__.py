@@ -20,4 +20,5 @@ __version__ = "1.0.0"
 from .core.s2 import S2Verifier, VerificationResult, verify_snapshot  # noqa: F401
 from .dataplane.queries import Query  # noqa: F401
 from .dist.controller import S2Options  # noqa: F401
+from .dist.faults import FaultPlan, FaultSpec, RetryPolicy  # noqa: F401
 from .net.ip import Prefix  # noqa: F401

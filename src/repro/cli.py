@@ -49,19 +49,57 @@ def _add_snapshot_args(parser) -> None:
 
 def cmd_verify(args) -> int:
     snapshot = _load(args)
+    fault_plan = None
+    if args.inject_fault:
+        from .dist.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_args(
+                args.inject_fault, seed=args.fault_seed
+            )
+        except ValueError as exc:
+            print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
+            return 2
     options = S2Options(
         num_workers=args.workers,
         num_shards=args.shards,
         partition_scheme=args.scheme,
         enforce_memory=not args.no_memory_limit,
+        runtime=args.runtime,
+        store_dir=args.store_dir,
+        fault_plan=fault_plan,
     )
-    with S2Verifier(snapshot, options) as verifier:
+    if args.resume:
+        if not args.store_dir:
+            print("--resume requires --store-dir", file=sys.stderr)
+            return 2
+        try:
+            verifier = S2Verifier.resume(snapshot, options)
+        except ValueError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+    else:
+        verifier = S2Verifier(snapshot, options)
+    with verifier:
         query = None
         if args.src and args.dst:
             prefix = Prefix.parse(args.prefix) if args.prefix else None
             query = Query.single_pair(args.src, args.dst, prefix)
         result = verifier.verify(query=query, check_loops=args.check_loops)
         print(result.summary())
+        if result.cp_stats is not None and (
+            result.cp_stats.worker_failures
+            or result.cp_stats.shards_skipped
+            or fault_plan is not None
+        ):
+            cp = result.cp_stats
+            print(
+                f"fault tolerance: {cp.worker_failures} worker failures, "
+                f"{cp.shard_replays} shard replays, "
+                f"{cp.shards_skipped} shards skipped on resume, "
+                f"{cp.forced_rounds} rounds forced by dropped batches"
+                + (" [sequential fallback]" if cp.sequential_fallback else "")
+            )
         if result.loop_violations:
             print(f"loops found: {len(result.loop_violations)}")
             for violation in result.loop_violations[:5]:
@@ -194,6 +232,35 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--prefix", help="header-space prefix for the query")
     verify.add_argument("--check-loops", action="store_true")
     verify.add_argument("--no-memory-limit", action="store_true")
+    verify.add_argument(
+        "--runtime",
+        choices=["sequential", "threaded", "process"],
+        default="sequential",
+    )
+    verify.add_argument(
+        "--store-dir",
+        help="persistent spool directory (enables checkpoint/resume)",
+    )
+    verify.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed run from --store-dir's manifest",
+    )
+    verify.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="inject a fault, e.g. 'crash:worker=1,round=3' or "
+        "'drop:worker=0,times=2' (repeatable; kinds: crash, delay, "
+        "error, drop, duplicate, respawn_fail)",
+    )
+    verify.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for probabilistic fault specs",
+    )
     verify.add_argument("-v", "--verbose", action="store_true")
     verify.set_defaults(func=cmd_verify)
 

@@ -35,6 +35,7 @@ from ..dataplane.queries import (
 from ..dist.controller import S2Controller, S2Options
 from ..dist.cpo import ControlPlaneStats
 from ..dist.dpo import DataPlaneStats
+from ..dist.faults import WorkerFailure
 from ..dist.resources import ClusterReport, SimulatedOOM
 from ..net.ip import Prefix
 
@@ -43,7 +44,7 @@ from ..net.ip import Prefix
 class VerificationResult:
     """Everything one verification run produced."""
 
-    status: str                              # "ok" | "oom" | "bdd-overflow"
+    status: str          # "ok" | "oom" | "bdd-overflow" | "worker-failure"
     snapshot_name: str
     num_workers: int
     num_shards: int
@@ -89,6 +90,23 @@ class S2Verifier:
         self.snapshot = snapshot
         self.options = options or S2Options()
         self.controller = S2Controller(snapshot, self.options)
+
+    @classmethod
+    def resume(
+        cls, snapshot: Snapshot, options: S2Options
+    ) -> "S2Verifier":
+        """Reattach to a killed run (``options.store_dir`` required).
+
+        The resumed run restores the OSPF checkpoint, skips every shard
+        the run manifest records as converged, and completes the rest —
+        producing the same RIBs and verdicts the uninterrupted run would
+        have.
+        """
+        verifier = cls.__new__(cls)
+        verifier.snapshot = snapshot
+        verifier.options = options
+        verifier.controller = S2Controller.resume(snapshot, options)
+        return verifier
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -156,6 +174,12 @@ class S2Verifier:
             result.error = str(exc)
         except BddOverflowError as exc:
             result.status = "bdd-overflow"
+            result.error = str(exc)
+        except WorkerFailure as exc:
+            # Supervision, shard replay, and the sequential fallback are
+            # all exhausted (or the data-plane phase lost a worker it
+            # could not get back): report it, don't traceback.
+            result.status = "worker-failure"
             result.error = str(exc)
         result.wall_seconds = time.perf_counter() - started
         result.report = self.controller.report()

@@ -5,12 +5,29 @@ one snapshot: partition the topology, instantiate workers and sidecars,
 run the sharded control-plane fixed point, build the distributed data
 plane, and hand out a property checker.  :mod:`repro.core` wraps this in
 the high-level :class:`~repro.core.s2.S2Verifier` API.
+
+The controller is also where fault tolerance comes together:
+
+* a :class:`WorkerSupervisor` recovers failed workers (respawn in the
+  process runtime, in-place reset in the in-process runtimes) and
+  replays the OSPF checkpoint into them, so the CPO can rerun the
+  interrupted shard;
+* if recovery itself fails (:class:`~repro.dist.faults.RespawnError`) or
+  the retry budget is exhausted, :meth:`S2Controller.run_control_plane`
+  degrades to the monolithic :class:`~repro.routing.engine.
+  SimulationEngine` and writes *bit-identical* per-shard results into
+  the route store (the engines are equivalence-tested);
+* with a persistent ``store_dir``, a :class:`~repro.dist.storage.
+  RunManifest` records converged shards and the OSPF checkpoint, and
+  :meth:`S2Controller.resume` restarts a killed run, skipping them.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..bdd.headerspace import HeaderEncoding
 from ..config.loader import Snapshot
@@ -19,6 +36,7 @@ from ..routing.engine import BgpResult
 from ..routing.route import BgpRoute
 from .cpo import ControlPlaneOrchestrator, ControlPlaneStats
 from .dpo import DataPlaneOrchestrator, DataPlaneStats
+from .faults import FaultPlan, RespawnError, RetryPolicy, WorkerFailure
 from .partition import PartitionResult, partition
 from .resources import (
     DEFAULT_WORKER_CAPACITY,
@@ -29,7 +47,7 @@ from .resources import (
 from .runtime import Runtime, make_runtime
 from .sharding import PrefixShard, make_shards, validate_shards
 from .sidecar import Sidecar
-from .storage import RouteStore
+from .storage import RouteStore, RunManifest
 from .worker import Worker
 
 
@@ -53,12 +71,121 @@ class S2Options:
     store_dir: Optional[str] = None
     enforce_memory: bool = True
     refine_shards: bool = False      # §7 runtime dependency refinement
+    # -- fault tolerance -------------------------------------------------
+    fault_plan: Optional[FaultPlan] = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint: bool = True          # manifest + OSPF checkpoint (needs
+    #                                  a persistent store_dir to matter)
+
+
+def options_fingerprint(options: S2Options, snapshot: Snapshot) -> str:
+    """A digest of everything that shapes a run's *results*.
+
+    Stored in the manifest and checked by :meth:`S2Controller.resume`:
+    resuming with options that would change the computed RIBs (different
+    sharding, partitioning, seed, or snapshot) is refused.  Supervision
+    knobs (``fault_plan``, ``retry_policy``, ``runtime``) are excluded on
+    purpose — they change *how* the run executes, never what it computes,
+    so a crashed process-runtime run may be resumed sequentially.
+    """
+    payload = {
+        "version": 1,
+        "snapshot": snapshot.name,
+        "nodes": sorted(snapshot.configs),
+        "num_workers": options.num_workers,
+        "partition_scheme": options.partition_scheme,
+        "num_shards": options.num_shards,
+        "seed": options.seed,
+        "max_rounds": options.max_rounds,
+        "refine_shards": options.refine_shards,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+class WorkerSupervisor:
+    """Recovers failed workers and replays checkpoints into them.
+
+    One recovery has three steps: (1) give the worker a fresh execution
+    context — :meth:`~repro.dist.process_runtime.ProcessWorkerPool.
+    respawn` for process workers, :meth:`~repro.dist.worker.Worker.reset`
+    in-process — keeping the proxy/worker *identity* so orchestrator and
+    sidecar references stay valid; (2) replay the OSPF checkpoint taken
+    after the IGP fixed point; (3) the caller (CPO/DPO) replays the
+    interrupted unit of work (shard or query), which is idempotent.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Any],
+        store: RouteStore,
+        pool=None,
+        persistent: bool = False,
+    ) -> None:
+        self.workers = list(workers)
+        self.store = store
+        self.pool = pool
+        self.persistent = persistent
+        self._ospf_states: Dict[int, Any] = {}
+        self.recoveries = 0
+
+    # -- OSPF checkpoint --------------------------------------------------
+
+    def checkpoint_ospf(self) -> None:
+        """Capture every worker's installed IGP routes (once, post-IGP)."""
+        for worker in self.workers:
+            state = worker.export_ospf_state()
+            self._ospf_states[worker.worker_id] = state
+            if self.persistent:
+                self.store.write_ospf_state(worker.worker_id, state)
+
+    def restore_ospf(self) -> bool:
+        """Resume path: reload the IGP result from the store, skip rounds.
+
+        Returns False when any worker's checkpoint is missing, in which
+        case the caller falls back to re-running the IGP fixed point.
+        """
+        states: Dict[int, Any] = {}
+        for worker in self.workers:
+            state = self.store.read_ospf_state(worker.worker_id)
+            if state is None:
+                return False
+            states[worker.worker_id] = state
+        for worker in self.workers:
+            worker.restore_ospf_state(states[worker.worker_id])
+        self._ospf_states = states
+        return True
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self, failure: WorkerFailure) -> None:
+        """Bring the failed worker back; raises RespawnError on failure."""
+        worker_id = failure.worker_id
+        if worker_id is None or not (0 <= worker_id < len(self.workers)):
+            raise failure
+        self.recoveries += 1
+        if self.pool is not None:
+            self.pool.respawn(worker_id)
+        else:
+            worker = self.workers[worker_id]
+            worker.reset()
+            worker.resources.respawns += 1
+        self.workers[worker_id].restore_ospf_state(
+            self._ospf_states.get(worker_id)
+        )
 
 
 class S2Controller:
     """Owns the workers, sidecars, orchestrators, and the route store."""
 
-    def __init__(self, snapshot: Snapshot, options: Optional[S2Options] = None) -> None:
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        options: Optional[S2Options] = None,
+        resuming: bool = False,
+    ) -> None:
         self.snapshot = snapshot
         self.options = options or S2Options()
         opts = self.options
@@ -84,6 +211,8 @@ class S2Controller:
                 capacity=capacity,
                 cost_model=opts.cost_model,
                 max_hops=opts.max_hops,
+                retry_policy=opts.retry_policy,
+                fault_plan=opts.fault_plan,
             )
             self.workers = self._pool.proxies
             self.runtime: Runtime = make_runtime("threaded")
@@ -103,7 +232,14 @@ class S2Controller:
                 )
                 for i in range(opts.num_workers)
             ]
-        self.sidecars = [Sidecar(worker) for worker in self.workers]
+            # In-process fault injection happens inside the worker phases
+            # (the process runtime injects at the proxy call layer).
+            for worker in self.workers:
+                worker.fault_injector = opts.fault_plan
+        self.sidecars = [
+            Sidecar(worker, fault_plan=opts.fault_plan)
+            for worker in self.workers
+        ]
         for sidecar in self.sidecars:
             sidecar.register_peers(self.sidecars)
         self.shards: List[PrefixShard] = []
@@ -112,12 +248,51 @@ class S2Controller:
             problems = validate_shards(self.shards, snapshot)
             if problems:
                 raise ValueError(f"invalid shards: {problems[:3]}")
+        # -- checkpoint/resume state --------------------------------------
+        self.manifest: Optional[RunManifest] = None
+        fingerprint = options_fingerprint(opts, snapshot)
+        persistent = opts.store_dir is not None and opts.checkpoint
+        if persistent and resuming:
+            manifest = self.store.read_manifest()
+            if manifest is None:
+                raise ValueError(
+                    f"nothing to resume: no manifest in {self.store.directory}"
+                )
+            if manifest.options_hash != fingerprint:
+                raise ValueError(
+                    "refusing to resume: the store was written with "
+                    f"incompatible options (manifest hash "
+                    f"{manifest.options_hash}, current {fingerprint})"
+                )
+            self.manifest = manifest
+        elif persistent:
+            # A fresh run over a reused spool directory: stale shards
+            # from an earlier (possibly killed) run must not pollute
+            # merged_routes.
+            self.store.clear_run_state()
+            self.manifest = RunManifest(
+                options_hash=fingerprint,
+                seed=opts.seed,
+                num_workers=opts.num_workers,
+                num_shards=max(1, len(self.shards) or 1),
+            )
+            self.store.write_manifest(self.manifest)
+        self.supervisor = WorkerSupervisor(
+            self.workers,
+            self.store,
+            pool=self._pool,
+            persistent=persistent,
+        )
         self.cpo = ControlPlaneOrchestrator(
             self.workers,
             self.sidecars,
             self.store,
             runtime=self.runtime,
             max_rounds=opts.max_rounds,
+            fault_plan=opts.fault_plan,
+            supervisor=self.supervisor,
+            retry_policy=opts.retry_policy,
+            manifest=self.manifest,
         )
         self.dpo = DataPlaneOrchestrator(
             self.workers,
@@ -127,17 +302,97 @@ class S2Controller:
             runtime=self.runtime,
             node_limit=opts.node_limit,
             controller_node_limit=opts.controller_node_limit,
+            supervisor=self.supervisor,
+            retry_policy=opts.retry_policy,
         )
         self._cp_done = False
+
+    # -- resume -----------------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls, snapshot: Snapshot, options: S2Options
+    ) -> "S2Controller":
+        """Reattach to a killed run's persistent store and continue it.
+
+        The next :meth:`run_control_plane` restores the OSPF checkpoint
+        (if taken) and skips every shard the manifest records as
+        converged; only the interrupted remainder is recomputed.
+        """
+        if options is None or options.store_dir is None:
+            raise ValueError("resume() requires options.store_dir")
+        if not options.checkpoint:
+            raise ValueError("resume() requires options.checkpoint")
+        return cls(snapshot, options, resuming=True)
 
     # -- pipeline ---------------------------------------------------------
 
     def run_control_plane(self) -> ControlPlaneStats:
-        stats = self.cpo.run(
-            self.shards if self.shards else None,
-            refine=self.options.refine_shards,
-        )
+        """The sharded fixed point, with graceful degradation.
+
+        A :class:`WorkerFailure` escaping the CPO means supervision is
+        out of options (respawn failed, or the shard retry budget is
+        spent); rather than abandon the run, the controller recomputes
+        the remaining shards on the monolithic engine — slower, but
+        bit-identical (the engines are equivalence-tested) — and the
+        stats record the degradation.
+        """
+        try:
+            stats = self.cpo.run(
+                self.shards if self.shards else None,
+                refine=self.options.refine_shards,
+            )
+        except WorkerFailure:
+            stats = self._sequential_fallback()
         self._cp_done = True
+        return stats
+
+    def _sequential_fallback(self) -> ControlPlaneStats:
+        """Recompute unfinished shards on the monolithic engine."""
+        from ..routing.engine import SimulationEngine
+
+        stats = self.cpo.stats
+        stats.sequential_fallback = True
+        engine = SimulationEngine(
+            self.snapshot, max_rounds=self.options.max_rounds
+        )
+        engine.run_ospf()
+        shard_list: List[Optional[PrefixShard]] = (
+            list(self.shards) if self.shards else [None]
+        )
+        for shard in shard_list:
+            flush_index = shard.index if shard is not None else 0
+            if self.manifest is not None and self.manifest.is_shard_done(
+                flush_index
+            ):
+                continue
+            result = engine.run_bgp_shard(
+                shard.prefixes if shard is not None else None
+            )
+            per_worker: Dict[int, Dict] = {
+                worker_id: {}
+                for worker_id in range(self.options.num_workers)
+            }
+            selected_total = 0
+            for hostname, selected in result.items():
+                if not selected:
+                    continue  # the workers' flush omits empty nodes too
+                owner = self.partition.assignment[hostname]
+                per_worker[owner][hostname] = selected
+                selected_total += sum(
+                    len(routes) for routes in selected.values()
+                )
+            for worker_id, routes in per_worker.items():
+                stats.route_flush_bytes += self.store.write_shard(
+                    worker_id, flush_index, routes
+                )
+            stats.total_selected_routes += selected_total
+            stats.shards_run += 1
+            if self.manifest is not None:
+                self.manifest.mark_shard(flush_index)
+                self.store.write_manifest(self.manifest)
+        stats.bgp_rounds += engine.stats.bgp_rounds
+        stats.ospf_rounds += engine.stats.ospf_rounds
         return stats
 
     def build_data_plane(self) -> DataPlaneStats:
@@ -186,10 +441,15 @@ class S2Controller:
         return holders
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-        self.store.close()
-        self.runtime.close()
+        """Tear everything down; no step may mask another's cleanup."""
+        try:
+            if self._pool is not None:
+                self._pool.close()
+        finally:
+            try:
+                self.store.close()
+            finally:
+                self.runtime.close()
 
     def __enter__(self) -> "S2Controller":
         return self

@@ -10,6 +10,17 @@ Algorithm 1 with the pull relays batched per worker pair.
 When a shard converges, its routes are flushed to the
 :class:`~repro.dist.storage.RouteStore` and the in-memory RIBs are freed,
 which is exactly what bounds the per-worker peak at one shard (§4.5).
+
+Fault tolerance rides on shard idempotency: ``begin_shard`` fully resets
+per-shard state, so when a :class:`~repro.dist.faults.WorkerFailure`
+surfaces mid-fixed-point the CPO asks the supervisor to recover the
+worker (respawn/reset + OSPF checkpoint replay) and simply replays the
+whole shard from round 0 — bit-identical to the fault-free run.  Dropped
+sidecar batches are healed by the rounds themselves (exports are resent
+in full every round); the only hazard is a drop in the would-be-final
+round, so the CPO refuses to declare convergence in any round where the
+fault plan dropped a batch.  A :class:`~repro.dist.storage.RunManifest`
+records converged shards, letting :meth:`run` skip them on resume.
 """
 
 from __future__ import annotations
@@ -19,10 +30,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..routing.engine import ConvergenceError
+from .faults import FaultPlan, RetryPolicy, WorkerFailure
 from .runtime import Runtime, SequentialRuntime
 from .sharding import PrefixShard
 from .sidecar import Sidecar
-from .storage import RouteStore
+from .storage import RouteStore, RunManifest
 from .worker import Worker
 
 
@@ -37,6 +49,18 @@ class ControlPlaneStats:
     route_flush_bytes: int = 0
     peak_candidate_routes: int = 0  # summed over workers, any instant
     total_selected_routes: int = 0
+    # -- fault tolerance -------------------------------------------------
+    worker_failures: int = 0        # WorkerFailures seen during BGP/OSPF
+    shard_replays: int = 0          # shards rerun after a recovery
+    ospf_replays: int = 0           # OSPF fixed points rerun after recovery
+    forced_rounds: int = 0          # extra rounds forced by dropped batches
+    shards_skipped: int = 0         # shards skipped on resume (manifest)
+    ospf_restored: bool = False     # OSPF came from a checkpoint, not rounds
+    heartbeat_probes: int = 0
+    sequential_fallback: bool = False  # degraded to the monolithic engine
+    batches_dropped: int = 0        # injected at the sidecars
+    batches_duplicated: int = 0     # injected at the sidecars
+    duplicates_discarded: int = 0   # receiver-side sequence dedup hits
 
 
 class ControlPlaneOrchestrator:
@@ -47,12 +71,20 @@ class ControlPlaneOrchestrator:
         store: RouteStore,
         runtime: Optional[Runtime] = None,
         max_rounds: int = 200,
+        fault_plan: Optional[FaultPlan] = None,
+        supervisor=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        manifest: Optional[RunManifest] = None,
     ) -> None:
         self.workers = list(workers)
         self.sidecars = list(sidecars)
         self.store = store
         self.runtime = runtime or SequentialRuntime()
         self.max_rounds = max_rounds
+        self.fault_plan = fault_plan
+        self.supervisor = supervisor
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.manifest = manifest
         self.stats = ControlPlaneStats()
 
     # -- helpers ------------------------------------------------------------
@@ -62,11 +94,69 @@ class ControlPlaneOrchestrator:
         if deltas:
             self.stats.modeled_wall_time += max(deltas)
 
+    def _recover(self, failure: WorkerFailure) -> None:
+        """Hand a worker failure to the supervisor (or give up)."""
+        self.stats.worker_failures += 1
+        if self.supervisor is None:
+            raise failure
+        self.supervisor.recover(failure)
+
+    def _heartbeat(self) -> None:
+        """Probe worker liveness; a dead worker surfaces as WorkerFailure."""
+        self.stats.heartbeat_probes += 1
+        for worker in self.workers:
+            answer = worker.ping()
+            if answer not in ("pong", True):
+                raise WorkerFailure(
+                    f"worker {worker.worker_id} failed its heartbeat "
+                    f"(answered {answer!r})",
+                    worker_id=worker.worker_id,
+                    command="ping",
+                )
+
+    def _collect_fault_telemetry(self) -> None:
+        """Fold sidecar and worker fault counters into the stats."""
+        self.stats.batches_dropped = sum(
+            s.batches_dropped for s in self.sidecars
+        )
+        self.stats.batches_duplicated = sum(
+            s.batches_duplicated for s in self.sidecars
+        )
+        try:
+            self.stats.duplicates_discarded = sum(
+                worker.fault_counters().get("duplicate_batches", 0)
+                for worker in self.workers
+            )
+        except WorkerFailure:
+            pass  # telemetry must never fail a finished run
+
     # -- OSPF phase -----------------------------------------------------------
 
     def run_ospf(self) -> None:
+        """The IGP fixed point, with shard-style failure recovery.
+
+        On a worker failure the recovered worker rejoins with an empty
+        IGP state and the whole loop reruns: distance-vector convergence
+        is monotone from any mixed state, so the fixed point (and hence
+        the installed routes) is identical to the fault-free run.
+        """
+        attempts = 0
+        while True:
+            try:
+                self._run_ospf_once()
+                return
+            except WorkerFailure as failure:
+                attempts += 1
+                if attempts > self.retry_policy.max_shard_retries:
+                    raise
+                self._recover(failure)
+                self.stats.ospf_replays += 1
+
+    def _run_ospf_once(self) -> None:
         if not any(worker.has_ospf() for worker in self.workers):
             return
+        if self.fault_plan is not None:
+            self.fault_plan.set_context(round_token=-1)
         for _round in range(self.max_rounds):
             batch_maps = self.runtime.map(
                 [w.compute_ospf_exports for w in self.workers]
@@ -78,11 +168,19 @@ class ControlPlaneOrchestrator:
                 [w.pull_ospf_round for w in self.workers]
             )
             self.stats.ospf_rounds += 1
+            dropped = (
+                self.fault_plan.consume_drops()
+                if self.fault_plan is not None
+                else 0
+            )
             if not any(changed_flags):
-                break
+                if dropped == 0:
+                    break
+                self.stats.forced_rounds += 1
         else:
             raise ConvergenceError(
-                f"OSPF did not converge within {self.max_rounds} rounds"
+                f"OSPF did not converge within {self.max_rounds} rounds",
+                rounds=self.max_rounds,
             )
         self.runtime.map(
             [w.install_ospf_routes for w in self.workers]
@@ -91,14 +189,38 @@ class ControlPlaneOrchestrator:
     # -- BGP phase ------------------------------------------------------------------
 
     def run_bgp_shard(self, shard: Optional[PrefixShard]) -> None:
-        """Converge one shard and flush it (the non-refining path)."""
-        self._converge_shard(shard)
-        self._flush_shard(shard.index if shard is not None else 0)
+        """Converge one shard and flush it, replaying after recoveries.
+
+        A shard is the recovery unit: ``begin_shard`` (at the top of the
+        fixed point) fully resets per-shard state on every worker, so a
+        replay after respawning the failed worker reproduces the same
+        RIBs the fault-free run would have flushed.
+        """
+        attempts = 0
+        while True:
+            try:
+                self._converge_shard(shard)
+                self._flush_shard(shard.index if shard is not None else 0)
+                return
+            except WorkerFailure as failure:
+                attempts += 1
+                if attempts > self.retry_policy.max_shard_retries:
+                    raise
+                self._recover(failure)
+                self.stats.shard_replays += 1
 
     def _converge_shard(self, shard: Optional[PrefixShard]) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.set_context(
+                shard=shard.index if shard is not None else 0
+            )
         for worker in self.workers:
             worker.begin_shard(shard)
+        heartbeat_every = self.retry_policy.heartbeat_interval_rounds
+        last_outcomes = []
         for round_token in range(self.max_rounds):
+            if self.fault_plan is not None:
+                self.fault_plan.set_context(round_token=round_token)
             clocks_before = [w.resources.modeled_time for w in self.workers]
             # Phase A: snapshot exports, batch the boundary ones.
             batch_maps = self.runtime.map(
@@ -117,6 +239,7 @@ class ControlPlaneOrchestrator:
                     for w in self.workers
                 ]
             )
+            last_outcomes = outcomes
             candidate_total = 0
             for worker, outcome in zip(self.workers, outcomes):
                 worker.update_memory()
@@ -134,11 +257,31 @@ class ControlPlaneOrchestrator:
                 ]
             )
             self.stats.bgp_rounds += 1
+            dropped = (
+                self.fault_plan.consume_drops()
+                if self.fault_plan is not None
+                else 0
+            )
             if not any(outcome.changed for outcome in outcomes):
-                break
+                if dropped == 0:
+                    break
+                # A batch was dropped this round: a "no change" verdict
+                # may rest on a stale mailbox.  Exports are re-sent in
+                # full every round, so one extra round heals the state.
+                self.stats.forced_rounds += 1
+            if heartbeat_every and (round_token + 1) % heartbeat_every == 0:
+                self._heartbeat()
         else:
+            still_changing = {
+                worker.worker_id: list(outcome.changed_nodes)
+                for worker, outcome in zip(self.workers, last_outcomes)
+                if outcome.changed
+            }
             raise ConvergenceError(
-                f"BGP did not converge within {self.max_rounds} rounds"
+                f"BGP did not converge within {self.max_rounds} rounds",
+                shard_index=shard.index if shard is not None else 0,
+                rounds=self.max_rounds,
+                still_changing=still_changing,
             )
 
     def _flush_shard(self, flush_index: int) -> None:
@@ -156,6 +299,22 @@ class ControlPlaneOrchestrator:
             flush_deltas.append(worker.resources.charge_shard_overhead())
         self._modeled_barrier(flush_deltas)
         self.stats.shards_run += 1
+
+    # -- checkpoint/resume ----------------------------------------------------
+
+    def _checkpoint_ospf(self) -> None:
+        """Record the IGP result for respawn replay (and resume)."""
+        if self.supervisor is not None:
+            self.supervisor.checkpoint_ospf()
+        if self.manifest is not None:
+            self.manifest.ospf_done = True
+            self.store.write_manifest(self.manifest)
+
+    def _mark_shard_done(self, flush_index: int, rounds: int) -> None:
+        if self.manifest is None:
+            return
+        self.manifest.mark_shard(flush_index, rounds=rounds)
+        self.store.write_manifest(self.manifest)
 
     # -- §7 extension: runtime dependency refinement --------------------------
 
@@ -175,12 +334,26 @@ class ControlPlaneOrchestrator:
         dependency the DPDG missed).  The affected shards are merged and
         the union recomputed; since flush indices grow monotonically, a
         recomputation simply supersedes earlier results for its prefixes.
+
+        (Refinement reshapes the shard list as it runs, so refined runs
+        are not resumable: the manifest's flush indices would not line
+        up across a restart.  Worker recovery still applies.)
         """
         pending: List[PrefixShard] = list(shards)
         flush_index = 0
         while pending:
             shard = pending.pop(0)
-            self._converge_shard(shard)
+            attempts = 0
+            while True:
+                try:
+                    self._converge_shard(shard)
+                    break
+                except WorkerFailure as failure:
+                    attempts += 1
+                    if attempts > self.retry_policy.max_shard_retries:
+                        raise
+                    self._recover(failure)
+                    self.stats.shard_replays += 1
             unmet = {
                 watch
                 for _prefix, watch in self._collect_observed_dependencies()
@@ -217,15 +390,47 @@ class ControlPlaneOrchestrator:
         shards: Optional[Sequence[PrefixShard]] = None,
         refine: bool = False,
     ) -> ControlPlaneStats:
-        """IGPs first, then BGP over every shard (None = single pass)."""
+        """IGPs first, then BGP over every shard (None = single pass).
+
+        With a manifest attached (persistent store), OSPF is restored
+        from its checkpoint when already done, converged shards are
+        skipped, and every newly converged shard is recorded — the
+        substrate of :meth:`~repro.dist.controller.S2Controller.resume`.
+        """
         started = time.perf_counter()
-        self.run_ospf()
+        if (
+            self.manifest is not None
+            and self.manifest.ospf_done
+            and self.supervisor is not None
+            and self.supervisor.restore_ospf()
+        ):
+            self.stats.ospf_restored = True
+        else:
+            self.run_ospf()
+            self._checkpoint_ospf()
         if shards and refine:
             self.run_bgp_refining(shards)
         elif shards:
             for shard in shards:
+                if self.manifest is not None and self.manifest.is_shard_done(
+                    shard.index
+                ):
+                    self.stats.shards_skipped += 1
+                    continue
+                rounds_before = self.stats.bgp_rounds
                 self.run_bgp_shard(shard)
+                self._mark_shard_done(
+                    shard.index, self.stats.bgp_rounds - rounds_before
+                )
         else:
-            self.run_bgp_shard(None)
+            if self.manifest is not None and self.manifest.is_shard_done(0):
+                self.stats.shards_skipped += 1
+            else:
+                rounds_before = self.stats.bgp_rounds
+                self.run_bgp_shard(None)
+                self._mark_shard_done(
+                    0, self.stats.bgp_rounds - rounds_before
+                )
+        self._collect_fault_telemetry()
         self.stats.measured_seconds = time.perf_counter() - started
         return self.stats

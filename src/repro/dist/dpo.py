@@ -27,6 +27,7 @@ from ..config.loader import Snapshot
 from ..dataplane.fib import NextHopResolver
 from ..dataplane.forwarding import FinalPacket, FinalState
 from ..dataplane.queries import PropertyChecker
+from .faults import RetryPolicy, WorkerFailure
 from .runtime import Runtime, SequentialRuntime
 from .sidecar import Sidecar
 from .storage import RouteStore
@@ -42,6 +43,9 @@ class DataPlaneStats:
     supersteps: int = 0
     packets_crossed: int = 0
     finals: int = 0
+    # -- fault tolerance -------------------------------------------------
+    worker_failures: int = 0   # WorkerFailures seen during build/forward
+    query_replays: int = 0     # queries rerun after a worker recovery
 
     @property
     def modeled_total(self) -> float:
@@ -58,6 +62,8 @@ class DataPlaneOrchestrator:
         runtime: Optional[Runtime] = None,
         node_limit: int = 1 << 24,
         controller_node_limit: int = 1 << 24,
+        supervisor=None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.workers = list(workers)
         self.sidecars = list(sidecars)
@@ -68,12 +74,46 @@ class DataPlaneOrchestrator:
         self.engine: BddEngine = self.encoding.make_engine(
             node_limit=controller_node_limit
         )
+        self.supervisor = supervisor
+        self.retry_policy = retry_policy or RetryPolicy()
         self.stats = DataPlaneStats()
         self._built = False
+        self._store: Optional[RouteStore] = None
+        self._transits: List[str] = []
+
+    # -- fault handling --------------------------------------------------
+
+    def _recover(self, failure: WorkerFailure) -> None:
+        self.stats.worker_failures += 1
+        if self.supervisor is None:
+            raise failure
+        self.supervisor.recover(failure)
 
     # -- phase 1: FIBs + predicates --------------------------------------
 
     def build(self, store: RouteStore) -> None:
+        """Build FIBs and predicates on every worker.
+
+        Queries are the recovery unit of the DPV phase: a worker failure
+        here (or mid-forward) resets ``_built``, the supervisor recovers
+        the worker, and the whole build reruns — ``build_dataplane`` is
+        idempotent (fresh engine per call), and a recovered worker's
+        routes come back from the store plus its OSPF checkpoint.
+        """
+        self._store = store
+        attempts = 0
+        while True:
+            try:
+                self._build_once(store)
+                return
+            except WorkerFailure as failure:
+                attempts += 1
+                self._built = False
+                if attempts > self.retry_policy.max_query_retries:
+                    raise
+                self._recover(failure)
+
+    def _build_once(self, store: RouteStore) -> None:
         if self._built:
             return
         started = time.perf_counter()
@@ -99,6 +139,9 @@ class DataPlaneOrchestrator:
     # -- waypoints ------------------------------------------------------------
 
     def install_waypoints(self, transits: Sequence[str]) -> None:
+        # Remembered so a mid-query recovery (which rebuilds the data
+        # plane from scratch) can re-install them before the replay.
+        self._transits = list(transits)
         for worker in self.workers:
             worker.clear_waypoints()
             for index, transit in enumerate(transits):
@@ -113,8 +156,29 @@ class DataPlaneOrchestrator:
 
         ``header_bdd`` is a BDD in the *controller's* engine; it is
         serialized once and re-encoded by each worker hosting a source.
+        A worker failure mid-query is recovered by respawning the worker,
+        rebuilding the data plane (from the route store), and replaying
+        the query from injection — queries are stateless between runs.
         """
         assert self._built, "call build() before forward()"
+        attempts = 0
+        while True:
+            try:
+                return self._forward_once(sources, header_bdd, trace)
+            except WorkerFailure as failure:
+                attempts += 1
+                if attempts > self.retry_policy.max_query_retries:
+                    raise
+                self._recover(failure)
+                self._built = False
+                assert self._store is not None
+                self.build(self._store)
+                self.install_waypoints(self._transits)
+                self.stats.query_replays += 1
+
+    def _forward_once(
+        self, sources: Sequence[str], header_bdd: int, trace: bool = False
+    ) -> List[FinalPacket]:
         started = time.perf_counter()
         payload = serialize(self.engine, header_bdd)
         source_list = list(sources)

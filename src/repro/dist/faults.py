@@ -1,0 +1,310 @@
+"""Fault injection and the failure taxonomy of the distributed pipeline.
+
+At the paper's scale worker crashes, stalled RPCs, and lost sidecar
+batches are routine, so the reproduction needs a way to *provoke* them
+deterministically.  A :class:`FaultPlan` — attachable to
+:class:`~repro.dist.controller.S2Options` (``fault_plan=``) or built from
+the CLI's ``--inject-fault`` specs — matches injection *sites* against a
+list of :class:`FaultSpec` rules and fires seeded, bounded faults:
+
+========== ===================================================================
+kind        effect
+========== ===================================================================
+``crash``   kill the worker process (process runtime) or raise
+            :class:`InjectedWorkerCrash` inside the worker (in-process
+            runtimes); recovery respawns/resets the worker and replays
+            the shard from its last checkpoint
+``delay``   sleep ``delay`` seconds at the matched call/phase
+``error``   raise :class:`TransientRpcError` before the call is issued —
+            exercised by the proxy's exponential-backoff retry loop
+``drop``    discard a sidecar route batch (the CPO detects the gap and
+            forces an extra round, so the resent batch heals the state)
+``duplicate`` deliver a sidecar route batch twice (receivers dedupe by
+            sequence number)
+``respawn_fail`` make the next respawn of the matched worker fail, which
+            exercises the sequential-fallback degradation path
+========== ===================================================================
+
+Matching is deterministic: a spec constrains worker id, BGP round, shard
+index, and call/phase name (``command``), fires at most ``times`` times,
+and (optionally) gates on a seeded coin flip, so a seeded plan replays
+identically across runs — the property the fault-matrix equivalence
+tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+# -- failure taxonomy -------------------------------------------------------
+
+
+class WorkerFailure(RuntimeError):
+    """Base class for infrastructure failures of one worker.
+
+    Distinct from *result* exceptions (:class:`~repro.dist.resources.
+    SimulatedOOM`, :class:`~repro.bdd.engine.BddOverflowError`): a
+    ``WorkerFailure`` means the worker itself broke, and the supervisor
+    may recover by respawning it and replaying from the last checkpoint.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker_id: Optional[int] = None,
+        command: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.command = command
+
+
+class WorkerDiedError(WorkerFailure):
+    """The worker process died (EOF/broken pipe, or failed heartbeat)."""
+
+
+class WorkerTimeoutError(WorkerFailure):
+    """The worker did not answer a call within the configured timeout."""
+
+
+class TransientRpcError(WorkerFailure):
+    """A (possibly injected) transient RPC failure; safe to retry."""
+
+
+class InjectedWorkerCrash(WorkerDiedError):
+    """An in-process worker 'crashed' under fault injection."""
+
+
+class RespawnError(WorkerFailure):
+    """Respawning a dead worker failed; callers degrade gracefully."""
+
+
+# -- supervision policy -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Budgets for supervision: call retries, shard reruns, heartbeats."""
+
+    call_timeout: float = 120.0      # seconds to wait for one proxy call
+    max_call_retries: int = 3        # transient-RPC retries per call
+    backoff_base: float = 0.05       # first backoff sleep (seconds)
+    backoff_factor: float = 2.0      # exponential growth per retry
+    max_shard_retries: int = 2       # shard reruns after worker recovery
+    max_query_retries: int = 2       # data-plane query/build reruns
+    heartbeat_interval_rounds: int = 10  # liveness check cadence (0 = off)
+    join_timeout: float = 5.0        # grace before terminate()/kill()
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based)."""
+        return self.backoff_base * (self.backoff_factor ** max(0, attempt - 1))
+
+
+# -- fault specification ----------------------------------------------------
+
+KINDS = ("crash", "delay", "error", "drop", "duplicate", "respawn_fail")
+
+_CALL_KINDS = {"crash", "delay", "error"}
+_BATCH_KINDS = {"drop", "duplicate"}
+
+
+@dataclass
+class FaultSpec:
+    """One deterministic fault rule; ``None`` constraints match anything."""
+
+    kind: str
+    worker: Optional[int] = None     # worker id (batch faults: the sender)
+    round: Optional[int] = None      # BGP/OSPF round token (-1 = OSPF)
+    shard: Optional[int] = None      # shard flush index
+    command: Optional[str] = None    # call/phase name (exact match)
+    where: str = "before"            # "before" | "after_send" (crash only)
+    delay: float = 0.0               # seconds, for kind="delay"
+    times: int = 1                   # maximum firings (0 = unlimited)
+    probability: float = 1.0         # seeded gate; 1.0 = always
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.where not in ("before", "after_send"):
+            raise ValueError(f"unknown fault site {self.where!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse a CLI spec: ``kind[:key=value,...]``.
+
+        Example: ``crash:worker=1,shard=0,command=pull_round``.
+        """
+        kind, _, rest = text.partition(":")
+        kind = kind.strip()
+        kwargs: Dict[str, object] = {}
+        if rest.strip():
+            for item in rest.split(","):
+                key, sep, value = item.partition("=")
+                key = key.strip()
+                value = value.strip()
+                if not sep:
+                    raise ValueError(
+                        f"bad fault option {item!r} (expected key=value)"
+                    )
+                if key in ("worker", "round", "shard", "times"):
+                    kwargs[key] = int(value)
+                elif key in ("delay", "probability"):
+                    kwargs[key] = float(value)
+                elif key in ("command", "where"):
+                    kwargs[key] = value
+                else:
+                    raise ValueError(
+                        f"unknown fault option {key!r} (valid: worker, "
+                        "round, shard, command, where, delay, times, "
+                        "probability)"
+                    )
+        return cls(kind=kind, **kwargs)
+
+
+class FaultPlan:
+    """A seeded, bounded set of fault rules consulted at injection sites.
+
+    The orchestrators keep the plan's shard/round context up to date;
+    the proxies, workers, and sidecars ask it whether to fire at their
+    site.  All bookkeeping is lock-protected (the threaded runtime calls
+    in from phase threads).
+    """
+
+    def __init__(
+        self, specs: Sequence[FaultSpec] = (), seed: int = 0
+    ) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._fired: Dict[int, int] = {}       # spec index -> firing count
+        self.fired_by_kind: Dict[str, int] = {}
+        self._recent_drops = 0
+        self.current_shard: Optional[int] = None
+        self.current_round: Optional[int] = None
+
+    @classmethod
+    def from_args(
+        cls, specs: Sequence[str], seed: int = 0
+    ) -> "FaultPlan":
+        """Build a plan from CLI ``--inject-fault`` strings."""
+        return cls([FaultSpec.parse(text) for text in specs], seed=seed)
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    # -- context (maintained by the orchestrators) -----------------------
+
+    def set_context(
+        self,
+        shard: Optional[int] = None,
+        round_token: Optional[int] = None,
+    ) -> None:
+        if shard is not None:
+            self.current_shard = shard
+        if round_token is not None:
+            self.current_round = round_token
+
+    # -- matching --------------------------------------------------------
+
+    def _matches(
+        self,
+        index: int,
+        spec: FaultSpec,
+        worker_id: Optional[int],
+        command: Optional[str],
+        round_token: Optional[int],
+    ) -> bool:
+        if spec.times and self._fired.get(index, 0) >= spec.times:
+            return False
+        if spec.worker is not None and spec.worker != worker_id:
+            return False
+        if spec.command is not None and spec.command != command:
+            return False
+        if spec.shard is not None and spec.shard != self.current_shard:
+            return False
+        if spec.round is not None:
+            effective = (
+                round_token if round_token is not None else self.current_round
+            )
+            if spec.round != effective:
+                return False
+        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+            return False
+        return True
+
+    def _fire(self, index: int, spec: FaultSpec) -> FaultSpec:
+        self._fired[index] = self._fired.get(index, 0) + 1
+        self.fired_by_kind[spec.kind] = (
+            self.fired_by_kind.get(spec.kind, 0) + 1
+        )
+        if spec.kind == "drop":
+            self._recent_drops += 1
+        return spec
+
+    def _first_match(
+        self,
+        kinds,
+        worker_id: Optional[int],
+        command: Optional[str],
+        round_token: Optional[int] = None,
+    ) -> Optional[FaultSpec]:
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if spec.kind not in kinds:
+                    continue
+                if self._matches(index, spec, worker_id, command, round_token):
+                    return self._fire(index, spec)
+        return None
+
+    # -- injection sites -------------------------------------------------
+
+    def on_call(
+        self, worker_id: int, command: str
+    ) -> Optional[FaultSpec]:
+        """Proxy call site (process runtime); caller interprets the spec."""
+        return self._first_match(_CALL_KINDS, worker_id, command)
+
+    def on_phase(
+        self, worker_id: int, site: str, round_token: Optional[int] = None
+    ) -> Optional[FaultSpec]:
+        """In-process worker phase site; caller interprets the spec."""
+        return self._first_match(_CALL_KINDS, worker_id, site, round_token)
+
+    def on_batch(
+        self, source_worker: int, round_token: Optional[int] = None
+    ) -> str:
+        """Sidecar route-batch site: 'deliver' | 'drop' | 'duplicate'."""
+        spec = self._first_match(
+            _BATCH_KINDS, source_worker, None, round_token
+        )
+        return spec.kind if spec is not None else "deliver"
+
+    def should_fail_respawn(self, worker_id: int) -> bool:
+        return (
+            self._first_match({"respawn_fail"}, worker_id, None) is not None
+        )
+
+    # -- accounting ------------------------------------------------------
+
+    def consume_drops(self) -> int:
+        """Drops fired since the last call (the CPO's per-round check)."""
+        with self._lock:
+            count = self._recent_drops
+            self._recent_drops = 0
+        return count
+
+    def count(self, kind: str) -> int:
+        with self._lock:
+            return self.fired_by_kind.get(kind, 0)
+
+    @property
+    def total_fired(self) -> int:
+        with self._lock:
+            return sum(self.fired_by_kind.values())

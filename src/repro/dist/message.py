@@ -26,13 +26,20 @@ OspfExports = Dict[Tuple[str, int], Dict[Prefix, Tuple[int, frozenset]]]
 
 @dataclass(frozen=True)
 class RouteBatch:
-    """One round's boundary route advertisements toward one worker."""
+    """One round's boundary route advertisements toward one worker.
+
+    ``sequence`` is a per-sender monotonically increasing counter stamped
+    by the sidecar at send time.  Receivers track the last sequence seen
+    per source worker, which lets them discard duplicated deliveries (a
+    real RPC transport can redeliver on retry) without any coordination.
+    """
 
     source_worker: int
     target_worker: int
     round_token: int
     exports: BoundaryExports
     ospf_exports: Optional[OspfExports] = None
+    sequence: int = 0
 
     def route_count(self) -> int:
         return sum(len(routes) for routes in self.exports.values())

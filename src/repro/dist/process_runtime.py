@@ -22,8 +22,16 @@ Design notes:
   :class:`~repro.dist.storage.RouteStore` *by the worker process*, so
   converged RIBs never transit the control pipe (matching §3.1's
   write-to-persistent-storage step).
+* **Supervision**: every proxy call runs under a configurable timeout and
+  an exponential-backoff retry loop for transient RPC faults; a pipe
+  EOF, a dead process, or a timeout surfaces as a
+  :class:`~repro.dist.faults.WorkerFailure` the orchestrators recover
+  from (respawn + shard replay).  A proxy whose call timed out is
+  *poisoned* — its pipe may hold a stale response — until
+  :meth:`WorkerProcessProxy.revive` gives it a fresh process.
 * Processes are forked before any thread exists and are shut down (or
-  killed after a grace period) by :meth:`ProcessWorkerPool.close`.
+  terminated, then killed, after a grace period) by
+  :meth:`ProcessWorkerPool.close`.
 """
 
 from __future__ import annotations
@@ -31,12 +39,22 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import threading
+import time
 import traceback
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..bdd.engine import BddOverflowError
 from ..bdd.headerspace import HeaderEncoding
 from ..config.loader import Snapshot
+from .faults import (
+    FaultPlan,
+    RespawnError,
+    RetryPolicy,
+    TransientRpcError,
+    WorkerDiedError,
+    WorkerFailure,
+    WorkerTimeoutError,
+)
 from .resources import SimulatedOOM, WorkerResources
 from .sharding import PrefixShard
 from .storage import RouteStore
@@ -48,7 +66,7 @@ _RELAYED_EXCEPTIONS = {
 }
 
 
-class RemoteWorkerError(RuntimeError):
+class RemoteWorkerError(WorkerFailure):
     """An unexpected exception inside a worker process."""
 
 
@@ -146,7 +164,9 @@ class WorkerProcessProxy:
 
     Exposes the Worker methods the orchestrators and sidecars call; each
     call is one request/response on the pipe.  The proxy keeps a local
-    :class:`WorkerResources` mirror for the cost model.
+    :class:`WorkerResources` mirror for the cost model, and supervises
+    the call: timeout, transient-fault retry with exponential backoff,
+    and fault injection from the attached :class:`FaultPlan`.
     """
 
     def __init__(
@@ -155,11 +175,18 @@ class WorkerProcessProxy:
         connection,
         process,
         resources: WorkerResources,
+        policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.worker_id = worker_id
         self.resources = resources
         self._connection = connection
         self._process = process
+        self._policy = policy or RetryPolicy()
+        self._fault_plan = fault_plan
+        # A timed-out pipe may deliver the stale response to the *next*
+        # call; refuse further traffic until the worker is respawned.
+        self._poisoned = False
         # One in-flight request per pipe: phases call one method per
         # worker concurrently, and sidecar deliveries interleave.
         self._lock = threading.Lock()
@@ -167,9 +194,78 @@ class WorkerProcessProxy:
     # -- plumbing ---------------------------------------------------------
 
     def _call(self, command: str, *args) -> Any:
-        with self._lock:
-            self._connection.send((command, args))
-            status, payload = self._connection.recv()
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(command, args)
+            except TransientRpcError:
+                attempt += 1
+                self.resources.retries += 1
+                if attempt > self._policy.max_call_retries:
+                    raise
+                time.sleep(self._policy.backoff(attempt))
+
+    def _fault_kill(self) -> None:
+        """Kill the worker process to realize an injected crash."""
+        try:
+            self._process.kill()
+        except (OSError, AttributeError):
+            pass
+        self._process.join(self._policy.join_timeout)
+
+    def _call_once(self, command: str, args: tuple) -> Any:
+        kill_after_send = False
+        if self._fault_plan is not None:
+            spec = self._fault_plan.on_call(self.worker_id, command)
+            if spec is not None:
+                if spec.kind == "delay":
+                    time.sleep(spec.delay)
+                elif spec.kind == "error":
+                    raise TransientRpcError(
+                        f"injected transient RPC failure calling "
+                        f"{command} on worker {self.worker_id}",
+                        worker_id=self.worker_id,
+                        command=command,
+                    )
+                elif spec.kind == "crash":
+                    if spec.where == "after_send":
+                        kill_after_send = True
+                    else:
+                        self._fault_kill()
+        try:
+            with self._lock:
+                if self._poisoned:
+                    raise WorkerDiedError(
+                        f"worker {self.worker_id} is poisoned after a "
+                        f"timeout; awaiting respawn",
+                        worker_id=self.worker_id,
+                        command=command,
+                    )
+                if not self._process.is_alive():
+                    raise WorkerDiedError(
+                        f"worker {self.worker_id} process is dead "
+                        f"(exitcode {self._process.exitcode})",
+                        worker_id=self.worker_id,
+                        command=command,
+                    )
+                self._connection.send((command, args))
+                if kill_after_send:
+                    self._fault_kill()
+                if not self._connection.poll(self._policy.call_timeout):
+                    self._poisoned = True
+                    raise WorkerTimeoutError(
+                        f"worker {self.worker_id} did not answer {command} "
+                        f"within {self._policy.call_timeout:.1f}s",
+                        worker_id=self.worker_id,
+                        command=command,
+                    )
+                status, payload = self._connection.recv()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise WorkerDiedError(
+                f"worker {self.worker_id} died during {command}: {exc!r}",
+                worker_id=self.worker_id,
+                command=command,
+            ) from exc
         if status == "exc":
             name, message, trace = payload
             exc_type = _RELAYED_EXCEPTIONS.get(name)
@@ -182,7 +278,11 @@ class WorkerProcessProxy:
                 )
             if exc_type is not None:
                 raise exc_type(message)
-            raise RemoteWorkerError(f"{name}: {message}\n{trace}")
+            raise RemoteWorkerError(
+                f"{name}: {message}\n{trace}",
+                worker_id=self.worker_id,
+                command=command,
+            )
         result, telemetry = payload
         (
             self.resources.current_bytes,
@@ -195,6 +295,44 @@ class WorkerProcessProxy:
         self.resources.peak_bytes = max(self.resources.peak_bytes, peak)
         self.resources.oom = self.resources.oom or oom
         return result
+
+    # -- supervision ------------------------------------------------------
+
+    def is_alive(self) -> bool:
+        return not self._poisoned and self._process.is_alive()
+
+    def ping(self) -> bool:
+        """Heartbeat: one round trip through the worker's service loop."""
+        return self._call("ping") == "pong"
+
+    def reap(self) -> None:
+        """Tear down the dead (or doomed) process and its pipe."""
+        try:
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(self._policy.join_timeout)
+            if self._process.is_alive():
+                self._process.kill()
+                self._process.join(self._policy.join_timeout)
+        except (OSError, AttributeError):
+            pass
+        try:
+            self._connection.close()
+        except OSError:
+            pass
+
+    def revive(self, connection, process) -> None:
+        """Adopt a freshly spawned process, keeping the proxy identity.
+
+        Identity preservation matters: the orchestrators and sidecars
+        hold references to this proxy, so a respawn must swap the pipe
+        and process *inside* it rather than replace it.
+        """
+        with self._lock:
+            self._connection = connection
+            self._process = process
+            self._poisoned = False
+        self.resources.respawns += 1
 
     # -- control plane ---------------------------------------------------------
 
@@ -216,6 +354,9 @@ class WorkerProcessProxy:
     def observed_dependencies(self) -> set:
         return self._call("observed_dependencies")
 
+    def fault_counters(self) -> Dict[str, int]:
+        return self._call("fault_counters")
+
     def flush_shard(self, store: RouteStore, shard_index: int) -> Tuple[int, int]:
         """Flush the converged shard to the shared store, worker-side."""
         return self._call("flush_shard", store.directory, shard_index)
@@ -233,6 +374,12 @@ class WorkerProcessProxy:
 
     def install_ospf_routes(self) -> None:
         self._call("install_ospf_routes")
+
+    def export_ospf_state(self):
+        return self._call("export_ospf_state")
+
+    def restore_ospf_state(self, state) -> None:
+        self._call("restore_ospf_state", state)
 
     # -- data plane ------------------------------------------------------------------
 
@@ -278,19 +425,34 @@ class WorkerProcessProxy:
     def stop(self, timeout: float = 5.0) -> None:
         try:
             with self._lock:
-                self._connection.send(("stop", ()))
-                self._connection.recv()
+                if not self._poisoned and self._process.is_alive():
+                    self._connection.send(("stop", ()))
+                    if self._connection.poll(timeout):
+                        self._connection.recv()
         except (BrokenPipeError, EOFError, OSError):
             pass
         self._process.join(timeout)
         if self._process.is_alive():
             self._process.terminate()
             self._process.join(timeout)
-        self._connection.close()
+        if self._process.is_alive():
+            # terminate() can be absorbed (e.g. a wedged interpreter):
+            # escalate to SIGKILL so close() can never leave a child.
+            self._process.kill()
+            self._process.join(timeout)
+        try:
+            self._connection.close()
+        except OSError:
+            pass
 
 
 class ProcessWorkerPool:
-    """Spawns one process per worker and hands out proxies."""
+    """Spawns one process per worker and hands out proxies.
+
+    Also the supervisor's muscle: it can report dead workers, heartbeat
+    the live ones, and respawn a worker in place (the proxy keeps its
+    identity; see :meth:`WorkerProcessProxy.revive`).
+    """
 
     def __init__(
         self,
@@ -300,26 +462,18 @@ class ProcessWorkerPool:
         capacity: int,
         cost_model,
         max_hops: int = 24,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
-        context = mp.get_context("fork" if os.name == "posix" else "spawn")
+        self._context = mp.get_context(
+            "fork" if os.name == "posix" else "spawn"
+        )
+        self._spawn_args = (snapshot, assignment, capacity, cost_model, max_hops)
+        self._policy = retry_policy or RetryPolicy()
+        self._fault_plan = fault_plan
         self.proxies: List[WorkerProcessProxy] = []
         for worker_id in range(num_workers):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_worker_main,
-                args=(
-                    child_conn,
-                    worker_id,
-                    snapshot,
-                    assignment,
-                    capacity,
-                    cost_model,
-                    max_hops,
-                ),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
+            parent_conn, process = self._spawn(worker_id)
             self.proxies.append(
                 WorkerProcessProxy(
                     worker_id,
@@ -330,9 +484,94 @@ class ProcessWorkerPool:
                         capacity=capacity,
                         model=cost_model,
                     ),
+                    policy=self._policy,
+                    fault_plan=fault_plan,
                 )
             )
 
-    def close(self) -> None:
+    def _spawn(self, worker_id: int):
+        snapshot, assignment, capacity, cost_model, max_hops = self._spawn_args
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                worker_id,
+                snapshot,
+                assignment,
+                capacity,
+                cost_model,
+                max_hops,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return parent_conn, process
+
+    # -- supervision ------------------------------------------------------
+
+    def dead_workers(self) -> List[int]:
+        """Worker ids whose process is gone or whose pipe is poisoned."""
+        return [
+            proxy.worker_id
+            for proxy in self.proxies
+            if not proxy.is_alive()
+        ]
+
+    def ping_all(self) -> List[int]:
+        """Heartbeat every worker; returns the ids that failed."""
+        failed = []
         for proxy in self.proxies:
-            proxy.stop()
+            try:
+                if not proxy.ping():
+                    failed.append(proxy.worker_id)
+            except WorkerFailure:
+                failed.append(proxy.worker_id)
+        return failed
+
+    def respawn(self, worker_id: int) -> WorkerProcessProxy:
+        """Replace a dead worker's process; the proxy identity survives.
+
+        Raises :class:`RespawnError` when the spawn fails (or when a
+        ``respawn_fail`` fault is injected), which the controller treats
+        as the cue to degrade to the sequential fallback.
+        """
+        if self._fault_plan is not None and self._fault_plan.should_fail_respawn(
+            worker_id
+        ):
+            raise RespawnError(
+                f"respawn of worker {worker_id} failed (injected)",
+                worker_id=worker_id,
+            )
+        proxy = self.proxies[worker_id]
+        proxy.reap()
+        try:
+            parent_conn, process = self._spawn(worker_id)
+        except OSError as exc:
+            raise RespawnError(
+                f"respawn of worker {worker_id} failed: {exc!r}",
+                worker_id=worker_id,
+            ) from exc
+        proxy.revive(parent_conn, process)
+        return proxy
+
+    def close(self) -> None:
+        """Stop every worker; escalate terminate()→kill() as needed.
+
+        Never raises: teardown must succeed even when a proxy call died
+        mid-round and left pipes in arbitrary states.
+        """
+        for proxy in self.proxies:
+            try:
+                proxy.stop(timeout=self._policy.join_timeout)
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
+        for proxy in self.proxies:
+            process = proxy._process
+            try:
+                if process.is_alive():
+                    process.kill()
+                    process.join(self._policy.join_timeout)
+            except (OSError, AttributeError):
+                pass

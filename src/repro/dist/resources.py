@@ -125,6 +125,8 @@ class WorkerResources:
     rpc_messages_sent: int = 0
     modeled_time: float = 0.0
     oom: bool = False
+    retries: int = 0              # transient-RPC retries on this worker
+    respawns: int = 0             # times this worker was respawned/reset
 
     def update_memory(
         self,
@@ -213,6 +215,16 @@ class ClusterReport:
     @property
     def any_oom(self) -> bool:
         return any(w.oom for w in self.workers)
+
+    @property
+    def total_retries(self) -> int:
+        """Transient-RPC retries absorbed by the supervision layer."""
+        return sum(w.retries for w in self.workers)
+
+    @property
+    def total_respawns(self) -> int:
+        """Workers respawned (process runtime) or reset (in-process)."""
+        return sum(w.respawns for w in self.workers)
 
     def by_name(self) -> Dict[str, WorkerResources]:
         return {w.name: w for w in self.workers}

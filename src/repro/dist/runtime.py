@@ -53,7 +53,21 @@ class ThreadedRuntime(Runtime):
 
     def map(self, thunks: Sequence[Callable[[], T]]) -> List[T]:
         futures = [self._pool.submit(thunk) for thunk in thunks]
-        return [future.result() for future in futures]
+        # Wait for *every* future before surfacing a failure: recovery
+        # (worker respawn, shard replay) must not start while sibling
+        # phase thunks are still mutating worker state.
+        results: List[T] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                if first_error is None:
+                    first_error = exc
+                results.append(None)  # type: ignore[arg-type]
+        if first_error is not None:
+            raise first_error
+        return results
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

@@ -5,13 +5,20 @@ assignment; all cross-worker traffic flows sidecar→sidecar.  The in-process
 transport delivers objects directly but charges the sender's resource
 model with the *measured* serialized size of every message, so the
 communication columns of the figures come from real payloads, not guesses.
+
+Route batches are stamped with a per-sender sequence number so receivers
+can discard duplicated deliveries, and an optional
+:class:`~repro.dist.faults.FaultPlan` can drop or duplicate batches at
+this layer — the injection point for lost-message experiments (the CPO
+detects drops and forces an extra round, which heals the mailboxes).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
+from .faults import FaultPlan
 from .message import PacketBatch, RouteBatch, measured_size
 from .resources import WorkerResources
 from .worker import Worker
@@ -20,9 +27,15 @@ from .worker import Worker
 class Sidecar:
     """One worker's sidecar.  ``peers`` is filled by the controller."""
 
-    def __init__(self, worker: Worker) -> None:
+    def __init__(
+        self, worker: Worker, fault_plan: Optional[FaultPlan] = None
+    ) -> None:
         self.worker = worker
         self.peers: Dict[int, "Sidecar"] = {}
+        self.fault_plan = fault_plan
+        self._sequence = 0
+        self.batches_dropped = 0
+        self.batches_duplicated = 0
 
     @property
     def worker_id(self) -> int:
@@ -34,12 +47,33 @@ class Sidecar:
     # -- sending (charged to this worker) --------------------------------
 
     def send_routes(self, batch: RouteBatch) -> int:
+        self._sequence += 1
+        batch = replace(batch, sequence=self._sequence)
         size = measured_size(batch)
         self.worker.resources.charge_rpc(size, messages=1)
-        self.peers[batch.target_worker].worker.deliver_routes(batch)
+        action = "deliver"
+        if self.fault_plan is not None:
+            action = self.fault_plan.on_batch(
+                batch.source_worker, batch.round_token
+            )
+        if action == "drop":
+            self.batches_dropped += 1
+            return size
+        target = self.peers[batch.target_worker].worker
+        target.deliver_routes(batch)
+        if action == "duplicate":
+            # Redeliver the same sequence number: the receiver dedupes,
+            # but the duplicate bytes are still charged to the sender.
+            self.batches_duplicated += 1
+            self.worker.resources.charge_rpc(size, messages=1)
+            target.deliver_routes(batch)
         return size
 
     def send_packets(self, batch: PacketBatch) -> int:
+        # Packet batches are not subject to drop/duplicate injection:
+        # symbolic packets are not retransmitted round-over-round the way
+        # route advertisements are, so the fault model for the data plane
+        # is worker crashes (recovered by query replay), not lost batches.
         size = measured_size(batch)
         self.worker.resources.charge_rpc(size, messages=1)
         self.peers[batch.target_worker].worker.deliver_packets(batch)

@@ -5,14 +5,23 @@ routes to disk and frees the in-memory RIBs, which is what caps peak
 memory at one shard's footprint.  The store really writes pickle files
 (one per worker × shard) under a spool directory, so the flush cost and
 the reload path (the data-plane phase needs all shards back) are genuine.
+
+The store doubles as the **checkpoint substrate** of the fault-tolerance
+layer: every file is written to a temp name and :func:`os.replace`-d into
+place (a worker killed mid-flush can never leave a torn shard pickle), a
+:class:`RunManifest` records which shards have converged (so a killed run
+can be resumed, skipping them), and per-worker OSPF state checkpoints let
+a respawned worker rejoin without re-running the IGP fixed point.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import shutil
 import tempfile
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..net.ip import Prefix
@@ -20,6 +29,83 @@ from ..routing.route import BgpRoute
 
 # node -> prefix -> selected ECMP routes
 ShardRoutes = Dict[str, Dict[Prefix, Tuple[BgpRoute, ...]]]
+
+MANIFEST_NAME = "manifest.json"
+
+
+class CorruptShardError(RuntimeError):
+    """A persisted shard file failed to deserialize (torn/corrupt write)."""
+
+    def __init__(self, path: str, cause: Exception) -> None:
+        super().__init__(
+            f"corrupt shard file {path}: {type(cause).__name__}: {cause}"
+        )
+        self.path = path
+
+
+@dataclass
+class RunManifest:
+    """Atomic record of a run's recovery state (one JSON file per store).
+
+    Written after OSPF convergence and after every shard flush, so a
+    restarted controller (:meth:`~repro.dist.controller.S2Controller.
+    resume`) knows exactly which work survives.  ``options_hash`` guards
+    against resuming with incompatible options or a different snapshot.
+    """
+
+    version: int = 1
+    options_hash: str = ""
+    seed: int = 0
+    num_workers: int = 0
+    num_shards: int = 0
+    ospf_done: bool = False
+    # str(flush index) -> {"status": "converged", "rounds": int}
+    shards: Dict[str, Dict] = field(default_factory=dict)
+
+    def mark_shard(self, flush_index: int, rounds: int = 0) -> None:
+        self.shards[str(flush_index)] = {
+            "status": "converged",
+            "rounds": rounds,
+        }
+
+    def is_shard_done(self, flush_index: int) -> bool:
+        entry = self.shards.get(str(flush_index))
+        return bool(entry) and entry.get("status") == "converged"
+
+    def completed_shards(self) -> List[int]:
+        return sorted(
+            int(index)
+            for index, entry in self.shards.items()
+            if entry.get("status") == "converged"
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": self.version,
+                "options_hash": self.options_hash,
+                "seed": self.seed,
+                "num_workers": self.num_workers,
+                "num_shards": self.num_shards,
+                "ospf_done": self.ospf_done,
+                "shards": self.shards,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        data = json.loads(text)
+        return cls(
+            version=data.get("version", 1),
+            options_hash=data.get("options_hash", ""),
+            seed=data.get("seed", 0),
+            num_workers=data.get("num_workers", 0),
+            num_shards=data.get("num_shards", 0),
+            ospf_done=data.get("ospf_done", False),
+            shards=data.get("shards", {}),
+        )
 
 
 class RouteStore:
@@ -41,32 +127,60 @@ class RouteStore:
             self.directory, f"worker{worker_id:03d}-shard{shard_index:04d}.rib"
         )
 
+    def _ospf_path(self, worker_id: int) -> str:
+        return os.path.join(self.directory, f"worker{worker_id:03d}.ospf")
+
+    def _atomic_write(self, path: str, payload: bytes) -> None:
+        """Crash-safe write: temp file in the same directory, then rename.
+
+        ``os.replace`` is atomic on POSIX, so readers (and a resumed run)
+        either see the complete previous file or the complete new one —
+        never a torn prefix.  The pid suffix keeps concurrent worker
+        processes from clobbering each other's temp files.
+        """
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+
+    def _load(self, path: str) -> ShardRoutes:
+        with open(path, "rb") as handle:
+            try:
+                return pickle.load(handle)
+            except (
+                pickle.UnpicklingError,
+                EOFError,
+                AttributeError,
+                ImportError,
+                IndexError,
+                ValueError,
+            ) as exc:
+                raise CorruptShardError(path, exc) from exc
+
+    # -- shard files -----------------------------------------------------
+
     def write_shard(
         self, worker_id: int, shard_index: int, routes: ShardRoutes
     ) -> int:
         """Persist one worker's results for one shard; returns bytes."""
         path = self._path(worker_id, shard_index)
         payload = pickle.dumps(routes, protocol=pickle.HIGHEST_PROTOCOL)
-        with open(path, "wb") as handle:
-            handle.write(payload)
+        self._atomic_write(path, payload)
         self._files.append(path)
         self.bytes_written += len(payload)
         return len(payload)
 
     def read_shard(self, worker_id: int, shard_index: int) -> ShardRoutes:
-        path = self._path(worker_id, shard_index)
-        with open(path, "rb") as handle:
-            return pickle.load(handle)
+        return self._load(self._path(worker_id, shard_index))
 
     def iter_worker_shards(self, worker_id: int) -> Iterator[ShardRoutes]:
         """All shard files of one worker, in shard order."""
         prefix = f"worker{worker_id:03d}-"
         for name in sorted(os.listdir(self.directory)):
             if name.startswith(prefix) and name.endswith(".rib"):
-                with open(
-                    os.path.join(self.directory, name), "rb"
-                ) as handle:
-                    yield pickle.load(handle)
+                yield self._load(os.path.join(self.directory, name))
 
     def merged_routes(self, worker_id: int) -> ShardRoutes:
         """Union of every shard's routes for one worker's nodes."""
@@ -75,6 +189,66 @@ class RouteStore:
             for node, routes in shard_routes.items():
                 merged.setdefault(node, {}).update(routes)
         return merged
+
+    # -- run manifest ----------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def write_manifest(self, manifest: RunManifest) -> None:
+        self._atomic_write(
+            self.manifest_path, manifest.to_json().encode("utf-8")
+        )
+
+    def read_manifest(self) -> Optional[RunManifest]:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                return RunManifest.from_json(handle.read())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise CorruptShardError(self.manifest_path, exc) from exc
+
+    # -- OSPF checkpoints ------------------------------------------------
+
+    def write_ospf_state(self, worker_id: int, state) -> int:
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        self._atomic_write(self._ospf_path(worker_id), payload)
+        return len(payload)
+
+    def read_ospf_state(self, worker_id: int):
+        path = self._ospf_path(worker_id)
+        if not os.path.exists(path):
+            return None
+        with open(path, "rb") as handle:
+            try:
+                return pickle.load(handle)
+            except (pickle.UnpicklingError, EOFError, ValueError) as exc:
+                raise CorruptShardError(path, exc) from exc
+
+    # -- run lifecycle ---------------------------------------------------
+
+    def clear_run_state(self) -> None:
+        """Remove shard files, checkpoints, and temp leftovers.
+
+        Called when a *fresh* (non-resume) run reuses a persistent store
+        directory, so stale shards from an earlier run can't pollute
+        ``merged_routes``.
+        """
+        for name in os.listdir(self.directory):
+            if (
+                name.endswith(".rib")
+                or name.endswith(".ospf")
+                or name == MANIFEST_NAME
+                or ".tmp." in name
+            ):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+        self._files.clear()
+        self.bytes_written = 0
 
     def close(self) -> None:
         if self._owned and os.path.isdir(self.directory):

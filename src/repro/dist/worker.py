@@ -21,6 +21,7 @@ into :class:`~repro.dist.message.PacketEnvelope` batches.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -38,6 +39,7 @@ from ..dataplane.forwarding import (
 from ..dataplane.predicates import compile_predicates
 from ..net.ip import Prefix
 from ..routing.node import RouterNode
+from .faults import FaultPlan, InjectedWorkerCrash
 from ..routing.ospf import OspfProcess
 from ..routing.route import BgpRoute, Route
 from .message import (
@@ -78,6 +80,9 @@ class PullOutcome:
     changed: bool
     updates_processed: int
     candidate_routes: int
+    # Hostnames whose RIB changed this round; what makes a
+    # non-convergence diagnosable (the enriched ConvergenceError).
+    changed_nodes: Tuple[str, ...] = ()
 
 
 class Worker:
@@ -103,12 +108,14 @@ class Worker:
         self.ospf_mailbox: Dict[
             Tuple[str, int], Dict[Prefix, Tuple[int, frozenset]]
         ] = {}
-        for hostname, owner in sorted(assignment.items()):
-            if owner == worker_id:
-                config = snapshot.configs[hostname]
-                self.nodes[hostname] = RouterNode(config, snapshot.topology)
-                self.ospf[hostname] = OspfProcess(config, snapshot.topology)
-        self.resources.node_count = len(self.nodes)
+        # Fault-tolerance state: the (controller-installed) injector for
+        # in-process runtimes, per-source batch dedup, and the snapshot
+        # of installed OSPF routes that checkpoint/replay ships around.
+        self.fault_injector: Optional[FaultPlan] = None
+        self._batch_sequences: Dict[int, int] = {}
+        self.duplicate_batches = 0
+        self._ospf_installed: Dict[str, Tuple] = {}
+        self._build_nodes()
         # -- data-plane state (populated by the DPO phase) --
         self.engine: Optional[BddEngine] = None
         self.encoding: Optional[HeaderEncoding] = None
@@ -116,6 +123,68 @@ class Worker:
         self._buffer: Optional[PacketBuffer] = None
         self._finals: List[FinalPacket] = []
         self._fib_entries = 0
+
+    def _build_nodes(self) -> None:
+        for hostname, owner in sorted(self.assignment.items()):
+            if owner == self.worker_id:
+                config = self.snapshot.configs[hostname]
+                self.nodes[hostname] = RouterNode(
+                    config, self.snapshot.topology
+                )
+                self.ospf[hostname] = OspfProcess(
+                    config, self.snapshot.topology
+                )
+        self.resources.node_count = len(self.nodes)
+
+    # -- supervision -----------------------------------------------------
+
+    def ping(self) -> str:
+        """Liveness probe; the heartbeat path of the supervisor."""
+        return "pong"
+
+    def reset(self) -> None:
+        """Rebuild this worker from scratch *in place* (identity kept).
+
+        The in-process equivalent of respawning a crashed worker process:
+        every RIB, mailbox, shadow, and data-plane structure is discarded
+        and the node models are rebuilt from the snapshot.  The caller
+        (the supervisor) restores the OSPF checkpoint afterwards and the
+        CPO replays the interrupted shard.
+        """
+        self.nodes.clear()
+        self.ospf.clear()
+        self._shadows.clear()
+        self.mailbox.clear()
+        self.ospf_mailbox.clear()
+        self._batch_sequences.clear()
+        self._ospf_installed = {}
+        self._build_nodes()
+        self.engine = None
+        self.encoding = None
+        self.context = None
+        self._buffer = None
+        self._finals = []
+        self._fib_entries = 0
+
+    def _inject(self, site: str, round_token: Optional[int] = None) -> None:
+        """Consult the fault plan at an in-process phase boundary."""
+        if self.fault_injector is None:
+            return
+        spec = self.fault_injector.on_phase(self.worker_id, site, round_token)
+        if spec is None:
+            return
+        if spec.kind == "crash":
+            raise InjectedWorkerCrash(
+                f"worker {self.worker_id} crashed (injected, at {site})",
+                worker_id=self.worker_id,
+                command=site,
+            )
+        if spec.kind == "delay":
+            time.sleep(spec.delay)
+
+    def fault_counters(self) -> Dict[str, int]:
+        """Receiver-side fault telemetry the CPO folds into its stats."""
+        return {"duplicate_batches": self.duplicate_batches}
 
     # -- node resolution -------------------------------------------------
 
@@ -167,6 +236,7 @@ class Worker:
         runtime this happens inside the worker process, so converged RIBs
         never travel over the control pipe.
         """
+        self._inject("flush_shard")
         shard_routes = self.finish_shard()
         written = store.write_shard(self.worker_id, shard_index, shard_routes)
         selected = sum(
@@ -184,6 +254,7 @@ class Worker:
         Local sessions are warmed into the node's export cache; sessions
         whose importer lives elsewhere are batched per target worker.
         """
+        self._inject("compute_exports", round_token)
         boundary: Dict[int, BoundaryExports] = {}
         for hostname, node in sorted(self.nodes.items()):
             for session in node.sessions:
@@ -205,7 +276,19 @@ class Worker:
         }
 
     def deliver_routes(self, batch: RouteBatch) -> None:
-        """Sidecar delivery: fill the mailbox the shadows answer from."""
+        """Sidecar delivery: fill the mailbox the shadows answer from.
+
+        Deliveries are deduplicated by the batch's per-sender sequence
+        number: an RPC transport may redeliver on retry, and applying a
+        batch twice must not double-count (the mailbox overwrite is
+        idempotent, but the telemetry should know it happened).
+        """
+        last = self._batch_sequences.get(batch.source_worker)
+        if last is not None and batch.sequence == last:
+            self.duplicate_batches += 1
+            return
+        if batch.sequence:
+            self._batch_sequences[batch.source_worker] = batch.sequence
         for key, routes in batch.exports.items():
             self.mailbox[key] = routes
         if batch.ospf_exports:
@@ -214,17 +297,20 @@ class Worker:
 
     def pull_round(self, round_token: int) -> PullOutcome:
         """Phase B: every real node pulls from its (real or shadow) peers."""
-        changed = False
+        self._inject("pull_round", round_token)
+        changed_nodes: List[str] = []
         updates = 0
         for hostname in sorted(self.nodes):
             node = self.nodes[hostname]
-            changed |= node.pull_round(self._resolve, round_token)
+            if node.pull_round(self._resolve, round_token):
+                changed_nodes.append(hostname)
             updates += node.route_count()
         candidates = sum(node.route_count() for node in self.nodes.values())
         return PullOutcome(
-            changed=changed,
+            changed=bool(changed_nodes),
             updates_processed=updates,
             candidate_routes=candidates,
+            changed_nodes=tuple(changed_nodes),
         )
 
     # -- control plane: OSPF rounds ----------------------------------------------
@@ -273,8 +359,34 @@ class Worker:
     def install_ospf_routes(self) -> None:
         for hostname, process in self.ospf.items():
             node = self.nodes[hostname]
-            for route in process.routes():
+            routes = tuple(process.routes())
+            for route in routes:
                 node.main_rib.add(route)
+            if routes:
+                self._ospf_installed[hostname] = routes
+
+    # -- OSPF checkpoint (respawn replay / resume) -----------------------
+
+    def export_ospf_state(self) -> Dict[str, Tuple]:
+        """The installed OSPF routes, as checkpointed by the supervisor."""
+        return dict(self._ospf_installed)
+
+    def restore_ospf_state(self, state: Optional[Dict[str, Tuple]]) -> None:
+        """Reinstall a checkpointed OSPF result without re-running the IGP.
+
+        ``MainRib.add`` dedupes, so restoring on a worker that already
+        holds (some of) the routes is harmless — the property respawn
+        replay and resume both lean on.
+        """
+        if not state:
+            return
+        for hostname, routes in state.items():
+            node = self.nodes.get(hostname)
+            if node is None:
+                continue
+            for route in routes:
+                node.main_rib.add(route)
+        self._ospf_installed = dict(state)
 
     # -- resource accounting -------------------------------------------------------
 
@@ -300,8 +412,11 @@ class Worker:
     ) -> int:
         """Build FIBs (from the route store) and compile predicates into
         this worker's private engine.  Returns BDD ops spent (phase 1 of
-        Figure 10)."""
+        Figure 10).  Idempotent: a rebuild (after worker recovery) starts
+        from a fresh engine and FIB count."""
+        self._inject("build_dataplane")
         self.encoding = encoding
+        self._fib_entries = 0
         self.engine = encoding.make_engine(node_limit=node_limit)
         self.context = ForwardingContext(
             self.engine,
@@ -381,6 +496,7 @@ class Worker:
 
         Returns (finals produced, per-target outgoing batches, BDD ops).
         """
+        self._inject("drain")
         assert self.context is not None and self.engine is not None
         ops_before = self.engine.ops
         outgoing: Dict[int, List[PacketEnvelope]] = {}

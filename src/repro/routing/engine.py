@@ -23,7 +23,38 @@ from .route import BgpRoute, Protocol, Route
 
 
 class ConvergenceError(RuntimeError):
-    """Raised when the fixed point is not reached within the round budget."""
+    """Raised when the fixed point is not reached within the round budget.
+
+    Carries enough context to debug the non-convergence: which shard was
+    running, how many rounds were spent, and — in the distributed engine —
+    which workers/nodes were still flapping in the final round
+    (``still_changing``: worker id -> list of hostnames).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_index: Optional[int] = None,
+        rounds: Optional[int] = None,
+        still_changing: Optional[Dict[int, List[str]]] = None,
+    ) -> None:
+        details = []
+        if shard_index is not None:
+            details.append(f"shard={shard_index}")
+        if rounds is not None:
+            details.append(f"rounds={rounds}")
+        if still_changing:
+            flapping = "; ".join(
+                f"worker{worker_id}: {', '.join(nodes) or '<unknown>'}"
+                for worker_id, nodes in sorted(still_changing.items())
+            )
+            details.append(f"still changing: {flapping}")
+        if details:
+            message = f"{message} ({'; '.join(details)})"
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.rounds = rounds
+        self.still_changing = still_changing or {}
 
 
 @dataclass
@@ -82,7 +113,8 @@ class SimulationEngine:
                 break
         else:
             raise ConvergenceError(
-                f"OSPF did not converge within {self.max_rounds} rounds"
+                f"OSPF did not converge within {self.max_rounds} rounds",
+                rounds=self.max_rounds,
             )
         for hostname, process in self.ospf.items():
             node = self.nodes[hostname]
@@ -97,11 +129,14 @@ class SimulationEngine:
         """Run BGP to fixation for one prefix shard (None = all prefixes)."""
         for node in self.nodes.values():
             node.begin_shard(shard)
+        changed_nodes: List[str] = []
         for round_number in range(self.max_rounds):
-            changed = False
-            for node in self.nodes.values():
-                changed |= node.pull_round(self._bgp_resolver, round_number)
+            changed_nodes = []
+            for hostname, node in self.nodes.items():
+                if node.pull_round(self._bgp_resolver, round_number):
+                    changed_nodes.append(hostname)
                 self.stats.work_units += node.route_count()
+            changed = bool(changed_nodes)
             candidate_total = sum(
                 node.route_count() for node in self.nodes.values()
             )
@@ -113,7 +148,9 @@ class SimulationEngine:
                 break
         else:
             raise ConvergenceError(
-                f"BGP did not converge within {self.max_rounds} rounds"
+                f"BGP did not converge within {self.max_rounds} rounds",
+                rounds=self.max_rounds,
+                still_changing={0: changed_nodes},
             )
         self.stats.shards_run += 1
         result: BgpResult = {}

@@ -7,11 +7,46 @@ many tests compare against them as the oracle.
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro.net.dcn import build_dcn
 from repro.net.fattree import build_fattree
 from repro.routing.engine import SimulationEngine
+
+# Per-test wall-clock budget (seconds).  The fault-tolerance tests kill
+# worker processes and rely on supervision timeouts; a regression there
+# would otherwise hang the whole suite.  Hand-rolled on SIGALRM because
+# the environment has no pytest-timeout plugin.
+TEST_TIMEOUT = int(os.environ.get("S2_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    use_alarm = (
+        TEST_TIMEOUT > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        return (yield)
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TEST_TIMEOUT}s budget "
+            f"(S2_TEST_TIMEOUT to change)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(TEST_TIMEOUT)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

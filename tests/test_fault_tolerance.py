@@ -1,0 +1,554 @@
+"""Fault injection, supervision, recovery, and checkpoint/resume.
+
+The central claim under test: a run that loses workers mid-computation —
+to crashes, stalled calls, dropped or duplicated sidecar batches —
+produces **bit-identical** RIBs and verdicts to the fault-free run,
+because recovery respawns the worker, replays the OSPF checkpoint, and
+reruns the interrupted shard (which ``begin_shard`` makes idempotent).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import FaultPlan, FaultSpec, RetryPolicy, S2Options, S2Verifier
+from repro.dist.controller import S2Controller, options_fingerprint
+from repro.dist.faults import (
+    InjectedWorkerCrash,
+    TransientRpcError,
+    WorkerDiedError,
+    WorkerFailure,
+)
+from repro.dist.message import RouteBatch
+from repro.dist.storage import CorruptShardError, RouteStore, RunManifest
+from repro.routing.engine import ConvergenceError
+
+from tests.conftest import normalize_ribs
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+RUNTIMES = ["sequential", "threaded", "process"]
+# One crash per pipeline stage: BGP phase A, BGP phase B, the shard
+# flush, the data-plane build, and the forwarding superstep.
+CRASH_SITES = [
+    "compute_exports",
+    "pull_round",
+    "flush_shard",
+    "build_dataplane",
+    "drain",
+]
+
+
+def _options(**overrides) -> S2Options:
+    defaults = dict(num_workers=3, num_shards=2)
+    defaults.update(overrides)
+    return S2Options(**defaults)
+
+
+@pytest.fixture(scope="module")
+def baseline(fattree4):
+    """Fault-free verdicts + RIBs to compare every faulted run against."""
+    with S2Verifier(fattree4, _options()) as verifier:
+        result = verifier.verify()
+        ribs = normalize_ribs(verifier.collected_ribs())
+    assert result.status == "ok"
+    return result, ribs
+
+
+# -- the fault matrix -------------------------------------------------------
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("site", CRASH_SITES)
+def test_crash_recovery_matrix(site, runtime, fattree4, baseline):
+    """A worker crash at any stage, under any runtime, is invisible in
+    the results: same reachability verdicts, same RIBs."""
+    base_result, base_ribs = baseline
+    plan = FaultPlan([FaultSpec(kind="crash", worker=1, command=site)])
+    options = _options(runtime=runtime, fault_plan=plan)
+    with S2Verifier(fattree4, options) as verifier:
+        result = verifier.verify()
+        ribs = normalize_ribs(verifier.collected_ribs())
+        report = verifier.controller.report()
+    assert plan.count("crash") == 1, "the injected crash never fired"
+    assert result.status == "ok"
+    assert result.reachable_pairs == base_result.reachable_pairs
+    assert result.checked_pairs == base_result.checked_pairs
+    assert ribs == base_ribs
+    # The stats must confess: a failure happened and a worker came back.
+    cp, dp = result.cp_stats, result.dp_stats
+    assert cp.worker_failures + dp.worker_failures >= 1
+    assert report.total_respawns >= 1
+    if site in ("compute_exports", "pull_round", "flush_shard"):
+        assert cp.shard_replays >= 1
+    if site == "drain":
+        assert dp.query_replays >= 1
+
+
+@pytest.mark.parametrize("runtime", ["sequential", "process"])
+def test_dropped_and_duplicated_batches(runtime, fattree4, baseline):
+    """Lost sidecar batches heal (exports are re-sent every round) and
+    duplicated ones are discarded by sequence-number dedup."""
+    base_result, base_ribs = baseline
+    plan = FaultPlan(
+        [
+            FaultSpec(kind="drop", worker=0, times=2),
+            FaultSpec(kind="duplicate", worker=2, times=2),
+        ]
+    )
+    with S2Verifier(fattree4, _options(runtime=runtime, fault_plan=plan)) as v:
+        result = v.verify()
+        ribs = normalize_ribs(v.collected_ribs())
+    assert result.status == "ok"
+    assert ribs == base_ribs
+    assert result.reachable_pairs == base_result.reachable_pairs
+    assert result.cp_stats.batches_dropped == 2
+    assert result.cp_stats.batches_duplicated == 2
+    assert result.cp_stats.duplicates_discarded == 2
+
+
+def test_drop_in_final_round_forces_extra_round(fattree4, fattree4_sim):
+    """The premature-convergence hazard: a batch dropped in the round
+    where every worker reports 'no change' must not end the fixed point
+    on a stale mailbox.  The CPO forces one extra round."""
+    _, oracle = fattree4_sim
+    with S2Controller(fattree4, S2Options(num_workers=3)) as c:
+        rounds = c.run_control_plane().bgp_rounds
+    plan = FaultPlan([FaultSpec(kind="drop", round=rounds - 1)])
+    with S2Controller(
+        fattree4, S2Options(num_workers=3, fault_plan=plan)
+    ) as c:
+        stats = c.run_control_plane()
+        ribs = normalize_ribs(c.collected_ribs())
+    assert plan.count("drop") == 1
+    assert stats.forced_rounds >= 1
+    assert stats.bgp_rounds > rounds
+    assert ribs == normalize_ribs(oracle)
+
+
+def test_transient_rpc_errors_are_retried(fattree4, baseline):
+    """Injected transient failures are absorbed by the backoff retry
+    loop without ever reaching shard-level recovery."""
+    _, base_ribs = baseline
+    plan = FaultPlan(
+        [FaultSpec(kind="error", worker=1, command="compute_exports", times=2)]
+    )
+    policy = RetryPolicy(backoff_base=0.001)
+    with S2Controller(
+        fattree4,
+        _options(runtime="process", fault_plan=plan, retry_policy=policy),
+    ) as c:
+        stats = c.run_control_plane()
+        ribs = normalize_ribs(c.collected_ribs())
+        report = c.report()
+    assert ribs == base_ribs
+    assert report.total_retries == 2
+    assert stats.worker_failures == 0
+    assert stats.shard_replays == 0
+
+
+def test_crash_after_send_is_recovered(fattree4, baseline):
+    """A worker killed *after* the request was written to its pipe dies
+    mid-command; the proxy reports it and recovery replays the shard."""
+    _, base_ribs = baseline
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="crash",
+                worker=2,
+                command="pull_round",
+                where="after_send",
+            )
+        ]
+    )
+    with S2Controller(
+        fattree4, _options(runtime="process", fault_plan=plan)
+    ) as c:
+        stats = c.run_control_plane()
+        ribs = normalize_ribs(c.collected_ribs())
+    assert stats.worker_failures >= 1
+    assert ribs == base_ribs
+
+
+def test_respawn_failure_degrades_to_sequential(fattree4, baseline):
+    """When the respawn itself fails, the controller falls back to the
+    monolithic engine and still produces identical RIBs."""
+    _, base_ribs = baseline
+    plan = FaultPlan(
+        [
+            FaultSpec(kind="crash", worker=1, command="pull_round"),
+            FaultSpec(kind="respawn_fail", worker=1),
+        ]
+    )
+    with S2Controller(
+        fattree4, _options(runtime="process", fault_plan=plan)
+    ) as c:
+        stats = c.run_control_plane()
+        ribs = normalize_ribs(c.collected_ribs())
+    assert stats.sequential_fallback
+    assert ribs == base_ribs
+
+
+def test_unrecoverable_dataplane_failure_is_reported(fattree4):
+    """A worker that crashes on *every* build attempt exhausts the query
+    retry budget; verify() reports it instead of raising."""
+    plan = FaultPlan(
+        [FaultSpec(kind="crash", worker=0, command="build_dataplane", times=0)]
+    )
+    with S2Verifier(fattree4, _options(fault_plan=plan)) as verifier:
+        result = verifier.verify()
+    assert result.status == "worker-failure"
+    assert result.error
+
+
+# -- kill-and-resume --------------------------------------------------------
+
+_KILL_SCRIPT = """
+import os, sys
+sys.path.insert(0, {src!r})
+from repro import FaultPlan, FaultSpec, RetryPolicy, S2Options
+from repro.dist.controller import S2Controller
+from repro.dist.faults import WorkerFailure
+from repro.net.fattree import build_fattree
+
+snapshot = build_fattree(4)
+# Crash worker 1 on every round of shard 2, with no recovery budget: the
+# run dies after shards 0 and 1 were flushed and recorded.
+plan = FaultPlan([FaultSpec(
+    kind="crash", worker=1, shard=2, command="pull_round", times=0)])
+options = S2Options(
+    num_workers=3, num_shards=4, store_dir={store!r},
+    fault_plan=plan, retry_policy=RetryPolicy(max_shard_retries=0))
+controller = S2Controller(snapshot, options)
+try:
+    controller.cpo.run(controller.shards)
+except WorkerFailure:
+    os._exit(9)   # hard kill: no close(), no teardown, like a power cut
+os._exit(1)
+"""
+
+
+def test_kill_and_resume_roundtrip(fattree4, fattree4_sim, tmp_path):
+    """A run hard-killed mid-way resumes from its manifest: converged
+    shards are skipped, only the remainder is recomputed, and the final
+    RIBs match the monolithic oracle exactly."""
+    _, oracle = fattree4_sim
+    store = str(tmp_path / "spool")
+    script = _KILL_SCRIPT.format(src=SRC_DIR, store=store)
+    proc = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, timeout=240
+    )
+    assert proc.returncode == 9, proc.stderr.decode()[-2000:]
+
+    options = S2Options(num_workers=3, num_shards=4, store_dir=store)
+    with S2Controller.resume(fattree4, options) as controller:
+        manifest_before = controller.manifest.completed_shards()
+        stats = controller.run_control_plane()
+        ribs = normalize_ribs(controller.collected_ribs())
+        manifest_after = controller.store.read_manifest()
+    assert manifest_before == [0, 1]
+    assert stats.shards_skipped == 2
+    assert stats.shards_run == 2          # only the interrupted remainder
+    assert stats.ospf_restored
+    assert ribs == normalize_ribs(oracle)
+    assert manifest_after.completed_shards() == [0, 1, 2, 3]
+
+
+def test_resume_refuses_incompatible_options(fattree4, tmp_path):
+    store = str(tmp_path / "spool")
+    with S2Controller(
+        fattree4, S2Options(num_workers=3, num_shards=4, store_dir=store)
+    ) as controller:
+        controller.run_control_plane()
+    with pytest.raises(ValueError, match="incompatible options"):
+        S2Controller.resume(
+            fattree4, S2Options(num_workers=2, num_shards=4, store_dir=store)
+        )
+
+
+def test_resume_requires_manifest(fattree4, tmp_path):
+    with pytest.raises(ValueError, match="nothing to resume"):
+        S2Controller.resume(
+            fattree4, S2Options(store_dir=str(tmp_path / "empty"))
+        )
+    with pytest.raises(ValueError, match="store_dir"):
+        S2Controller.resume(fattree4, S2Options())
+
+
+def test_resume_of_completed_run_skips_everything(fattree4, tmp_path):
+    store = str(tmp_path / "spool")
+    with S2Controller(
+        fattree4, S2Options(num_workers=3, num_shards=4, store_dir=store)
+    ) as controller:
+        controller.run_control_plane()
+        ribs = normalize_ribs(controller.collected_ribs())
+    options = S2Options(num_workers=3, num_shards=4, store_dir=store)
+    with S2Controller.resume(fattree4, options) as controller:
+        stats = controller.run_control_plane()
+        assert stats.shards_skipped == 4
+        assert stats.shards_run == 0
+        assert stats.bgp_rounds == 0
+        assert normalize_ribs(controller.collected_ribs()) == ribs
+
+
+def test_fresh_run_clears_stale_store(fattree4, tmp_path):
+    """A *fresh* run over a reused spool directory must not inherit the
+    previous run's shards (or its manifest)."""
+    store = str(tmp_path / "spool")
+    with S2Controller(
+        fattree4, S2Options(num_workers=3, num_shards=4, store_dir=store)
+    ) as controller:
+        controller.run_control_plane()
+    with S2Controller(
+        fattree4, S2Options(num_workers=3, num_shards=4, store_dir=store)
+    ) as controller:
+        assert controller.manifest.completed_shards() == []
+        stats = controller.run_control_plane()
+        assert stats.shards_run == 4      # nothing skipped: it recomputed
+
+
+def test_options_fingerprint_ignores_supervision_knobs(fattree4):
+    base = S2Options(num_workers=3, num_shards=4)
+    tweaked = S2Options(
+        num_workers=3,
+        num_shards=4,
+        runtime="process",
+        fault_plan=FaultPlan([FaultSpec(kind="crash")]),
+        retry_policy=RetryPolicy(call_timeout=1.0),
+    )
+    different = S2Options(num_workers=3, num_shards=8)
+    assert options_fingerprint(base, fattree4) == options_fingerprint(
+        tweaked, fattree4
+    )
+    assert options_fingerprint(base, fattree4) != options_fingerprint(
+        different, fattree4
+    )
+
+
+# -- storage: crash-safe writes --------------------------------------------
+
+
+def test_write_shard_is_atomic_and_leaves_no_temp_files(tmp_path):
+    store = RouteStore(str(tmp_path))
+    store.write_shard(0, 0, {"leaf1": {}})
+    store.write_shard(0, 0, {"leaf1": {}})  # overwrite goes through temp
+    names = os.listdir(str(tmp_path))
+    assert "worker000-shard0000.rib" in names
+    assert not [n for n in names if ".tmp." in n]
+    assert store.read_shard(0, 0) == {"leaf1": {}}
+
+
+def test_corrupt_shard_file_is_reported_with_path(tmp_path):
+    store = RouteStore(str(tmp_path))
+    store.write_shard(0, 0, {})
+    path = os.path.join(str(tmp_path), "worker000-shard0000.rib")
+    with open(path, "wb") as handle:
+        handle.write(b"\x80\x04 torn write garbage")
+    with pytest.raises(CorruptShardError) as excinfo:
+        store.read_shard(0, 0)
+    assert excinfo.value.path == path
+    assert path in str(excinfo.value)
+
+
+def test_manifest_roundtrip(tmp_path):
+    store = RouteStore(str(tmp_path))
+    manifest = RunManifest(options_hash="abc123", seed=7, num_workers=3)
+    manifest.mark_shard(0, rounds=5)
+    manifest.ospf_done = True
+    store.write_manifest(manifest)
+    loaded = store.read_manifest()
+    assert loaded.options_hash == "abc123"
+    assert loaded.ospf_done
+    assert loaded.is_shard_done(0)
+    assert not loaded.is_shard_done(1)
+    assert loaded.completed_shards() == [0]
+
+
+# -- fault plan / spec units -----------------------------------------------
+
+
+def test_fault_spec_parse():
+    spec = FaultSpec.parse("crash:worker=1,round=3,command=pull_round")
+    assert (spec.kind, spec.worker, spec.round) == ("crash", 1, 3)
+    assert spec.command == "pull_round"
+    spec = FaultSpec.parse("delay:delay=0.5,times=0,probability=0.25")
+    assert (spec.delay, spec.times, spec.probability) == (0.5, 0, 0.25)
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec.parse("meteor:worker=1")
+    with pytest.raises(ValueError, match="unknown fault option"):
+        FaultSpec.parse("crash:planet=earth")
+
+
+def test_fault_plan_respects_times_and_context():
+    plan = FaultPlan(
+        [FaultSpec(kind="crash", worker=1, shard=1, command="pull_round")]
+    )
+    plan.set_context(shard=0, round_token=0)
+    assert plan.on_phase(1, "pull_round", 0) is None   # wrong shard
+    plan.set_context(shard=1)
+    assert plan.on_phase(0, "pull_round", 0) is None   # wrong worker
+    assert plan.on_phase(1, "compute_exports", 0) is None  # wrong site
+    assert plan.on_phase(1, "pull_round", 0) is not None
+    assert plan.on_phase(1, "pull_round", 1) is None   # times=1 exhausted
+    assert plan.count("crash") == 1
+
+
+def test_retry_policy_backoff_grows_exponentially():
+    policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0)
+    assert policy.backoff(1) == pytest.approx(0.1)
+    assert policy.backoff(2) == pytest.approx(0.2)
+    assert policy.backoff(3) == pytest.approx(0.4)
+
+
+def test_worker_dedupes_batches_by_sequence(fattree4):
+    from repro.dist.worker import Worker
+
+    assignment = {name: 0 for name in fattree4.configs}
+    worker = Worker(0, fattree4, assignment)
+    batch = RouteBatch(
+        source_worker=1,
+        target_worker=0,
+        round_token=0,
+        exports={("leaf1", 1): []},
+        sequence=7,
+    )
+    worker.deliver_routes(batch)
+    worker.deliver_routes(batch)  # redelivery of the same sequence
+    assert worker.duplicate_batches == 1
+    assert worker.fault_counters()["duplicate_batches"] == 1
+
+
+def test_in_process_crash_raises_worker_failure(fattree4):
+    from repro.dist.worker import Worker
+
+    assignment = {name: 0 for name in fattree4.configs}
+    worker = Worker(0, fattree4, assignment)
+    worker.fault_injector = FaultPlan(
+        [FaultSpec(kind="crash", command="compute_exports")]
+    )
+    with pytest.raises(InjectedWorkerCrash) as excinfo:
+        worker.compute_exports(0)
+    assert isinstance(excinfo.value, WorkerFailure)
+    assert excinfo.value.worker_id == 0
+    assert excinfo.value.command == "compute_exports"
+
+
+# -- process pool supervision ----------------------------------------------
+
+
+def test_pool_detects_and_respawns_dead_worker(fattree4):
+    with S2Controller(fattree4, _options(runtime="process")) as controller:
+        pool = controller._pool
+        assert pool.dead_workers() == []
+        assert pool.ping_all() == []
+        victim = pool.proxies[1]
+        victim._process.kill()
+        victim._process.join(5.0)
+        assert pool.dead_workers() == [1]
+        with pytest.raises(WorkerDiedError):
+            victim.ping()
+        pool.respawn(1)
+        assert pool.dead_workers() == []
+        assert victim.ping()                      # same proxy object
+        assert victim.resources.respawns == 1
+
+
+def test_pool_close_leaves_no_processes(fattree4):
+    controller = S2Controller(fattree4, _options(runtime="process"))
+    processes = [proxy._process for proxy in controller._pool.proxies]
+    assert all(process.is_alive() for process in processes)
+    controller.close()
+    assert not any(process.is_alive() for process in processes)
+    controller.close()  # idempotent
+
+
+def test_poisoned_proxy_refuses_calls_until_revived(fattree4):
+    with S2Controller(fattree4, _options(runtime="process")) as controller:
+        proxy = controller._pool.proxies[0]
+        proxy._poisoned = True                    # as a timeout would
+        assert not proxy.is_alive()
+        with pytest.raises(WorkerDiedError, match="poisoned"):
+            proxy.ping()
+        controller._pool.respawn(0)
+        assert proxy.ping()
+
+
+# -- enriched ConvergenceError ---------------------------------------------
+
+
+def test_convergence_error_carries_context():
+    error = ConvergenceError(
+        "BGP did not converge within 5 rounds",
+        shard_index=3,
+        rounds=5,
+        still_changing={1: ["leaf1", "spine2"]},
+    )
+    assert error.shard_index == 3
+    assert error.rounds == 5
+    assert error.still_changing == {1: ["leaf1", "spine2"]}
+    text = str(error)
+    assert "shard=3" in text and "worker1" in text and "leaf1" in text
+
+
+def test_distributed_non_convergence_names_the_culprits(fattree4):
+    with S2Controller(
+        fattree4, S2Options(num_workers=3, max_rounds=2)
+    ) as controller:
+        with pytest.raises(ConvergenceError) as excinfo:
+            controller.cpo.run()
+    assert excinfo.value.rounds == 2
+    assert excinfo.value.still_changing  # someone was still flapping
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_inject_fault_and_store_dir(tmp_path, capsys):
+    from repro.cli import main
+
+    store = str(tmp_path / "spool")
+    code = main(
+        [
+            "verify",
+            "fattree",
+            "--k",
+            "4",
+            "--workers",
+            "3",
+            "--shards",
+            "2",
+            "--store-dir",
+            store,
+            "--inject-fault",
+            "crash:worker=1,command=pull_round",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK" in out
+    assert "fault tolerance:" in out
+    assert "1 worker failures" in out
+    assert os.path.exists(os.path.join(store, "manifest.json"))
+    # and the persisted run resumes cleanly from the CLI too
+    code = main(
+        [
+            "verify",
+            "fattree",
+            "--k",
+            "4",
+            "--workers",
+            "3",
+            "--shards",
+            "2",
+            "--store-dir",
+            store,
+            "--resume",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 shards skipped" in out
