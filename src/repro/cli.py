@@ -7,7 +7,8 @@ Commands:
 ``partition``  show how a snapshot would be split across workers;
 ``shards``     show the prefix shards (DPDG components and packing);
 ``synthesize`` write a FatTree or DCN snapshot to a directory;
-``trace``      print the forwarding paths of one source→destination pair.
+``trace``      print the forwarding paths of one source→destination pair;
+``fuzz``       differentially fuzz the engines with random networks.
 """
 
 from __future__ import annotations
@@ -215,6 +216,106 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import time
+
+    from .fuzz.corpus import CorpusCase, save_case
+    from .fuzz.generators import GeneratorProfile, generate_spec
+    from .fuzz.oracle import CheckPlan, DifferentialOracle
+    from .fuzz.shrink import shrink_spec
+
+    def _every(value, default):
+        return default if value is None else value
+
+    if args.smoke:
+        # The pinned CI configuration: small networks, every runtime and
+        # fault injection sampled, finishes well inside a minute.
+        iterations = args.iterations if args.iterations is not None else 60
+        profile = GeneratorProfile.smoke()
+        process_every = _every(args.process_every, 20)
+        faults_every = _every(args.faults_every, 10)
+        dataplane_every = _every(args.dataplane_every, 15)
+    else:
+        iterations = args.iterations if args.iterations is not None else 100
+        profile = {
+            "default": GeneratorProfile(),
+            "smoke": GeneratorProfile.smoke(),
+            "plain": GeneratorProfile.plain(),
+        }[args.profile]
+        process_every = _every(args.process_every, 25)
+        faults_every = _every(args.faults_every, 0)
+        dataplane_every = _every(args.dataplane_every, 0)
+
+    started = time.time()
+    failures = 0
+    total_nodes = 0
+    total_features = 0
+    for i in range(iterations):
+        seed = args.seed + i
+        spec = generate_spec(seed, profile)
+        total_nodes += spec.size
+        total_features += spec.feature_count()
+        plan = CheckPlan(
+            include_threaded=not args.no_threaded,
+            include_process=bool(process_every) and i % process_every == 0,
+            include_faults=bool(faults_every) and i % faults_every == 0,
+            check_dataplane=bool(dataplane_every)
+            and i % dataplane_every == 0,
+            fault_seed=seed,
+        )
+        report = DifferentialOracle(plan).check(spec)
+        if report.ok:
+            if args.verbose:
+                print(f"seed {seed}: ok ({spec.size} nodes, "
+                      f"{spec.feature_count()} features)")
+            continue
+        failures += 1
+        print(f"seed {seed}: DIVERGENCE")
+        print(report.describe())
+        if report.baseline_error is not None:
+            continue  # nothing to minimize against a broken baseline
+        final_spec = spec
+        if args.shrink:
+            oracle = DifferentialOracle(CheckPlan.quick())
+
+            def still_diverges(candidate) -> bool:
+                inner = oracle.check(candidate)
+                return inner.baseline_error is None and not inner.ok
+
+            if still_diverges(spec):
+                shrunk = shrink_spec(spec, still_diverges)
+                final_spec = shrunk.spec
+                print(
+                    f"  shrunk {spec.size} nodes/"
+                    f"{spec.feature_count()} features -> "
+                    f"{final_spec.size} nodes/"
+                    f"{final_spec.feature_count()} features "
+                    f"({shrunk.evaluations} evaluations)"
+                )
+        if args.corpus_dir:
+            case = CorpusCase(
+                name=f"fuzz-divergence-seed{seed}",
+                description=(
+                    "Auto-saved by `repro fuzz`: "
+                    + report.divergences[0].describe()
+                ),
+                spec=final_spec,
+                expect="divergent",
+            )
+            path = save_case(case, args.corpus_dir)
+            print(f"  saved to {path}")
+        if args.fail_fast:
+            break
+    elapsed = time.time() - started
+    ran = i + 1 if iterations else 0
+    print(
+        f"{ran - failures}/{ran} equivalent in {elapsed:.1f}s "
+        f"(avg {total_nodes / max(1, ran):.1f} nodes, "
+        f"{total_features / max(1, ran):.1f} features per network)"
+    )
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -291,6 +392,53 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--dst")
     trace.add_argument("--prefix")
     trace.set_defaults(func=cmd_trace)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the engines with random networks",
+        description="Generate random vendor configurations and check "
+        "that the monolithic engine, the sharded monolithic engine, and "
+        "every distributed runtime compute identical RIBs (and, when "
+        "sampled, identical data-plane verdicts and fault-tolerant "
+        "results).  Exits 1 on any divergence.",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first generator seed (iteration i uses seed+i)")
+    fuzz.add_argument("--iterations", type=int, default=None,
+                      help="number of random networks (default 100; 60 "
+                      "with --smoke)")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="minimize any divergent network before reporting")
+    fuzz.add_argument("--corpus-dir", metavar="DIR",
+                      help="save (shrunken) divergent cases as JSON here")
+    fuzz.add_argument("--smoke", action="store_true",
+                      help="pinned CI configuration: small networks, all "
+                      "runtimes and fault injection sampled, < 1 minute")
+    fuzz.add_argument("--profile",
+                      choices=["default", "smoke", "plain"],
+                      default="default",
+                      help="generator profile (network size and feature "
+                      "probabilities)")
+    fuzz.add_argument("--process-every", type=int, default=None,
+                      metavar="N",
+                      help="include the process-backed runtime every Nth "
+                      "iteration (0 = never; default 25, or 20 with "
+                      "--smoke)")
+    fuzz.add_argument("--faults-every", type=int, default=None, metavar="N",
+                      help="include a fault-injected run every Nth "
+                      "iteration (0 = never; default 0, or 10 with "
+                      "--smoke)")
+    fuzz.add_argument("--dataplane-every", type=int, default=None,
+                      metavar="N",
+                      help="diff all-pair data-plane verdicts every Nth "
+                      "iteration (0 = never; default 0, or 15 with "
+                      "--smoke)")
+    fuzz.add_argument("--no-threaded", action="store_true",
+                      help="skip the threaded-runtime variant")
+    fuzz.add_argument("--fail-fast", action="store_true",
+                      help="stop at the first divergence")
+    fuzz.add_argument("-v", "--verbose", action="store_true")
+    fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

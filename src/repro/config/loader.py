@@ -158,6 +158,27 @@ def make_snapshot(
     return Snapshot(configs=configs, topology=topology, name=name)
 
 
+def snapshot_from_texts(
+    texts: Dict[str, Tuple[str, str]], name: str = "snapshot"
+) -> Snapshot:
+    """Parse rendered config texts straight into a snapshot.
+
+    ``texts`` maps hostname -> (dialect, text), the same shape the
+    synthesizers and the fuzzer emit, so generated networks exercise the
+    real vendor parsers without a filesystem round-trip.
+    """
+    configs: Dict[str, DeviceConfig] = {}
+    for hostname, (dialect, text) in texts.items():
+        config = parse_device(text, dialect)
+        if config.hostname != hostname:
+            raise ConfigSyntaxError(
+                f"rendered hostname {config.hostname!r} does not match "
+                f"key {hostname!r}"
+            )
+        configs[config.hostname] = config
+    return make_snapshot(configs, name=name)
+
+
 def write_snapshot_dir(
     path: str, texts: Dict[str, Tuple[str, str]]
 ) -> None:

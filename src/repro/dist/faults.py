@@ -308,3 +308,34 @@ class FaultPlan:
     def total_fired(self) -> int:
         with self._lock:
             return sum(self.fired_by_kind.values())
+
+
+def sample_plan(seed: int, num_workers: int) -> FaultPlan:
+    """Draw a small recoverable fault plan for differential fuzzing.
+
+    The sampled faults are all of the *recoverable* kinds (crash with
+    respawn, transient RPC errors, dropped/duplicated batches): the
+    fuzz oracle asserts that a run surviving them is bit-identical to a
+    fault-free run, so unrecoverable kinds (``respawn_fail``) are
+    excluded on purpose — those degrade to the sequential fallback,
+    which is covered by the fault-tolerance suite instead.
+    """
+    rng = random.Random(seed)
+    specs: List[FaultSpec] = []
+    kinds = ["crash", "error", "drop", "duplicate"]
+    for _ in range(rng.randint(1, 2)):
+        kind = rng.choice(kinds)
+        spec = FaultSpec(
+            kind=kind,
+            worker=rng.randrange(num_workers),
+            times=rng.randint(1, 2),
+        )
+        if kind in ("crash", "error"):
+            spec = FaultSpec(
+                kind=kind,
+                worker=spec.worker,
+                times=spec.times,
+                command=rng.choice(["pull_round", "compute_exports"]),
+            )
+        specs.append(spec)
+    return FaultPlan(specs, seed=seed)

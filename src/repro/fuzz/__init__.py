@@ -1,0 +1,51 @@
+"""Differential fuzzing: random networks, cross-runtime oracle, shrinking.
+
+The subsystem has four parts:
+
+* :mod:`repro.fuzz.generators` — a seeded random network generator that
+  emits real vendor config text (both dialects), so the parsers are
+  fuzzed together with the engines;
+* :mod:`repro.fuzz.oracle` — the differential oracle running one
+  generated network through the monolithic engine and the distributed
+  runtimes (sharded and not, optionally under fault injection) and
+  diffing the normalized results;
+* :mod:`repro.fuzz.shrink` — a spec-level minimizer for divergent cases;
+* :mod:`repro.fuzz.corpus` — the on-disk replayable regression corpus.
+"""
+
+from .corpus import CorpusCase, load_corpus, save_case
+from .generators import (
+    GeneratorProfile,
+    NetworkSpec,
+    NodeSpec,
+    build_snapshot,
+    generate_spec,
+    render_texts,
+)
+from .oracle import (
+    CheckPlan,
+    DifferentialOracle,
+    Divergence,
+    OracleReport,
+    RouteProjection,
+)
+from .shrink import ShrinkResult, shrink_spec
+
+__all__ = [
+    "CheckPlan",
+    "CorpusCase",
+    "DifferentialOracle",
+    "Divergence",
+    "GeneratorProfile",
+    "NetworkSpec",
+    "NodeSpec",
+    "OracleReport",
+    "RouteProjection",
+    "ShrinkResult",
+    "build_snapshot",
+    "generate_spec",
+    "load_corpus",
+    "render_texts",
+    "save_case",
+    "shrink_spec",
+]

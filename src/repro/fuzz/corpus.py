@@ -1,0 +1,109 @@
+"""The on-disk replayable regression corpus.
+
+Every interesting network the fuzzer encounters — a shrunken divergence,
+a near-miss that stressed one subsystem, a configuration that once
+crashed a parser — is stored as one JSON file so it replays forever as a
+regression test (``tests/test_corpus_replay.py``) and as seed input for
+future fuzzing sessions.
+
+A case stores either a generator ``seed`` (with optional profile
+overrides) or an explicit ``spec`` (for shrunken counterexamples whose
+shape no seed reproduces).  ``expect`` records the verdict the oracle
+must reach on replay: ``"equivalent"`` for fixed/never-broken cases.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .generators import GeneratorProfile, NetworkSpec, generate_spec
+
+#: tests/corpus relative to the repository root — the default location.
+DEFAULT_CORPUS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    )))),
+    "tests",
+    "corpus",
+)
+
+
+@dataclass
+class CorpusCase:
+    """One stored fuzz case."""
+
+    name: str
+    description: str = ""
+    seed: Optional[int] = None
+    profile: Dict = field(default_factory=dict)   # GeneratorProfile overrides
+    spec: Optional[NetworkSpec] = None            # explicit shrunken spec
+    expect: str = "equivalent"
+    path: Optional[str] = None                    # where it was loaded from
+
+    def resolve_spec(self) -> NetworkSpec:
+        """Materialize the network this case describes."""
+        if self.spec is not None:
+            return self.spec
+        if self.seed is None:
+            raise ValueError(f"corpus case {self.name!r} has neither "
+                             "a spec nor a seed")
+        profile = GeneratorProfile(**self.profile) if self.profile else None
+        return generate_spec(self.seed, profile)
+
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "name": self.name,
+            "description": self.description,
+            "expect": self.expect,
+        }
+        if self.seed is not None:
+            data["seed"] = self.seed
+        if self.profile:
+            data["profile"] = dict(self.profile)
+        if self.spec is not None:
+            data["spec"] = self.spec.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict, path: Optional[str] = None) -> "CorpusCase":
+        spec = None
+        if data.get("spec") is not None:
+            spec = NetworkSpec.from_dict(data["spec"])
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            seed=data.get("seed"),
+            profile=data.get("profile", {}),
+            spec=spec,
+            expect=data.get("expect", "equivalent"),
+            path=path,
+        )
+
+
+def save_case(case: CorpusCase, directory: Optional[str] = None) -> str:
+    """Write one case as ``<directory>/<name>.json``; returns the path."""
+    directory = directory or DEFAULT_CORPUS_DIR
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{case.name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(case.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus(directory: Optional[str] = None) -> List[CorpusCase]:
+    """Load every ``*.json`` case in the corpus directory, sorted by name."""
+    directory = directory or DEFAULT_CORPUS_DIR
+    if not os.path.isdir(directory):
+        return []
+    cases = []
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".json"):
+            continue
+        path = os.path.join(directory, entry)
+        with open(path, "r", encoding="utf-8") as handle:
+            cases.append(CorpusCase.from_dict(json.load(handle), path=path))
+    return cases

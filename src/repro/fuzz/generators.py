@@ -1,0 +1,705 @@
+"""Seeded random network generator for differential fuzzing.
+
+The generator draws a :class:`NetworkSpec` — a JSON-serializable
+description of a random network: a connected random graph (tree plus
+chords) of routers speaking mixed eBGP/iBGP, with random announcements,
+route-maps (local-pref, MED, communities, AS-path prepend, prefix-list
+deny filters), Null0 static routes with redistribution, aggregation with
+``summary-only``, conditional advertisement, optional OSPF underlay, and
+dual-stack (IPv6) prefixes.  The spec is *rendered to vendor config
+text* (Cisco-like and Juniper-like, per node) and pushed through the
+real parsers, so every fuzz iteration exercises lexer → parser → model →
+engines end to end.
+
+Two properties the rest of the subsystem relies on:
+
+* **determinism** — ``generate_spec(seed)`` is a pure function of the
+  seed (and profile), and rendering is a pure function of the spec, so a
+  corpus entry can store just the seed;
+* **serializability** — specs round-trip through ``to_dict``/
+  ``from_dict``, which is what lets the shrinker mutate them and the
+  corpus store shrunken counterexamples explicitly.
+
+Policies are *safe by construction*: import local-pref is applied
+uniformly to every session of a node (never per-neighbor), so the
+generator cannot build BGP "disagree" gadgets whose multiple fixed
+points would show up as false divergences between engines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..config.loader import Snapshot, snapshot_from_texts
+from ..net.addressing import AddressPlan
+from ..net.ip import Prefix, format_ip
+
+LINK_SPACE = Prefix.parse("100.64.0.0/16")
+# Router ASNs are *public* on purpose: ``remove-private-as`` policies must
+# only ever strip the decoy private ASNs injected by prepend policies —
+# stripping a real path ASN would disable eBGP loop detection and build
+# networks that legitimately never converge.
+ASN_BASE = 3001
+PRIVATE_ASN = 64512            # used by prepend policies to hit the
+#                                remove-private-AS machinery
+
+DIALECTS = ("ciscoish", "juniperish")
+
+
+# -- specs ------------------------------------------------------------------
+
+
+@dataclass
+class NodeSpec:
+    """One router of a generated network (all fields JSON-friendly)."""
+
+    index: int
+    asn: int
+    dialect: str = "ciscoish"
+    max_paths: int = 8
+    networks: List[str] = field(default_factory=list)       # v4 announcements
+    v6_networks: List[str] = field(default_factory=list)    # v6 announcements
+    static_discards: List[str] = field(default_factory=list)  # Null0 statics
+    redistribute_static: bool = False
+    aggregate: Optional[Dict] = None    # {"prefix": str, "summary_only": bool}
+    conditional: Optional[Dict] = None  # {"prefix","watch","when_present"}
+    ospf: bool = False
+    local_pref: Optional[int] = None    # uniform import local-pref
+    import_deny: Optional[str] = None   # prefix denied on import (uniform)
+    export_med: Optional[int] = None
+    export_prepend: int = 0             # own-ASN prepend count on export
+    export_private_prepend: bool = False  # prepend a private ASN instead
+    export_community: Optional[str] = None
+    remove_private_as: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"r{self.index}"
+
+    @property
+    def has_import_policy(self) -> bool:
+        return self.local_pref is not None or self.import_deny is not None
+
+    @property
+    def has_export_policy(self) -> bool:
+        return (
+            self.export_med is not None
+            or self.export_prepend > 0
+            or self.export_private_prepend
+            or self.export_community is not None
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "index": self.index,
+            "asn": self.asn,
+            "dialect": self.dialect,
+            "max_paths": self.max_paths,
+            "networks": list(self.networks),
+            "v6_networks": list(self.v6_networks),
+            "static_discards": list(self.static_discards),
+            "redistribute_static": self.redistribute_static,
+            "aggregate": self.aggregate,
+            "conditional": self.conditional,
+            "ospf": self.ospf,
+            "local_pref": self.local_pref,
+            "import_deny": self.import_deny,
+            "export_med": self.export_med,
+            "export_prepend": self.export_prepend,
+            "export_private_prepend": self.export_private_prepend,
+            "export_community": self.export_community,
+            "remove_private_as": self.remove_private_as,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "NodeSpec":
+        return cls(**data)
+
+
+@dataclass
+class NetworkSpec:
+    """A whole generated network: nodes plus undirected links."""
+
+    nodes: List[NodeSpec]
+    links: List[Tuple[int, int]]
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.links = [tuple(link) for link in self.links]
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> NodeSpec:
+        for node in self.nodes:
+            if node.index == index:
+                return node
+        raise KeyError(index)
+
+    def feature_count(self) -> int:
+        """How many optional features the spec carries (shrink metric)."""
+        count = len(self.links)
+        for node in self.nodes:
+            count += len(node.networks) + len(node.v6_networks)
+            count += len(node.static_discards)
+            count += sum(
+                1
+                for flag in (
+                    node.aggregate,
+                    node.conditional,
+                    node.local_pref,
+                    node.import_deny,
+                    node.export_med,
+                    node.export_community,
+                )
+                if flag is not None
+            )
+            count += node.export_prepend
+            count += int(node.redistribute_static) + int(node.ospf)
+            count += int(node.export_private_prepend)
+            count += int(node.remove_private_as)
+        return count
+
+    def is_connected(self) -> bool:
+        if not self.nodes:
+            return False
+        indices = {node.index for node in self.nodes}
+        adjacency: Dict[int, List[int]] = {i: [] for i in indices}
+        for a, b in self.links:
+            if a in indices and b in indices:
+                adjacency[a].append(b)
+                adjacency[b].append(a)
+        start = next(iter(indices))
+        seen = {start}
+        stack = [start]
+        while stack:
+            for peer in adjacency[stack.pop()]:
+                if peer not in seen:
+                    seen.add(peer)
+                    stack.append(peer)
+        return seen == indices
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "nodes": [node.to_dict() for node in self.nodes],
+            "links": [list(link) for link in self.links],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "NetworkSpec":
+        return cls(
+            nodes=[NodeSpec.from_dict(n) for n in data["nodes"]],
+            links=[tuple(link) for link in data["links"]],
+            seed=data.get("seed"),
+        )
+
+
+# -- generation -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Probability knobs of the generator.
+
+    The default profile leans on every feature; ``smoke()`` trims the
+    sizes for the CI fuzz job; ``plain()`` produces policy-free networks
+    (useful when bisecting whether a divergence needs policies at all).
+    """
+
+    min_nodes: int = 3
+    max_nodes: int = 12
+    extra_links: float = 0.5       # chords per node, on average
+    p_ibgp: float = 0.2            # node shares its tree parent's ASN
+    p_announce: float = 0.75
+    max_prefixes_per_node: int = 2
+    p_v6: float = 0.25
+    p_static: float = 0.3
+    p_redistribute_static: float = 0.5   # of the nodes with statics
+    p_aggregate: float = 0.3             # of the announcing nodes
+    p_summary_only: float = 0.5
+    p_conditional: float = 0.15
+    p_ospf: float = 0.2            # whole-network OSPF underlay
+    p_local_pref: float = 0.25
+    p_import_deny: float = 0.2
+    p_export_med: float = 0.3
+    p_export_prepend: float = 0.2
+    p_private_prepend: float = 0.3       # of the prepending nodes
+    p_remove_private: float = 0.3
+    p_export_community: float = 0.3
+    p_juniper: float = 0.3
+
+    @classmethod
+    def smoke(cls) -> "GeneratorProfile":
+        return cls(min_nodes=3, max_nodes=6)
+
+    @classmethod
+    def plain(cls) -> "GeneratorProfile":
+        return cls(
+            p_static=0.0,
+            p_redistribute_static=0.0,
+            p_aggregate=0.0,
+            p_conditional=0.0,
+            p_ospf=0.0,
+            p_local_pref=0.0,
+            p_import_deny=0.0,
+            p_export_med=0.0,
+            p_export_prepend=0.0,
+            p_remove_private=0.0,
+            p_export_community=0.0,
+            p_v6=0.0,
+        )
+
+
+def generate_spec(
+    seed: int, profile: Optional[GeneratorProfile] = None
+) -> NetworkSpec:
+    """Draw one random :class:`NetworkSpec` — a pure function of the seed."""
+    p = profile or GeneratorProfile()
+    rng = random.Random(seed)
+    n = rng.randint(p.min_nodes, p.max_nodes)
+
+    # Random tree (guarantees connectivity), then chords to densify.
+    links = set()
+    parents = [0] * n
+    for i in range(1, n):
+        parents[i] = rng.randrange(i)
+        links.add((parents[i], i))
+    for _ in range(int(n * p.extra_links)):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            links.add((min(a, b), max(a, b)))
+
+    # ASNs: unique by default; some nodes join their tree parent's AS,
+    # creating ONE iBGP island contiguous in the tree.  A single island
+    # keeps the fixed point unique: with two islands, an eBGP session
+    # between them can tie an iBGP-learned candidate against the peer's
+    # re-export (equal AS-path length), and the eBGP-over-iBGP tiebreak
+    # plus split horizon then flip both ends forever — each prefers the
+    # other's offer, choosing it silences their own export, and the
+    # withdrawal resurrects the iBGP choice (period-2 oscillation under
+    # synchronous rounds; the monolithic sweep just picks one of the two
+    # legitimate fixed points by node order).  With one island the
+    # external offer cannot depend on the chooser — AS-path loop
+    # detection rejects any island-transiting feedback — so ties resolve
+    # the same way in every engine.
+    asns = [ASN_BASE + i for i in range(n)]
+    island_asn: Optional[int] = None
+    for i in range(1, n):
+        if rng.random() < p.p_ibgp:
+            parent_asn = asns[parents[i]]
+            if island_asn is None or parent_asn == island_asn:
+                asns[i] = parent_asn
+                island_asn = parent_asn
+
+    ospf_everywhere = rng.random() < p.p_ospf
+
+    nodes: List[NodeSpec] = []
+    for i in range(n):
+        node = NodeSpec(index=i, asn=asns[i], ospf=ospf_everywhere)
+        node.max_paths = rng.choice([1, 2, 8, 16])
+        if rng.random() < p.p_juniper:
+            node.dialect = "juniperish"
+        if rng.random() < p.p_announce:
+            for k in range(rng.randint(1, p.max_prefixes_per_node)):
+                node.networks.append(f"10.{i}.{k}.0/24")
+        if rng.random() < p.p_v6:
+            node.v6_networks.append(f"2001:db8:{i:x}::/64")
+        if rng.random() < p.p_static:
+            node.static_discards.append(f"192.168.{i}.0/24")
+            if rng.random() < p.p_redistribute_static:
+                node.redistribute_static = True
+        if node.networks and rng.random() < p.p_aggregate:
+            node.aggregate = {
+                "prefix": f"10.{i}.0.0/16",
+                "summary_only": rng.random() < p.p_summary_only,
+            }
+        if rng.random() < p.p_local_pref:
+            node.local_pref = rng.choice([90, 110, 150, 200])
+        if rng.random() < p.p_export_med:
+            node.export_med = rng.randint(1, 50)
+        if rng.random() < p.p_export_prepend:
+            node.export_prepend = rng.randint(1, 2)
+            if rng.random() < p.p_private_prepend:
+                node.export_private_prepend = True
+        if rng.random() < p.p_remove_private:
+            node.remove_private_as = True
+        if rng.random() < p.p_export_community:
+            node.export_community = f"65000:{rng.randint(1, 99)}"
+        nodes.append(node)
+
+    # Uniformize ranking policies inside each iBGP island.  Local-pref
+    # (and MED) survive iBGP export, so a policy applied by one island
+    # member leaks to its iBGP peers and builds a preference asymmetry:
+    # a "disagree" gadget with several legitimate converged states (the
+    # paper's §7 caveat).  Divergence between engines on such a network
+    # is correct behavior, so the generator must not emit one: every
+    # member of a multi-node island shares the ranking-relevant policies
+    # of its lowest-index member.  Single-node islands (the common case)
+    # keep their independent draws.
+    by_asn: Dict[int, List[NodeSpec]] = {}
+    for node in nodes:
+        by_asn.setdefault(node.asn, []).append(node)
+    for island in by_asn.values():
+        if len(island) < 2:
+            continue
+        leader = island[0]
+        for member in island[1:]:
+            member.local_pref = leader.local_pref
+            member.export_med = leader.export_med
+            member.export_prepend = leader.export_prepend
+            member.export_private_prepend = leader.export_private_prepend
+            member.export_community = leader.export_community
+            member.remove_private_as = leader.remove_private_as
+
+    # MED is the one attribute that does NOT survive iBGP propagation
+    # (cleared on re-advertisement), so an eBGP route with a MED and its
+    # MED-0 iBGP copy rank differently — MED sits above the
+    # eBGP-over-iBGP tiebreak.  Two island members hearing the same
+    # MED-bearing route then oscillate (RFC 3345): each prefers the
+    # other's iBGP copy, goes no-transit silent, and resurrects the
+    # peer's eBGP choice.  Keep MED away from iBGP islands: no member
+    # of a multi-node island, and none of its eBGP neighbors, sets
+    # export_med.  (MED is non-transitive across eBGP hops, so only
+    # direct neighbors matter.)
+    in_island = {
+        node.index
+        for island in by_asn.values()
+        if len(island) > 1
+        for node in island
+    }
+    med_free = set(in_island)
+    for a, b in links:
+        if a in in_island:
+            med_free.add(b)
+        if b in in_island:
+            med_free.add(a)
+    for node in nodes:
+        if node.index in med_free:
+            node.export_med = None
+
+    # Private-ASN decoys must not cancel the +1 AS-hop of re-export.
+    # Every hop of a BGP preference cycle adds one ASN except a hop
+    # whose exporter strips a private ASN (net 0, or negative when the
+    # path carries several).  A "disagree" gadget — two nodes each
+    # preferring the other's offer, flipping forever via split horizon —
+    # needs the length deltas around the cycle to sum to zero or less,
+    # i.e. at least two strip-neutral hops or one double-strip.  Two
+    # structural limits make that sum strictly positive in every cycle:
+    # decoys only enter via originations at degree-1 nodes (a transit
+    # node's export policy would tag every route it forwards), and only
+    # one node in the whole network strips private ASNs.
+    degree: Dict[int, int] = {node.index: 0 for node in nodes}
+    for a, b in links:
+        degree[a] += 1
+        degree[b] += 1
+    stripper_seen = False
+    for node in nodes:
+        if node.export_private_prepend and degree[node.index] != 1:
+            node.export_private_prepend = False
+        if node.remove_private_as:
+            if stripper_seen:
+                node.remove_private_as = False
+            stripper_seen = True
+
+    # Guarantee at least one announcement so the run is not vacuous.
+    if not any(node.networks for node in nodes):
+        nodes[rng.randrange(n)].networks.append("10.200.0.0/24")
+
+    announced = [
+        prefix for node in nodes for prefix in node.networks
+    ]
+    for node in nodes:
+        # Conditional advertisement is a ciscoish-only dialect feature.
+        if node.dialect == "ciscoish" and rng.random() < p.p_conditional:
+            watch = rng.choice(announced)
+            gated = f"172.16.{node.index}.0/24"
+            node.networks.append(gated)
+            node.conditional = {
+                "prefix": gated,
+                "watch": watch,
+                "when_present": rng.random() < 0.5,
+            }
+        if node.import_deny is None and rng.random() < p.p_import_deny:
+            node.import_deny = rng.choice(announced)
+
+    return NetworkSpec(nodes=nodes, links=sorted(links), seed=seed)
+
+
+# -- rendering --------------------------------------------------------------
+
+
+@dataclass
+class _Session:
+    iface: str
+    local_addr: int
+    peer_addr: int
+    peer_asn: int
+
+
+def _sessions(spec: NetworkSpec) -> Dict[int, List[_Session]]:
+    """Allocate /31 link subnets and derive per-node BGP sessions."""
+    plan = AddressPlan(LINK_SPACE)
+    sessions: Dict[int, List[_Session]] = {node.index: [] for node in spec.nodes}
+    asn_of = {node.index: node.asn for node in spec.nodes}
+    for a, b in spec.links:
+        if a not in sessions or b not in sessions:
+            continue  # dangling link in a shrunken spec
+        low, high, _prefix = plan.next_p2p()
+        sessions[a].append(
+            _Session(f"e{len(sessions[a])}", low, high, asn_of[b])
+        )
+        sessions[b].append(
+            _Session(f"e{len(sessions[b])}", high, low, asn_of[a])
+        )
+    return sessions
+
+
+def _render_cisco(node: NodeSpec, sessions: List[_Session]) -> str:
+    lines = [f"hostname {node.name}"]
+    for session in sessions:
+        mask = format_ip(Prefix(session.local_addr, 31).mask)
+        lines += [
+            f"interface {session.iface}",
+            f" ip address {format_ip(session.local_addr)} {mask}",
+        ]
+    for prefix_text in node.static_discards:
+        prefix = Prefix.parse(prefix_text)
+        lines.append(
+            f"ip route {format_ip(prefix.network)} {format_ip(prefix.mask)} "
+            f"Null0"
+        )
+    if node.import_deny is not None:
+        lines += [
+            f"ip prefix-list PL-DENY seq 5 permit {node.import_deny}",
+        ]
+    if node.export_community is not None:
+        # Defined for symmetry with the Juniper rendering (unused here).
+        lines.append(
+            f"ip community-list standard CL-TAG permit "
+            f"{node.export_community}"
+        )
+    if node.has_import_policy:
+        if node.import_deny is not None:
+            lines += [
+                "route-map IMPORT deny 5",
+                " match ip address prefix-list PL-DENY",
+            ]
+        lines.append("route-map IMPORT permit 10")
+        if node.local_pref is not None:
+            lines.append(f" set local-preference {node.local_pref}")
+    if node.has_export_policy:
+        lines.append("route-map EXPORT permit 10")
+        if node.export_med is not None:
+            lines.append(f" set metric {node.export_med}")
+        if node.export_prepend:
+            prepend_asn = (
+                PRIVATE_ASN if node.export_private_prepend else node.asn
+            )
+            asns = " ".join([str(prepend_asn)] * node.export_prepend)
+            lines.append(f" set as-path prepend {asns}")
+        if node.export_community is not None:
+            lines.append(
+                f" set community {node.export_community} additive"
+            )
+    if node.ospf and sessions:
+        lines.append("router ospf 1")
+        lines.append(
+            f" network {format_ip(LINK_SPACE.network)} 0.0.255.255 area 0"
+        )
+    lines.append(f"router bgp {node.asn}")
+    lines.append(
+        f" bgp router-id {format_ip((192 << 24) | (node.index + 1))}"
+    )
+    lines.append(f" maximum-paths {node.max_paths}")
+    for session in sessions:
+        peer = format_ip(session.peer_addr)
+        lines.append(f" neighbor {peer} remote-as {session.peer_asn}")
+        if node.has_import_policy:
+            lines.append(f" neighbor {peer} route-map IMPORT in")
+        if node.has_export_policy:
+            lines.append(f" neighbor {peer} route-map EXPORT out")
+        if node.remove_private_as:
+            lines.append(f" neighbor {peer} remove-private-as")
+    for prefix_text in node.networks:
+        prefix = Prefix.parse(prefix_text)
+        lines.append(
+            f" network {format_ip(prefix.network)} "
+            f"mask {format_ip(prefix.mask)}"
+        )
+    for prefix_text in node.v6_networks:
+        lines.append(f" network {prefix_text}")
+    if node.aggregate is not None:
+        prefix = Prefix.parse(node.aggregate["prefix"])
+        suffix = " summary-only" if node.aggregate["summary_only"] else ""
+        lines.append(
+            f" aggregate-address {format_ip(prefix.network)} "
+            f"{format_ip(prefix.mask)}{suffix}"
+        )
+    if node.redistribute_static:
+        lines.append(" redistribute static")
+    if node.conditional is not None:
+        kind = "exist" if node.conditional["when_present"] else "non-exist"
+        lines.append(
+            f" advertise {node.conditional['prefix']} {kind} "
+            f"{node.conditional['watch']}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _render_juniper(node: NodeSpec, sessions: List[_Session]) -> str:
+    out = ["system {", f"    host-name {node.name};", "}"]
+    out.append("interfaces {")
+    for session in sessions:
+        out += [
+            f"    {session.iface} {{",
+            "        unit 0 {",
+            "            family {",
+            "                inet {",
+            f"                    address "
+            f"{format_ip(session.local_addr)}/31;",
+            "                }",
+            "            }",
+            "        }",
+            "    }",
+        ]
+    out.append("}")
+    out += [
+        "routing-options {",
+        f"    router-id {format_ip((192 << 24) | (node.index + 1))};",
+        f"    autonomous-system {node.asn};",
+    ]
+    if node.static_discards:
+        out.append("    static {")
+        for prefix_text in node.static_discards:
+            out.append(f"        route {prefix_text} discard;")
+        out.append("    }")
+    out.append("}")
+
+    policy_lines: List[str] = []
+    if node.import_deny is not None:
+        policy_lines += [
+            "    prefix-list PL-DENY {",
+            f"        {node.import_deny};",
+            "    }",
+        ]
+    if node.export_community is not None:
+        policy_lines.append(
+            f"    community CL-TAG members [ {node.export_community} ];"
+        )
+    if node.has_import_policy:
+        policy_lines.append("    policy-statement IMPORT {")
+        if node.import_deny is not None:
+            policy_lines += [
+                "        term drop {",
+                "            from {",
+                "                prefix-list PL-DENY;",
+                "            }",
+                "            then {",
+                "                reject;",
+                "            }",
+                "        }",
+            ]
+        policy_lines.append("        term adjust {")
+        policy_lines.append("            then {")
+        if node.local_pref is not None:
+            policy_lines.append(
+                f"                local-preference {node.local_pref};"
+            )
+        policy_lines.append("                accept;")
+        policy_lines += ["            }", "        }"]
+        policy_lines.append("    }")
+    if node.has_export_policy:
+        policy_lines.append("    policy-statement EXPORT {")
+        policy_lines.append("        term adjust {")
+        policy_lines.append("            then {")
+        if node.export_med is not None:
+            policy_lines.append(f"                metric {node.export_med};")
+        if node.export_prepend:
+            prepend_asn = (
+                PRIVATE_ASN if node.export_private_prepend else node.asn
+            )
+            asns = " ".join([str(prepend_asn)] * node.export_prepend)
+            policy_lines.append(f"                as-path-prepend {asns};")
+        if node.export_community is not None:
+            policy_lines.append("                community add CL-TAG;")
+        policy_lines.append("                accept;")
+        policy_lines += ["            }", "        }"]
+        policy_lines.append("    }")
+    if policy_lines:
+        out.append("policy-options {")
+        out += policy_lines
+        out.append("}")
+
+    out.append("protocols {")
+    if node.ospf and sessions:
+        out.append("    ospf {")
+        out.append("        area 0 {")
+        for session in sessions:
+            out.append(f"            interface {session.iface};")
+        out += ["        }", "    }"]
+    out.append("    bgp {")
+    out.append(f"        multipath {node.max_paths};")
+    out.append("        group fuzz {")
+    for session in sessions:
+        out += [
+            f"            neighbor {format_ip(session.peer_addr)} {{",
+            f"                peer-as {session.peer_asn};",
+        ]
+        if node.has_import_policy:
+            out.append("                import IMPORT;")
+        if node.has_export_policy:
+            out.append("                export EXPORT;")
+        if node.remove_private_as:
+            out.append("                remove-private;")
+        out.append("            }")
+    out.append("        }")
+    for prefix_text in node.networks + node.v6_networks:
+        out.append(f"        network {prefix_text};")
+    if node.aggregate is not None:
+        suffix = (
+            " summary-only" if node.aggregate["summary_only"] else ""
+        )
+        out.append("        aggregate {")
+        out.append(
+            f"            route {node.aggregate['prefix']}{suffix};"
+        )
+        out.append("        }")
+    if node.redistribute_static:
+        out.append("        redistribute static;")
+    out += ["    }", "}"]
+    return "\n".join(out) + "\n"
+
+
+def render_texts(spec: NetworkSpec) -> Dict[str, Tuple[str, str]]:
+    """Render hostname -> (dialect, config-text) for the whole network."""
+    sessions = _sessions(spec)
+    texts: Dict[str, Tuple[str, str]] = {}
+    for node in spec.nodes:
+        node_sessions = sessions[node.index]
+        if node.dialect == "juniperish":
+            texts[node.name] = (
+                "juniperish",
+                _render_juniper(node, node_sessions),
+            )
+        else:
+            texts[node.name] = (
+                "ciscoish",
+                _render_cisco(node, node_sessions),
+            )
+    return texts
+
+
+def build_snapshot(spec: NetworkSpec) -> Snapshot:
+    """Render and parse the spec into a fresh snapshot.
+
+    Every caller gets an independent snapshot: engines mutate per-node
+    state, so differential runs must never share parsed configs.
+    """
+    suffix = f"-s{spec.seed}" if spec.seed is not None else ""
+    return snapshot_from_texts(
+        render_texts(spec), name=f"fuzz{suffix}"
+    )

@@ -1,0 +1,153 @@
+"""Spec-level minimization of divergent fuzz cases.
+
+When the oracle finds a divergence, the raw spec is rarely the story:
+a 12-node network with nine active features usually diverges for one
+reason.  :func:`shrink_spec` greedily removes structure — nodes, links,
+then individual policy features — re-running a caller-supplied predicate
+(usually "the oracle still diverges") after each candidate, and keeps
+any mutation that preserves the failure.  The loop restarts after every
+accepted mutation and terminates when a full pass accepts nothing, so it
+converges to a 1-minimal spec: removing any single remaining element
+makes the divergence disappear.
+
+The predicate sees a *deep copy*; shrinking never mutates the input.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, List, Optional
+
+from .generators import NetworkSpec, NodeSpec
+
+Predicate = Callable[[NetworkSpec], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized spec plus how the search went."""
+
+    spec: NetworkSpec
+    evaluations: int = 0
+    accepted: int = 0
+
+    @property
+    def minimal(self) -> NetworkSpec:
+        return self.spec
+
+
+def _without_node(spec: NetworkSpec, index: int) -> NetworkSpec:
+    nodes = [copy.deepcopy(n) for n in spec.nodes if n.index != index]
+    links = [
+        link for link in spec.links if index not in link
+    ]
+    return NetworkSpec(nodes=nodes, links=links, seed=spec.seed)
+
+
+def _without_link(spec: NetworkSpec, position: int) -> NetworkSpec:
+    links = [l for i, l in enumerate(spec.links) if i != position]
+    return NetworkSpec(
+        nodes=[copy.deepcopy(n) for n in spec.nodes],
+        links=links,
+        seed=spec.seed,
+    )
+
+
+def _feature_mutations(node: NodeSpec) -> Iterator[Callable[[NodeSpec], None]]:
+    """Single-feature removals for one node, coarsest first."""
+    if node.aggregate is not None:
+        yield lambda n: setattr(n, "aggregate", None)
+    if node.conditional is not None:
+        # The gated prefix only exists for the conditional; drop both.
+        def drop_conditional(n: NodeSpec) -> None:
+            gated = n.conditional["prefix"]
+            n.conditional = None
+            if gated in n.networks:
+                n.networks.remove(gated)
+        yield drop_conditional
+    if node.local_pref is not None:
+        yield lambda n: setattr(n, "local_pref", None)
+    if node.import_deny is not None:
+        yield lambda n: setattr(n, "import_deny", None)
+    if node.export_med is not None:
+        yield lambda n: setattr(n, "export_med", None)
+    if node.export_prepend:
+        def drop_prepend(n: NodeSpec) -> None:
+            n.export_prepend = 0
+            n.export_private_prepend = False
+        yield drop_prepend
+    if node.export_community is not None:
+        yield lambda n: setattr(n, "export_community", None)
+    if node.remove_private_as:
+        yield lambda n: setattr(n, "remove_private_as", False)
+    if node.redistribute_static:
+        yield lambda n: setattr(n, "redistribute_static", False)
+    if node.static_discards:
+        yield lambda n: setattr(n, "static_discards", [])
+    if node.ospf:
+        yield lambda n: setattr(n, "ospf", False)
+    if node.v6_networks:
+        yield lambda n: setattr(n, "v6_networks", [])
+    for prefix in list(node.networks):
+        if node.conditional is not None and (
+            prefix == node.conditional["prefix"]
+        ):
+            continue
+        yield lambda n, p=prefix: n.networks.remove(p)
+    if node.max_paths != 1:
+        yield lambda n: setattr(n, "max_paths", 1)
+    if node.dialect != "ciscoish" and node.conditional is None:
+        yield lambda n: setattr(n, "dialect", "ciscoish")
+
+
+def _candidates(spec: NetworkSpec) -> Iterator[NetworkSpec]:
+    """All one-step-smaller specs, most aggressive first."""
+    for node in spec.nodes:
+        if len(spec.nodes) > 1:
+            yield _without_node(spec, node.index)
+    for position in range(len(spec.links)):
+        yield _without_link(spec, position)
+    for i, node in enumerate(spec.nodes):
+        for mutate in _feature_mutations(node):
+            candidate = NetworkSpec(
+                nodes=[copy.deepcopy(n) for n in spec.nodes],
+                links=list(spec.links),
+                seed=spec.seed,
+            )
+            mutate(candidate.nodes[i])
+            yield candidate
+
+
+def shrink_spec(
+    spec: NetworkSpec,
+    predicate: Predicate,
+    max_evaluations: int = 2000,
+) -> ShrinkResult:
+    """Greedily minimize ``spec`` while ``predicate`` keeps holding.
+
+    ``predicate(candidate)`` must return True when the candidate still
+    exhibits the behavior being minimized (divergence, crash, ...).  The
+    input spec itself must satisfy the predicate; otherwise it is
+    returned unshrunken.
+    """
+    result = ShrinkResult(spec=copy.deepcopy(spec))
+    improved = True
+    while improved and result.evaluations < max_evaluations:
+        improved = False
+        for candidate in _candidates(result.spec):
+            if result.evaluations >= max_evaluations:
+                break
+            result.evaluations += 1
+            try:
+                still_failing = predicate(copy.deepcopy(candidate))
+            except Exception:  # noqa: BLE001
+                # A predicate crash means the candidate changed the
+                # failure mode; keep minimizing the original one.
+                still_failing = False
+            if still_failing:
+                result.spec = candidate
+                result.accepted += 1
+                improved = True
+                break
+    return result

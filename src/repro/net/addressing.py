@@ -1,0 +1,35 @@
+"""Link address allocation shared by the network synthesizers.
+
+Every synthesizer (FatTree, DCN, and the fuzzer's random networks) needs
+the same primitive: carve sequential point-to-point /31 subnets out of a
+link space.  :class:`AddressPlan` is that allocator; it hands out
+``(low, high, prefix)`` triples and raises when the space is exhausted,
+so an over-ambitious topology fails loudly instead of aliasing links.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .ip import Prefix
+
+
+class AddressPlan:
+    """Sequential /31 allocator for point-to-point links."""
+
+    def __init__(self, space: Prefix) -> None:
+        self._base = space.network
+        self._limit = space.broadcast
+        self._next = space.network
+
+    def next_p2p(self) -> Tuple[int, int, Prefix]:
+        low = self._next
+        if low + 1 > self._limit:
+            raise ValueError("link address space exhausted")
+        self._next += 2
+        return low, low + 1, Prefix(low, 31)
+
+    @property
+    def allocated(self) -> int:
+        """Number of /31s handed out so far."""
+        return (self._next - self._base) // 2

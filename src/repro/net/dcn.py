@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..config.loader import Snapshot, make_snapshot, parse_device
+from .addressing import AddressPlan
 from .ip import Prefix, format_ip
 from .topology import Topology
 
@@ -135,19 +136,6 @@ class _Device:
     external: bool = False             # owns the external stub prefix
 
 
-class _AddressPlan:
-    def __init__(self, space: Prefix) -> None:
-        self._limit = space.broadcast
-        self._next = space.network
-
-    def next_p2p(self) -> Tuple[int, int]:
-        low = self._next
-        if low + 1 > self._limit:
-            raise ValueError("link address space exhausted")
-        self._next += 2
-        return low, low + 1
-
-
 def vlan_prefix(cluster: int, tor: int) -> Prefix:
     """Business prefix announced by TOR ``tor`` of ``cluster``."""
     if tor > 255 or cluster > 255:
@@ -178,12 +166,12 @@ def cluster_mgmt_aggregate(cluster: int) -> Prefix:
 
 
 def _build_devices(spec: DcnSpec) -> List[_Device]:
-    plan = _AddressPlan(LINK_SPACE)
+    plan = AddressPlan(LINK_SPACE)
     devices: Dict[str, _Device] = {}
 
     def connect(lower: _Device, upper: _Device) -> None:
         """Wire a link where ``upper`` is the higher-layer device."""
-        addr_low, addr_high = plan.next_p2p()
+        addr_low, addr_high, _prefix = plan.next_p2p()
         iface_l = f"eth{len(lower.interfaces)}"
         iface_u = f"eth{len(upper.interfaces)}"
         lower.interfaces.append((iface_l, addr_low, 31))
@@ -294,7 +282,7 @@ def _build_devices(spec: DcnSpec) -> List[_Device]:
     # Border peering between the two backbone routers, with the
     # remove-private-AS VSB applied on both sides.
     bb0, bb1 = backbones[0], backbones[1]
-    addr_low, addr_high = plan.next_p2p()
+    addr_low, addr_high, _prefix = plan.next_p2p()
     iface0 = f"eth{len(bb0.interfaces)}"
     iface1 = f"eth{len(bb1.interfaces)}"
     bb0.interfaces.append((iface0, addr_low, 31))

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..config.loader import Snapshot, make_snapshot, parse_device
+from .addressing import AddressPlan
 from .ip import Prefix, format_ip
 from .topology import Topology
 
@@ -87,22 +88,6 @@ class _Switch:
     networks: List[Prefix]
 
 
-class _AddressPlan:
-    """Sequential /31 allocator for point-to-point links."""
-
-    def __init__(self, space: Prefix) -> None:
-        self._base = space.network
-        self._limit = space.broadcast
-        self._next = space.network
-
-    def next_p2p(self) -> Tuple[int, int, Prefix]:
-        low = self._next
-        if low + 1 > self._limit:
-            raise ValueError("link address space exhausted")
-        self._next += 2
-        return low, low + 1, Prefix(low, 31)
-
-
 def _edge_prefixes(spec: FatTreeSpec, pod: int, idx: int) -> List[Prefix]:
     """Host prefixes announced by edge ``idx`` of ``pod``: 10.pod.X.0/24."""
     prefixes = []
@@ -117,7 +102,7 @@ def _edge_prefixes(spec: FatTreeSpec, pod: int, idx: int) -> List[Prefix]:
 
 def _build_switches(spec: FatTreeSpec) -> List[_Switch]:
     half = spec.half
-    plan = _AddressPlan(LINK_SPACE)
+    plan = AddressPlan(LINK_SPACE)
     switches: Dict[str, _Switch] = {}
 
     def new_switch(

@@ -1,0 +1,46 @@
+"""Replay every stored fuzz case against the differential oracle.
+
+``tests/corpus/`` is the fuzzer's long-term memory: shrunken oscillation
+gadgets that must stay *detected* (``expect: divergent``) and
+feature-dense generated networks that must stay *equivalent* across
+every engine.  A case failing here means either an engine regression or
+an oracle that went blind.
+"""
+
+import pytest
+
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, load_corpus
+from repro.fuzz.oracle import CheckPlan, DifferentialOracle
+
+CASES = load_corpus(DEFAULT_CORPUS_DIR)
+
+
+def test_corpus_is_populated():
+    assert len(CASES) >= 5
+    assert any(case.expect == "divergent" for case in CASES)
+    assert any(case.expect == "equivalent" for case in CASES)
+
+
+def test_corpus_names_match_files():
+    for case in CASES:
+        assert case.path is not None
+        assert case.path.endswith(f"{case.name}.json")
+        assert case.description  # every stored case explains itself
+
+
+@pytest.mark.parametrize(
+    "case", CASES, ids=[case.name for case in CASES]
+)
+def test_replay(case):
+    spec = case.resolve_spec()
+    report = DifferentialOracle(CheckPlan.quick()).check(spec)
+    assert report.baseline_error is None, report.describe()
+    if case.expect == "equivalent":
+        assert report.ok, f"{case.name} regressed:\n{report.describe()}"
+    else:
+        assert not report.ok, (
+            f"{case.name} is a known-divergent gadget the oracle must "
+            "flag, but every engine now agrees — if an engine change "
+            "legitimately fixed it, promote the case to expect: "
+            "equivalent with a note"
+        )

@@ -2,10 +2,12 @@
 distributed verifier equals the monolithic one, sharded equals unsharded,
 and the compiled predicates tile the header space.
 
-These are the repository's strongest correctness tests: hypothesis
-synthesizes small random topologies (random trees plus chords, random
-prefix announcements, random local-pref policies) instead of relying on
-the hand-built FatTree/DCN families.
+These are the repository's strongest correctness tests.  The networks
+come from :mod:`repro.fuzz.generators` — the same seeded generator the
+``repro fuzz`` command uses — so they cover both vendor dialects, iBGP
+islands, route-maps, aggregation, conditional advertisement, and
+dual-stack prefixes, at larger sizes than the old inline generator did.
+Hypothesis drives the generator seed and the worker/shard counts.
 """
 
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -13,78 +15,21 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from tests.conftest import normalize_ribs
 from repro.bdd.engine import FALSE, TRUE
 from repro.bdd.headerspace import HeaderEncoding
-from repro.config.loader import make_snapshot, parse_device
 from repro.dataplane.fib import Fib, FibAction, FibEntry, NextHop
-from repro.dataplane.predicates import PortPredicates
 from repro.dist.controller import S2Controller, S2Options
 from repro.dist.sharding import make_shards
-from repro.net.ip import Prefix, format_ip
+from repro.fuzz.generators import (
+    GeneratorProfile,
+    build_snapshot,
+    generate_spec,
+)
+from repro.net.ip import Prefix
 from repro.routing.engine import SimulationEngine
 
 
-# -- random network generation -------------------------------------------------
-
-network_specs = st.builds(
-    dict,
-    n=st.integers(3, 7),
-    # parent[i] < i: a random tree over the routers
-    parents=st.lists(st.integers(0, 5), min_size=6, max_size=6),
-    # which routers announce a prefix
-    announcers=st.sets(st.integers(0, 6), min_size=1, max_size=4),
-    # extra chord links (i, j) to densify the tree
-    chords=st.sets(
-        st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=3
-    ),
-    # routers applying a local-pref-raising import policy on all sessions
-    preferers=st.sets(st.integers(0, 6), max_size=2),
-)
-
-
-def build_random_network(spec):
-    n = spec["n"]
-    edges = set()
-    for i in range(1, n):
-        edges.add((spec["parents"][i - 1] % i, i))
-    for a, b in spec["chords"]:
-        a, b = a % n, b % n
-        if a != b:
-            edges.add((min(a, b), max(a, b)))
-    edges = sorted(edges)
-    link_base = Prefix.parse("100.64.0.0/16").network
-    iface_count = [0] * n
-    sessions = [[] for _ in range(n)]  # (local, peer, peer_asn)
-    for index, (a, b) in enumerate(edges):
-        low = link_base + 2 * index
-        sessions[a].append((low, low + 1, 65001 + b))
-        sessions[b].append((low + 1, low, 65001 + a))
-    texts = []
-    for i in range(n):
-        lines = [f"hostname r{i}"]
-        for j, (local, _peer, _pasn) in enumerate(sessions[i]):
-            mask = format_ip(Prefix(local, 31).mask)
-            lines += [f"interface e{j}", f" ip address {format_ip(local)} {mask}"]
-        if i in {v % n for v in spec["preferers"]}:
-            lines += [
-                "route-map PREF permit 10",
-                " set local-preference 150",
-            ]
-        lines.append(f"router bgp {65001 + i}")
-        lines.append(" maximum-paths 8")
-        for local, peer, peer_asn in sessions[i]:
-            lines.append(f" neighbor {format_ip(peer)} remote-as {peer_asn}")
-            if i in {v % n for v in spec["preferers"]}:
-                lines.append(f" neighbor {format_ip(peer)} route-map PREF in")
-        if i in {v % n for v in spec["announcers"]}:
-            lines.append(
-                f" network 10.{i}.0.0 mask 255.255.0.0"
-            )
-        texts.append("\n".join(lines) + "\n")
-    configs = {}
-    for text in texts:
-        config = parse_device(text, "ciscoish")
-        configs[config.hostname] = config
-    return make_snapshot(configs, name="random")
-
+# Larger networks than the generator's default profile: up to 16 routers
+# with every feature class enabled.
+PROPERTY_PROFILE = GeneratorProfile(min_nodes=4, max_nodes=16)
 
 common_settings = settings(
     max_examples=12,
@@ -94,46 +39,49 @@ common_settings = settings(
 
 
 class TestRandomNetworkEquivalence:
-    @given(network_specs, st.integers(2, 4))
+    @given(st.integers(0, 10_000), st.integers(2, 4))
     @common_settings
-    def test_distributed_equals_monolithic(self, spec, workers):
-        snapshot = build_random_network(spec)
-        engine = SimulationEngine(snapshot)
-        expected = normalize_ribs(engine.run())
+    def test_distributed_equals_monolithic(self, seed, workers):
+        spec = generate_spec(seed, PROPERTY_PROFILE)
+        expected = normalize_ribs(
+            SimulationEngine(build_snapshot(spec)).run()
+        )
         with S2Controller(
-            snapshot,
+            build_snapshot(spec),
             S2Options(num_workers=workers, partition_scheme="random"),
         ) as controller:
             controller.run_control_plane()
             got = normalize_ribs(controller.collected_ribs())
         assert got == expected
 
-    @given(network_specs, st.integers(2, 5))
+    @given(st.integers(0, 10_000), st.integers(2, 5))
     @common_settings
-    def test_sharded_equals_unsharded(self, spec, num_shards):
-        snapshot = build_random_network(spec)
-        engine = SimulationEngine(snapshot)
-        expected = engine.run()
-        engine2 = SimulationEngine(build_random_network(spec))
+    def test_sharded_equals_unsharded(self, seed, num_shards):
+        spec = generate_spec(seed, PROPERTY_PROFILE)
+        snapshot = build_snapshot(spec)
+        expected = SimulationEngine(snapshot).run()
+        engine2 = SimulationEngine(build_snapshot(spec))
         shards = make_shards(snapshot, num_shards)
         sharded = engine2.run([s.prefixes for s in shards])
         assert sharded == expected
 
-    @given(network_specs)
+    @given(st.integers(0, 10_000))
     @common_settings
-    def test_best_paths_are_policy_consistent(self, spec):
-        """Every selected route's local-pref matches whether the holder
-        applies the local-pref-raising import policy."""
-        snapshot = build_random_network(spec)
-        engine = SimulationEngine(snapshot)
-        routes = engine.run()
-        n = spec["n"]
-        preferers = {f"r{v % n}" for v in spec["preferers"]}
+    def test_best_paths_are_policy_consistent(self, seed):
+        """Every selected *learned* route's local-pref matches the
+        holder's import policy (or the 100 default)."""
+        spec = generate_spec(seed, PROPERTY_PROFILE)
+        routes = SimulationEngine(build_snapshot(spec)).run()
+        expected_lp = {
+            node.name: node.local_pref if node.local_pref is not None else 100
+            for node in spec.nodes
+        }
         for host, table in routes.items():
-            expected_lp = 150 if host in preferers else 100
             for ecmp in table.values():
                 for route in ecmp:
-                    assert route.local_pref == expected_lp
+                    if route.from_node == host:
+                        continue  # locally originated / aggregated
+                    assert route.local_pref == expected_lp[host]
 
 
 class TestRandomFibPredicates:
