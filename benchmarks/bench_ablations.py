@@ -103,7 +103,7 @@ def test_ablation_wave_merging(benchmark):
         rows,
         title="Ablation — symbolic-packet wave merging",
     )
-    emit("ablation_merging", table)
+    emit("ablation_merging", table, rows)
     # the per-path blowup grows with k (combinatorial ECMP product)
     blowups = [row[3] for row in rows]
     assert blowups[-1] > blowups[0]
@@ -117,7 +117,7 @@ def test_ablation_runtimes(benchmark):
         rows,
         title="Ablation — runtime backends compute identical results",
     )
-    emit("ablation_runtimes", table)
+    emit("ablation_runtimes", table, rows)
     routes = {row[1] for row in rows}
     assert len(routes) == 1, "all backends must compute the same routes"
     # The modeled clock is backend-independent up to pickling jitter in
@@ -136,7 +136,7 @@ def test_ablation_round_schemes(benchmark):
         rows,
         title="Ablation — immediate-update vs two-phase (Jacobi) rounds",
     )
-    emit("ablation_rounds", table)
+    emit("ablation_rounds", table, rows)
     # Jacobi never needs fewer rounds, and stays within a small factor
     for _workload, immediate, jacobi in rows:
         assert jacobi >= immediate

@@ -124,7 +124,7 @@ def test_fault_recovery(benchmark):
         rows,
         title=f"Fault recovery — FatTree6, {WORKERS} workers, {SHARDS} shards",
     )
-    emit("fault_recovery", table)
+    emit("fault_recovery", table, rows)
     # The acceptance bar: checkpointing is effectively free when nothing
     # fails (5% budget, measured best-of-3 to damp scheduler noise).
     assert overhead < 5.0, f"checkpoint overhead {overhead:.1f}% >= 5%"

@@ -21,7 +21,7 @@ def test_fig04_real_dcn(benchmark):
         [r.as_cells() for r in rows],
         title="Figure 4 — real-DCN substitute: time and peak memory",
     )
-    emit("fig04", table)
+    emit("fig04", table, rows)
     by_series = {r.series: r for r in rows}
     # the paper's qualitative claims
     assert by_series["batfish"].status == "oom"

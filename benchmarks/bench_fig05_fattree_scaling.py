@@ -19,7 +19,7 @@ def test_fig05_fattree_scaling(benchmark):
         [r.as_cells() for r in rows],
         title="Figure 5 — FatTree sweep: Batfish / Bonsai / S2 workers",
     )
-    emit("fig05", table)
+    emit("fig05", table, rows)
     first_size = rows[0].workload
     largest = rows[-1].workload
     by_key = {(r.series, r.workload): r for r in rows}

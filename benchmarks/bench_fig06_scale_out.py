@@ -21,7 +21,7 @@ def test_fig06_scale_out(benchmark):
         [r.as_cells() for r in rows],
         title="Figure 6 — scale-out on the FatTree60 analogue (k=8)",
     )
-    emit("fig06", table)
+    emit("fig06", table, rows)
     assert all(r.status == "ok" for r in rows)
     by_workers = dict(zip(WORKER_COUNTS, rows))
     # steep improvement up to 8 workers...

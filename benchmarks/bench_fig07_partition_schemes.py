@@ -36,7 +36,7 @@ def test_fig07_partition_schemes(benchmark):
         ],
         title="Figure 7 — partition schemes (total / CP / DP splits)",
     )
-    emit("fig07", table)
+    emit("fig07", table, rows)
     assert all(r.status == "ok" for r in rows)
     for workload in {r.workload for r in rows}:
         by_scheme = {

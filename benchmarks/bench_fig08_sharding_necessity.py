@@ -19,7 +19,7 @@ def test_fig08_sharding_necessity(benchmark):
         [r.as_cells() for r in rows],
         title="Figure 8 — control-plane simulation with/without sharding",
     )
-    emit("fig08", table)
+    emit("fig08", table, rows)
     by_key = {(r.series, r.workload): r for r in rows}
     workloads = list(dict.fromkeys(r.workload for r in rows))
     largest = workloads[-1]

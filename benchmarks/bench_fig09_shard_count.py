@@ -23,7 +23,7 @@ def test_fig09_shard_count(benchmark):
         [r.as_cells() for r in rows],
         title="Figure 9 — shard-count sweep (control-plane simulation)",
     )
-    emit("fig09", table)
+    emit("fig09", table, rows)
     assert all(r.status == "ok" for r in rows)
     times = [r.modeled_time for r in rows]
     peaks = [r.peak_memory for r in rows]

@@ -34,7 +34,7 @@ def test_fig10_dpv(benchmark):
         ],
         title="Figure 10 — DPV phases: Batfish vs S2 (modeled units)",
     )
-    emit("fig10", table)
+    emit("fig10", table, rows)
     workloads = list(dict.fromkeys(r.workload for r in rows))
     by_key = {(r.series, r.workload): r for r in rows}
     s2_series = next(r.series for r in rows if r.series != "batfish")

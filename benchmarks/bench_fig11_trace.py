@@ -54,18 +54,19 @@ def run_trace():
 
 def test_fig11_trace(benchmark):
     result = benchmark.pedantic(run_trace, rounds=1, iterations=1)
+    cells = [
+        ["paths found", len(result["paths"])],
+        ["workers touched", f"{result['workers_touched']}"
+         f"/{result['num_workers']}"],
+        ["cross-worker packets", result["crossings"]],
+        ["example path", " -> ".join(result["paths"][0])],
+    ]
     table = format_table(
         ["metric", "value"],
-        [
-            ["paths found", len(result["paths"])],
-            ["workers touched", f"{result['workers_touched']}"
-             f"/{result['num_workers']}"],
-            ["cross-worker packets", result["crossings"]],
-            ["example path", " -> ".join(result["paths"][0])],
-        ],
+        cells,
         title="Figure 11 — single-pair check engages every worker",
     )
-    emit("fig11", table)
+    emit("fig11", table, cells)
     # k=4: 4 equal-cost paths between edges in different pods
     assert len(result["paths"]) == 4
     assert all(len(p) == 5 for p in result["paths"])  # 4 hops, 5 nodes

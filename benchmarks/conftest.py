@@ -4,7 +4,10 @@ Every ``bench_figNN_*`` file reproduces one figure of the paper's §5: it
 runs the experiment once under ``benchmark.pedantic`` (so the recorded
 time is the real experiment, not a repeated micro-op), prints the
 resulting table, and writes it to ``benchmarks/results/figNN.txt`` so
-``pytest benchmarks/ --benchmark-only`` leaves a browsable record.
+``pytest benchmarks/ --benchmark-only`` leaves a browsable record.  When
+the caller also hands ``emit`` the underlying rows, a machine-readable
+``benchmarks/results/figNN.json`` lands next to the table for plotting
+scripts and regression diffing.
 
 Sweep sizes honor the ``S2_BENCH_SIZES`` environment variable
 (comma-separated FatTree k values; default ``4,6,8``).
@@ -12,7 +15,10 @@ Sweep sizes honor the ``S2_BENCH_SIZES`` environment variable
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
+from typing import Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -24,7 +30,26 @@ def save_table(name: str, table: str) -> None:
         handle.write(table + "\n")
 
 
-def emit(name: str, table: str) -> None:
-    """Print the figure table and persist it."""
+def _row_payload(row: object) -> object:
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        return dataclasses.asdict(row)
+    if isinstance(row, (list, tuple)):
+        return list(row)
+    return row
+
+
+def save_json(name: str, rows: Sequence[object]) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    payload = {"figure": name, "rows": [_row_payload(r) for r in rows]}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+
+
+def emit(name: str, table: str, rows: Optional[Sequence[object]] = None) -> None:
+    """Print the figure table and persist it (plus JSON when rows given)."""
     print(f"\n{table}\n")
     save_table(name, table)
+    if rows is not None:
+        save_json(name, rows)

@@ -27,7 +27,6 @@ per-prefix in the first place).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +37,7 @@ from ..dist.resources import (
     WorkerResources,
 )
 from ..net.ip import Prefix, format_ip
+from ..obs.tracer import stopwatch
 from ..routing.engine import SimulationEngine
 
 
@@ -251,7 +251,7 @@ class BonsaiVerifier:
     def check_destination(self, dest_edge: str, prefix: Prefix) -> bool:
         """Compress, simulate, and check that every abstract node can
         reach the destination prefix.  Returns True when reachable."""
-        started = time.perf_counter()
+        clock = stopwatch()
         classes = self.compress(dest_edge)
         # Model: the abstraction pass interprets the concrete topology once.
         compression_cost = (
@@ -275,7 +275,7 @@ class BonsaiVerifier:
         )
         self.resources.modeled_time += compression_cost + simulation_cost
         self.stats.destinations_checked += 1
-        self.stats.measured_seconds += time.perf_counter() - started
+        self.stats.measured_seconds += clock.seconds
         if (
             self.time_budget is not None
             and self.stats.modeled_total > self.time_budget

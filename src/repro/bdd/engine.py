@@ -33,6 +33,10 @@ class BddEngine:
             raise ValueError("num_vars must be positive")
         self.num_vars = num_vars
         self.node_limit = node_limit
+        # Optional observability hook: the owning worker points this at
+        # its tracer so op *batches* (never individual applies) can be
+        # spanned; None keeps the engine entirely tracing-free.
+        self.tracer = None
         # Parallel arrays indexed by node id; slots 0/1 are terminals and
         # carry a sentinel variable one past the last real level.
         self._var: List[int] = [num_vars, num_vars]
@@ -348,3 +352,48 @@ class BddEngine:
         self._xor_cache.clear()
         self._not_cache.clear()
         self._exists_cache.clear()
+
+    # -- observability ----------------------------------------------------
+
+    def batch(self, name: str, **attrs):
+        """Span one batch of BDD work (predicate compile, forward wave).
+
+        The per-apply hot path stays untouched: the batch span reads the
+        ``ops``/``node_count`` counters at entry and exit and records the
+        deltas as attributes.  With no tracer attached (the default) this
+        returns the shared no-op span.
+        """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            from ..obs.tracer import NULL_SPAN
+
+            return NULL_SPAN
+        return _EngineBatch(self, tracer, name, attrs)
+
+
+class _EngineBatch:
+    """Context manager recording one engine op batch as a span."""
+
+    __slots__ = ("_engine", "_span", "_ops", "_nodes")
+
+    def __init__(self, engine: BddEngine, tracer, name: str, attrs) -> None:
+        self._engine = engine
+        self._span = tracer.span(name, category="bdd", **attrs)
+
+    def __enter__(self) -> "_EngineBatch":
+        self._ops = self._engine.ops
+        self._nodes = self._engine.node_count
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._span.set(
+            ops=self._engine.ops - self._ops,
+            nodes_allocated=self._engine.node_count - self._nodes,
+            node_count=self._engine.node_count,
+        )
+        return self._span.__exit__(*exc)
+
+    def set(self, **attrs) -> "_EngineBatch":
+        self._span.set(**attrs)
+        return self

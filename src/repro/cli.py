@@ -3,7 +3,9 @@
 Commands:
 
 ``verify``     run S2 on a snapshot directory (or a synthesized topology)
-               and report reachability plus resource usage;
+               and report reachability plus resource usage; ``--trace-out``
+               / ``--metrics-out`` record a Perfetto timeline and metrics;
+``report``     per-phase time breakdown from a recorded trace;
 ``partition``  show how a snapshot would be split across workers;
 ``shards``     show the prefix shards (DPDG components and packing);
 ``synthesize`` write a FatTree or DCN snapshot to a directory;
@@ -69,6 +71,8 @@ def cmd_verify(args) -> int:
         runtime=args.runtime,
         store_dir=args.store_dir,
         fault_plan=fault_plan,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
     )
     if args.resume:
         if not args.store_dir:
@@ -123,7 +127,15 @@ def cmd_verify(args) -> int:
                     rows,
                 )
             )
-        return 0 if result.ok else 1
+        exit_code = 0 if result.ok else 1
+    # Trace shards are merged (and the metrics file written) by
+    # controller.close(), i.e. when the `with` block above exits.
+    if args.trace_out:
+        print(f"trace written to {args.trace_out} "
+              f"(load in https://ui.perfetto.dev or chrome://tracing)")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return exit_code
 
 
 def cmd_partition(args) -> int:
@@ -216,6 +228,24 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from .obs.report import render_report
+
+    try:
+        print(
+            render_report(
+                args.trace,
+                by_process=args.by_process,
+                top=args.top,
+                category=args.category,
+            )
+        )
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     import time
 
@@ -246,7 +276,7 @@ def cmd_fuzz(args) -> int:
         faults_every = _every(args.faults_every, 0)
         dataplane_every = _every(args.dataplane_every, 0)
 
-    started = time.time()
+    started = time.perf_counter()
     failures = 0
     total_nodes = 0
     total_features = 0
@@ -306,7 +336,7 @@ def cmd_fuzz(args) -> int:
             print(f"  saved to {path}")
         if args.fail_fast:
             break
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     ran = i + 1 if iterations else 0
     print(
         f"{ran - failures}/{ran} equivalent in {elapsed:.1f}s "
@@ -362,6 +392,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for probabilistic fault specs",
     )
+    verify.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a merged Chrome trace-event file (Perfetto-loadable); "
+        "per-participant JSONL shards land next to it in PATH.shards/",
+    )
+    verify.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's metrics snapshot (counters/gauges/"
+        "histograms plus per-worker telemetry) as JSON",
+    )
     verify.add_argument("-v", "--verbose", action="store_true")
     verify.set_defaults(func=cmd_verify)
 
@@ -383,6 +425,30 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--scale", type=int, default=1)
     synth.add_argument("--juniper-fraction", type=float, default=0.0)
     synth.set_defaults(func=cmd_synthesize)
+
+    report = sub.add_parser(
+        "report",
+        help="per-phase time breakdown from a recorded trace",
+        description="Aggregate the spans of a trace (the merged Chrome "
+        "trace-event file, one JSONL shard, or a whole shard directory) "
+        "into a per-phase table: count, total time, mean, and share of "
+        "the traced wall clock.",
+    )
+    report.add_argument(
+        "trace",
+        help="trace file (--trace-out output), shard file, or shard dir",
+    )
+    report.add_argument(
+        "--by-process",
+        action="store_true",
+        help="split each phase per participant (controller/workerN)",
+    )
+    report.add_argument("--top", type=int, default=None, metavar="N",
+                        help="show only the N largest phases")
+    report.add_argument("--category", metavar="CAT",
+                        help="only spans of this category (cpo, dpo, rpc, "
+                        "check, run)")
+    report.set_defaults(func=cmd_report)
 
     trace = sub.add_parser("trace", help="print forwarding paths")
     _add_snapshot_args(trace)

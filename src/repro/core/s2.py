@@ -19,11 +19,11 @@ the benchmark harness consumes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bdd.engine import BddOverflowError
+from ..obs.tracer import stopwatch
 from ..config.loader import Snapshot
 from ..dataplane.forwarding import FinalPacket
 from ..dataplane.queries import (
@@ -149,39 +149,45 @@ class S2Verifier:
             num_workers=self.options.num_workers,
             num_shards=max(1, self.options.num_shards),
         )
-        started = time.perf_counter()
-        try:
-            result.cp_stats = self.controller.run_control_plane()
-            result.total_routes = self.controller.total_route_count()
-            checker = self.controller.checker()
-            result.dp_stats = self.controller.dpo.stats
-            if query is None:
-                holders = self.controller.prefix_holders()
-                query = Query(
-                    sources=tuple(holders), destinations=tuple(holders)
+        tracer = self.controller.tracer
+        with stopwatch() as clock, tracer.span(
+            "verify", snapshot=self.snapshot.name
+        ) as span:
+            try:
+                result.cp_stats = self.controller.run_control_plane()
+                result.total_routes = self.controller.total_route_count()
+                checker = self.controller.checker()
+                result.dp_stats = self.controller.dpo.stats
+                if query is None:
+                    holders = self.controller.prefix_holders()
+                    query = Query(
+                        sources=tuple(holders), destinations=tuple(holders)
+                    )
+                with tracer.span("check.reachability", category="check"):
+                    result.reachability = checker.check_reachability(query)
+                result.reachable_pairs = len(result.reachability.pairs())
+                result.checked_pairs = len(query.sources) * max(
+                    1, len(query.destinations)
                 )
-            result.reachability = checker.check_reachability(query)
-            result.reachable_pairs = len(result.reachability.pairs())
-            result.checked_pairs = len(query.sources) * max(
-                1, len(query.destinations)
-            )
-            if check_loops:
-                result.loop_violations = checker.check_loop_free(
-                    Query(sources=query.sources)
-                )
-        except SimulatedOOM as exc:
-            result.status = "oom"
-            result.error = str(exc)
-        except BddOverflowError as exc:
-            result.status = "bdd-overflow"
-            result.error = str(exc)
-        except WorkerFailure as exc:
-            # Supervision, shard replay, and the sequential fallback are
-            # all exhausted (or the data-plane phase lost a worker it
-            # could not get back): report it, don't traceback.
-            result.status = "worker-failure"
-            result.error = str(exc)
-        result.wall_seconds = time.perf_counter() - started
+                if check_loops:
+                    with tracer.span("check.loops", category="check"):
+                        result.loop_violations = checker.check_loop_free(
+                            Query(sources=query.sources)
+                        )
+            except SimulatedOOM as exc:
+                result.status = "oom"
+                result.error = str(exc)
+            except BddOverflowError as exc:
+                result.status = "bdd-overflow"
+                result.error = str(exc)
+            except WorkerFailure as exc:
+                # Supervision, shard replay, and the sequential fallback
+                # are all exhausted (or the data-plane phase lost a worker
+                # it could not get back): report it, don't traceback.
+                result.status = "worker-failure"
+                result.error = str(exc)
+            span.set(status=result.status, routes=result.total_routes)
+        result.wall_seconds = clock.seconds
         result.report = self.controller.report()
         result.peak_worker_bytes = result.report.peak_worker_bytes
         cp_modeled = (

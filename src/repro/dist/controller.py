@@ -26,12 +26,16 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field, replace
+import os
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..bdd.headerspace import HeaderEncoding
 from ..config.loader import Snapshot
 from ..net.ip import Prefix
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
+from ..obs.merge import merge_shards
 from ..routing.engine import BgpResult
 from ..routing.route import BgpRoute
 from .cpo import ControlPlaneOrchestrator, ControlPlaneStats
@@ -76,6 +80,12 @@ class S2Options:
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     checkpoint: bool = True          # manifest + OSPF checkpoint (needs
     #                                  a persistent store_dir to matter)
+    # -- observability ---------------------------------------------------
+    # Like the supervision knobs, these are excluded from the options
+    # fingerprint: they change how a run is observed, never its results.
+    trace_out: Optional[str] = None      # merged Chrome trace-event file
+    trace_dir: Optional[str] = None      # per-participant JSONL shards
+    metrics_out: Optional[str] = None    # metrics snapshot JSON
 
 
 def options_fingerprint(options: S2Options, snapshot: Snapshot) -> str:
@@ -197,6 +207,24 @@ class S2Controller:
         )
         self.store = RouteStore(opts.store_dir)
         capacity = opts.worker_capacity if opts.enforce_memory else (1 << 62)
+        # -- observability -------------------------------------------------
+        # Tracing is on iff an output was requested; shards always live in
+        # a directory (derived from trace_out when none was given) so the
+        # process runtime and the merge step share one layout.
+        self.trace_dir: Optional[str] = opts.trace_dir or (
+            opts.trace_out + ".shards" if opts.trace_out else None
+        )
+        self.metrics = MetricsRegistry()
+        if self.trace_dir:
+            self.tracer: Tracer = Tracer(
+                process="controller",
+                sink=os.path.join(self.trace_dir, "controller.jsonl"),
+            )
+        else:
+            self.tracer = NULL_TRACER
+        self._worker_tracers: List[Tracer] = []
+        if opts.fault_plan is not None:
+            opts.fault_plan.observer = self._observe_fault
         self._pool = None
         if opts.runtime == "process":
             # Real OS processes, one per worker; phases run through a
@@ -213,10 +241,25 @@ class S2Controller:
                 max_hops=opts.max_hops,
                 retry_policy=opts.retry_policy,
                 fault_plan=opts.fault_plan,
+                trace_dir=self.trace_dir,
+                tracer=self.tracer,
             )
             self.workers = self._pool.proxies
             self.runtime: Runtime = make_runtime("threaded")
         else:
+            if self.trace_dir:
+                # In-process workers write their own shards too, so the
+                # merged timeline has one track per worker regardless of
+                # runtime.
+                self._worker_tracers = [
+                    Tracer(
+                        process=f"worker{i}",
+                        sink=os.path.join(
+                            self.trace_dir, f"worker{i}.0.jsonl"
+                        ),
+                    )
+                    for i in range(opts.num_workers)
+                ]
             self.runtime = make_runtime(opts.runtime)
             self.workers: List[Worker] = [
                 Worker(
@@ -229,6 +272,11 @@ class S2Controller:
                         model=opts.cost_model,
                     ),
                     max_hops=opts.max_hops,
+                    tracer=(
+                        self._worker_tracers[i]
+                        if self._worker_tracers
+                        else None
+                    ),
                 )
                 for i in range(opts.num_workers)
             ]
@@ -237,7 +285,7 @@ class S2Controller:
             for worker in self.workers:
                 worker.fault_injector = opts.fault_plan
         self.sidecars = [
-            Sidecar(worker, fault_plan=opts.fault_plan)
+            Sidecar(worker, fault_plan=opts.fault_plan, metrics=self.metrics)
             for worker in self.workers
         ]
         for sidecar in self.sidecars:
@@ -293,6 +341,8 @@ class S2Controller:
             supervisor=self.supervisor,
             retry_policy=opts.retry_policy,
             manifest=self.manifest,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.dpo = DataPlaneOrchestrator(
             self.workers,
@@ -304,8 +354,19 @@ class S2Controller:
             controller_node_limit=opts.controller_node_limit,
             supervisor=self.supervisor,
             retry_policy=opts.retry_policy,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self._cp_done = False
+
+    def _observe_fault(
+        self, kind: str, worker_id: Optional[int], command: Optional[str]
+    ) -> None:
+        """FaultPlan observer: count injections and mark the timeline."""
+        self.metrics.counter(f"faults.{kind}").inc()
+        self.tracer.instant(
+            "fault.injected", kind=kind, worker=worker_id, command=command
+        )
 
     # -- resume -----------------------------------------------------------
 
@@ -440,6 +501,77 @@ class S2Controller:
                 holders.append(hostname)
         return holders
 
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The registry snapshot plus folded pipeline/worker telemetry.
+
+        Safe to take mid-run: instruments are live, the stats dataclasses
+        are whatever the orchestrators have accumulated so far.
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["control_plane"] = asdict(self.cpo.stats)
+        snapshot["data_plane"] = asdict(self.dpo.stats)
+        snapshot["workers"] = [
+            {
+                "name": r.name,
+                "candidate_routes": r.candidate_routes,
+                "bdd_nodes": r.bdd_nodes,
+                "fib_entries": r.fib_entries,
+                "peak_bytes": r.peak_bytes,
+                "current_bytes": r.current_bytes,
+                "route_work": r.route_work,
+                "bdd_ops": r.bdd_ops,
+                "rpc_bytes_sent": r.rpc_bytes_sent,
+                "rpc_messages_sent": r.rpc_messages_sent,
+                "modeled_time": r.modeled_time,
+                "retries": r.retries,
+                "respawns": r.respawns,
+                "oom": r.oom,
+            }
+            for r in (w.resources for w in self.workers)
+        ]
+        if self.options.fault_plan is not None:
+            snapshot["faults_fired"] = dict(
+                self.options.fault_plan.fired_by_kind
+            )
+        snapshot["recoveries"] = self.supervisor.recoveries
+        return snapshot
+
+    def _finalize_observability(self) -> None:
+        """Flush tracers, merge trace shards, write the metrics file.
+
+        Runs as the innermost step of :meth:`close`, after the worker
+        pool is down — process-runtime shards are complete only once
+        their writers have exited.
+        """
+        opts = self.options
+        for tracer in self._worker_tracers:
+            tracer.finish()
+        if self.tracer.enabled:
+            with self.tracer.span("controller.finalize"):
+                pass
+            self.tracer.finish()
+            if opts.trace_out and self.trace_dir:
+                merge_shards(
+                    self.trace_dir,
+                    opts.trace_out,
+                    run_metadata={
+                        "snapshot": self.snapshot.name,
+                        "runtime": opts.runtime,
+                        "num_workers": opts.num_workers,
+                        "num_shards": opts.num_shards,
+                    },
+                )
+        if opts.metrics_out:
+            folded = self.metrics_snapshot()
+            self.metrics.write_json(
+                opts.metrics_out,
+                extra={
+                    key: value
+                    for key, value in folded.items()
+                    if key not in ("counters", "gauges", "histograms")
+                },
+            )
+
     def close(self) -> None:
         """Tear everything down; no step may mask another's cleanup."""
         try:
@@ -449,7 +581,10 @@ class S2Controller:
             try:
                 self.store.close()
             finally:
-                self.runtime.close()
+                try:
+                    self.runtime.close()
+                finally:
+                    self._finalize_observability()
 
     def __enter__(self) -> "S2Controller":
         return self

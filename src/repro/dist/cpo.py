@@ -25,17 +25,18 @@ records converged shards, letting :meth:`run` skip them on resume.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer, stopwatch
 from ..routing.engine import ConvergenceError
 from .faults import FaultPlan, RetryPolicy, WorkerFailure
 from .runtime import Runtime, SequentialRuntime
 from .sharding import PrefixShard
 from .sidecar import Sidecar
 from .storage import RouteStore, RunManifest
-from .worker import Worker
+from .worker import PullOutcome, Worker
 
 
 @dataclass
@@ -75,6 +76,8 @@ class ControlPlaneOrchestrator:
         supervisor=None,
         retry_policy: Optional[RetryPolicy] = None,
         manifest: Optional[RunManifest] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.workers = list(workers)
         self.sidecars = list(sidecars)
@@ -85,6 +88,8 @@ class ControlPlaneOrchestrator:
         self.supervisor = supervisor
         self.retry_policy = retry_policy or RetryPolicy()
         self.manifest = manifest
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
         self.stats = ControlPlaneStats()
 
     # -- helpers ------------------------------------------------------------
@@ -157,34 +162,41 @@ class ControlPlaneOrchestrator:
             return
         if self.fault_plan is not None:
             self.fault_plan.set_context(round_token=-1)
-        for _round in range(self.max_rounds):
-            batch_maps = self.runtime.map(
-                [w.compute_ospf_exports for w in self.workers]
+        with self.tracer.span("cpo.ospf", category="cpo") as ospf_span:
+            for _round in range(self.max_rounds):
+                with self.tracer.span(
+                    "cpo.ospf_round", category="cpo", round=_round
+                ):
+                    batch_maps = self.runtime.map(
+                        [w.compute_ospf_exports for w in self.workers]
+                    )
+                    for sidecar, batches in zip(self.sidecars, batch_maps):
+                        for batch in batches.values():
+                            sidecar.send_routes(batch)
+                    changed_flags = self.runtime.map(
+                        [w.pull_ospf_round for w in self.workers]
+                    )
+                self.stats.ospf_rounds += 1
+                if self.metrics is not None:
+                    self.metrics.counter("cpo.ospf_rounds").inc()
+                dropped = (
+                    self.fault_plan.consume_drops()
+                    if self.fault_plan is not None
+                    else 0
+                )
+                if not any(changed_flags):
+                    if dropped == 0:
+                        break
+                    self.stats.forced_rounds += 1
+            else:
+                raise ConvergenceError(
+                    f"OSPF did not converge within {self.max_rounds} rounds",
+                    rounds=self.max_rounds,
+                )
+            ospf_span.set(rounds=self.stats.ospf_rounds)
+            self.runtime.map(
+                [w.install_ospf_routes for w in self.workers]
             )
-            for sidecar, batches in zip(self.sidecars, batch_maps):
-                for batch in batches.values():
-                    sidecar.send_routes(batch)
-            changed_flags = self.runtime.map(
-                [w.pull_ospf_round for w in self.workers]
-            )
-            self.stats.ospf_rounds += 1
-            dropped = (
-                self.fault_plan.consume_drops()
-                if self.fault_plan is not None
-                else 0
-            )
-            if not any(changed_flags):
-                if dropped == 0:
-                    break
-                self.stats.forced_rounds += 1
-        else:
-            raise ConvergenceError(
-                f"OSPF did not converge within {self.max_rounds} rounds",
-                rounds=self.max_rounds,
-            )
-        self.runtime.map(
-            [w.install_ospf_routes for w in self.workers]
-        )
 
     # -- BGP phase ------------------------------------------------------------------
 
@@ -210,36 +222,63 @@ class ControlPlaneOrchestrator:
                 self.stats.shard_replays += 1
 
     def _converge_shard(self, shard: Optional[PrefixShard]) -> None:
+        shard_index = shard.index if shard is not None else 0
         if self.fault_plan is not None:
-            self.fault_plan.set_context(
-                shard=shard.index if shard is not None else 0
-            )
+            self.fault_plan.set_context(shard=shard_index)
         for worker in self.workers:
             worker.begin_shard(shard)
         heartbeat_every = self.retry_policy.heartbeat_interval_rounds
         last_outcomes = []
+        with self.tracer.span(
+            "cpo.shard", category="cpo", shard=shard_index
+        ) as shard_span:
+            try:
+                self._converge_shard_rounds(
+                    shard, shard_index, heartbeat_every, last_outcomes
+                )
+            finally:
+                shard_span.set(rounds=self.stats.bgp_rounds)
+
+    def _converge_shard_rounds(
+        self,
+        shard: Optional[PrefixShard],
+        shard_index: int,
+        heartbeat_every: int,
+        last_outcomes: List[PullOutcome],
+    ) -> None:
         for round_token in range(self.max_rounds):
             if self.fault_plan is not None:
                 self.fault_plan.set_context(round_token=round_token)
             clocks_before = [w.resources.modeled_time for w in self.workers]
-            # Phase A: snapshot exports, batch the boundary ones.
-            batch_maps = self.runtime.map(
-                [
-                    (lambda w=w: w.compute_exports(round_token))
-                    for w in self.workers
-                ]
-            )
-            for sidecar, batches in zip(self.sidecars, batch_maps):
-                for batch in batches.values():
-                    sidecar.send_routes(batch)
-            # Phase B: pull and merge.
-            outcomes = self.runtime.map(
-                [
-                    (lambda w=w: w.pull_round(round_token))
-                    for w in self.workers
-                ]
-            )
-            last_outcomes = outcomes
+            with self.tracer.span(
+                "cpo.round", category="cpo", shard=shard_index,
+                round=round_token,
+            ):
+                # Phase A: snapshot exports, batch the boundary ones.
+                with self.tracer.span("cpo.exports", category="cpo"):
+                    batch_maps = self.runtime.map(
+                        [
+                            (lambda w=w: w.compute_exports(round_token))
+                            for w in self.workers
+                        ]
+                    )
+                with self.tracer.span("cpo.exchange", category="cpo") as ex:
+                    sent = 0
+                    for sidecar, batches in zip(self.sidecars, batch_maps):
+                        for batch in batches.values():
+                            sidecar.send_routes(batch)
+                            sent += 1
+                    ex.set(batches=sent)
+                # Phase B: pull and merge.
+                with self.tracer.span("cpo.pull", category="cpo"):
+                    outcomes = self.runtime.map(
+                        [
+                            (lambda w=w: w.pull_round(round_token))
+                            for w in self.workers
+                        ]
+                    )
+            del last_outcomes[:]
+            last_outcomes.extend(outcomes)
             candidate_total = 0
             for worker, outcome in zip(self.workers, outcomes):
                 worker.update_memory()
@@ -248,6 +287,11 @@ class ControlPlaneOrchestrator:
             self.stats.peak_candidate_routes = max(
                 self.stats.peak_candidate_routes, candidate_total
             )
+            if self.metrics is not None:
+                self.metrics.counter("cpo.bgp_rounds").inc()
+                self.metrics.gauge("cpo.candidate_routes").set(
+                    candidate_total
+                )
             # The round ends at a barrier: the slowest worker (route work
             # plus its share of RPC) bounds the modeled wall clock.
             self._modeled_barrier(
@@ -286,17 +330,25 @@ class ControlPlaneOrchestrator:
 
     def _flush_shard(self, flush_index: int) -> None:
         """Flush the converged shard to persistent storage, freeing RIBs."""
-        results = self.runtime.map(
-            [
-                (lambda w=w: w.flush_shard(self.store, flush_index))
-                for w in self.workers
-            ]
-        )
-        flush_deltas = []
-        for worker, (written, selected) in zip(self.workers, results):
-            self.stats.route_flush_bytes += written
-            self.stats.total_selected_routes += selected
-            flush_deltas.append(worker.resources.charge_shard_overhead())
+        with self.tracer.span(
+            "cpo.flush", category="cpo", shard=flush_index
+        ) as span:
+            results = self.runtime.map(
+                [
+                    (lambda w=w: w.flush_shard(self.store, flush_index))
+                    for w in self.workers
+                ]
+            )
+            flush_deltas = []
+            flushed_bytes = 0
+            for worker, (written, selected) in zip(self.workers, results):
+                self.stats.route_flush_bytes += written
+                flushed_bytes += written
+                self.stats.total_selected_routes += selected
+                flush_deltas.append(worker.resources.charge_shard_overhead())
+            span.set(bytes=flushed_bytes)
+        if self.metrics is not None:
+            self.metrics.counter("cpo.flush_bytes").inc(flushed_bytes)
         self._modeled_barrier(flush_deltas)
         self.stats.shards_run += 1
 
@@ -397,40 +449,49 @@ class ControlPlaneOrchestrator:
         skipped, and every newly converged shard is recorded — the
         substrate of :meth:`~repro.dist.controller.S2Controller.resume`.
         """
-        started = time.perf_counter()
-        if (
-            self.manifest is not None
-            and self.manifest.ospf_done
-            and self.supervisor is not None
-            and self.supervisor.restore_ospf()
-        ):
-            self.stats.ospf_restored = True
-        else:
-            self.run_ospf()
-            self._checkpoint_ospf()
-        if shards and refine:
-            self.run_bgp_refining(shards)
-        elif shards:
-            for shard in shards:
+        with stopwatch() as clock, self.tracer.span(
+            "cpo.run", category="cpo"
+        ) as span:
+            if (
+                self.manifest is not None
+                and self.manifest.ospf_done
+                and self.supervisor is not None
+                and self.supervisor.restore_ospf()
+            ):
+                self.stats.ospf_restored = True
+            else:
+                self.run_ospf()
+                self._checkpoint_ospf()
+            if shards and refine:
+                self.run_bgp_refining(shards)
+            elif shards:
+                for shard in shards:
+                    if (
+                        self.manifest is not None
+                        and self.manifest.is_shard_done(shard.index)
+                    ):
+                        self.stats.shards_skipped += 1
+                        continue
+                    rounds_before = self.stats.bgp_rounds
+                    self.run_bgp_shard(shard)
+                    self._mark_shard_done(
+                        shard.index, self.stats.bgp_rounds - rounds_before
+                    )
+            else:
                 if self.manifest is not None and self.manifest.is_shard_done(
-                    shard.index
+                    0
                 ):
                     self.stats.shards_skipped += 1
-                    continue
-                rounds_before = self.stats.bgp_rounds
-                self.run_bgp_shard(shard)
-                self._mark_shard_done(
-                    shard.index, self.stats.bgp_rounds - rounds_before
-                )
-        else:
-            if self.manifest is not None and self.manifest.is_shard_done(0):
-                self.stats.shards_skipped += 1
-            else:
-                rounds_before = self.stats.bgp_rounds
-                self.run_bgp_shard(None)
-                self._mark_shard_done(
-                    0, self.stats.bgp_rounds - rounds_before
-                )
-        self._collect_fault_telemetry()
-        self.stats.measured_seconds = time.perf_counter() - started
+                else:
+                    rounds_before = self.stats.bgp_rounds
+                    self.run_bgp_shard(None)
+                    self._mark_shard_done(
+                        0, self.stats.bgp_rounds - rounds_before
+                    )
+            self._collect_fault_telemetry()
+            span.set(
+                bgp_rounds=self.stats.bgp_rounds,
+                shards=self.stats.shards_run,
+            )
+        self.stats.measured_seconds = clock.seconds
         return self.stats

@@ -16,7 +16,6 @@ argument, and the source of Figure 10's speedups.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +26,8 @@ from ..config.loader import Snapshot
 from ..dataplane.fib import NextHopResolver
 from ..dataplane.forwarding import FinalPacket, FinalState
 from ..dataplane.queries import PropertyChecker
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer, stopwatch
 from .faults import RetryPolicy, WorkerFailure
 from .runtime import Runtime, SequentialRuntime
 from .sidecar import Sidecar
@@ -64,6 +65,8 @@ class DataPlaneOrchestrator:
         controller_node_limit: int = 1 << 24,
         supervisor=None,
         retry_policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.workers = list(workers)
         self.sidecars = list(sidecars)
@@ -76,6 +79,8 @@ class DataPlaneOrchestrator:
         )
         self.supervisor = supervisor
         self.retry_policy = retry_policy or RetryPolicy()
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
         self.stats = DataPlaneStats()
         self._built = False
         self._store: Optional[RouteStore] = None
@@ -116,24 +121,27 @@ class DataPlaneOrchestrator:
     def _build_once(self, store: RouteStore) -> None:
         if self._built:
             return
-        started = time.perf_counter()
-        resolver = NextHopResolver.from_snapshot(self.snapshot)
-        ops_list = self.runtime.map(
-            [
-                (
-                    lambda w=w: w.build_dataplane(
-                        store, resolver, self.encoding, self.node_limit
+        with stopwatch() as clock, self.tracer.span(
+            "dpo.build", category="dpo"
+        ) as span:
+            resolver = NextHopResolver.from_snapshot(self.snapshot)
+            ops_list = self.runtime.map(
+                [
+                    (
+                        lambda w=w: w.build_dataplane(
+                            store, resolver, self.encoding, self.node_limit
+                        )
                     )
-                )
-                for w in self.workers
-            ]
-        )
-        deltas = []
-        for worker, ops in zip(self.workers, ops_list):
-            deltas.append(worker.resources.charge_bdd_ops(ops))
-        if deltas:
-            self.stats.predicate_modeled_time += max(deltas)
-        self.stats.predicate_seconds += time.perf_counter() - started
+                    for w in self.workers
+                ]
+            )
+            deltas = []
+            for worker, ops in zip(self.workers, ops_list):
+                deltas.append(worker.resources.charge_bdd_ops(ops))
+            if deltas:
+                self.stats.predicate_modeled_time += max(deltas)
+            span.set(bdd_ops=sum(ops_list))
+        self.stats.predicate_seconds += clock.seconds
         self._built = True
 
     # -- waypoints ------------------------------------------------------------
@@ -179,40 +187,57 @@ class DataPlaneOrchestrator:
     def _forward_once(
         self, sources: Sequence[str], header_bdd: int, trace: bool = False
     ) -> List[FinalPacket]:
-        started = time.perf_counter()
-        payload = serialize(self.engine, header_bdd)
-        source_list = list(sources)
-        for worker in self.workers:
-            worker.reset_dataplane_run()
-            worker.inject_header(source_list, payload, trace)
-        while True:
-            clocks_before = [w.resources.modeled_time for w in self.workers]
-            results = self.runtime.map(
-                [w.drain for w in self.workers]
-            )
-            batch_count = 0
-            for worker, sidecar, (_, batches, ops) in zip(
-                self.workers, self.sidecars, results
-            ):
-                worker.resources.charge_bdd_ops(ops)
-                for batch in batches.values():
-                    self.stats.packets_crossed += len(batch.envelopes)
-                    sidecar.send_packets(batch)
-                    batch_count += 1
-            deltas = [
-                w.resources.modeled_time - before
-                for w, before in zip(self.workers, clocks_before)
-            ]
-            if deltas:
-                self.stats.forward_modeled_time += max(deltas)
-            self.stats.supersteps += 1
-            if batch_count == 0 and not any(
-                w.pending_packets for w in self.workers
-            ):
-                break
-        finals = self._collect_finals()
-        self.stats.finals += len(finals)
-        self.stats.forward_seconds += time.perf_counter() - started
+        with stopwatch() as clock, self.tracer.span(
+            "dpo.forward", category="dpo", sources=len(list(sources))
+        ) as span:
+            payload = serialize(self.engine, header_bdd)
+            source_list = list(sources)
+            for worker in self.workers:
+                worker.reset_dataplane_run()
+                worker.inject_header(source_list, payload, trace)
+            superstep = 0
+            while True:
+                clocks_before = [
+                    w.resources.modeled_time for w in self.workers
+                ]
+                with self.tracer.span(
+                    "dpo.superstep", category="dpo", step=superstep
+                ) as step_span:
+                    results = self.runtime.map(
+                        [w.drain for w in self.workers]
+                    )
+                    batch_count = 0
+                    crossed = 0
+                    for worker, sidecar, (_, batches, ops) in zip(
+                        self.workers, self.sidecars, results
+                    ):
+                        worker.resources.charge_bdd_ops(ops)
+                        for batch in batches.values():
+                            crossed += len(batch.envelopes)
+                            sidecar.send_packets(batch)
+                            batch_count += 1
+                    step_span.set(batches=batch_count, crossed=crossed)
+                self.stats.packets_crossed += crossed
+                superstep += 1
+                deltas = [
+                    w.resources.modeled_time - before
+                    for w, before in zip(self.workers, clocks_before)
+                ]
+                if deltas:
+                    self.stats.forward_modeled_time += max(deltas)
+                self.stats.supersteps += 1
+                if self.metrics is not None:
+                    self.metrics.counter("dpo.supersteps").inc()
+                    self.metrics.counter("dpo.packets_crossed").inc(crossed)
+                if batch_count == 0 and not any(
+                    w.pending_packets for w in self.workers
+                ):
+                    break
+            with self.tracer.span("dpo.collect_finals", category="dpo"):
+                finals = self._collect_finals()
+            self.stats.finals += len(finals)
+            span.set(supersteps=superstep, finals=len(finals))
+        self.stats.forward_seconds += clock.seconds
         return finals
 
     def _collect_finals(self) -> List[FinalPacket]:

@@ -187,6 +187,10 @@ class FaultPlan:
         self._recent_drops = 0
         self.current_shard: Optional[int] = None
         self.current_round: Optional[int] = None
+        # Observability hook: ``fn(kind, worker_id, command)`` called for
+        # every firing (outside the plan lock).  The controller points it
+        # at the metrics registry / tracer; it must never fail a run.
+        self.observer = None
 
     @classmethod
     def from_args(
@@ -255,13 +259,20 @@ class FaultPlan:
         command: Optional[str],
         round_token: Optional[int] = None,
     ) -> Optional[FaultSpec]:
+        fired: Optional[FaultSpec] = None
         with self._lock:
             for index, spec in enumerate(self.specs):
                 if spec.kind not in kinds:
                     continue
                 if self._matches(index, spec, worker_id, command, round_token):
-                    return self._fire(index, spec)
-        return None
+                    fired = self._fire(index, spec)
+                    break
+        if fired is not None and self.observer is not None:
+            try:
+                self.observer(fired.kind, worker_id, command)
+            except Exception:  # noqa: BLE001 — telemetry never fails a run
+                pass
+        return fired
 
     # -- injection sites -------------------------------------------------
 

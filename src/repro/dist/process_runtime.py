@@ -46,6 +46,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..bdd.engine import BddOverflowError
 from ..bdd.headerspace import HeaderEncoding
 from ..config.loader import Snapshot
+from ..obs.tracer import NULL_TRACER, Tracer
 from .faults import (
     FaultPlan,
     RespawnError,
@@ -78,17 +79,31 @@ def _worker_main(
     capacity: int,
     cost_model,
     max_hops: int,
+    trace_dir: Optional[str] = None,
+    incarnation: int = 0,
 ) -> None:
     """The worker process service loop: execute commands off the pipe."""
     resources = WorkerResources(
         name=f"worker{worker_id}", capacity=capacity, model=cost_model
     )
+    tracer = NULL_TRACER
+    if trace_dir:
+        # Each (worker, lifetime) gets its own shard file; the merge
+        # layer folds all incarnations onto one process track.
+        tracer = Tracer(
+            process=f"worker{worker_id}",
+            sink=os.path.join(
+                trace_dir, f"worker{worker_id}.{incarnation}.jsonl"
+            ),
+            incarnation=incarnation,
+        )
     worker = Worker(
         worker_id=worker_id,
         snapshot=snapshot,
         assignment=assignment,
         resources=resources,
         max_hops=max_hops,
+        tracer=tracer,
     )
     stores: Dict[str, RouteStore] = {}
 
@@ -99,40 +114,46 @@ def _worker_main(
 
     while True:
         try:
-            command, args = connection.recv()
+            command, args, flow_id = connection.recv()
         except EOFError:
             break
         if command == "stop":
             connection.send(("ok", None))
             break
         try:
-            if command == "flush_shard":
-                directory, shard_index = args
-                shard_routes = worker.finish_shard()
-                written = store_for(directory).write_shard(
-                    worker_id, shard_index, shard_routes
-                )
-                selected = sum(
-                    len(routes)
-                    for node_routes in shard_routes.values()
-                    for routes in node_routes.values()
-                )
-                result = (written, selected)
-            elif command == "build_dataplane":
-                directory, encoding, node_limit = args
-                from ..dataplane.fib import NextHopResolver
+            with tracer.span(
+                f"handle.{command}",
+                category="rpc",
+                flow_id=flow_id,
+                flow="in" if flow_id is not None else None,
+            ):
+                if command == "flush_shard":
+                    directory, shard_index = args
+                    shard_routes = worker.finish_shard()
+                    written = store_for(directory).write_shard(
+                        worker_id, shard_index, shard_routes
+                    )
+                    selected = sum(
+                        len(routes)
+                        for node_routes in shard_routes.values()
+                        for routes in node_routes.values()
+                    )
+                    result = (written, selected)
+                elif command == "build_dataplane":
+                    directory, encoding, node_limit = args
+                    from ..dataplane.fib import NextHopResolver
 
-                resolver = NextHopResolver.from_snapshot(snapshot)
-                result = worker.build_dataplane(
-                    store_for(directory), resolver, encoding, node_limit
-                )
-            elif command == "merged_routes":
-                (directory,) = args
-                result = store_for(directory).merged_routes(worker_id)
-            elif command == "pending_packets":
-                result = worker.pending_packets
-            else:
-                result = getattr(worker, command)(*args)
+                    resolver = NextHopResolver.from_snapshot(snapshot)
+                    result = worker.build_dataplane(
+                        store_for(directory), resolver, encoding, node_limit
+                    )
+                elif command == "merged_routes":
+                    (directory,) = args
+                    result = store_for(directory).merged_routes(worker_id)
+                elif command == "pending_packets":
+                    result = worker.pending_packets
+                else:
+                    result = getattr(worker, command)(*args)
             # PullOutcome travels fine; attach fresh memory telemetry so
             # the proxy mirror can track the peak without extra round
             # trips.
@@ -156,6 +177,7 @@ def _worker_main(
                     ),
                 )
             )
+    tracer.finish()
     connection.close()
 
 
@@ -177,6 +199,7 @@ class WorkerProcessProxy:
         resources: WorkerResources,
         policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.worker_id = worker_id
         self.resources = resources
@@ -184,6 +207,8 @@ class WorkerProcessProxy:
         self._process = process
         self._policy = policy or RetryPolicy()
         self._fault_plan = fault_plan
+        self.tracer = tracer or NULL_TRACER
+        self._flow_seq = 0
         # A timed-out pipe may deliver the stale response to the *next*
         # call; refuse further traffic until the worker is respawned.
         self._poisoned = False
@@ -232,40 +257,55 @@ class WorkerProcessProxy:
                         kill_after_send = True
                     else:
                         self._fault_kill()
-        try:
-            with self._lock:
-                if self._poisoned:
-                    raise WorkerDiedError(
-                        f"worker {self.worker_id} is poisoned after a "
-                        f"timeout; awaiting respawn",
-                        worker_id=self.worker_id,
-                        command=command,
-                    )
-                if not self._process.is_alive():
-                    raise WorkerDiedError(
-                        f"worker {self.worker_id} process is dead "
-                        f"(exitcode {self._process.exitcode})",
-                        worker_id=self.worker_id,
-                        command=command,
-                    )
-                self._connection.send((command, args))
-                if kill_after_send:
-                    self._fault_kill()
-                if not self._connection.poll(self._policy.call_timeout):
-                    self._poisoned = True
-                    raise WorkerTimeoutError(
-                        f"worker {self.worker_id} did not answer {command} "
-                        f"within {self._policy.call_timeout:.1f}s",
-                        worker_id=self.worker_id,
-                        command=command,
-                    )
-                status, payload = self._connection.recv()
-        except (BrokenPipeError, EOFError, OSError) as exc:
-            raise WorkerDiedError(
-                f"worker {self.worker_id} died during {command}: {exc!r}",
-                worker_id=self.worker_id,
-                command=command,
-            ) from exc
+        flow_id = None
+        if self.tracer.enabled:
+            # In-band RPC id: the worker's handler span echoes it, and
+            # the merge layer draws the caller→callee arrow from the pair.
+            self._flow_seq += 1
+            flow_id = (self.worker_id + 1) * 1_000_000 + self._flow_seq
+        with self.tracer.span(
+            f"rpc.{command}",
+            category="rpc",
+            flow_id=flow_id,
+            flow="out" if flow_id is not None else None,
+            worker=self.worker_id,
+        ):
+            try:
+                with self._lock:
+                    if self._poisoned:
+                        raise WorkerDiedError(
+                            f"worker {self.worker_id} is poisoned after a "
+                            f"timeout; awaiting respawn",
+                            worker_id=self.worker_id,
+                            command=command,
+                        )
+                    if not self._process.is_alive():
+                        raise WorkerDiedError(
+                            f"worker {self.worker_id} process is dead "
+                            f"(exitcode {self._process.exitcode})",
+                            worker_id=self.worker_id,
+                            command=command,
+                        )
+                    self._connection.send((command, args, flow_id))
+                    if kill_after_send:
+                        self._fault_kill()
+                    if not self._connection.poll(self._policy.call_timeout):
+                        self._poisoned = True
+                        raise WorkerTimeoutError(
+                            f"worker {self.worker_id} did not answer "
+                            f"{command} within "
+                            f"{self._policy.call_timeout:.1f}s",
+                            worker_id=self.worker_id,
+                            command=command,
+                        )
+                    status, payload = self._connection.recv()
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                raise WorkerDiedError(
+                    f"worker {self.worker_id} died during {command}: "
+                    f"{exc!r}",
+                    worker_id=self.worker_id,
+                    command=command,
+                ) from exc
         if status == "exc":
             name, message, trace = payload
             exc_type = _RELAYED_EXCEPTIONS.get(name)
@@ -426,7 +466,7 @@ class WorkerProcessProxy:
         try:
             with self._lock:
                 if not self._poisoned and self._process.is_alive():
-                    self._connection.send(("stop", ()))
+                    self._connection.send(("stop", (), None))
                     if self._connection.poll(timeout):
                         self._connection.recv()
         except (BrokenPipeError, EOFError, OSError):
@@ -464,6 +504,8 @@ class ProcessWorkerPool:
         max_hops: int = 24,
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        trace_dir: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._context = mp.get_context(
             "fork" if os.name == "posix" else "spawn"
@@ -471,6 +513,11 @@ class ProcessWorkerPool:
         self._spawn_args = (snapshot, assignment, capacity, cost_model, max_hops)
         self._policy = retry_policy or RetryPolicy()
         self._fault_plan = fault_plan
+        self._trace_dir = trace_dir
+        # Spawn counts per worker id: a respawned worker's shard carries
+        # the next incarnation number, so its spans stay distinguishable
+        # after merging onto the same process track.
+        self._incarnations: Dict[int, int] = {}
         self.proxies: List[WorkerProcessProxy] = []
         for worker_id in range(num_workers):
             parent_conn, process = self._spawn(worker_id)
@@ -486,11 +533,14 @@ class ProcessWorkerPool:
                     ),
                     policy=self._policy,
                     fault_plan=fault_plan,
+                    tracer=tracer,
                 )
             )
 
     def _spawn(self, worker_id: int):
         snapshot, assignment, capacity, cost_model, max_hops = self._spawn_args
+        incarnation = self._incarnations.get(worker_id, -1) + 1
+        self._incarnations[worker_id] = incarnation
         parent_conn, child_conn = self._context.Pipe()
         process = self._context.Process(
             target=_worker_main,
@@ -502,6 +552,8 @@ class ProcessWorkerPool:
                 capacity,
                 cost_model,
                 max_hops,
+                self._trace_dir,
+                incarnation,
             ),
             daemon=True,
         )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
+from ..obs.metrics import MetricsRegistry
 from .faults import FaultPlan
 from .message import PacketBatch, RouteBatch, measured_size
 from .resources import WorkerResources
@@ -28,11 +29,15 @@ class Sidecar:
     """One worker's sidecar.  ``peers`` is filled by the controller."""
 
     def __init__(
-        self, worker: Worker, fault_plan: Optional[FaultPlan] = None
+        self,
+        worker: Worker,
+        fault_plan: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.worker = worker
         self.peers: Dict[int, "Sidecar"] = {}
         self.fault_plan = fault_plan
+        self.metrics = metrics
         self._sequence = 0
         self.batches_dropped = 0
         self.batches_duplicated = 0
@@ -46,27 +51,44 @@ class Sidecar:
 
     # -- sending (charged to this worker) --------------------------------
 
+    def _record(self, counter: str, size: int) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(counter).inc()
+        self.metrics.counter("rpc.bytes_sent").inc(size)
+        self.metrics.histogram("rpc.batch_bytes").observe(size)
+
     def send_routes(self, batch: RouteBatch) -> int:
         self._sequence += 1
         batch = replace(batch, sequence=self._sequence)
         size = measured_size(batch)
         self.worker.resources.charge_rpc(size, messages=1)
-        action = "deliver"
-        if self.fault_plan is not None:
-            action = self.fault_plan.on_batch(
-                batch.source_worker, batch.round_token
-            )
-        if action == "drop":
-            self.batches_dropped += 1
-            return size
-        target = self.peers[batch.target_worker].worker
-        target.deliver_routes(batch)
-        if action == "duplicate":
-            # Redeliver the same sequence number: the receiver dedupes,
-            # but the duplicate bytes are still charged to the sender.
-            self.batches_duplicated += 1
-            self.worker.resources.charge_rpc(size, messages=1)
+        self._record("rpc.route_batches", size)
+        with self.worker.tracer.span(
+            "sidecar.send_routes",
+            category="rpc",
+            target=batch.target_worker,
+            bytes=size,
+        ) as span:
+            action = "deliver"
+            if self.fault_plan is not None:
+                action = self.fault_plan.on_batch(
+                    batch.source_worker, batch.round_token
+                )
+            if action == "drop":
+                self.batches_dropped += 1
+                span.set(outcome="dropped")
+                return size
+            target = self.peers[batch.target_worker].worker
             target.deliver_routes(batch)
+            if action == "duplicate":
+                # Redeliver the same sequence number: the receiver dedupes,
+                # but the duplicate bytes are still charged to the sender.
+                self.batches_duplicated += 1
+                self.worker.resources.charge_rpc(size, messages=1)
+                self._record("rpc.route_batches", size)
+                span.set(outcome="duplicated")
+                target.deliver_routes(batch)
         return size
 
     def send_packets(self, batch: PacketBatch) -> int:
@@ -76,5 +98,13 @@ class Sidecar:
         # is worker crashes (recovered by query replay), not lost batches.
         size = measured_size(batch)
         self.worker.resources.charge_rpc(size, messages=1)
-        self.peers[batch.target_worker].worker.deliver_packets(batch)
+        self._record("rpc.packet_batches", size)
+        with self.worker.tracer.span(
+            "sidecar.send_packets",
+            category="rpc",
+            target=batch.target_worker,
+            bytes=size,
+            packets=len(batch.envelopes),
+        ):
+            self.peers[batch.target_worker].worker.deliver_packets(batch)
         return size

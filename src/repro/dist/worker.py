@@ -38,6 +38,7 @@ from ..dataplane.forwarding import (
 )
 from ..dataplane.predicates import compile_predicates
 from ..net.ip import Prefix
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..routing.node import RouterNode
 from .faults import FaultPlan, InjectedWorkerCrash
 from ..routing.ospf import OspfProcess
@@ -95,11 +96,13 @@ class Worker:
         assignment: Dict[str, int],
         resources: Optional[WorkerResources] = None,
         max_hops: int = 24,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.worker_id = worker_id
         self.snapshot = snapshot
         self.assignment = assignment
         self.max_hops = max_hops
+        self.tracer = tracer or NULL_TRACER
         self.resources = resources or WorkerResources(name=f"worker{worker_id}")
         self.nodes: Dict[str, RouterNode] = {}
         self.ospf: Dict[str, OspfProcess] = {}
@@ -237,13 +240,19 @@ class Worker:
         never travel over the control pipe.
         """
         self._inject("flush_shard")
-        shard_routes = self.finish_shard()
-        written = store.write_shard(self.worker_id, shard_index, shard_routes)
-        selected = sum(
-            len(routes)
-            for node_routes in shard_routes.values()
-            for routes in node_routes.values()
-        )
+        with self.tracer.span(
+            "worker.flush", category="cpo", shard=shard_index
+        ) as span:
+            shard_routes = self.finish_shard()
+            written = store.write_shard(
+                self.worker_id, shard_index, shard_routes
+            )
+            selected = sum(
+                len(routes)
+                for node_routes in shard_routes.values()
+                for routes in node_routes.values()
+            )
+            span.set(bytes=written, selected=selected)
         return written, selected
 
     # -- control plane: one round (two phases) ---------------------------------
@@ -256,15 +265,19 @@ class Worker:
         """
         self._inject("compute_exports", round_token)
         boundary: Dict[int, BoundaryExports] = {}
-        for hostname, node in sorted(self.nodes.items()):
-            for session in node.sessions:
-                exports = node.advertise(session.peer_ip, round_token)
-                owner = self.assignment.get(session.neighbor)
-                if owner is None or owner == self.worker_id:
-                    continue
-                boundary.setdefault(owner, {})[
-                    (hostname, session.peer_ip)
-                ] = exports
+        with self.tracer.span(
+            "worker.exports", category="cpo", round=round_token
+        ) as span:
+            for hostname, node in sorted(self.nodes.items()):
+                for session in node.sessions:
+                    exports = node.advertise(session.peer_ip, round_token)
+                    owner = self.assignment.get(session.neighbor)
+                    if owner is None or owner == self.worker_id:
+                        continue
+                    boundary.setdefault(owner, {})[
+                        (hostname, session.peer_ip)
+                    ] = exports
+            span.set(boundary_targets=len(boundary))
         return {
             target: RouteBatch(
                 source_worker=self.worker_id,
@@ -300,12 +313,18 @@ class Worker:
         self._inject("pull_round", round_token)
         changed_nodes: List[str] = []
         updates = 0
-        for hostname in sorted(self.nodes):
-            node = self.nodes[hostname]
-            if node.pull_round(self._resolve, round_token):
-                changed_nodes.append(hostname)
-            updates += node.route_count()
-        candidates = sum(node.route_count() for node in self.nodes.values())
+        with self.tracer.span(
+            "worker.pull", category="cpo", round=round_token
+        ) as span:
+            for hostname in sorted(self.nodes):
+                node = self.nodes[hostname]
+                if node.pull_round(self._resolve, round_token):
+                    changed_nodes.append(hostname)
+                updates += node.route_count()
+            candidates = sum(
+                node.route_count() for node in self.nodes.values()
+            )
+            span.set(updates=updates, changed=len(changed_nodes))
         return PullOutcome(
             changed=bool(changed_nodes),
             updates_processed=updates,
@@ -345,9 +364,11 @@ class Worker:
 
     def pull_ospf_round(self) -> bool:
         changed = False
-        for hostname in sorted(self.ospf):
-            process = self.ospf[hostname]
-            changed |= process.pull_round(self._resolve_ospf)
+        with self.tracer.span("worker.ospf_pull", category="cpo") as span:
+            for hostname in sorted(self.ospf):
+                process = self.ospf[hostname]
+                changed |= process.pull_round(self._resolve_ospf)
+            span.set(changed=changed)
         return changed
 
     def _resolve_ospf(self, name: str):
@@ -418,6 +439,7 @@ class Worker:
         self.encoding = encoding
         self._fib_entries = 0
         self.engine = encoding.make_engine(node_limit=node_limit)
+        self.engine.tracer = self.tracer if self.tracer.enabled else None
         self.context = ForwardingContext(
             self.engine,
             encoding,
@@ -425,27 +447,33 @@ class Worker:
             max_hops=self.max_hops,
         )
         self._buffer = PacketBuffer(self.engine)
-        merged = store.merged_routes(self.worker_id)
-        ops_before = self.engine.ops
-        for hostname, node in sorted(self.nodes.items()):
-            main_routes: List[Route] = []
-            for prefix in node.main_rib.prefixes():
-                main_routes.extend(node.main_rib.routes_for(prefix))
-            fib = build_fib(
-                hostname,
-                node.local_prefixes,
-                main_routes,
-                merged.get(hostname, {}),
-                resolver,
-            )
-            self._fib_entries += len(fib)
-            self.context.add_node(
-                compile_predicates(
-                    self.snapshot.configs[hostname],
-                    fib,
-                    self.engine,
-                    self.encoding,
-                )
+        with self.tracer.span("worker.build_dataplane", category="dpo") as span:
+            merged = store.merged_routes(self.worker_id)
+            ops_before = self.engine.ops
+            for hostname, node in sorted(self.nodes.items()):
+                with self.engine.batch("bdd.compile", node=hostname):
+                    main_routes: List[Route] = []
+                    for prefix in node.main_rib.prefixes():
+                        main_routes.extend(node.main_rib.routes_for(prefix))
+                    fib = build_fib(
+                        hostname,
+                        node.local_prefixes,
+                        main_routes,
+                        merged.get(hostname, {}),
+                        resolver,
+                    )
+                    self._fib_entries += len(fib)
+                    self.context.add_node(
+                        compile_predicates(
+                            self.snapshot.configs[hostname],
+                            fib,
+                            self.engine,
+                            self.encoding,
+                        )
+                    )
+            span.set(
+                fib_entries=self._fib_entries,
+                bdd_ops=self.engine.ops - ops_before,
             )
         self.update_memory()
         return self.engine.ops - ops_before
@@ -501,26 +529,39 @@ class Worker:
         ops_before = self.engine.ops
         outgoing: Dict[int, List[PacketEnvelope]] = {}
         produced = 0
-        while self._buffer:
-            for packet in self._buffer.pop_wave():
-                finals, forwarded = self.context.process(packet)
-                self._finals.extend(finals)
-                produced += len(finals)
-                for hop in forwarded:
-                    owner = self.assignment.get(hop.node, self.worker_id)
-                    if owner == self.worker_id:
-                        self._buffer.push(hop)
-                    else:
-                        outgoing.setdefault(owner, []).append(
-                            PacketEnvelope(
-                                payload=serialize(self.engine, hop.bdd),
-                                node=hop.node,
-                                in_port=hop.in_port,
-                                hops=hop.hops,
-                                source=hop.source,
-                                path=hop.path,
+        with self.tracer.span("worker.drain", category="dpo") as span:
+            waves = 0
+            while self._buffer:
+                with self.engine.batch("bdd.wave", wave=waves):
+                    waves += 1
+                    for packet in self._buffer.pop_wave():
+                        finals, forwarded = self.context.process(packet)
+                        self._finals.extend(finals)
+                        produced += len(finals)
+                        for hop in forwarded:
+                            owner = self.assignment.get(
+                                hop.node, self.worker_id
                             )
-                        )
+                            if owner == self.worker_id:
+                                self._buffer.push(hop)
+                            else:
+                                outgoing.setdefault(owner, []).append(
+                                    PacketEnvelope(
+                                        payload=serialize(
+                                            self.engine, hop.bdd
+                                        ),
+                                        node=hop.node,
+                                        in_port=hop.in_port,
+                                        hops=hop.hops,
+                                        source=hop.source,
+                                        path=hop.path,
+                                    )
+                                )
+            span.set(
+                waves=waves,
+                finals=produced,
+                bdd_ops=self.engine.ops - ops_before,
+            )
         self.update_memory()
         batches = {
             target: PacketBatch(

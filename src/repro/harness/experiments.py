@@ -12,7 +12,6 @@ narrows the FatTree sweep without touching code.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -21,6 +20,7 @@ from ..baselines.bonsai import BonsaiTimeout, BonsaiVerifier
 from ..config.loader import Snapshot
 from ..core.s2 import S2Verifier, VerificationResult, verify_snapshot
 from ..dataplane.queries import Query
+from ..obs.tracer import stopwatch
 from ..dist.controller import S2Options
 from ..dist.resources import CostModel, SimulatedOOM
 from ..net.dcn import build_dcn
@@ -129,15 +129,14 @@ def _run_s2_cp_only(
         num_workers=options.num_workers,
         num_shards=max(1, options.num_shards),
     )
-    started = time.perf_counter()
-    with S2Verifier(snapshot, options) as verifier:
+    with stopwatch() as clock, S2Verifier(snapshot, options) as verifier:
         try:
             result.cp_stats = verifier.run_control_plane()
             result.total_routes = verifier.controller.total_route_count()
         except SimulatedOOM as exc:
             result.status = "oom"
             result.error = str(exc)
-        result.wall_seconds = time.perf_counter() - started
+        result.wall_seconds = clock.seconds
         result.report = verifier.controller.report()
         result.peak_worker_bytes = result.report.peak_worker_bytes
         result.modeled_time = (
@@ -153,7 +152,7 @@ def run_batfish(
     num_shards: int = 0,
     label: str = "batfish",
 ) -> ExperimentRow:
-    started = time.perf_counter()
+    clock = stopwatch()
     verifier = BatfishVerifier(
         snapshot, num_shards=num_shards, capacity=capacity
     )
@@ -172,7 +171,7 @@ def run_batfish(
         row.extra["error"] = str(exc)
         row.modeled_time = verifier.stats.modeled_total
     row.peak_memory = verifier.resources.peak_bytes
-    row.wall_seconds = time.perf_counter() - started
+    row.wall_seconds = clock.seconds
     return row
 
 
@@ -182,7 +181,7 @@ def run_bonsai(
     workload: str,
     time_budget: Optional[float] = None,
 ) -> ExperimentRow:
-    started = time.perf_counter()
+    clock = stopwatch()
     verifier = BonsaiVerifier(
         snapshot, capacity=capacity, time_budget=time_budget
     )
@@ -199,7 +198,7 @@ def run_bonsai(
         row.extra["error"] = str(exc)
     row.modeled_time = verifier.stats.modeled_total
     row.peak_memory = verifier.resources.peak_bytes
-    row.wall_seconds = time.perf_counter() - started
+    row.wall_seconds = clock.seconds
     return row
 
 
@@ -411,9 +410,9 @@ def run_fig10_dpv(
                 build_fattree(k), num_shards=20, enforce_memory=False
             )
             checker = verifier.checker()
-            t0 = time.perf_counter()
-            checker.check_reachability(query)
-            wall = time.perf_counter() - t0
+            with stopwatch() as clock:
+                checker.check_reachability(query)
+            wall = clock.seconds
             _record_fig10(
                 rows,
                 "batfish",
@@ -438,9 +437,9 @@ def run_fig10_dpv(
                 s2.run_control_plane()
                 s2_checker = s2.controller.checker()
                 dp = s2.controller.dpo.stats
-                t0 = time.perf_counter()
-                s2_checker.check_reachability(query)
-                wall = time.perf_counter() - t0
+                with stopwatch() as clock:
+                    s2_checker.check_reachability(query)
+                wall = clock.seconds
                 _record_fig10(
                     rows,
                     f"s2-{workers}w",

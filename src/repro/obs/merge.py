@@ -1,0 +1,203 @@
+"""Merging per-participant trace shards into one Perfetto timeline.
+
+Every participant (the controller, each worker — in-process or OS
+process) writes its own JSONL shard into the run's trace directory; this
+module folds them into a single Chrome trace-event JSON file loadable in
+Perfetto or ``chrome://tracing``:
+
+* one *process* track per participant (``pid`` 0 is the controller,
+  workers follow in id order), with ``process_name`` metadata events so
+  the UI labels the tracks;
+* spans become ``"X"`` (complete) events with microsecond timestamps
+  normalized to the run's earliest span;
+* RPC caller/callee span pairs (matched by ``flow_id``) additionally
+  emit ``"s"``/``"f"`` flow events, drawing the cross-process arrows;
+* shards from killed-and-respawned workers merge onto the *same*
+  process track (the participant label, not the OS pid, is the identity)
+  with an ``incarnation`` argument distinguishing the lifetimes; a torn
+  final line — the signature of a killed writer — is skipped, not fatal.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def read_shard(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """One shard's (meta, span records); tolerant of a torn final line."""
+    meta: Dict[str, Any] = {}
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a killed process
+            if payload.get("type") == "meta":
+                meta = payload
+            elif payload.get("type") == "span":
+                payload.setdefault("proc", meta.get("process", "unknown"))
+                payload["incarnation"] = meta.get("incarnation", 0)
+                records.append(payload)
+    return meta, records
+
+
+def read_shards(trace_dir: str) -> List[Dict[str, Any]]:
+    """Every span record in ``trace_dir``, across all shards."""
+    records: List[Dict[str, Any]] = []
+    for path in sorted(glob.glob(os.path.join(trace_dir, "*.jsonl"))):
+        _meta, shard_records = read_shard(path)
+        records.extend(shard_records)
+    return records
+
+
+def _process_order(labels) -> List[str]:
+    """Stable track order: controller first, then workers numerically."""
+
+    def key(label: str):
+        if label == "controller":
+            return (0, 0, label)
+        if label.startswith("worker"):
+            suffix = label[len("worker"):]
+            if suffix.isdigit():
+                return (1, int(suffix), label)
+        return (2, 0, label)
+
+    return sorted(set(labels), key=key)
+
+
+def chrome_events(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Chrome trace-event list for merged span records."""
+    if not records:
+        return []
+    pids = {
+        label: pid
+        for pid, label in enumerate(_process_order(r["proc"] for r in records))
+    }
+    base = min(r["ts"] for r in records)
+    events: List[Dict[str, Any]] = []
+    for label, pid in sorted(pids.items(), key=lambda item: item[1]):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    for record in records:
+        pid = pids[record["proc"]]
+        tid = record.get("tid", 0)
+        ts_us = (record["ts"] - base) * 1e6
+        dur_us = record["dur"] * 1e6
+        args = dict(record.get("attrs") or {})
+        if record.get("incarnation"):
+            args["incarnation"] = record["incarnation"]
+        flow_id = record.get("flow_id")
+        if flow_id is not None:
+            args["rpc_id"] = flow_id
+        events.append(
+            {
+                "name": record["name"],
+                "cat": record.get("cat", "run"),
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts_us,
+                "dur": dur_us,
+                "args": args,
+            }
+        )
+        if flow_id is not None:
+            # Flow arrows: start inside the caller's span, finish bound
+            # to the enclosing callee slice ("bp": "e").
+            flow_event = {
+                "name": "rpc",
+                "cat": "rpc",
+                "id": flow_id,
+                "pid": pid,
+                "tid": tid,
+                "ts": ts_us,
+            }
+            if record.get("flow") == "out":
+                flow_event["ph"] = "s"
+                events.append(flow_event)
+            elif record.get("flow") == "in":
+                flow_event["ph"] = "f"
+                flow_event["bp"] = "e"
+                events.append(flow_event)
+    return events
+
+
+def merge_shards(
+    trace_dir: str,
+    out_path: str,
+    run_metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Merge every shard in ``trace_dir`` into one Chrome trace file.
+
+    Returns summary stats (span/event/process counts) for logging.
+    """
+    records = read_shards(trace_dir)
+    events = chrome_events(records)
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(run_metadata or {}),
+    }
+    directory = os.path.dirname(out_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, default=str)
+        handle.write("\n")
+    return {
+        "spans": len(records),
+        "events": len(events),
+        "processes": len({r["proc"] for r in records}),
+        "path": out_path,
+    }
+
+
+def validate_chrome_trace(path: str) -> List[str]:
+    """Schema-check a Chrome trace-event file; returns problems (empty =
+    valid).  Used by the CI trace job and the obs tests."""
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable trace file: {exc}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "M", "s", "f", "t", "i"):
+            problems.append(f"event {index}: unknown phase {phase!r}")
+            continue
+        for field in ("name", "pid", "tid"):
+            if field not in event:
+                problems.append(f"event {index}: missing {field!r}")
+        if phase == "X":
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"event {index}: X event without numeric ts")
+            if not isinstance(event.get("dur"), (int, float)) or event.get(
+                "dur", 0
+            ) < 0:
+                problems.append(f"event {index}: X event with bad dur")
+        if phase in ("s", "f") and "id" not in event:
+            # Unpaired flows are legal (a faulted RPC records only the
+            # caller side), but every flow event needs an id to bind on.
+            problems.append(f"event {index}: flow event without id")
+    return problems

@@ -1,0 +1,177 @@
+"""Counters, gauges, and histograms for one verification run.
+
+A :class:`MetricsRegistry` is snapshot-able mid-run: instruments are
+created on first use and hold plain Python numbers, so ``snapshot()`` is
+a cheap dict copy that can be taken between CPO rounds without pausing
+the pipeline.  Increments are guarded by one registry-wide lock — the
+threaded runtime updates counters from phase threads — which costs a few
+hundred nanoseconds per event at the per-batch/per-round granularity the
+pipeline uses (never per BDD operation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; also tracks the maximum it ever held."""
+
+    __slots__ = ("name", "value", "high_water", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+            if value > self.high_water:
+                self.high_water = value
+
+
+class Histogram:
+    """A distribution of observations with exact percentiles.
+
+    Observations are retained (runs record thousands of events, not
+    millions), so percentiles are computed by sorting on demand — exact,
+    and plenty fast at this scale.
+    """
+
+    __slots__ = ("name", "values", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.values: List[float] = []
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100), linear interpolation."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range [0, 100]")
+        with self._lock:
+            values = sorted(self.values)
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        rank = (p / 100.0) * (len(values) - 1)
+        low = int(rank)
+        frac = rank - low
+        if low + 1 >= len(values):
+            return values[-1]
+        return values[low] * (1 - frac) + values[low + 1] * frac
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            values = list(self.values)
+        if not values:
+            return {"count": 0}
+        return {
+            "count": len(values),
+            "sum": sum(values),
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments for one run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            with self._lock:
+                found = self._counters.setdefault(
+                    name, Counter(name, self._lock)
+                )
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self._gauges.get(name)
+        if found is None:
+            with self._lock:
+                found = self._gauges.setdefault(name, Gauge(name, self._lock))
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            with self._lock:
+                found = self._histograms.setdefault(
+                    name, Histogram(name, self._lock)
+                )
+        return found
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready view of every instrument, safe to take mid-run."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": gauge.value, "high_water": gauge.high_water}
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def write_json(
+        self, path: str, extra: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Persist a snapshot (plus run-level ``extra`` sections)."""
+        payload = self.snapshot()
+        if extra:
+            payload.update(extra)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")

@@ -1,0 +1,117 @@
+"""Per-phase breakdown tables from a recorded trace.
+
+``repro report TRACE`` renders where a run's time went: spans are
+aggregated by name (count, total, mean, share of the traced wall clock),
+optionally split per participant.  The loader accepts any of the three
+on-disk forms the obs layer produces — a merged Chrome trace-event file,
+one JSONL shard, or a whole shard directory — so a report can be pulled
+from a run that died before the merge happened.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from .merge import read_shard, read_shards
+
+
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    """Normalized span dicts (name/proc/ts/dur seconds) from any format."""
+    if os.path.isdir(path):
+        return read_shards(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        head = handle.read(4096).lstrip()
+    if head.startswith("{") and '"traceEvents"' in head:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        pid_names: Dict[Any, str] = {}
+        for event in document.get("traceEvents", []):
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                pid_names[event["pid"]] = event.get("args", {}).get(
+                    "name", str(event["pid"])
+                )
+        spans = []
+        for event in document.get("traceEvents", []):
+            if event.get("ph") != "X":
+                continue
+            spans.append(
+                {
+                    "name": event.get("name", "?"),
+                    "cat": event.get("cat", "run"),
+                    "proc": pid_names.get(event.get("pid"), "?"),
+                    "tid": event.get("tid", 0),
+                    "ts": event.get("ts", 0.0) / 1e6,
+                    "dur": event.get("dur", 0.0) / 1e6,
+                    "attrs": event.get("args") or {},
+                }
+            )
+        return spans
+    _meta, records = read_shard(path)
+    return records
+
+
+def phase_breakdown(
+    spans: List[Dict[str, Any]], by_process: bool = False
+) -> List[List[Any]]:
+    """Aggregate rows: [phase, count, total_s, mean_ms, share%]."""
+    if not spans:
+        return []
+    wall = max(s["ts"] + s["dur"] for s in spans) - min(
+        s["ts"] for s in spans
+    )
+    groups: Dict[Any, List[float]] = {}
+    for span in spans:
+        key = (
+            (span.get("proc", "?"), span["name"])
+            if by_process
+            else span["name"]
+        )
+        groups.setdefault(key, []).append(span["dur"])
+    rows: List[List[Any]] = []
+    for key, durations in groups.items():
+        total = sum(durations)
+        label = f"{key[0]}:{key[1]}" if by_process else key
+        rows.append(
+            [
+                label,
+                len(durations),
+                round(total, 4),
+                round(1e3 * total / len(durations), 3),
+                f"{100 * total / wall:.1f}%" if wall else "-",
+            ]
+        )
+    rows.sort(key=lambda row: -row[2])
+    return rows
+
+
+REPORT_HEADERS = ["phase", "count", "total-s", "mean-ms", "share"]
+
+
+def render_report(
+    path: str,
+    by_process: bool = False,
+    top: Optional[int] = None,
+    category: Optional[str] = None,
+) -> str:
+    """The ``repro report`` table for a trace file/shard/directory."""
+    from ..harness.reporting import format_table  # local: avoids a cycle
+
+    spans = load_spans(path)
+    if category:
+        spans = [s for s in spans if s.get("cat", "run") == category]
+    if not spans:
+        return f"no spans found in {path}"
+    rows = phase_breakdown(spans, by_process=by_process)
+    if top:
+        rows = rows[:top]
+    wall = max(s["ts"] + s["dur"] for s in spans) - min(
+        s["ts"] for s in spans
+    )
+    processes = sorted({s.get("proc", "?") for s in spans})
+    title = (
+        f"{len(spans)} spans over {wall:.3f}s across "
+        f"{len(processes)} participants ({', '.join(processes)})"
+    )
+    return format_table(REPORT_HEADERS, rows, title=title)
