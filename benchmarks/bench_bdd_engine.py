@@ -1,0 +1,220 @@
+"""Memory/throughput smoke benchmark for the BDD engine overhaul.
+
+Two measurements, matching the ISSUE acceptance criteria:
+
+1. **Prefix-set compilation speedup** — the trie-based bulk
+   :meth:`HeaderEncoding.prefix_set_bdd` against the old chained
+   ``or_`` fold over per-prefix BDDs, on a deterministic synthetic
+   prefix set.  The overhaul claims >= 2x.
+
+2. **Peak worker node count across a sharded FatTree4 DPV** — the
+   all-pair reachability workload split into query shards
+   (:func:`repro.dist.sharding.shard_queries`); the DPO garbage-collects
+   worker engines at every ``reset_dataplane_run`` boundary, so the peak
+   ``node_count`` must stay flat (non-monotonic) instead of growing with
+   the query count.
+
+Usage:
+
+    python benchmarks/bench_bdd_engine.py --write-baseline \
+        benchmarks/baselines/bdd_engine_fattree4.json
+    python benchmarks/bench_bdd_engine.py --check-baseline \
+        benchmarks/baselines/bdd_engine_fattree4.json
+
+``--check-baseline`` exits non-zero when the peak node count regresses
+more than ``--tolerance`` (default 20%) over the committed baseline, or
+when the compile speedup drops below 2x — this is the CI
+memory-regression job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bdd.engine import FALSE, TRUE, BddEngine
+from repro.bdd.headerspace import HeaderEncoding
+from repro.dist.controller import S2Controller, S2Options
+from repro.dist.sharding import shard_queries
+from repro.net.fattree import build_fattree
+from repro.net.ip import Prefix
+
+SPEEDUP_FLOOR = 2.0
+
+
+def synthetic_prefixes(count: int, seed: int = 7) -> List[Prefix]:
+    """A deterministic mixed-length prefix set (no duplicates)."""
+    rng = random.Random(seed)
+    seen = set()
+    prefixes: List[Prefix] = []
+    while len(prefixes) < count:
+        length = rng.randint(8, 28)
+        network = rng.getrandbits(32) & (~0 << (32 - length)) & 0xFFFFFFFF
+        key = (network, length)
+        if key in seen:
+            continue
+        seen.add(key)
+        prefixes.append(Prefix(network, length))
+    return prefixes
+
+
+def bench_prefix_compilation(count: int, repeats: int = 3) -> Dict[str, float]:
+    """Trie-based bulk compile vs the old chained-``or_`` fold."""
+    encoding = HeaderEncoding()
+    prefixes = synthetic_prefixes(count)
+
+    def chained() -> float:
+        engine = encoding.make_engine()
+        start = time.perf_counter()
+        acc = FALSE
+        for prefix in prefixes:
+            acc = engine.or_(acc, encoding.prefix_bdd(engine, prefix))
+        return time.perf_counter() - start
+
+    def bulk() -> float:
+        engine = encoding.make_engine()
+        start = time.perf_counter()
+        encoding.prefix_set_bdd(engine, prefixes)
+        return time.perf_counter() - start
+
+    # Correctness cross-check on a shared engine before timing.
+    engine = encoding.make_engine()
+    acc = FALSE
+    for prefix in prefixes:
+        acc = engine.or_(acc, encoding.prefix_bdd(engine, prefix))
+    if encoding.prefix_set_bdd(engine, prefixes) != acc:
+        raise AssertionError("bulk compile disagrees with chained or_ fold")
+
+    chained_s = min(chained() for _ in range(repeats))
+    bulk_s = min(bulk() for _ in range(repeats))
+    return {
+        "prefix_count": count,
+        "chained_seconds": chained_s,
+        "bulk_seconds": bulk_s,
+        "speedup": chained_s / bulk_s if bulk_s else float("inf"),
+    }
+
+
+def bench_sharded_dpv(num_query_shards: int) -> Dict[str, object]:
+    """All-pair reachability on FatTree4, one forward pass per query
+    shard; records the peak worker node count after each shard."""
+    snapshot = build_fattree(4)
+    options = S2Options(num_workers=4, num_shards=2)
+    with S2Controller(snapshot, options) as controller:
+        controller.build_data_plane()
+        sources = controller.prefix_holders()
+        shards = shard_queries(sources, num_query_shards)
+        per_shard_peaks: List[int] = []
+        start = time.perf_counter()
+        for shard in shards:
+            controller.dpo.forward(list(shard), TRUE)
+            peak = max(
+                int(counters.get("node_count", 0))
+                for counters in controller.dpo.worker_engine_counters()
+            )
+            per_shard_peaks.append(peak)
+        elapsed = time.perf_counter() - start
+        gc_runs = sum(
+            int(counters.get("gc_runs", 0))
+            for counters in controller.dpo.worker_engine_counters()
+        )
+    return {
+        "network": "fattree4",
+        "query_shards": len(shards),
+        "per_shard_peak_node_count": per_shard_peaks,
+        "peak_node_count": max(per_shard_peaks),
+        "gc_runs": gc_runs,
+        "forward_seconds": elapsed,
+    }
+
+
+def run(num_query_shards: int, prefix_count: int) -> Dict[str, object]:
+    compile_result = bench_prefix_compilation(prefix_count)
+    dpv_result = bench_sharded_dpv(num_query_shards)
+    return {"prefix_compile": compile_result, "dpv": dpv_result}
+
+
+def check(result: Dict[str, object], baseline: Dict[str, object],
+          tolerance: float) -> List[str]:
+    problems: List[str] = []
+    speedup = result["prefix_compile"]["speedup"]
+    if speedup < SPEEDUP_FLOOR:
+        problems.append(
+            f"prefix-set compile speedup {speedup:.2f}x is below the "
+            f"{SPEEDUP_FLOOR:.1f}x floor"
+        )
+    peak = result["dpv"]["peak_node_count"]
+    allowed = baseline["dpv"]["peak_node_count"] * (1.0 + tolerance)
+    if peak > allowed:
+        problems.append(
+            f"peak worker node_count {peak} exceeds baseline "
+            f"{baseline['dpv']['peak_node_count']} by more than "
+            f"{tolerance:.0%} (allowed {allowed:.0f})"
+        )
+    peaks = result["dpv"]["per_shard_peak_node_count"]
+    if peaks and peaks[-1] > peaks[0] * (1.0 + tolerance):
+        problems.append(
+            f"per-shard peaks grow monotonically: first {peaks[0]}, "
+            f"last {peaks[-1]} — between-shard GC is not holding the "
+            "footprint flat"
+        )
+    if result["dpv"]["gc_runs"] == 0:
+        problems.append("no worker GC ran across the sharded DPV")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=8,
+                        help="query shards for the DPV run (default 8)")
+    parser.add_argument("--prefixes", type=int, default=512,
+                        help="synthetic prefix-set size (default 512)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed peak node_count regression (0.20=20%%)")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write the measured baseline JSON and exit")
+    parser.add_argument("--check-baseline", metavar="PATH",
+                        help="compare against a committed baseline; exit 1 "
+                             "on regression")
+    args = parser.parse_args(argv)
+
+    result = run(args.shards, args.prefixes)
+    compile_result = result["prefix_compile"]
+    dpv = result["dpv"]
+    print(f"prefix-set compile ({compile_result['prefix_count']} prefixes): "
+          f"chained {compile_result['chained_seconds'] * 1e3:.1f} ms, "
+          f"bulk {compile_result['bulk_seconds'] * 1e3:.1f} ms "
+          f"-> {compile_result['speedup']:.1f}x")
+    print(f"fattree4 DPV over {dpv['query_shards']} query shards: "
+          f"peak node_count {dpv['peak_node_count']}, "
+          f"per-shard {dpv['per_shard_peak_node_count']}, "
+          f"gc_runs {dpv['gc_runs']}, "
+          f"{dpv['forward_seconds']:.2f} s")
+
+    if args.write_baseline:
+        path = Path(args.write_baseline)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"baseline written to {path}")
+        return 0
+
+    if args.check_baseline:
+        baseline = json.loads(Path(args.check_baseline).read_text())
+        problems = check(result, baseline, args.tolerance)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("memory regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,17 +8,46 @@ scale — exceeding it raises :class:`BddOverflowError`.
 
 Implementation notes: nodes are hash-consed triples ``(var, low, high)``
 stored in parallel lists and addressed by integer id; ``0``/``1`` are the
-terminal FALSE/TRUE.  Binary operations use memoized Shannon expansion.
+terminal FALSE/TRUE.  ``mk`` only ever appends, so a node's children
+always have smaller ids — the invariant both serialization (children
+first) and table compaction lean on.
+
+Binary and unary operations all route through one memoized ``apply``
+whose op-cache is **size-bounded with generation-tagged eviction**: when
+the live generation fills up it becomes the previous generation and a
+fresh dict takes over; lookups consult both and promote hits.  Memo
+eviction is always semantically safe (a miss just recomputes), so the
+cache footprint stays bounded at roughly ``2 * cache_limit`` entries no
+matter how long the engine lives.
+
+Dead nodes are reclaimed by :meth:`collect_garbage`: a mark-and-sweep
+from the engine's **external-root registry** (plus any extra roots the
+caller passes) followed by node-table **compaction**.  Compaction renames
+every surviving node, so the collector returns an ``old id -> new id``
+remap which holders of raw BDD ints (predicate tables, packet buffers)
+apply to their own state; registered roots are remapped in place.
+
 Recursion depth is bounded by the variable count (packet headers are at
 most a few hundred bits), so plain recursion is safe and fast.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 FALSE = 0
 TRUE = 1
+
+# Op tags for the unified apply cache.  Binary op keys are (op, a, b) with
+# a <= b for the commutative ops; ITE keys are (OP_ITE, f, g, h).
+OP_AND = 0
+OP_OR = 1
+OP_XOR = 2
+OP_NOT = 3
+OP_EXISTS = 4
+OP_ITE = 5
+
+DEFAULT_CACHE_LIMIT = 1 << 18
 
 
 class BddOverflowError(RuntimeError):
@@ -28,11 +57,19 @@ class BddOverflowError(RuntimeError):
 class BddEngine:
     """A reduced, ordered BDD manager over ``num_vars`` Boolean variables."""
 
-    def __init__(self, num_vars: int, node_limit: int = 1 << 24) -> None:
+    def __init__(
+        self,
+        num_vars: int,
+        node_limit: int = 1 << 24,
+        cache_limit: int = DEFAULT_CACHE_LIMIT,
+    ) -> None:
         if num_vars <= 0:
             raise ValueError("num_vars must be positive")
+        if cache_limit <= 0:
+            raise ValueError("cache_limit must be positive")
         self.num_vars = num_vars
         self.node_limit = node_limit
+        self.cache_limit = cache_limit
         # Optional observability hook: the owning worker points this at
         # its tracer so op *batches* (never individual applies) can be
         # spanned; None keeps the engine entirely tracing-free.
@@ -43,12 +80,20 @@ class BddEngine:
         self._low: List[int] = [FALSE, TRUE]
         self._high: List[int] = [FALSE, TRUE]
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._and_cache: Dict[Tuple[int, int], int] = {}
-        self._or_cache: Dict[Tuple[int, int], int] = {}
-        self._xor_cache: Dict[Tuple[int, int], int] = {}
-        self._not_cache: Dict[int, int] = {}
-        self._exists_cache: Dict[Tuple[int, int], int] = {}
+        # Two-generation bounded op-cache (current + previous).
+        self._cache: Dict[Tuple[int, ...], int] = {}
+        self._cache_old: Dict[Tuple[int, ...], int] = {}
         self.ops = 0  # performed apply steps; the DPV time-model unit
+        # -- counters (exposed via counters() / repro.obs.metrics) --
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_generation = 0  # eviction (rotation) count
+        self.gc_runs = 0
+        self.gc_reclaimed_nodes = 0
+        self.peak_node_count = 2
+        # External-root registry: node id -> refcount.  GC keeps exactly
+        # these (plus terminals plus caller-passed extras) alive.
+        self._roots: Dict[int, int] = {}
 
     # -- structure -------------------------------------------------------
 
@@ -111,19 +156,70 @@ class BddEngine:
                 u = self.mk(index, u, FALSE)
         return u
 
-    # -- boolean operations --------------------------------------------------------
+    # -- the bounded op-cache ------------------------------------------------
 
-    def and_(self, a: int, b: int) -> int:
-        if a == b:
-            return a
-        if a == FALSE or b == FALSE:
-            return FALSE
-        if a == TRUE:
-            return b
-        if b == TRUE:
-            return a
-        key = (a, b) if a <= b else (b, a)
-        found = self._and_cache.get(key)
+    def _cache_get(self, key: Tuple[int, ...]) -> Optional[int]:
+        found = self._cache.get(key)
+        if found is None:
+            found = self._cache_old.get(key)
+            if found is not None:
+                self._cache[key] = found  # promote into the live generation
+        if found is not None:
+            self.cache_hits += 1
+            return found
+        self.cache_misses += 1
+        return None
+
+    def _cache_put(self, key: Tuple[int, ...], value: int) -> None:
+        cache = self._cache
+        cache[key] = value
+        if len(cache) >= self.cache_limit:
+            # Generation-tagged eviction: the filled generation becomes
+            # the previous one (still consulted, read-only), the oldest
+            # generation is dropped wholesale.  O(1), no per-entry LRU.
+            self._cache_old = cache
+            self._cache = {}
+            self.cache_generation += 1
+
+    # -- boolean operations --------------------------------------------------
+
+    def apply(self, op: int, a: int, b: int) -> int:
+        """Unified memoized Shannon-expansion apply for the binary ops."""
+        if op == OP_AND:
+            if a == b:
+                return a
+            if a == FALSE or b == FALSE:
+                return FALSE
+            if a == TRUE:
+                return b
+            if b == TRUE:
+                return a
+        elif op == OP_OR:
+            if a == b:
+                return a
+            if a == TRUE or b == TRUE:
+                return TRUE
+            if a == FALSE:
+                return b
+            if b == FALSE:
+                return a
+        elif op == OP_XOR:
+            if a == b:
+                return FALSE
+            if a == FALSE:
+                return b
+            if b == FALSE:
+                return a
+            if a == TRUE:
+                return self.not_(b)
+            if b == TRUE:
+                return self.not_(a)
+        else:
+            raise ValueError(f"unknown binary op {op}")
+        if a > b:  # all three ops are commutative: canonicalize the key
+            a, b = b, a
+        key = (op, a, b)
+        found = self._cache_get(key)
         if found is not None:
             return found
         self.ops += 1
@@ -136,79 +232,35 @@ class BddEngine:
             (self._low[b], self._high[b]) if var_b == top else (b, b)
         )
         result = self.mk(
-            top, self.and_(a_low, b_low), self.and_(a_high, b_high)
+            top, self.apply(op, a_low, b_low), self.apply(op, a_high, b_high)
         )
-        self._and_cache[key] = result
+        self._cache_put(key, result)
         return result
+
+    def and_(self, a: int, b: int) -> int:
+        return self.apply(OP_AND, a, b)
 
     def or_(self, a: int, b: int) -> int:
-        if a == b:
-            return a
-        if a == TRUE or b == TRUE:
-            return TRUE
-        if a == FALSE:
-            return b
-        if b == FALSE:
-            return a
-        key = (a, b) if a <= b else (b, a)
-        found = self._or_cache.get(key)
-        if found is not None:
-            return found
-        self.ops += 1
-        var_a, var_b = self._var[a], self._var[b]
-        top = min(var_a, var_b)
-        a_low, a_high = (
-            (self._low[a], self._high[a]) if var_a == top else (a, a)
-        )
-        b_low, b_high = (
-            (self._low[b], self._high[b]) if var_b == top else (b, b)
-        )
-        result = self.mk(top, self.or_(a_low, b_low), self.or_(a_high, b_high))
-        self._or_cache[key] = result
-        return result
+        return self.apply(OP_OR, a, b)
 
     def xor(self, a: int, b: int) -> int:
-        if a == b:
-            return FALSE
-        if a == FALSE:
-            return b
-        if b == FALSE:
-            return a
-        if a == TRUE:
-            return self.not_(b)
-        if b == TRUE:
-            return self.not_(a)
-        key = (a, b) if a <= b else (b, a)
-        found = self._xor_cache.get(key)
-        if found is not None:
-            return found
-        self.ops += 1
-        var_a, var_b = self._var[a], self._var[b]
-        top = min(var_a, var_b)
-        a_low, a_high = (
-            (self._low[a], self._high[a]) if var_a == top else (a, a)
-        )
-        b_low, b_high = (
-            (self._low[b], self._high[b]) if var_b == top else (b, b)
-        )
-        result = self.mk(top, self.xor(a_low, b_low), self.xor(a_high, b_high))
-        self._xor_cache[key] = result
-        return result
+        return self.apply(OP_XOR, a, b)
 
     def not_(self, a: int) -> int:
         if a == FALSE:
             return TRUE
         if a == TRUE:
             return FALSE
-        found = self._not_cache.get(a)
+        key = (OP_NOT, a)
+        found = self._cache_get(key)
         if found is not None:
             return found
         self.ops += 1
         result = self.mk(
             self._var[a], self.not_(self._low[a]), self.not_(self._high[a])
         )
-        self._not_cache[a] = result
-        self._not_cache[result] = a
+        self._cache_put(key, result)
+        self._cache_put((OP_NOT, result), a)  # negation is an involution
         return result
 
     def diff(self, a: int, b: int) -> int:
@@ -220,8 +272,57 @@ class BddEngine:
         return self.diff(a, b) == FALSE
 
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``(f ∧ g) ∨ (¬f ∧ h)``."""
-        return self.or_(self.and_(f, g), self.and_(self.not_(f), h))
+        """If-then-else ``(f ∧ g) ∨ (¬f ∧ h)`` as a first-class operation.
+
+        Normalized before the cache is consulted: terminal cases return
+        immediately, ``ite(f, f, h)`` / ``ite(f, g, f)`` collapse their
+        redundant argument, and two-operand shapes are delegated to the
+        cheaper binary ops so they share those cache entries.
+        """
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if f == g:
+            g = TRUE  # ite(f, f, h) == f ∨ h
+        elif f == h:
+            h = FALSE  # ite(f, g, f) == f ∧ g
+        if g == TRUE and h == FALSE:
+            return f
+        if g == FALSE and h == TRUE:
+            return self.not_(f)
+        if g == TRUE:
+            return self.or_(f, h)
+        if h == FALSE:
+            return self.and_(f, g)
+        if g == FALSE:
+            return self.and_(self.not_(f), h)
+        if h == TRUE:
+            return self.or_(self.not_(f), g)
+        key = (OP_ITE, f, g, h)
+        found = self._cache_get(key)
+        if found is not None:
+            return found
+        self.ops += 1
+        top = min(self._var[f], self._var[g], self._var[h])
+
+        def cofactors(u: int) -> Tuple[int, int]:
+            if self._var[u] == top:
+                return self._low[u], self._high[u]
+            return u, u
+
+        f_low, f_high = cofactors(f)
+        g_low, g_high = cofactors(g)
+        h_low, h_high = cofactors(h)
+        result = self.mk(
+            top,
+            self.ite(f_low, g_low, h_low),
+            self.ite(f_high, g_high, h_high),
+        )
+        self._cache_put(key, result)
+        return result
 
     def exists(self, u: int, var: int) -> int:
         """Existential quantification of one variable."""
@@ -230,8 +331,8 @@ class BddEngine:
         node_var = self._var[u]
         if node_var > var:
             return u
-        key = (u, var)
-        found = self._exists_cache.get(key)
+        key = (OP_EXISTS, u, var)
+        found = self._cache_get(key)
         if found is not None:
             return found
         self.ops += 1
@@ -243,7 +344,7 @@ class BddEngine:
                 self.exists(self._low[u], var),
                 self.exists(self._high[u], var),
             )
-        self._exists_cache[key] = result
+        self._cache_put(key, result)
         return result
 
     def set_var(self, u: int, var: int, value: bool) -> int:
@@ -347,13 +448,121 @@ class BddEngine:
 
     def clear_caches(self) -> None:
         """Drop operation memos (the node table itself is kept)."""
-        self._and_cache.clear()
-        self._or_cache.clear()
-        self._xor_cache.clear()
-        self._not_cache.clear()
-        self._exists_cache.clear()
+        self._cache.clear()
+        self._cache_old.clear()
+
+    # -- external-root registry + garbage collection ----------------------
+
+    def add_root(self, u: int) -> int:
+        """Protect ``u`` (and everything reachable from it) across GC.
+
+        Refcounted: the same id may be registered by several holders.
+        Terminals need no protection and are ignored.  Returns ``u``.
+        """
+        if u > TRUE:
+            self._roots[u] = self._roots.get(u, 0) + 1
+        return u
+
+    def remove_root(self, u: int) -> None:
+        """Drop one protection refcount of ``u`` (no-op for terminals)."""
+        if u <= TRUE:
+            return
+        count = self._roots.get(u)
+        if count is None:
+            return
+        if count <= 1:
+            del self._roots[u]
+        else:
+            self._roots[u] = count - 1
+
+    def clear_roots(self) -> None:
+        self._roots.clear()
+
+    @property
+    def root_count(self) -> int:
+        return len(self._roots)
+
+    def collect_garbage(
+        self, extra_roots: Iterable[int] = ()
+    ) -> Dict[int, int]:
+        """Mark-and-sweep from the root registry, then compact the table.
+
+        Everything reachable from the registered roots plus
+        ``extra_roots`` survives; every other node is reclaimed and the
+        parallel arrays are compacted (ids are renamed).  Returns the
+        ``old id -> new id`` remap over surviving nodes (terminals map to
+        themselves) so callers holding raw ints can rewrite them;
+        registered roots are remapped in place.  Op caches reference old
+        ids and are flushed.
+        """
+        old_count = len(self._var)
+        if old_count > self.peak_node_count:
+            self.peak_node_count = old_count
+        # -- mark ---------------------------------------------------------
+        live = bytearray(old_count)
+        live[FALSE] = live[TRUE] = 1
+        stack: List[int] = [u for u in self._roots]
+        stack.extend(u for u in extra_roots if u > TRUE)
+        lows, highs = self._low, self._high
+        while stack:
+            u = stack.pop()
+            if live[u]:
+                continue
+            live[u] = 1
+            low, high = lows[u], highs[u]
+            if not live[low]:
+                stack.append(low)
+            if not live[high]:
+                stack.append(high)
+        # -- sweep + compact ----------------------------------------------
+        # Children always have smaller ids than their parents, so one
+        # ascending pass can rewrite child pointers as it goes.
+        remap: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+        new_var = [self.num_vars, self.num_vars]
+        new_low = [FALSE, TRUE]
+        new_high = [FALSE, TRUE]
+        variables = self._var
+        for u in range(2, old_count):
+            if not live[u]:
+                continue
+            remap[u] = len(new_var)
+            new_var.append(variables[u])
+            new_low.append(remap[lows[u]])
+            new_high.append(remap[highs[u]])
+        self._var, self._low, self._high = new_var, new_low, new_high
+        self._unique = {
+            (new_var[i], new_low[i], new_high[i]): i
+            for i in range(2, len(new_var))
+        }
+        self._cache = {}
+        self._cache_old = {}
+        self._roots = {
+            remap[u]: count for u, count in self._roots.items()
+        }
+        self.gc_runs += 1
+        self.gc_reclaimed_nodes += old_count - len(new_var)
+        return remap
 
     # -- observability ----------------------------------------------------
+
+    def counters(self) -> Dict[str, float]:
+        """Engine health counters, ready for ``repro.obs.metrics``."""
+        lookups = self.cache_hits + self.cache_misses
+        if len(self._var) > self.peak_node_count:
+            self.peak_node_count = len(self._var)
+        return {
+            "node_count": len(self._var),
+            "peak_node_count": self.peak_node_count,
+            "ops": self.ops,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": (self.cache_hits / lookups) if lookups else 0.0,
+            "cache_generation": self.cache_generation,
+            "cache_entries": len(self._cache) + len(self._cache_old),
+            "gc_runs": self.gc_runs,
+            "gc_reclaimed_nodes": self.gc_reclaimed_nodes,
+            "root_count": len(self._roots),
+        }
 
     def batch(self, name: str, **attrs):
         """Span one batch of BDD work (predicate compile, forward wave).

@@ -104,6 +104,57 @@ class HeaderEncoding:
         }
         return engine.cube(assignments)
 
+    def prefix_set_bdd(
+        self,
+        engine: BddEngine,
+        prefixes: Sequence[Prefix],
+        fld: str = "dst",
+    ) -> int:
+        """The union of a whole prefix *set* in one bulk compilation.
+
+        Equivalent to folding :meth:`prefix_bdd` results with ``or_`` but
+        built from a binary trie of the prefixes in a single bottom-up
+        pass of hash-consing ``mk`` calls — zero apply operations, and
+        subsumed prefixes (covered by a shorter one in the set) collapse
+        for free.  This is the bulk path FIB/predicate compilation and
+        query header sets use.
+        """
+        width = self.address_bits
+        for prefix in prefixes:
+            if prefix.width != width:
+                raise ValueError(
+                    f"{prefix} is a {prefix.width}-bit prefix but this "
+                    f"encoding's addresses are {width}-bit"
+                )
+        # Trie node: [low_child, high_child, covered]; ``covered`` marks a
+        # prefix ending here (its whole subtree is in the set).
+        root = [None, None, False]
+        for prefix in prefixes:
+            node = root
+            for bit in prefix.bits():
+                if node[2]:
+                    break  # already covered by a shorter prefix
+                if node[bit] is None:
+                    node[bit] = [None, None, False]
+                node = node[bit]
+            else:
+                node[2] = True
+                node[0] = node[1] = None  # subsume anything longer
+        base = self.field_base(fld)
+
+        def build(node, depth: int) -> int:
+            if node is None:
+                return FALSE
+            if node[2]:
+                return TRUE
+            return engine.mk(
+                base + depth,
+                build(node[0], depth + 1),
+                build(node[1], depth + 1),
+            )
+
+        return build(root, 0)
+
     def value_bdd(self, engine: BddEngine, fld: str, value: int) -> int:
         """The packets whose ``fld`` equals ``value`` exactly."""
         base = self.field_base(fld)
@@ -117,12 +168,19 @@ class HeaderEncoding:
     def range_bdd(
         self, engine: BddEngine, fld: str, low: int, high: int
     ) -> int:
-        """The packets with ``low <= fld <= high`` (inclusive)."""
+        """The packets with ``low <= fld <= high`` (inclusive).
+
+        Out-of-domain bounds are clamped to ``[0, 2**width - 1]`` before
+        the aligned-block walk: a negative ``low`` would otherwise feed
+        Python's floor-mod into the block alignment and emit wrong cubes.
+        """
         width = self.width_of(fld)
         if low > high:
             return FALSE
         if low <= 0 and high >= (1 << width) - 1:
             return TRUE
+        low = max(low, 0)
+        high = min(high, (1 << width) - 1)
         base = self.field_base(fld)
         result = FALSE
         # Cover [low, high] with maximal power-of-two aligned blocks, each
@@ -169,6 +227,11 @@ class HeaderEncoding:
         if line.protocol is not None and self.has_field("proto"):
             result = engine.and_(
                 result, self.value_bdd(engine, "proto", line.protocol)
+            )
+        if line.src_port is not None and self.has_field("sport"):
+            low, high = line.src_port
+            result = engine.and_(
+                result, self.range_bdd(engine, "sport", low, high)
             )
         if line.dst_port is not None and self.has_field("dport"):
             low, high = line.dst_port

@@ -279,6 +279,7 @@ class AclLine:
     src: Optional[Prefix] = None
     dst: Optional[Prefix] = None
     protocol: Optional[int] = None
+    src_port: Optional[Tuple[int, int]] = None  # inclusive range
     dst_port: Optional[Tuple[int, int]] = None  # inclusive range
 
 

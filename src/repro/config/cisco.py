@@ -412,7 +412,10 @@ class CiscoParser:
 
     @staticmethod
     def _parse_acl_line(line: Line) -> AclLine:
-        # <seq> permit|deny <proto|ip> <src|any> <dst|any> [eq P | range A B]
+        # <seq> permit|deny <proto|ip> <src|any> [eq P | range A B]
+        #                               <dst|any> [eq P | range A B]
+        # Port specifiers follow the address they constrain, as in IOS:
+        # the one after the source is the source-port match.
         words = line.words
         seq = int(words[0])
         action = _action(words[1], line)
@@ -428,21 +431,25 @@ class CiscoParser:
                 return None
             return Prefix.parse(word)
 
+        def parse_ports(rest: List[str]):
+            if rest[:1] == ["eq"]:
+                port = int(rest[1])
+                return (port, port), rest[2:]
+            if rest[:1] == ["range"]:
+                return (int(rest[1]), int(rest[2])), rest[3:]
+            return None, rest
+
         src = parse_side(words[3])
-        dst = parse_side(words[4])
-        dst_port = None
-        rest = words[5:]
-        if rest[:1] == ["eq"]:
-            port = int(rest[1])
-            dst_port = (port, port)
-        elif rest[:1] == ["range"]:
-            dst_port = (int(rest[1]), int(rest[2]))
+        src_port, rest = parse_ports(words[4:])
+        dst = parse_side(rest[0])
+        dst_port, rest = parse_ports(rest[1:])
         return AclLine(
             seq=seq,
             action=action,
             src=src,
             dst=dst,
             protocol=protocol,
+            src_port=src_port,
             dst_port=dst_port,
         )
 

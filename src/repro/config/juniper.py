@@ -419,11 +419,13 @@ class JuniperParser:
                 from_node = term.child("from")
                 src = dst = None
                 protocol = None
+                src_port = None
                 dst_port = None
                 if from_node is not None:
                     src_args = from_node.leaf_args("source-address")
                     dst_args = from_node.leaf_args("destination-address")
                     proto_args = from_node.leaf_args("protocol")
+                    sport_args = from_node.leaf_args("source-port")
                     port_args = from_node.leaf_args("destination-port")
                     if src_args:
                         src = Prefix.parse(src_args[0])
@@ -435,9 +437,10 @@ class JuniperParser:
                         )
                         if protocol is None:
                             protocol = int(proto_args[0])
+                    if sport_args:
+                        src_port = _port_range(sport_args[0])
                     if port_args:
-                        port = int(port_args[0])
-                        dst_port = (port, port)
+                        dst_port = _port_range(port_args[0])
                 then_node = term.child("then")
                 action = Action.PERMIT
                 if then_node is not None and (
@@ -452,9 +455,19 @@ class JuniperParser:
                         src=src,
                         dst=dst,
                         protocol=protocol,
+                        src_port=src_port,
                         dst_port=dst_port,
                     )
                 )
+
+
+def _port_range(arg: str) -> "Tuple[int, int]":
+    """A JunOS port match: a single port (``80``) or a range (``1024-2048``)."""
+    if "-" in arg:
+        low, high = arg.split("-", 1)
+        return int(low), int(high)
+    port = int(arg)
+    return port, port
 
 
 def parse_juniper(text: str) -> DeviceConfig:

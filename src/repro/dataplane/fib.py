@@ -106,6 +106,16 @@ class Fib:
     def entry_for(self, prefix: Prefix) -> Optional[FibEntry]:
         return self._entries.get(prefix)
 
+    def trie_root(self, width: int = 32) -> _TrieNode:
+        """The binary trie of one address family's entries.
+
+        This is the bulk-compilation entry point: predicate compilation
+        walks the trie bottom-up and emits the exact LPM partition with
+        hash-consing ``mk`` calls alone, instead of carving entries out of
+        the covered space one chained ``or_``/``diff`` at a time.
+        """
+        return self._roots[width]
+
 
 # -- building ------------------------------------------------------------------
 

@@ -8,21 +8,25 @@ For each device the verifier derives, from its FIB and ACLs:
 * a **drop predicate** — packets discarded here (Blackhole), including the
   implicit drop of packets matching no FIB entry.
 
-Compilation walks the FIB most-specific-first, carving each entry's packet
-set out of the not-yet-covered space, which realizes exact LPM semantics
-as a disjoint partition: forwarding + receive + drop predicates tile the
-full header space.
+Compilation realizes exact LPM semantics as a disjoint partition —
+forwarding + receive + drop predicates tile the full header space — by
+walking the FIB's binary *trie* bottom-up: every trie node merges its
+children's per-entry regions with one hash-consing ``mk`` call per entry,
+and a deeper entry overrides its ancestors by construction.  This replaces
+the historical most-specific-first entry walk (one ``diff``+``or_`` apply
+chain per entry, O(n) quadratic-ish in practice) with a pass that performs
+*zero* BDD apply operations for the partition itself.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 from ..bdd.engine import FALSE, TRUE, BddEngine
 from ..bdd.headerspace import HeaderEncoding
 from ..config.ast import DeviceConfig
-from .fib import Fib, FibAction
+from .fib import Fib, FibAction, FibEntry
 
 
 @dataclass
@@ -45,6 +49,54 @@ class PortPredicates:
     def acl_out_for(self, iface: str) -> int:
         return self.acl_out.get(iface, TRUE)
 
+    # -- GC support ------------------------------------------------------
+
+    def roots(self) -> Iterator[int]:
+        """Every BDD id this predicate set holds (the engine GC roots)."""
+        yield self.receive
+        yield self.drop
+        yield from self.forward.values()
+        yield from self.acl_in.values()
+        yield from self.acl_out.values()
+
+    def remap(self, remap: Dict[int, int]) -> None:
+        """Rewrite held ids after an engine compaction."""
+        self.receive = remap[self.receive]
+        self.drop = remap[self.drop]
+        for table in (self.forward, self.acl_in, self.acl_out):
+            for key, value in table.items():
+                table[key] = remap[value]
+
+
+def _lpm_regions(
+    engine: BddEngine, fib: Fib, base: int, width: int
+) -> Dict[Optional[FibEntry], int]:
+    """The exact LPM partition of one address family's header space.
+
+    Returns a map ``entry -> BDD`` of the (disjoint) packet sets whose
+    longest-prefix match is that entry; the ``None`` key is the region
+    matching no entry at all (the implicit drop).  Built bottom-up over
+    the FIB trie with only ``mk`` calls.
+    """
+
+    def walk(node, depth: int, inherited):
+        if node is None:
+            return {inherited: TRUE}
+        effective = node.entry if node.entry is not None else inherited
+        if depth == width:
+            return {effective: TRUE}
+        low = walk(node.children[0], depth + 1, effective)
+        high = walk(node.children[1], depth + 1, effective)
+        var = base + depth
+        merged = {}
+        for key in low.keys() | high.keys():
+            merged[key] = engine.mk(
+                var, low.get(key, FALSE), high.get(key, FALSE)
+            )
+        return merged
+
+    return walk(fib.trie_root(width), 0, None)
+
 
 def compile_predicates(
     config: DeviceConfig,
@@ -54,26 +106,28 @@ def compile_predicates(
 ) -> PortPredicates:
     """Compile one device's FIB and ACLs into :class:`PortPredicates`."""
     predicates = PortPredicates(node=fib.node)
-    covered = FALSE
     # One encoding covers one address family; the other family's FIB
     # entries belong to that family's verification pass.
-    for entry in fib.entries(width=encoding.address_bits):
-        match = encoding.prefix_bdd(engine, entry.prefix)
-        fresh = engine.diff(match, covered)
-        if fresh == FALSE:
-            covered = engine.or_(covered, match)
-            continue
-        if entry.action is FibAction.RECEIVE:
-            predicates.receive = engine.or_(predicates.receive, fresh)
-        elif entry.action is FibAction.DROP:
-            predicates.drop = engine.or_(predicates.drop, fresh)
+    regions = _lpm_regions(
+        engine,
+        fib,
+        encoding.field_base("dst"),
+        encoding.address_bits,
+    )
+    # The regions are pairwise disjoint, so the per-action unions below
+    # are the only apply work left in FIB compilation.
+    for entry, region in sorted(
+        regions.items(),
+        key=lambda item: (item[0] is not None, item[0].prefix if item[0] else None),
+    ):
+        if entry is None or entry.action is FibAction.DROP:
+            predicates.drop = engine.or_(predicates.drop, region)
+        elif entry.action is FibAction.RECEIVE:
+            predicates.receive = engine.or_(predicates.receive, region)
         else:
             for hop in entry.next_hops:
                 existing = predicates.forward.get(hop.iface, FALSE)
-                predicates.forward[hop.iface] = engine.or_(existing, fresh)
-        covered = engine.or_(covered, match)
-    # Packets matching no FIB entry are implicitly dropped here.
-    predicates.drop = engine.or_(predicates.drop, engine.not_(covered))
+                predicates.forward[hop.iface] = engine.or_(existing, region)
 
     for iface in config.interfaces.values():
         if iface.acl_in is not None and iface.acl_in in config.acls:

@@ -111,6 +111,16 @@ class DataPlaneVerifier:
         for index, transit in enumerate(transits):
             self.context.set_waypoint_bit(transit, index)
 
+    def engine_counters(self) -> Dict[str, float]:
+        """The shared engine's health counters (node counts, cache rates).
+
+        Unlike the distributed workers, this engine is never auto-GC'd:
+        query results (:class:`ReachabilityResult`) hold node ids in it,
+        so reclamation would invalidate them.  The counters are still the
+        right observability surface for the §2.2 single-table bottleneck.
+        """
+        return self.engine.counters()
+
     def checker(self) -> PropertyChecker:
         self.compile_predicates()
         return PropertyChecker(

@@ -44,6 +44,10 @@ class DataPlaneStats:
     supersteps: int = 0
     packets_crossed: int = 0
     finals: int = 0
+    # -- engine health ---------------------------------------------------
+    peak_worker_nodes: int = 0     # max node_count any worker engine hit
+    gc_reclaimed_nodes: int = 0    # nodes freed by between-query GCs
+    dedup_bytes_saved: int = 0     # wire bytes saved by send-side dedup
     # -- fault tolerance -------------------------------------------------
     worker_failures: int = 0   # WorkerFailures seen during build/forward
     query_replays: int = 0     # queries rerun after a worker recovery
@@ -238,7 +242,45 @@ class DataPlaneOrchestrator:
             self.stats.finals += len(finals)
             span.set(supersteps=superstep, finals=len(finals))
         self.stats.forward_seconds += clock.seconds
+        self._publish_engine_metrics()
         return finals
+
+    def worker_engine_counters(self) -> List[Dict[str, float]]:
+        """Per-worker engine health counters (post-build; may be empty)."""
+        return [worker.engine_counters() for worker in self.workers]
+
+    def _publish_engine_metrics(self) -> None:
+        """Fold worker engine + sidecar dedup telemetry into the stats
+        (and the metrics registry, when one is attached)."""
+        nodes = 0
+        peak = 0
+        reclaimed = 0
+        hits = 0.0
+        misses = 0.0
+        for counters in self.worker_engine_counters():
+            if not counters:
+                continue
+            nodes += int(counters.get("node_count", 0))
+            peak = max(peak, int(counters.get("peak_node_count", 0)))
+            reclaimed += int(counters.get("gc_reclaimed_nodes", 0))
+            hits += counters.get("cache_hits", 0)
+            misses += counters.get("cache_misses", 0)
+        saved = sum(
+            sidecar.dedup_counters()["bytes_saved"]
+            for sidecar in self.sidecars
+        )
+        self.stats.peak_worker_nodes = max(self.stats.peak_worker_nodes, peak)
+        self.stats.gc_reclaimed_nodes = reclaimed
+        self.stats.dedup_bytes_saved = saved
+        if self.metrics is None:
+            return
+        self.metrics.gauge("bdd.node_count").set(nodes)
+        self.metrics.gauge("bdd.peak_worker_node_count").set(peak)
+        self.metrics.gauge("bdd.gc_reclaimed_nodes").set(reclaimed)
+        self.metrics.gauge("rpc.dedup_bytes_saved").set(saved)
+        lookups = hits + misses
+        if lookups:
+            self.metrics.gauge("bdd.cache_hit_rate").set(hits / lookups)
 
     def _collect_finals(self) -> List[FinalPacket]:
         finals: List[FinalPacket] = []

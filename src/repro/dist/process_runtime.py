@@ -456,6 +456,12 @@ class WorkerProcessProxy:
     def reset_dataplane_run(self) -> None:
         self._call("reset_dataplane_run")
 
+    def collect_engine_garbage(self) -> int:
+        return self._call("collect_engine_garbage")
+
+    def engine_counters(self) -> Dict[str, float]:
+        return self._call("engine_counters")
+
     @property
     def pending_packets(self) -> int:
         return self._call("pending_packets")

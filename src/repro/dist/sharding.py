@@ -167,6 +167,31 @@ def pack_components(
     ]
 
 
+def shard_queries(sources: Sequence[str], num_shards: int) -> List[Tuple[str, ...]]:
+    """Split a DPV query workload (its source nodes) into balanced shards.
+
+    Reachability from different sources is embarrassingly parallel in
+    time but not in *memory*: every query grows the worker engines with
+    intermediate BDD nodes.  Running the sources shard-by-shard lets the
+    DPO garbage-collect worker engines between shards (the
+    ``reset_dataplane_run`` boundary), keeping peak node counts flat
+    instead of monotonically growing with the query count.
+
+    Round-robin over a sorted copy: deterministic, and adjacent hostnames
+    (which tend to be topologically close and share forwarding state)
+    spread across shards.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    ordered = sorted(sources)
+    if not ordered:
+        return []
+    bins: List[List[str]] = [[] for _ in range(min(num_shards, len(ordered)))]
+    for index, source in enumerate(ordered):
+        bins[index % len(bins)].append(source)
+    return [tuple(group) for group in bins]
+
+
 def validate_shards(
     shards: Sequence[PrefixShard], snapshot: Snapshot
 ) -> List[str]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
+from ..bdd.serialize import SendDedupCache
 from ..obs.metrics import MetricsRegistry
 from .faults import FaultPlan
 from .message import PacketBatch, RouteBatch, measured_size
@@ -33,11 +34,17 @@ class Sidecar:
         worker: Worker,
         fault_plan: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
+        dedup_packets: bool = True,
     ) -> None:
         self.worker = worker
         self.peers: Dict[int, "Sidecar"] = {}
         self.fault_plan = fault_plan
         self.metrics = metrics
+        self.dedup_packets = dedup_packets
+        # Per-peer memory of symbolic-packet payloads already shipped
+        # there.  Content-hashed, so it stays valid across engine GCs on
+        # either side (node ids never appear in the wire format).
+        self._packet_dedup: Dict[int, SendDedupCache] = {}
         self._sequence = 0
         self.batches_dropped = 0
         self.batches_duplicated = 0
@@ -97,14 +104,42 @@ class Sidecar:
         # route advertisements are, so the fault model for the data plane
         # is worker crashes (recovered by query replay), not lost batches.
         size = measured_size(batch)
-        self.worker.resources.charge_rpc(size, messages=1)
-        self._record("rpc.packet_batches", size)
+        duplicates = 0
+        saved = 0
+        if self.dedup_packets:
+            cache = self._packet_dedup.get(batch.target_worker)
+            if cache is None:
+                cache = SendDedupCache()
+                self._packet_dedup[batch.target_worker] = cache
+            saved_before = cache.bytes_saved
+            for envelope in batch.envelopes:
+                duplicate, _wire = cache.offer(envelope.payload)
+                duplicates += duplicate
+            saved = cache.bytes_saved - saved_before
+        # Payloads the peer has already seen travel as digest references;
+        # only the delta is charged to the sender's communication model.
+        wire = max(size - saved, 0)
+        self.worker.resources.charge_rpc(wire, messages=1)
+        self._record("rpc.packet_batches", wire)
+        if self.metrics is not None and duplicates:
+            self.metrics.counter("rpc.dedup_packets").inc(duplicates)
+            self.metrics.counter("rpc.dedup_bytes_saved").inc(saved)
         with self.worker.tracer.span(
             "sidecar.send_packets",
             category="rpc",
             target=batch.target_worker,
-            bytes=size,
+            bytes=wire,
             packets=len(batch.envelopes),
+            dedup_hits=duplicates,
         ):
             self.peers[batch.target_worker].worker.deliver_packets(batch)
-        return size
+        return wire
+
+    def dedup_counters(self) -> Dict[str, int]:
+        """Aggregate send-dedup telemetry across this sidecar's peers."""
+        hits = misses = saved = 0
+        for cache in self._packet_dedup.values():
+            hits += cache.hits
+            misses += cache.misses
+            saved += cache.bytes_saved
+        return {"hits": hits, "misses": misses, "bytes_saved": saved}

@@ -27,7 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..bdd.engine import BddEngine
 from ..bdd.headerspace import HeaderEncoding
-from ..bdd.serialize import deserialize, packed_size, serialize
+from ..bdd.serialize import SerializedBdd, deserialize, packed_size, serialize
 from ..config.loader import Snapshot
 from ..dataplane.fib import NextHopResolver, build_fib
 from ..dataplane.forwarding import (
@@ -126,6 +126,8 @@ class Worker:
         self._buffer: Optional[PacketBuffer] = None
         self._finals: List[FinalPacket] = []
         self._fib_entries = 0
+        # node id -> serialized payload, valid until the next GC/compaction
+        self._serialize_memo: Dict[int, SerializedBdd] = {}
 
     def _build_nodes(self) -> None:
         for hostname, owner in sorted(self.assignment.items()):
@@ -168,6 +170,7 @@ class Worker:
         self._buffer = None
         self._finals = []
         self._fib_entries = 0
+        self._serialize_memo = {}
 
     def _inject(self, site: str, round_token: Optional[int] = None) -> None:
         """Consult the fault plan at an in-process phase boundary."""
@@ -475,6 +478,13 @@ class Worker:
                 fib_entries=self._fib_entries,
                 bdd_ops=self.engine.ops - ops_before,
             )
+        # The compiled predicates are the engine's permanent roots: they
+        # must survive every between-query GC for the lifetime of this
+        # data plane.
+        for predicates in self.context.predicates.values():
+            for root in predicates.roots():
+                self.engine.add_root(root)
+        self._serialize_memo = {}
         self.update_memory()
         return self.engine.ops - ops_before
 
@@ -547,9 +557,7 @@ class Worker:
                             else:
                                 outgoing.setdefault(owner, []).append(
                                     PacketEnvelope(
-                                        payload=serialize(
-                                            self.engine, hop.bdd
-                                        ),
+                                        payload=self._serialized(hop.bdd),
                                         node=hop.node,
                                         in_port=hop.in_port,
                                         hops=hop.hops,
@@ -573,6 +581,19 @@ class Worker:
         }
         return produced, batches, self.engine.ops - ops_before
 
+    def _serialized(self, bdd: int) -> SerializedBdd:
+        """Serialize a node id, memoized until the next GC renames ids.
+
+        The same symbolic packet routinely leaves a worker several times
+        (ECMP fans a wave out to many peers, and repeated queries revisit
+        the same predicates), so the children-first DFS is worth caching.
+        """
+        payload = self._serialize_memo.get(bdd)
+        if payload is None:
+            payload = serialize(self.engine, bdd)
+            self._serialize_memo[bdd] = payload
+        return payload
+
     def collect_finals(self) -> List[dict]:
         """Serialize accumulated finals for the controller's engine."""
         assert self.engine is not None
@@ -582,7 +603,7 @@ class Worker:
                 {
                     "state": final.state,
                     "node": final.node,
-                    "payload": serialize(self.engine, final.bdd),
+                    "payload": self._serialized(final.bdd),
                     "source": final.source,
                     "hops": final.hops,
                     "path": final.path,
@@ -592,10 +613,43 @@ class Worker:
         return collected
 
     def reset_dataplane_run(self) -> None:
-        """Clear per-query state (queue + finals), keeping predicates."""
+        """Clear per-query state (queue + finals), keeping predicates.
+
+        This is the between-query boundary, and the one point where a
+        worker's engine can be safely garbage-collected: the previous
+        query's finals have been serialized to the controller, so the
+        compiled predicates (the registered roots) are the only node ids
+        that must survive.  Collecting here is what keeps per-worker
+        node counts flat across a multi-query (or multi-shard) DPV run
+        instead of growing monotonically.
+        """
         assert self.engine is not None
         self._buffer = PacketBuffer(self.engine)
         self._finals.clear()
+        self.collect_engine_garbage()
+
+    def collect_engine_garbage(self) -> int:
+        """Mark-and-sweep the data-plane engine from the predicate roots.
+
+        Only valid when no query is in flight (empty buffer and finals —
+        their node ids are not registered as roots).  Returns the number
+        of nodes reclaimed by this collection.
+        """
+        if self.engine is None or self.context is None:
+            return 0
+        before = self.engine.node_count
+        remap = self.engine.collect_garbage()
+        for predicates in self.context.predicates.values():
+            predicates.remap(remap)
+        self._serialize_memo = {}
+        self.update_memory(enforce=False)
+        return before - self.engine.node_count
+
+    def engine_counters(self) -> Dict[str, float]:
+        """The data-plane engine's health counters (empty pre-build)."""
+        if self.engine is None:
+            return {}
+        return self.engine.counters()
 
     @property
     def pending_packets(self) -> int:

@@ -5,6 +5,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bdd.engine import FALSE, TRUE, BddEngine, BddOverflowError
 from repro.bdd.serialize import (
+    DEDUP_REF_BYTES,
+    SendDedupCache,
+    content_digest,
     deserialize,
     from_bytes,
     packed_size,
@@ -296,3 +299,108 @@ class TestSerialization:
         joined_there = destination.and_(a2, b2)
         joined_here, _ = transfer(source, source.and_(a, b), destination)
         assert joined_there == joined_here
+
+    @given(formula)
+    @settings(max_examples=60, deadline=None)
+    def test_bytes_roundtrip_property(self, tree):
+        """to_bytes/from_bytes invert each other, terminals included."""
+        engine = BddEngine(N_VARS)
+        payload = serialize(engine, build(engine, tree))
+        assert from_bytes(to_bytes(payload)) == payload
+
+
+class TestFromBytesValidation:
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            from_bytes(b"\x01\x02\x03")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            from_bytes(b"")
+
+    def test_torn_body_rejected(self, engine):
+        payload = serialize(engine, engine.var(3))
+        data = to_bytes(payload)
+        with pytest.raises(ValueError, match="torn"):
+            from_bytes(data[:-5])
+        with pytest.raises(ValueError, match="torn"):
+            from_bytes(data + b"\x00\x00\x00")
+
+    def test_forward_child_reference_rejected(self, engine):
+        u = engine.and_(engine.var(0), engine.var(1))
+        num_vars, root, triples = serialize(engine, u)
+        # point the first triple's low child at a *later* slot
+        var, _low, high = triples[0]
+        broken = (num_vars, root, ((var, 3, high),) + triples[1:])
+        with pytest.raises(ValueError, match="child slot"):
+            from_bytes(to_bytes(broken))
+
+    def test_root_out_of_range_rejected(self, engine):
+        num_vars, _root, triples = serialize(engine, engine.var(0))
+        broken = (num_vars, 2 + len(triples), triples)
+        with pytest.raises(ValueError, match="root slot"):
+            from_bytes(to_bytes(broken))
+
+    def test_struct_error_never_escapes(self, engine):
+        data = to_bytes(serialize(engine, engine.xor(engine.var(0), engine.var(1))))
+        for cut in range(len(data)):
+            try:
+                from_bytes(data[:cut])
+            except ValueError:
+                pass  # the only acceptable failure mode
+
+
+class TestSendDedupCache:
+    def test_first_offer_charges_full_size(self, engine):
+        cache = SendDedupCache()
+        payload = serialize(engine, engine.and_(engine.var(0), engine.var(1)))
+        duplicate, wire = cache.offer(payload)
+        assert not duplicate
+        assert wire == packed_size(payload)
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_repeat_offer_charges_reference(self, engine):
+        cache = SendDedupCache()
+        payload = serialize(engine, engine.cube({i: True for i in range(8)}))
+        cache.offer(payload)
+        duplicate, wire = cache.offer(payload)
+        assert duplicate
+        assert wire == DEDUP_REF_BYTES
+        assert cache.bytes_saved == packed_size(payload) - DEDUP_REF_BYTES
+
+    def test_terminal_payload_never_charged_more_than_resend(self, engine):
+        """A terminal packs to 8 bytes < DEDUP_REF_BYTES; dedup must not
+        make it more expensive."""
+        cache = SendDedupCache()
+        payload = serialize(engine, TRUE)
+        _, first = cache.offer(payload)
+        duplicate, wire = cache.offer(payload)
+        assert duplicate
+        assert wire <= first
+        assert cache.bytes_saved == 0
+
+    def test_same_function_from_different_engines_dedups(self):
+        """The wire format is canonical, so dedup is engine-independent."""
+        a, b = BddEngine(N_VARS), BddEngine(N_VARS)
+        b.cube({3: False, 9: True})  # skew b's node ids
+        tree = ("or", ("var", 2), ("and", ("var", 5), ("nvar", 7)))
+        pa, pb = serialize(a, build(a, tree)), serialize(b, build(b, tree))
+        assert content_digest(pa) == content_digest(pb)
+        cache = SendDedupCache()
+        cache.offer(pa)
+        duplicate, _ = cache.offer(pb)
+        assert duplicate
+
+    def test_distinct_payloads_do_not_collide(self, engine):
+        cache = SendDedupCache()
+        first = serialize(engine, engine.var(0))
+        second = serialize(engine, engine.var(1))
+        assert not cache.offer(first)[0]
+        assert not cache.offer(second)[0]
+
+    def test_bounded_eviction(self, engine):
+        cache = SendDedupCache(max_entries=4)
+        payloads = [serialize(engine, engine.var(i)) for i in range(10)]
+        for payload in payloads:
+            cache.offer(payload)
+        assert len(cache) <= 2 * 4

@@ -479,3 +479,62 @@ class TestAristaParser:
             path, RemovePrivateAsMode.LEADING
         )
         assert arista == (3000,) and cisco == (3000, 64601)
+
+
+class TestAclPortParsing:
+    """Source-port matches must survive parsing in both dialects (they
+    used to be dropped: only the port after the destination was read)."""
+
+    def test_cisco_source_port_eq(self):
+        cfg = parse_cisco(
+            "hostname r1\n"
+            "ip access-list extended PORTS\n"
+            " 10 permit tcp any eq 179 10.0.0.0/8 range 8000 8100\n"
+            " 20 deny udp 10.2.0.0/16 range 1024 2048 any\n"
+        )
+        lines = cfg.acls["PORTS"].sorted_lines()
+        assert lines[0].src is None
+        assert lines[0].src_port == (179, 179)
+        assert lines[0].dst == Prefix.parse("10.0.0.0/8")
+        assert lines[0].dst_port == (8000, 8100)
+        assert lines[1].src == Prefix.parse("10.2.0.0/16")
+        assert lines[1].src_port == (1024, 2048)
+        assert lines[1].dst is None and lines[1].dst_port is None
+
+    def test_cisco_dst_port_only_unchanged(self):
+        cfg = parse_cisco(
+            "hostname r1\n"
+            "ip access-list extended WEB\n"
+            " 10 permit tcp any any eq 443\n"
+        )
+        line = cfg.acls["WEB"].sorted_lines()[0]
+        assert line.src_port is None
+        assert line.dst_port == (443, 443)
+
+    def test_juniper_source_port(self):
+        cfg = parse_juniper(
+            "system {\n"
+            "    host-name j1;\n"
+            "}\n"
+            "firewall {\n"
+            "    family {\n"
+            "        inet {\n"
+            "            filter F {\n"
+            "                term t1 {\n"
+            "                    from {\n"
+            "                        protocol tcp;\n"
+            "                        source-port 1024-2048;\n"
+            "                        destination-port 443;\n"
+            "                    }\n"
+            "                    then {\n"
+            "                        accept;\n"
+            "                    }\n"
+            "                }\n"
+            "            }\n"
+            "        }\n"
+            "    }\n"
+            "}\n"
+        )
+        line = cfg.acls["F"].sorted_lines()[0]
+        assert line.src_port == (1024, 2048)
+        assert line.dst_port == (443, 443)

@@ -126,3 +126,111 @@ class TestEncodingPlumbing:
                 not (w.context and w.context.waypoint_bits)
                 for w in controller.workers
             )
+
+
+class TestEngineMemoryManagement:
+    def test_worker_node_counts_flat_across_repeated_queries(self, fattree4):
+        """Between-query GC must keep per-worker node tables flat instead
+        of monotonically growing with the query count."""
+        with S2Controller(
+            fattree4, S2Options(num_workers=4, num_shards=2)
+        ) as controller:
+            controller.build_data_plane()
+            dpo = controller.dpo
+            counts = []
+            for _ in range(5):
+                dpo.forward(["edge-0-0"], TRUE)
+                counts.append(
+                    max(w.engine.node_count for w in controller.workers)
+                )
+            # The first query may allocate fresh structure; after that the
+            # footprint must stabilize (GC at each reset boundary).
+            assert counts[1:] == [counts[1]] * len(counts[1:])
+            gc_runs = sum(
+                c.get("gc_runs", 0)
+                for c in dpo.worker_engine_counters()
+            )
+            assert gc_runs > 0
+
+    def test_predicates_survive_gc(self, fattree4):
+        """Query results must be identical before and after collections
+        (the predicate roots and their remapped ids stay correct)."""
+        with S2Controller(
+            fattree4, S2Options(num_workers=4, num_shards=2)
+        ) as controller:
+            controller.build_data_plane()
+            checker = controller.dpo.checker()
+            q = Query.single_pair(
+                "edge-0-0", "edge-1-0", Prefix.parse("10.1.0.0/24")
+            )
+            first = checker.check_reachability(q).pairs()
+            for _ in range(3):
+                controller.dpo.forward(["edge-2-0"], TRUE)
+            assert checker.check_reachability(q).pairs() == first
+
+    def test_engine_counters_exposed(self, controller):
+        controller.dpo.forward(["edge-0-0"], TRUE)
+        for counters in controller.dpo.worker_engine_counters():
+            assert counters["node_count"] > 2
+            assert 0.0 <= counters["cache_hit_rate"] <= 1.0
+        assert controller.dpo.stats.peak_worker_nodes > 2
+
+
+class TestSendDedup:
+    def test_repeated_query_dedups_cross_worker_payloads(self, fattree4):
+        with S2Controller(
+            fattree4, S2Options(num_workers=4, num_shards=2)
+        ) as controller:
+            controller.build_data_plane()
+            dpo = controller.dpo
+            dpo.forward(["edge-0-0"], TRUE)
+            baseline = sum(
+                s.dedup_counters()["hits"] for s in dpo.sidecars
+            )
+            dpo.forward(["edge-0-0"], TRUE)
+            after = sum(s.dedup_counters()["hits"] for s in dpo.sidecars)
+            # The identical query re-crosses the same worker boundaries
+            # with the identical symbolic packets.
+            assert after > baseline
+            assert dpo.stats.dedup_bytes_saved > 0
+
+    def test_dedup_does_not_change_finals(self, fattree4):
+        results = []
+        for dedup in (True, False):
+            with S2Controller(
+                fattree4, S2Options(num_workers=4, num_shards=2)
+            ) as controller:
+                controller.build_data_plane()
+                dpo = controller.dpo
+                for sidecar in dpo.sidecars:
+                    sidecar.dedup_packets = dedup
+                finals = dpo.forward(["edge-0-0"], TRUE)
+                results.append(
+                    sorted(
+                        (f.state.value, f.node, dpo.engine.sat_count(f.bdd))
+                        for f in finals
+                    )
+                )
+        assert results[0] == results[1]
+
+    def test_dedup_reduces_charged_bytes(self, fattree4):
+        """The second identical query must charge fewer RPC bytes than
+        the first (references instead of full node lists)."""
+        with S2Controller(
+            fattree4, S2Options(num_workers=4, num_shards=2)
+        ) as controller:
+            controller.build_data_plane()
+            dpo = controller.dpo
+
+            def total_rpc_bytes():
+                return sum(
+                    w.resources.rpc_bytes_sent for w in controller.workers
+                )
+
+            before_first = total_rpc_bytes()
+            dpo.forward(["edge-0-0"], TRUE)
+            first = total_rpc_bytes() - before_first
+            before_second = total_rpc_bytes()
+            dpo.forward(["edge-0-0"], TRUE)
+            second = total_rpc_bytes() - before_second
+            assert 0 < second < first

@@ -143,6 +143,34 @@ class TestRangeBdd:
         member = enc.value_bdd(engine, "dport", probe)
         assert (engine.and_(u, member) != FALSE) == (low <= probe <= high)
 
+    def test_negative_low_clamped(self, env):
+        """A negative bound used to floor-mod into wrong cubes; it must
+        behave exactly like a bound of 0."""
+        enc, engine = env
+        assert enc.range_bdd(engine, "dport", -5, 100) == enc.range_bdd(
+            engine, "dport", 0, 100
+        )
+
+    def test_high_beyond_domain_clamped(self, env):
+        enc, engine = env
+        assert enc.range_bdd(engine, "dport", 65000, 70000) == enc.range_bdd(
+            engine, "dport", 65000, 65535
+        )
+
+    def test_fully_out_of_domain_covers_everything(self, env):
+        enc, engine = env
+        assert enc.range_bdd(engine, "dport", -10, 1 << 20) == TRUE
+
+    @given(st.integers(-200, 65535 + 200), st.integers(-200, 65535 + 200))
+    @settings(max_examples=40, deadline=None)
+    def test_out_of_domain_cardinality(self, a, b):
+        enc = HeaderEncoding(fields=("dst", "dport"))
+        engine = enc.make_engine()
+        low, high = min(a, b), max(a, b)
+        u = enc.range_bdd(engine, "dport", low, high)
+        expected = max(0, min(high, 65535) - max(low, 0) + 1)
+        assert engine.sat_count(u) == expected << 32
+
 
 def acl_of(*lines: AclLine) -> Acl:
     return Acl(name="T", lines=list(lines))
@@ -213,6 +241,46 @@ class TestAclCompilation:
         assert engine.implies(tcp_http, permitted)
         assert engine.and_(udp_http, permitted) == FALSE
 
+    def test_src_port_constrains_under_full_5tuple(self):
+        """Regression: ``src_port`` was silently ignored (only dst_port
+        was compiled), permitting packets an ACL should block."""
+        enc = HeaderEncoding(fields=ALL_FIELDS)
+        engine = enc.make_engine()
+        acl = acl_of(
+            AclLine(
+                10,
+                Action.PERMIT,
+                protocol=6,
+                src_port=(1024, 2048),
+                dst_port=(443, 443),
+            )
+        )
+        permitted = enc.acl_bdd(engine, acl)
+        good = engine.and_(
+            enc.value_bdd(engine, "proto", 6),
+            engine.and_(
+                enc.value_bdd(engine, "sport", 1500),
+                enc.value_bdd(engine, "dport", 443),
+            ),
+        )
+        bad_sport = engine.and_(
+            enc.value_bdd(engine, "proto", 6),
+            engine.and_(
+                enc.value_bdd(engine, "sport", 80),
+                enc.value_bdd(engine, "dport", 443),
+            ),
+        )
+        assert engine.implies(good, permitted)
+        assert engine.and_(bad_sport, permitted) == FALSE
+
+    def test_src_port_line_cardinality(self):
+        enc = HeaderEncoding(fields=ALL_FIELDS)
+        engine = enc.make_engine()
+        line = AclLine(10, Action.PERMIT, src_port=(100, 199))
+        matched = engine.sat_count(enc.acl_line_bdd(engine, line))
+        free_bits = enc.num_vars - 16  # everything except sport is free
+        assert matched == 100 << free_bits
+
     def test_unencoded_field_is_wildcard(self):
         # src constraint ignored when src not encoded
         enc = HeaderEncoding(fields=("dst",))
@@ -279,3 +347,61 @@ class TestDescribe:
     def test_describe_empty(self):
         enc = HeaderEncoding()
         assert enc.describe_assignment({}) == "any"
+
+
+def _prefix_strategy():
+    return st.tuples(
+        st.integers(0, (1 << 32) - 1), st.integers(0, 32)
+    ).map(lambda t: Prefix(t[0], t[1]))
+
+
+class TestPrefixSetBdd:
+    def test_empty_set(self):
+        enc = HeaderEncoding()
+        assert enc.prefix_set_bdd(enc.make_engine(), []) == FALSE
+
+    def test_default_route_covers_all(self):
+        enc = HeaderEncoding()
+        engine = enc.make_engine()
+        assert enc.prefix_set_bdd(engine, [Prefix.parse("0.0.0.0/0")]) == TRUE
+
+    def test_subsumed_prefix_collapses(self):
+        enc = HeaderEncoding()
+        engine = enc.make_engine()
+        covering = enc.prefix_set_bdd(engine, [Prefix.parse("10.0.0.0/8")])
+        both = enc.prefix_set_bdd(
+            engine,
+            [Prefix.parse("10.1.0.0/16"), Prefix.parse("10.0.0.0/8")],
+        )
+        assert both == covering
+
+    def test_builds_without_apply_ops(self):
+        enc = HeaderEncoding()
+        engine = enc.make_engine()
+        prefixes = [
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("192.168.0.0/16"),
+            Prefix.parse("172.16.4.0/24"),
+        ]
+        ops_before = engine.ops
+        enc.prefix_set_bdd(engine, prefixes)
+        assert engine.ops == ops_before
+
+    def test_width_mismatch_rejected(self):
+        enc = HeaderEncoding()
+        with pytest.raises(ValueError):
+            enc.prefix_set_bdd(
+                enc.make_engine(), [Prefix.parse("2001:db8::/32")]
+            )
+
+    @given(st.lists(_prefix_strategy(), max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_to_chained_or(self, prefixes):
+        """The bulk trie build must equal the O(n) or_-fold it replaces."""
+        enc = HeaderEncoding()
+        engine = enc.make_engine()
+        bulk = enc.prefix_set_bdd(engine, prefixes)
+        chained = FALSE
+        for prefix in prefixes:
+            chained = engine.or_(chained, enc.prefix_bdd(engine, prefix))
+        assert bulk == chained

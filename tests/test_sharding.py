@@ -175,3 +175,36 @@ class TestShardedEqualsUnsharded:
         shards = make_shards(dcn1, 7)
         sharded = engine.run([s.prefixes for s in shards])
         assert sharded == unsharded
+
+
+class TestShardQueries:
+    def test_round_robin_balance(self):
+        from repro.dist.sharding import shard_queries
+
+        shards = shard_queries([f"edge-{i}" for i in range(10)], 4)
+        assert len(shards) == 4
+        sizes = sorted(len(s) for s in shards)
+        assert sizes == [2, 2, 3, 3]
+        flattened = sorted(s for shard in shards for s in shard)
+        assert flattened == sorted(f"edge-{i}" for i in range(10))
+
+    def test_fewer_sources_than_shards(self):
+        from repro.dist.sharding import shard_queries
+
+        shards = shard_queries(["a", "b"], 8)
+        assert len(shards) == 2
+
+    def test_empty_and_invalid(self):
+        from repro.dist.sharding import shard_queries
+
+        assert shard_queries([], 4) == []
+        with pytest.raises(ValueError):
+            shard_queries(["a"], 0)
+
+    def test_deterministic(self):
+        from repro.dist.sharding import shard_queries
+
+        sources = ["z", "m", "a", "q"]
+        assert shard_queries(sources, 2) == shard_queries(
+            list(reversed(sources)), 2
+        )
