@@ -10,7 +10,9 @@ Commands:
 ``shards``     show the prefix shards (DPDG components and packing);
 ``synthesize`` write a FatTree or DCN snapshot to a directory;
 ``trace``      print the forwarding paths of one source→destination pair;
-``fuzz``       differentially fuzz the engines with random networks.
+``fuzz``       differentially fuzz the engines with random networks;
+``worker``     run a standalone TCP worker listener for ``--runtime
+               socket`` with ``--worker-hosts`` (multi-host deployments).
 """
 
 from __future__ import annotations
@@ -63,14 +65,33 @@ def cmd_verify(args) -> int:
         except ValueError as exc:
             print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
             return 2
+    from .dist.faults import RetryPolicy
+
+    policy_overrides = {}
+    if args.rpc_timeout is not None:
+        policy_overrides["call_timeout"] = args.rpc_timeout
+    if args.rpc_retries is not None:
+        policy_overrides["max_call_retries"] = args.rpc_retries
+    worker_hosts = None
+    if args.worker_hosts:
+        worker_hosts = [
+            spec for spec in args.worker_hosts.split(",") if spec.strip()
+        ]
+        if args.runtime != "socket":
+            print(
+                "--worker-hosts requires --runtime socket", file=sys.stderr
+            )
+            return 2
     options = S2Options(
         num_workers=args.workers,
         num_shards=args.shards,
         partition_scheme=args.scheme,
         enforce_memory=not args.no_memory_limit,
         runtime=args.runtime,
+        worker_hosts=worker_hosts,
         store_dir=args.store_dir,
         fault_plan=fault_plan,
+        retry_policy=RetryPolicy(**policy_overrides),
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
     )
@@ -265,6 +286,7 @@ def cmd_fuzz(args) -> int:
         process_every = _every(args.process_every, 20)
         faults_every = _every(args.faults_every, 10)
         dataplane_every = _every(args.dataplane_every, 15)
+        socket_every = _every(args.socket_every, 30)
     else:
         iterations = args.iterations if args.iterations is not None else 100
         profile = {
@@ -275,6 +297,7 @@ def cmd_fuzz(args) -> int:
         process_every = _every(args.process_every, 25)
         faults_every = _every(args.faults_every, 0)
         dataplane_every = _every(args.dataplane_every, 0)
+        socket_every = _every(args.socket_every, 0)
 
     started = time.perf_counter()
     failures = 0
@@ -289,6 +312,7 @@ def cmd_fuzz(args) -> int:
             include_threaded=not args.no_threaded,
             include_process=bool(process_every) and i % process_every == 0,
             include_faults=bool(faults_every) and i % faults_every == 0,
+            include_socket=bool(socket_every) and i % socket_every == 0,
             check_dataplane=bool(dataplane_every)
             and i % dataplane_every == 0,
             fault_seed=seed,
@@ -346,6 +370,19 @@ def cmd_fuzz(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_worker(args) -> int:
+    from .dist.socket_runtime import serve_worker
+
+    try:
+        serve_worker(args.listen)
+    except ValueError as exc:
+        print(f"bad --listen spec: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -365,8 +402,30 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--no-memory-limit", action="store_true")
     verify.add_argument(
         "--runtime",
-        choices=["sequential", "threaded", "process"],
+        choices=["sequential", "threaded", "process", "socket"],
         default="sequential",
+    )
+    verify.add_argument(
+        "--worker-hosts",
+        metavar="HOST:PORT,...",
+        help="socket runtime: comma-separated listeners (started with "
+        "`repro worker --listen`) to dial instead of forking local "
+        "workers",
+    )
+    verify.add_argument(
+        "--rpc-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-call deadline for worker RPCs (default 120)",
+    )
+    verify.add_argument(
+        "--rpc-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="transport retries per RPC before the worker is declared "
+        "dead (default 3)",
     )
     verify.add_argument(
         "--store-dir",
@@ -384,7 +443,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="inject a fault, e.g. 'crash:worker=1,round=3' or "
         "'drop:worker=0,times=2' (repeatable; kinds: crash, delay, "
-        "error, drop, duplicate, respawn_fail)",
+        "error, drop, duplicate, respawn_fail, and — socket runtime "
+        "only — partition, reorder, slow_link, torn_frame)",
     )
     verify.add_argument(
         "--fault-seed",
@@ -499,12 +559,35 @@ def build_parser() -> argparse.ArgumentParser:
                       help="diff all-pair data-plane verdicts every Nth "
                       "iteration (0 = never; default 0, or 15 with "
                       "--smoke)")
+    fuzz.add_argument("--socket-every", type=int, default=None,
+                      metavar="N",
+                      help="include the socket runtime (with a sampled "
+                      "network-fault plan) every Nth iteration (0 = "
+                      "never; default 0, or 30 with --smoke)")
     fuzz.add_argument("--no-threaded", action="store_true",
                       help="skip the threaded-runtime variant")
     fuzz.add_argument("--fail-fast", action="store_true",
                       help="stop at the first divergence")
     fuzz.add_argument("-v", "--verbose", action="store_true")
     fuzz.set_defaults(func=cmd_fuzz)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a standalone TCP worker listener (socket runtime)",
+        description="Serve one S2 worker over the framed RPC protocol. "
+        "The controller (repro verify --runtime socket --worker-hosts "
+        "...) configures it over the wire — identity, snapshot, and "
+        "assignment all arrive via RPC, so one listener serves many "
+        "runs.  Blocks until the controller stops it.",
+    )
+    worker.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address (port 0 picks an ephemeral port, printed on "
+        "startup; default 127.0.0.1:0)",
+    )
+    worker.set_defaults(func=cmd_worker)
     return parser
 
 

@@ -70,7 +70,11 @@ class S2Options:
     controller_node_limit: int = 1 << 24
     max_rounds: int = 200
     max_hops: int = 24
-    runtime: str = "sequential"      # "sequential" | "threaded" | "process"
+    runtime: str = "sequential"      # "sequential" | "threaded" |
+    #                                  "process" | "socket"
+    worker_hosts: Optional[Sequence[str]] = None  # socket runtime: dial
+    #                                  these host:port listeners instead
+    #                                  of forking local workers
     seed: int = 7
     store_dir: Optional[str] = None
     enforce_memory: bool = True
@@ -133,11 +137,13 @@ class WorkerSupervisor:
         store: RouteStore,
         pool=None,
         persistent: bool = False,
+        sidecars: Optional[Sequence[Sidecar]] = None,
     ) -> None:
         self.workers = list(workers)
         self.store = store
         self.pool = pool
         self.persistent = persistent
+        self.sidecars = list(sidecars) if sidecars else []
         self._ospf_states: Dict[int, Any] = {}
         self.recoveries = 0
 
@@ -185,6 +191,12 @@ class WorkerSupervisor:
         self.workers[worker_id].restore_ospf_state(
             self._ospf_states.get(worker_id)
         )
+        # The respawned worker lost its receive-side memory: every
+        # surviving sender's dedup cache toward it would under-charge
+        # (and a real dedup transport would dangle), so invalidate on
+        # the incarnation change.
+        for sidecar in self.sidecars:
+            sidecar.on_peer_respawn(worker_id)
 
 
 class S2Controller:
@@ -246,6 +258,29 @@ class S2Controller:
             )
             self.workers = self._pool.proxies
             self.runtime: Runtime = make_runtime("threaded")
+        elif opts.runtime == "socket":
+            # Workers behind TCP servers speaking the framed RPC protocol
+            # (repro.dist.transport): localhost processes by default, or
+            # remote listeners via worker_hosts.  Same threaded phase
+            # dispatch as the process runtime.
+            from .socket_runtime import SocketWorkerPool
+
+            self._pool = SocketWorkerPool(
+                snapshot=snapshot,
+                assignment=self.partition.assignment,
+                num_workers=opts.num_workers,
+                capacity=capacity,
+                cost_model=opts.cost_model,
+                max_hops=opts.max_hops,
+                retry_policy=opts.retry_policy,
+                fault_plan=opts.fault_plan,
+                trace_dir=self.trace_dir,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                worker_hosts=opts.worker_hosts,
+            )
+            self.workers = self._pool.proxies
+            self.runtime = make_runtime("threaded")
         else:
             if self.trace_dir:
                 # In-process workers write their own shards too, so the
@@ -330,6 +365,7 @@ class S2Controller:
             self.store,
             pool=self._pool,
             persistent=persistent,
+            sidecars=self.sidecars,
         )
         self.cpo = ControlPlaneOrchestrator(
             self.workers,
@@ -534,6 +570,10 @@ class S2Controller:
                 self.options.fault_plan.fired_by_kind
             )
         snapshot["recoveries"] = self.supervisor.recoveries
+        if self._pool is not None and hasattr(
+            self._pool, "transport_counters"
+        ):
+            snapshot["transport"] = self._pool.transport_counters()
         return snapshot
 
     def _finalize_observability(self) -> None:

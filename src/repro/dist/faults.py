@@ -23,6 +23,21 @@ kind        effect
             sequence number)
 ``respawn_fail`` make the next respawn of the matched worker fail, which
             exercises the sequential-fallback degradation path
+``partition`` cut the link to the matched worker in one direction
+            (``where=request`` blocks requests from reaching it,
+            ``where=response`` lets the request execute but severs the
+            answer); the partition heals after ``heal_after`` blocked
+            transmissions, and the channel's idempotent retries — or the
+            supervisor's respawn path if the retry budget runs out —
+            carry the run through (socket runtime only)
+``reorder`` hold a request frame on the wire until the next frame
+            passes it (RPC is synchronous, so phase barriers are
+            unaffected; this stresses the demultiplexer)
+``slow_link`` sleep ``delay`` seconds before the frame is written —
+            a congested or high-latency link
+``torn_frame`` transmit only a prefix of the frame and drop the
+            connection mid-frame; the receiver must detect the tear via
+            the framing layer and never deserialize garbage
 ========== ===================================================================
 
 Matching is deterministic: a spec constrains worker id, BGP round, shard
@@ -98,6 +113,11 @@ class RetryPolicy:
     max_query_retries: int = 2       # data-plane query/build reruns
     heartbeat_interval_rounds: int = 10  # liveness check cadence (0 = off)
     join_timeout: float = 5.0        # grace before terminate()/kill()
+    # Socket-transport knobs (see repro.dist.transport):
+    backoff_jitter: float = 0.25     # +[0,j)·backoff seeded jitter fraction
+    rpc_window: int = 8              # in-flight requests per channel
+    connect_timeout: float = 10.0    # budget for one TCP dial
+    heartbeat_interval_seconds: float = 2.0  # idle-channel ping (0 = off)
 
     def backoff(self, attempt: int) -> float:
         """Sleep before retry ``attempt`` (1-based)."""
@@ -106,10 +126,25 @@ class RetryPolicy:
 
 # -- fault specification ----------------------------------------------------
 
-KINDS = ("crash", "delay", "error", "drop", "duplicate", "respawn_fail")
+KINDS = (
+    "crash",
+    "delay",
+    "error",
+    "drop",
+    "duplicate",
+    "respawn_fail",
+    "partition",
+    "reorder",
+    "slow_link",
+    "torn_frame",
+)
 
 _CALL_KINDS = {"crash", "delay", "error"}
 _BATCH_KINDS = {"drop", "duplicate"}
+#: Kinds injected at the socket transport layer (repro.dist.transport);
+#: the in-process and pipe runtimes have no wire, so these never fire
+#: there.
+NETWORK_KINDS = {"partition", "reorder", "slow_link", "torn_frame"}
 
 
 @dataclass
@@ -121,18 +156,27 @@ class FaultSpec:
     round: Optional[int] = None      # BGP/OSPF round token (-1 = OSPF)
     shard: Optional[int] = None      # shard flush index
     command: Optional[str] = None    # call/phase name (exact match)
-    where: str = "before"            # "before" | "after_send" (crash only)
-    delay: float = 0.0               # seconds, for kind="delay"
+    where: str = "before"            # "before" | "after_send" (crash), or
+                                     # "request" | "response" (partition)
+    delay: float = 0.0               # seconds (kind="delay"/"slow_link")
     times: int = 1                   # maximum firings (0 = unlimited)
     probability: float = 1.0         # seeded gate; 1.0 = always
+    heal_after: int = 3              # partition: blocked sends before heal
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
             )
-        if self.where not in ("before", "after_send"):
+        if self.where not in ("before", "after_send", "request", "response"):
             raise ValueError(f"unknown fault site {self.where!r}")
+        if self.heal_after < 1:
+            raise ValueError("heal_after must be >= 1")
+
+    @property
+    def direction(self) -> str:
+        """Partition direction; ``before`` (the default) means request."""
+        return self.where if self.where in ("request", "response") else "request"
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
@@ -152,7 +196,7 @@ class FaultSpec:
                     raise ValueError(
                         f"bad fault option {item!r} (expected key=value)"
                     )
-                if key in ("worker", "round", "shard", "times"):
+                if key in ("worker", "round", "shard", "times", "heal_after"):
                     kwargs[key] = int(value)
                 elif key in ("delay", "probability"):
                     kwargs[key] = float(value)
@@ -162,7 +206,7 @@ class FaultSpec:
                     raise ValueError(
                         f"unknown fault option {key!r} (valid: worker, "
                         "round, shard, command, where, delay, times, "
-                        "probability)"
+                        "probability, heal_after)"
                     )
         return cls(kind=kind, **kwargs)
 
@@ -185,6 +229,9 @@ class FaultPlan:
         self._fired: Dict[int, int] = {}       # spec index -> firing count
         self.fired_by_kind: Dict[str, int] = {}
         self._recent_drops = 0
+        # (worker_id, direction) -> blocked transmissions remaining before
+        # the injected partition heals.
+        self._active_partitions: Dict[tuple, int] = {}
         self.current_shard: Optional[int] = None
         self.current_round: Optional[int] = None
         # Observability hook: ``fn(kind, worker_id, command)`` called for
@@ -302,6 +349,45 @@ class FaultPlan:
             self._first_match({"respawn_fail"}, worker_id, None) is not None
         )
 
+    def on_transport(
+        self, worker_id: int, command: str
+    ) -> Optional["FaultSpec"]:
+        """Socket-transport site, consulted once per frame transmission.
+
+        A matched ``partition`` is *activated* here — recorded as a
+        blocked-transmission budget for its ``(worker, direction)`` link —
+        and subsequently enforced by :meth:`partition_blocks`; the other
+        network kinds are returned for the channel to act on directly.
+        """
+        spec = self._first_match(NETWORK_KINDS, worker_id, command)
+        if spec is not None and spec.kind == "partition":
+            with self._lock:
+                key = (worker_id, spec.direction)
+                self._active_partitions[key] = (
+                    self._active_partitions.get(key, 0) + spec.heal_after
+                )
+        return spec
+
+    def partition_blocks(self, worker_id: int, direction: str) -> bool:
+        """True while an active partition still blocks this link.
+
+        Each blocked transmission consumes one unit of the partition's
+        ``heal_after`` budget, so the link heals after a bounded number
+        of retries — "heals after N rounds" at transport granularity,
+        chosen over round-count healing because a fully blocked link
+        prevents the very rounds that would otherwise age it out.
+        """
+        with self._lock:
+            key = (worker_id, direction)
+            remaining = self._active_partitions.get(key, 0)
+            if remaining <= 0:
+                return False
+            if remaining == 1:
+                del self._active_partitions[key]
+            else:
+                self._active_partitions[key] = remaining - 1
+            return True
+
     # -- accounting ------------------------------------------------------
 
     def consume_drops(self) -> int:
@@ -348,5 +434,35 @@ def sample_plan(seed: int, num_workers: int) -> FaultPlan:
                 times=spec.times,
                 command=rng.choice(["pull_round", "compute_exports"]),
             )
+        specs.append(spec)
+    return FaultPlan(specs, seed=seed)
+
+
+def sample_network_plan(seed: int, num_workers: int) -> FaultPlan:
+    """Draw a small recoverable *network* fault plan (socket runtime).
+
+    All four network kinds are recoverable — partitions heal, torn
+    frames and reorders are absorbed by the idempotent retry machinery,
+    slow links merely cost time — so the chaos oracle can assert the
+    run's results are bit-identical to a fault-free one.  Commands are
+    constrained to the hot control-plane RPCs so every sampled fault
+    actually fires.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    commands = ["pull_round", "compute_exports", "deliver_routes"]
+    specs: List[FaultSpec] = []
+    for _ in range(rng.randint(1, 2)):
+        kind = rng.choice(sorted(NETWORK_KINDS))
+        spec = FaultSpec(
+            kind=kind,
+            worker=rng.randrange(num_workers),
+            command=rng.choice(commands),
+            times=rng.randint(1, 2),
+        )
+        if kind == "partition":
+            spec.where = rng.choice(["request", "response"])
+            spec.heal_after = rng.randint(1, 2)
+        elif kind == "slow_link":
+            spec.delay = rng.choice([0.02, 0.05])
         specs.append(spec)
     return FaultPlan(specs, seed=seed)

@@ -40,7 +40,6 @@ import multiprocessing as mp
 import os
 import threading
 import time
-import traceback
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..bdd.engine import BddOverflowError
@@ -57,9 +56,15 @@ from .faults import (
     WorkerTimeoutError,
 )
 from .resources import SimulatedOOM, WorkerResources
+from .service import WorkerService
 from .sharding import PrefixShard
 from .storage import RouteStore
-from .worker import PullOutcome, Worker
+from .transport import (
+    RpcTimeoutError,
+    TransportError,
+    mapped_transport_errors,
+)
+from .worker import PullOutcome
 
 _RELAYED_EXCEPTIONS = {
     "SimulatedOOM": SimulatedOOM,
@@ -83,35 +88,17 @@ def _worker_main(
     incarnation: int = 0,
 ) -> None:
     """The worker process service loop: execute commands off the pipe."""
-    resources = WorkerResources(
-        name=f"worker{worker_id}", capacity=capacity, model=cost_model
+    service = WorkerService()
+    service.configure(
+        worker_id,
+        snapshot,
+        assignment,
+        capacity,
+        cost_model,
+        max_hops,
+        trace_dir=trace_dir,
+        incarnation=incarnation,
     )
-    tracer = NULL_TRACER
-    if trace_dir:
-        # Each (worker, lifetime) gets its own shard file; the merge
-        # layer folds all incarnations onto one process track.
-        tracer = Tracer(
-            process=f"worker{worker_id}",
-            sink=os.path.join(
-                trace_dir, f"worker{worker_id}.{incarnation}.jsonl"
-            ),
-            incarnation=incarnation,
-        )
-    worker = Worker(
-        worker_id=worker_id,
-        snapshot=snapshot,
-        assignment=assignment,
-        resources=resources,
-        max_hops=max_hops,
-        tracer=tracer,
-    )
-    stores: Dict[str, RouteStore] = {}
-
-    def store_for(directory: str) -> RouteStore:
-        if directory not in stores:
-            stores[directory] = RouteStore(directory)
-        return stores[directory]
-
     while True:
         try:
             command, args, flow_id = connection.recv()
@@ -120,64 +107,8 @@ def _worker_main(
         if command == "stop":
             connection.send(("ok", None))
             break
-        try:
-            with tracer.span(
-                f"handle.{command}",
-                category="rpc",
-                flow_id=flow_id,
-                flow="in" if flow_id is not None else None,
-            ):
-                if command == "flush_shard":
-                    directory, shard_index = args
-                    shard_routes = worker.finish_shard()
-                    written = store_for(directory).write_shard(
-                        worker_id, shard_index, shard_routes
-                    )
-                    selected = sum(
-                        len(routes)
-                        for node_routes in shard_routes.values()
-                        for routes in node_routes.values()
-                    )
-                    result = (written, selected)
-                elif command == "build_dataplane":
-                    directory, encoding, node_limit = args
-                    from ..dataplane.fib import NextHopResolver
-
-                    resolver = NextHopResolver.from_snapshot(snapshot)
-                    result = worker.build_dataplane(
-                        store_for(directory), resolver, encoding, node_limit
-                    )
-                elif command == "merged_routes":
-                    (directory,) = args
-                    result = store_for(directory).merged_routes(worker_id)
-                elif command == "pending_packets":
-                    result = worker.pending_packets
-                else:
-                    result = getattr(worker, command)(*args)
-            # PullOutcome travels fine; attach fresh memory telemetry so
-            # the proxy mirror can track the peak without extra round
-            # trips.
-            telemetry = (
-                resources.current_bytes,
-                resources.peak_bytes,
-                resources.candidate_routes,
-                resources.bdd_nodes,
-                resources.fib_entries,
-                resources.oom,
-            )
-            connection.send(("ok", (result, telemetry)))
-        except Exception as exc:  # noqa: BLE001 — relayed to the controller
-            connection.send(
-                (
-                    "exc",
-                    (
-                        type(exc).__name__,
-                        str(exc),
-                        traceback.format_exc(),
-                    ),
-                )
-            )
-    tracer.finish()
+        connection.send(service.dispatch(command, args, flow_id))
+    service.finish()
     connection.close()
 
 
@@ -238,25 +169,30 @@ class WorkerProcessProxy:
             pass
         self._process.join(self._policy.join_timeout)
 
+    def _fault_preamble(self, command: str) -> bool:
+        """Apply injected call faults; returns kill-after-send."""
+        if self._fault_plan is None:
+            return False
+        spec = self._fault_plan.on_call(self.worker_id, command)
+        if spec is None:
+            return False
+        if spec.kind == "delay":
+            time.sleep(spec.delay)
+        elif spec.kind == "error":
+            raise TransientRpcError(
+                f"injected transient RPC failure calling "
+                f"{command} on worker {self.worker_id}",
+                worker_id=self.worker_id,
+                command=command,
+            )
+        elif spec.kind == "crash":
+            if spec.where == "after_send":
+                return True
+            self._fault_kill()
+        return False
+
     def _call_once(self, command: str, args: tuple) -> Any:
-        kill_after_send = False
-        if self._fault_plan is not None:
-            spec = self._fault_plan.on_call(self.worker_id, command)
-            if spec is not None:
-                if spec.kind == "delay":
-                    time.sleep(spec.delay)
-                elif spec.kind == "error":
-                    raise TransientRpcError(
-                        f"injected transient RPC failure calling "
-                        f"{command} on worker {self.worker_id}",
-                        worker_id=self.worker_id,
-                        command=command,
-                    )
-                elif spec.kind == "crash":
-                    if spec.where == "after_send":
-                        kill_after_send = True
-                    else:
-                        self._fault_kill()
+        kill_after_send = self._fault_preamble(command)
         flow_id = None
         if self.tracer.enabled:
             # In-band RPC id: the worker's handler span echoes it, and
@@ -269,43 +205,64 @@ class WorkerProcessProxy:
             flow_id=flow_id,
             flow="out" if flow_id is not None else None,
             worker=self.worker_id,
-        ):
-            try:
-                with self._lock:
-                    if self._poisoned:
-                        raise WorkerDiedError(
-                            f"worker {self.worker_id} is poisoned after a "
-                            f"timeout; awaiting respawn",
-                            worker_id=self.worker_id,
-                            command=command,
-                        )
-                    if not self._process.is_alive():
-                        raise WorkerDiedError(
-                            f"worker {self.worker_id} process is dead "
-                            f"(exitcode {self._process.exitcode})",
-                            worker_id=self.worker_id,
-                            command=command,
-                        )
+        ) as span:
+            status, payload = self._transact(
+                command, args, flow_id, kill_after_send, span
+            )
+        return self._relay(command, status, payload)
+
+    def _transact(
+        self, command: str, args: tuple, flow_id, kill_after_send: bool, span
+    ) -> Tuple[str, Any]:
+        """One request/response over the pipe, in taxonomy terms.
+
+        Transport-level failures surface as :class:`TransportError`
+        subclasses at the I/O edge and are converted to
+        :class:`WorkerFailure` here — this is the only layer that knows
+        *how* the worker is reached, and the only override point the
+        socket runtime needs.
+        """
+        try:
+            with self._lock:
+                if self._poisoned:
+                    raise WorkerDiedError(
+                        f"worker {self.worker_id} is poisoned after a "
+                        f"timeout; awaiting respawn",
+                        worker_id=self.worker_id,
+                        command=command,
+                    )
+                if not self._process.is_alive():
+                    raise WorkerDiedError(
+                        f"worker {self.worker_id} process is dead "
+                        f"(exitcode {self._process.exitcode})",
+                        worker_id=self.worker_id,
+                        command=command,
+                    )
+                with mapped_transport_errors(f"{command}"):
                     self._connection.send((command, args, flow_id))
                     if kill_after_send:
                         self._fault_kill()
                     if not self._connection.poll(self._policy.call_timeout):
                         self._poisoned = True
-                        raise WorkerTimeoutError(
+                        raise RpcTimeoutError(
                             f"worker {self.worker_id} did not answer "
                             f"{command} within "
-                            f"{self._policy.call_timeout:.1f}s",
-                            worker_id=self.worker_id,
-                            command=command,
+                            f"{self._policy.call_timeout:.1f}s"
                         )
-                    status, payload = self._connection.recv()
-            except (BrokenPipeError, EOFError, OSError) as exc:
-                raise WorkerDiedError(
-                    f"worker {self.worker_id} died during {command}: "
-                    f"{exc!r}",
-                    worker_id=self.worker_id,
-                    command=command,
-                ) from exc
+                    return self._connection.recv()
+        except RpcTimeoutError as exc:
+            raise WorkerTimeoutError(
+                str(exc), worker_id=self.worker_id, command=command
+            ) from exc
+        except TransportError as exc:
+            raise WorkerDiedError(
+                f"worker {self.worker_id} died during {command}: {exc}",
+                worker_id=self.worker_id,
+                command=command,
+            ) from exc
+
+    def _relay(self, command: str, status: str, payload) -> Any:
+        """Map a wire response to a result, relayed exception, or error."""
         if status == "exc":
             name, message, trace = payload
             exc_type = _RELAYED_EXCEPTIONS.get(name)
@@ -472,10 +429,11 @@ class WorkerProcessProxy:
         try:
             with self._lock:
                 if not self._poisoned and self._process.is_alive():
-                    self._connection.send(("stop", (), None))
-                    if self._connection.poll(timeout):
-                        self._connection.recv()
-        except (BrokenPipeError, EOFError, OSError):
+                    with mapped_transport_errors("stop"):
+                        self._connection.send(("stop", (), None))
+                        if self._connection.poll(timeout):
+                            self._connection.recv()
+        except TransportError:
             pass
         self._process.join(timeout)
         if self._process.is_alive():

@@ -1,0 +1,167 @@
+"""The worker-side service: command dispatch shared by every runtime.
+
+Historically the pipe runtime's ``_worker_main`` owned this logic; the
+socket runtime needs the identical behavior behind a TCP server, so it
+lives here once.  A :class:`WorkerService` starts *unconfigured* — a
+socket worker can be launched as a bare listener (``repro worker``) and
+receive its identity over the wire via ``__configure__`` — and
+reconfiguration is a logical respawn: the old tracer shard is finished
+and a fresh :class:`~repro.dist.worker.Worker` is built at the next
+incarnation.
+
+``dispatch`` mirrors the original pipe protocol exactly: every response
+is ``("ok", (result, telemetry))`` or ``("exc", (name, message,
+traceback))``, with the telemetry tuple piggybacking the worker's
+resource counters so proxies track memory peaks without extra round
+trips.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs.tracer import NULL_TRACER, Tracer
+from .resources import WorkerResources
+from .storage import RouteStore
+from .worker import Worker
+
+
+class WorkerService:
+    """Executes worker commands; transport-agnostic.
+
+    One instance serves one worker process for its whole lifetime,
+    across reconfigurations (incarnations).
+    """
+
+    def __init__(self) -> None:
+        self.worker: Optional[Worker] = None
+        self.resources: Optional[WorkerResources] = None
+        self.tracer = NULL_TRACER
+        self.incarnation = -1
+        self._snapshot = None
+        self._stores: Dict[str, RouteStore] = {}
+
+    @property
+    def configured(self) -> bool:
+        return self.worker is not None
+
+    def configure(
+        self,
+        worker_id: int,
+        snapshot,
+        assignment: Dict[str, int],
+        capacity: int,
+        cost_model,
+        max_hops: int,
+        trace_dir: Optional[str] = None,
+        incarnation: int = 0,
+    ) -> None:
+        """(Re)build the worker; a reconfigure is a logical respawn."""
+        if self.tracer is not NULL_TRACER:
+            self.tracer.finish()
+        self.resources = WorkerResources(
+            name=f"worker{worker_id}", capacity=capacity, model=cost_model
+        )
+        self.tracer = NULL_TRACER
+        if trace_dir:
+            # Each (worker, lifetime) gets its own shard file; the merge
+            # layer folds all incarnations onto one process track.
+            self.tracer = Tracer(
+                process=f"worker{worker_id}",
+                sink=os.path.join(
+                    trace_dir, f"worker{worker_id}.{incarnation}.jsonl"
+                ),
+                incarnation=incarnation,
+            )
+        self.worker = Worker(
+            worker_id=worker_id,
+            snapshot=snapshot,
+            assignment=assignment,
+            resources=self.resources,
+            max_hops=max_hops,
+            tracer=self.tracer,
+        )
+        self._snapshot = snapshot
+        self.incarnation = incarnation
+        self._stores.clear()
+
+    def _store_for(self, directory: str) -> RouteStore:
+        if directory not in self._stores:
+            self._stores[directory] = RouteStore(directory)
+        return self._stores[directory]
+
+    def dispatch(
+        self, command: str, args: tuple, flow_id: Optional[int] = None
+    ) -> Tuple[str, Any]:
+        """Execute one command; never raises — failures are relayed."""
+        try:
+            if self.worker is None:
+                raise RuntimeError(
+                    f"worker service is not configured (got {command!r} "
+                    "before __configure__)"
+                )
+            worker = self.worker
+            with self.tracer.span(
+                f"handle.{command}",
+                category="rpc",
+                flow_id=flow_id,
+                flow="in" if flow_id is not None else None,
+            ):
+                if command == "flush_shard":
+                    directory, shard_index = args
+                    shard_routes = worker.finish_shard()
+                    written = self._store_for(directory).write_shard(
+                        worker.worker_id, shard_index, shard_routes
+                    )
+                    selected = sum(
+                        len(routes)
+                        for node_routes in shard_routes.values()
+                        for routes in node_routes.values()
+                    )
+                    result = (written, selected)
+                elif command == "build_dataplane":
+                    directory, encoding, node_limit = args
+                    from ..dataplane.fib import NextHopResolver
+
+                    resolver = NextHopResolver.from_snapshot(self._snapshot)
+                    result = worker.build_dataplane(
+                        self._store_for(directory),
+                        resolver,
+                        encoding,
+                        node_limit,
+                    )
+                elif command == "merged_routes":
+                    (directory,) = args
+                    result = self._store_for(directory).merged_routes(
+                        worker.worker_id
+                    )
+                elif command == "pending_packets":
+                    result = worker.pending_packets
+                else:
+                    result = getattr(worker, command)(*args)
+            resources = self.resources
+            # PullOutcome travels fine; attach fresh memory telemetry so
+            # the proxy mirror can track the peak without extra round
+            # trips.
+            telemetry = (
+                resources.current_bytes,
+                resources.peak_bytes,
+                resources.candidate_routes,
+                resources.bdd_nodes,
+                resources.fib_entries,
+                resources.oom,
+            )
+            return "ok", (result, telemetry)
+        except Exception as exc:  # noqa: BLE001 — relayed to the controller
+            return "exc", (
+                type(exc).__name__,
+                str(exc),
+                traceback.format_exc(),
+            )
+
+    def finish(self) -> None:
+        if self.tracer is not NULL_TRACER:
+            self.tracer.finish()
+            self.tracer = NULL_TRACER

@@ -135,6 +135,23 @@ class Sidecar:
             self.peers[batch.target_worker].worker.deliver_packets(batch)
         return wire
 
+    # -- cache invalidation ----------------------------------------------
+
+    def on_peer_respawn(self, worker_id: int) -> None:
+        """Drop the dedup memory aimed at a respawned peer.
+
+        The peer's fresh incarnation has no receive-side memory, so
+        digest references toward it would under-charge the sender (and a
+        real dedup transport would fail to resolve them).  Counters are
+        discarded with the cache: savings already banked were real —
+        they happened against the dead incarnation.
+        """
+        self._packet_dedup.pop(worker_id, None)
+
+    def invalidate_send_caches(self) -> None:
+        """Forget every peer's dedup memory (e.g. on a full reset)."""
+        self._packet_dedup.clear()
+
     def dedup_counters(self) -> Dict[str, int]:
         """Aggregate send-dedup telemetry across this sidecar's peers."""
         hits = misses = saved = 0

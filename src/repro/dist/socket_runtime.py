@@ -1,0 +1,450 @@
+"""Socket-backed workers: the paper's deployment shape over real TCP.
+
+The process runtime scales out on one machine over ``mp.Pipe``; this
+module puts every worker behind a TCP server speaking the hardened
+framed RPC protocol of :mod:`repro.dist.transport`, so the controller
+and workers can live on different machines — S2's actual deployment
+(§5: one controller plus workers on separate servers).  Localhost is the
+default; pointing ``worker_hosts`` at remote ``host:port`` listeners
+(each started with ``repro worker --listen``) is a config change, not a
+code change.
+
+:class:`SocketWorkerProxy` subclasses the pipe proxy and overrides only
+the transact layer — the supervision stack above it (fault preamble,
+retry loop, relayed exceptions, :class:`WorkerSupervisor` recovery) is
+shared verbatim, which is the point: recovery semantics must not depend
+on the wire.
+
+Two spawn modes:
+
+* **managed** (default): the pool forks one server process per worker on
+  this machine — all processes before any channel thread — and learns
+  each ephemeral port over a handshake pipe.  Respawn kills and re-forks.
+* **connect**: the pool dials pre-started listeners from
+  ``worker_hosts``.  Respawn is a reconnect plus a ``__configure__``
+  replay (the listener outlives its worker state; a new incarnation is
+  a logical respawn server-side).
+
+In both modes workers receive their identity, snapshot, and assignment
+via the idempotent ``__configure__`` RPC, so the listener binary is
+fleet-generic.
+
+Note for true multi-host runs: shard flushes and data-plane builds go
+through the on-disk :class:`~repro.dist.storage.RouteStore`, so the
+store directory must be on storage shared by all hosts (matching the
+paper's write-to-persistent-storage step).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config.loader import Snapshot
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
+from .faults import (
+    FaultPlan,
+    RespawnError,
+    RetryPolicy,
+    WorkerDiedError,
+    WorkerFailure,
+    WorkerTimeoutError,
+)
+from .process_runtime import WorkerProcessProxy
+from .resources import WorkerResources
+from .service import WorkerService
+from .transport import (
+    RpcChannel,
+    RpcServer,
+    RpcTimeoutError,
+    TransportError,
+    parse_hostport,
+)
+
+#: Seconds to wait for a freshly forked worker to report its port.
+_HANDSHAKE_TIMEOUT = 30.0
+
+
+def _socket_worker_main(handshake, host: str, port: int) -> None:
+    """Worker process entry: bind, report the port, serve until stopped."""
+    service = WorkerService()
+
+    def handler(command: str, args: tuple, flow_id):
+        if command == "__configure__":
+            service.configure(*args)
+            return "ok", None
+        return service.dispatch(command, args, flow_id)
+
+    server = RpcServer(handler, host=host, port=port)
+    try:
+        handshake.send((server.host, server.port))
+        handshake.close()
+        server.serve_forever()
+    finally:
+        service.finish()
+
+
+def serve_worker(listen: str) -> None:
+    """Run a standalone worker listener (the ``repro worker`` command).
+
+    Blocks until a controller sends ``__stop__`` (or the process is
+    killed).  Identity, snapshot, and assignment all arrive over the
+    wire via ``__configure__``; reconfiguration is a logical respawn, so
+    one listener can serve many runs.
+    """
+    host, port = parse_hostport(listen)
+    service = WorkerService()
+
+    def handler(command: str, args: tuple, flow_id):
+        if command == "__configure__":
+            service.configure(*args)
+            return "ok", None
+        return service.dispatch(command, args, flow_id)
+
+    server = RpcServer(handler, host=host, port=port)
+    print(f"worker listening on {server.host}:{server.port}", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        service.finish()
+
+
+class SocketWorkerProxy(WorkerProcessProxy):
+    """Controller-side handle for one socket worker.
+
+    Same surface and supervision semantics as the pipe proxy; only the
+    transact layer differs.  No poisoning is needed: the channel's
+    idempotent request ids make stale responses self-identifying, so a
+    timed-out proxy stays usable.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        channel: RpcChannel,
+        process,
+        resources: WorkerResources,
+        policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(
+            worker_id,
+            connection=None,
+            process=process,
+            resources=resources,
+            policy=policy,
+            fault_plan=fault_plan,
+            tracer=tracer,
+        )
+        self._channel = channel
+
+    # -- transact (the only wire-specific layer) --------------------------
+
+    def _transact(
+        self, command: str, args: tuple, flow_id, kill_after_send: bool, span
+    ) -> Tuple[str, Any]:
+        post_send = self._fault_kill if kill_after_send else None
+        try:
+            return self._channel.call(
+                command,
+                args,
+                flow_id=flow_id,
+                post_send=post_send,
+                span=span,
+            )
+        except RpcTimeoutError as exc:
+            raise WorkerTimeoutError(
+                str(exc), worker_id=self.worker_id, command=command
+            ) from exc
+        except TransportError as exc:
+            raise WorkerDiedError(
+                f"worker {self.worker_id} unreachable during {command}: "
+                f"{exc}",
+                worker_id=self.worker_id,
+                command=command,
+            ) from exc
+
+    # -- supervision ------------------------------------------------------
+
+    def is_alive(self) -> bool:
+        if self._process is not None and not self._process.is_alive():
+            return False
+        return self._channel.healthy()
+
+    def reap(self) -> None:
+        self._channel.close()
+        process = self._process
+        if process is None:
+            return
+        try:
+            if process.is_alive():
+                process.terminate()
+                process.join(self._policy.join_timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(self._policy.join_timeout)
+        except (OSError, AttributeError):
+            pass
+
+    def revive(self, channel: RpcChannel, process) -> None:
+        """Adopt a fresh channel (and process); the identity survives."""
+        old, self._channel = self._channel, channel
+        old.close()
+        self._process = process
+        self.resources.respawns += 1
+
+    # -- lifecycle --------------------------------------------------------
+
+    def stop(self, timeout: float = 5.0) -> None:
+        try:
+            self._channel.call("__stop__", timeout=timeout, internal=True)
+        except TransportError:
+            pass
+        self._channel.close()
+        process = self._process
+        if process is None:
+            return
+        process.join(timeout)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout)
+
+    def transport_counters(self) -> Dict[str, int]:
+        return dict(self._channel.counters)
+
+
+class SocketWorkerPool:
+    """Spawns (or dials) one TCP worker per id and hands out proxies.
+
+    Mirrors :class:`~repro.dist.process_runtime.ProcessWorkerPool`'s
+    supervision surface (``proxies``, ``dead_workers``, ``ping_all``,
+    ``respawn``, ``close``) so :class:`WorkerSupervisor` treats both
+    interchangeably.
+    """
+
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        assignment: Dict[str, int],
+        num_workers: int,
+        capacity: int,
+        cost_model,
+        max_hops: int = 24,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        trace_dir: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        worker_hosts: Optional[Sequence[str]] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self._context = mp.get_context(
+            "fork" if os.name == "posix" else "spawn"
+        )
+        self._configure_args = (
+            snapshot, assignment, capacity, cost_model, max_hops
+        )
+        self._policy = retry_policy or RetryPolicy()
+        self._fault_plan = fault_plan
+        self._trace_dir = trace_dir
+        self._metrics = metrics
+        self._host = host
+        self._incarnations: Dict[int, int] = {}
+        self.managed = not worker_hosts
+        if worker_hosts:
+            addresses = [parse_hostport(spec) for spec in worker_hosts]
+            if len(addresses) < num_workers:
+                raise ValueError(
+                    f"{num_workers} workers but only {len(addresses)} "
+                    "worker hosts"
+                )
+            spawned: List[Tuple[Any, Tuple[str, int]]] = [
+                (None, addresses[worker_id])
+                for worker_id in range(num_workers)
+            ]
+        else:
+            # Fork every server process before any channel exists: the rx
+            # and heartbeat threads must never be duplicated into a child.
+            spawned = [
+                self._spawn_process(worker_id)
+                for worker_id in range(num_workers)
+            ]
+        self.proxies: List[SocketWorkerProxy] = []
+        for worker_id, (process, address) in enumerate(spawned):
+            channel = self._open_channel(worker_id, address)
+            self.proxies.append(
+                SocketWorkerProxy(
+                    worker_id,
+                    channel,
+                    process,
+                    WorkerResources(
+                        name=f"worker{worker_id}",
+                        capacity=capacity,
+                        model=cost_model,
+                    ),
+                    policy=self._policy,
+                    fault_plan=fault_plan,
+                    tracer=tracer,
+                )
+            )
+            self._configure(worker_id, channel)
+
+    # -- spawning / dialing ----------------------------------------------
+
+    def _spawn_process(self, worker_id: int):
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_socket_worker_main,
+            args=(child_conn, self._host, 0),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(_HANDSHAKE_TIMEOUT):
+            process.kill()
+            raise RespawnError(
+                f"worker {worker_id} never reported its port",
+                worker_id=worker_id,
+            )
+        address = parent_conn.recv()
+        parent_conn.close()
+        return process, tuple(address)
+
+    def _open_channel(
+        self, worker_id: int, address: Tuple[str, int]
+    ) -> RpcChannel:
+        channel = RpcChannel(
+            address,
+            policy=self._policy,
+            worker_id=worker_id,
+            fault_plan=self._fault_plan,
+            metrics=self._metrics,
+            heartbeat=self._policy.heartbeat_interval_seconds > 0,
+        )
+        return channel
+
+    def _configure(self, worker_id: int, channel: RpcChannel) -> None:
+        """Ship identity + snapshot to the worker (idempotent RPC)."""
+        snapshot, assignment, capacity, cost_model, max_hops = (
+            self._configure_args
+        )
+        incarnation = self._incarnations.get(worker_id, -1) + 1
+        self._incarnations[worker_id] = incarnation
+        status, payload = channel.call(
+            "__configure__",
+            (
+                worker_id,
+                snapshot,
+                assignment,
+                capacity,
+                cost_model,
+                max_hops,
+                self._trace_dir,
+                incarnation,
+            ),
+            internal=True,
+        )
+        if status != "ok":
+            raise RespawnError(
+                f"worker {worker_id} failed to configure: {payload!r}",
+                worker_id=worker_id,
+            )
+
+    # -- supervision ------------------------------------------------------
+
+    def dead_workers(self) -> List[int]:
+        return [
+            proxy.worker_id
+            for proxy in self.proxies
+            if not proxy.is_alive()
+        ]
+
+    def ping_all(self) -> List[int]:
+        failed = []
+        for proxy in self.proxies:
+            try:
+                if not proxy.ping():
+                    failed.append(proxy.worker_id)
+            except WorkerFailure:
+                failed.append(proxy.worker_id)
+        return failed
+
+    def respawn(self, worker_id: int) -> SocketWorkerProxy:
+        """Give the worker a fresh process (managed) or connection.
+
+        In connect mode the listener is assumed to outlive its worker
+        state: respawn redials and replays ``__configure__`` at the next
+        incarnation, which rebuilds the worker server-side.  Raises
+        :class:`RespawnError` when the worker cannot be brought back —
+        the controller's cue to degrade to the sequential fallback.
+        """
+        if self._fault_plan is not None and (
+            self._fault_plan.should_fail_respawn(worker_id)
+        ):
+            raise RespawnError(
+                f"respawn of worker {worker_id} failed (injected)",
+                worker_id=worker_id,
+            )
+        proxy = self.proxies[worker_id]
+        address = proxy._channel.address
+        proxy.reap()
+        try:
+            if self.managed:
+                process, address = self._spawn_process(worker_id)
+            else:
+                process = None
+            channel = self._open_channel(worker_id, address)
+            channel.connect()
+            proxy.revive(channel, process)
+            self._configure(worker_id, channel)
+        except TransportError as exc:
+            raise RespawnError(
+                f"respawn of worker {worker_id} failed: {exc}",
+                worker_id=worker_id,
+            ) from exc
+        except OSError as exc:
+            raise RespawnError(
+                f"respawn of worker {worker_id} failed: {exc!r}",
+                worker_id=worker_id,
+            ) from exc
+        return proxy
+
+    # -- telemetry --------------------------------------------------------
+
+    def transport_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-worker channel counters plus a fleet-wide total."""
+        per_worker = {
+            f"worker{proxy.worker_id}": proxy.transport_counters()
+            for proxy in self.proxies
+        }
+        totals: Dict[str, int] = {}
+        for counters in per_worker.values():
+            for name, value in counters.items():
+                if name == "inflight_high_water":
+                    totals[name] = max(totals.get(name, 0), value)
+                else:
+                    totals[name] = totals.get(name, 0) + value
+        per_worker["total"] = totals
+        return per_worker
+
+    def close(self) -> None:
+        """Stop every worker; never raises (best-effort teardown)."""
+        for proxy in self.proxies:
+            try:
+                proxy.stop(timeout=self._policy.join_timeout)
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
+        for proxy in self.proxies:
+            process = proxy._process
+            try:
+                if process is not None and process.is_alive():
+                    process.kill()
+                    process.join(self._policy.join_timeout)
+            except (OSError, AttributeError):
+                pass

@@ -9,8 +9,11 @@ that claim as an executable check: run one generated network through
 * the monolithic engine *with prefix sharding*,
 * the distributed pipeline on the in-process runtimes (sequential and
   threaded), sharded and unsharded,
-* optionally the process-backed runtime (real worker processes), and
-* optionally a run under an injected, recoverable fault plan,
+* optionally the process-backed runtime (real worker processes),
+* optionally a run under an injected, recoverable fault plan, and
+* optionally the socket runtime (workers behind TCP servers) under a
+  sampled *network* fault plan — partitions, torn frames, reorders,
+  slow links — exercising the hardened transport end to end,
 
 then diff the normalized RIBs field by field, and (optionally) diff the
 all-pair data-plane verdicts of the monolithic Batfish-style baseline
@@ -28,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..dist.controller import S2Controller, S2Options
-from ..dist.faults import FaultPlan, sample_plan
+from ..dist.faults import FaultPlan, sample_network_plan, sample_plan
 from ..dist.sharding import make_shards
 from ..routing.engine import BgpResult, SimulationEngine
 from ..routing.route import BgpRoute
@@ -162,6 +165,7 @@ class CheckPlan:
     include_threaded: bool = True
     include_process: bool = False    # real worker processes (slow)
     include_faults: bool = False     # recoverable injected faults
+    include_socket: bool = False     # TCP workers + network faults (slow)
     fault_seed: int = 0
     check_dataplane: bool = False    # all-pair verdict comparison (slow)
     projection: RouteProjection = field(default_factory=RouteProjection)
@@ -238,6 +242,16 @@ class DifferentialOracle:
                 ("dist-process",
                  {"kind": "dist", "runtime": "process",
                   "num_shards": plan.shards}),
+            )
+        if plan.include_socket:
+            # TCP workers under a sampled network-fault plan (partition /
+            # reorder / slow_link / torn_frame): the chaos variant of the
+            # paper's bit-identical claim.
+            variants.append(
+                ("dist-socket",
+                 {"kind": "dist", "runtime": "socket",
+                  "num_shards": plan.shards,
+                  "network_faults": True}),
             )
         return variants
 
@@ -330,6 +344,11 @@ class DifferentialOracle:
                     fault_plan = None
                     if params.get("faults"):
                         fault_plan = sample_plan(
+                            self.plan.fault_seed,
+                            min(self.plan.workers, max(1, spec.size)),
+                        )
+                    elif params.get("network_faults"):
+                        fault_plan = sample_network_plan(
                             self.plan.fault_seed,
                             min(self.plan.workers, max(1, spec.size)),
                         )

@@ -89,6 +89,47 @@ def phase_breakdown(
 REPORT_HEADERS = ["phase", "count", "total-s", "mean-ms", "share"]
 
 
+def rpc_supervision(spans: List[Dict[str, Any]]) -> List[List[Any]]:
+    """Per-worker RPC supervision rows: calls, retries, timeouts, drops.
+
+    Aggregates the proxy-side ``rpc.*`` spans: the socket channel stamps
+    each span with its transport attempts (``transport_retries``) and
+    terminal failure type (``transport_failure``), so the table shows
+    where the retry budget went worker by worker.
+    """
+    stats: Dict[Any, Dict[str, int]] = {}
+    for span in spans:
+        if not span["name"].startswith("rpc."):
+            continue
+        attrs = span.get("attrs") or {}
+        if "worker" not in attrs:
+            continue
+        entry = stats.setdefault(
+            attrs["worker"],
+            {"calls": 0, "retries": 0, "timeouts": 0, "conn_lost": 0},
+        )
+        entry["calls"] += 1
+        entry["retries"] += int(attrs.get("transport_retries", 0) or 0)
+        failure = attrs.get("transport_failure")
+        if failure == "RpcTimeoutError":
+            entry["timeouts"] += 1
+        elif failure == "ConnectionLostError":
+            entry["conn_lost"] += 1
+    return [
+        [
+            f"worker{worker}",
+            entry["calls"],
+            entry["retries"],
+            entry["timeouts"],
+            entry["conn_lost"],
+        ]
+        for worker, entry in sorted(stats.items(), key=lambda kv: str(kv[0]))
+    ]
+
+
+RPC_HEADERS = ["worker", "rpc-calls", "retries", "timeouts", "conn-lost"]
+
+
 def render_report(
     path: str,
     by_process: bool = False,
@@ -114,4 +155,10 @@ def render_report(
         f"{len(spans)} spans over {wall:.3f}s across "
         f"{len(processes)} participants ({', '.join(processes)})"
     )
-    return format_table(REPORT_HEADERS, rows, title=title)
+    report = format_table(REPORT_HEADERS, rows, title=title)
+    rpc_rows = rpc_supervision(spans)
+    if rpc_rows:
+        report += "\n\n" + format_table(
+            RPC_HEADERS, rpc_rows, title="rpc supervision (per worker)"
+        )
+    return report

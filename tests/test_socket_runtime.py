@@ -1,0 +1,287 @@
+"""The socket runtime end to end: TCP workers, chaos, and the CLI.
+
+The distributed claim under test (ISSUE acceptance bar): a FatTree4
+verification on the ``socket`` runtime — including one run with a
+healing partition, a torn frame, *and* a worker crash — completes with
+results bit-identical to the sequential engine, with no hung processes
+and the transport counters visible in the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro import FaultPlan, FaultSpec, RetryPolicy, S2Options, S2Verifier
+from repro.dist.controller import S2Controller
+from repro.dist.service import WorkerService
+from repro.dist.transport import RpcChannel, RpcServer
+
+from tests.conftest import normalize_ribs
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def _options(**overrides) -> S2Options:
+    defaults = dict(num_workers=3, num_shards=2, runtime="socket")
+    defaults.update(overrides)
+    return S2Options(**defaults)
+
+
+@pytest.fixture(scope="module")
+def baseline(fattree4):
+    with S2Verifier(fattree4, S2Options(num_workers=3, num_shards=2)) as v:
+        result = v.verify()
+        ribs = normalize_ribs(v.collected_ribs())
+    assert result.status == "ok"
+    return result, ribs
+
+
+def test_socket_runtime_matches_sequential(fattree4, baseline):
+    base_result, base_ribs = baseline
+    with S2Verifier(fattree4, _options()) as verifier:
+        result = verifier.verify()
+        ribs = normalize_ribs(verifier.collected_ribs())
+        snapshot = verifier.controller.metrics_snapshot()
+    assert result.status == "ok"
+    assert result.reachable_pairs == base_result.reachable_pairs
+    assert result.checked_pairs == base_result.checked_pairs
+    assert ribs == base_ribs
+    # Transport counters surface in the metrics snapshot, per worker
+    # and as a fleet total.
+    transport = snapshot["transport"]
+    assert transport["total"]["calls"] > 0
+    assert transport["total"]["frames_sent"] > 0
+    assert set(transport) >= {"worker0", "worker1", "worker2", "total"}
+
+
+def test_socket_chaos_acceptance(fattree4, baseline):
+    """The acceptance scenario: partition + torn frame + crash in one
+    run, absorbed without a sequential fallback, identical results."""
+    _, base_ribs = baseline
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="partition",
+                worker=1,
+                command="pull_round",
+                where="response",
+                heal_after=2,
+            ),
+            FaultSpec(kind="torn_frame", worker=0, command="compute_exports"),
+            FaultSpec(kind="crash", worker=2, command="pull_round"),
+        ]
+    )
+    options = _options(
+        fault_plan=plan, retry_policy=RetryPolicy(backoff_base=0.01)
+    )
+    with S2Verifier(fattree4, options) as verifier:
+        result = verifier.verify()
+        ribs = normalize_ribs(verifier.collected_ribs())
+        report = verifier.controller.report()
+        snapshot = verifier.controller.metrics_snapshot()
+    assert plan.count("partition") == 1
+    assert plan.count("torn_frame") == 1
+    assert plan.count("crash") == 1
+    assert result.status == "ok"
+    assert ribs == base_ribs
+    assert not result.cp_stats.sequential_fallback
+    # Only the crash needs the supervisor; the network faults are
+    # absorbed inside the channel's retry loop.
+    assert report.total_respawns >= 1
+    transport = snapshot["transport"]["total"]
+    assert transport["retries"] >= 1
+    assert transport["reconnects"] >= 1
+    assert transport["torn_frames"] >= 1
+
+
+def test_socket_pool_detects_and_respawns_dead_worker(fattree4):
+    with S2Controller(fattree4, _options()) as controller:
+        pool = controller._pool
+        assert pool.dead_workers() == []
+        assert pool.ping_all() == []
+        victim = pool.proxies[1]
+        victim._process.kill()
+        victim._process.join(5.0)
+        assert 1 in [w for w in pool.ping_all()] or pool.dead_workers() == [1]
+        pool.respawn(1)
+        assert pool.dead_workers() == []
+        assert victim.ping()                      # same proxy object
+        assert victim.resources.respawns == 1
+
+
+def test_socket_pool_close_leaves_no_processes(fattree4):
+    controller = S2Controller(fattree4, _options())
+    processes = [proxy._process for proxy in controller._pool.proxies]
+    assert all(process.is_alive() for process in processes)
+    controller.close()
+    assert not any(process.is_alive() for process in processes)
+    controller.close()  # idempotent
+
+
+# -- connect mode (pre-started listeners, as on a real fleet) ---------------
+
+
+class _Listener:
+    """An in-thread stand-in for ``repro worker --listen``."""
+
+    def __init__(self):
+        self.service = WorkerService()
+
+        def handler(command, args, flow_id):
+            if command == "__configure__":
+                self.service.configure(*args)
+                return "ok", None
+            return self.service.dispatch(command, args, flow_id)
+
+        self.server = RpcServer(handler)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    @property
+    def spec(self) -> str:
+        return f"{self.server.host}:{self.server.port}"
+
+    def close(self):
+        self.server.stop()
+        self.thread.join(5.0)
+        self.service.finish()
+
+
+def test_connect_mode_against_prestarted_listeners(fattree4, baseline):
+    _, base_ribs = baseline
+    listeners = [_Listener(), _Listener()]
+    try:
+        options = _options(
+            num_workers=2,
+            worker_hosts=[listener.spec for listener in listeners],
+        )
+        with S2Controller(fattree4, options) as controller:
+            assert not controller._pool.managed
+            controller.run_control_plane()
+            ribs = normalize_ribs(controller.collected_ribs())
+        assert ribs == base_ribs
+    finally:
+        for listener in listeners:
+            listener.close()
+
+
+def test_connect_mode_respawn_is_a_reconfigure(fattree4):
+    """In connect mode a respawn redials the same listener and replays
+    ``__configure__`` at the next incarnation — a logical respawn."""
+    listener = _Listener()
+    try:
+        options = _options(num_workers=1, num_shards=1,
+                           worker_hosts=[listener.spec])
+        with S2Controller(fattree4, options) as controller:
+            pool = controller._pool
+            assert pool._incarnations[0] == 0
+            assert pool.proxies[0].ping()
+            pool.respawn(0)
+            assert pool._incarnations[0] == 1
+            assert pool.proxies[0].ping()
+            assert listener.server.stats["connections"] >= 2
+    finally:
+        listener.close()
+
+
+def test_connect_mode_requires_enough_hosts(fattree4):
+    with pytest.raises(ValueError, match="worker hosts"):
+        S2Controller(
+            fattree4,
+            _options(num_workers=3, worker_hosts=["127.0.0.1:1"]),
+        )
+
+
+# -- the worker command end to end ------------------------------------------
+
+
+def test_repro_worker_subprocess_serves_and_stops():
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        assert banner.startswith("worker listening on ")
+        host, _, port = banner.rpartition(" ")[2].rpartition(":")
+        channel = RpcChannel((host, int(port)))
+        try:
+            assert channel.call("__ping__", internal=True) == ("ok", "pong")
+            channel.call("__stop__", internal=True)
+        finally:
+            channel.close()
+        assert proc.wait(timeout=10.0) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(5.0)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_socket_runtime_with_metrics_and_chaos(tmp_path, capsys):
+    from repro.cli import main
+
+    metrics_path = str(tmp_path / "metrics.json")
+    code = main(
+        [
+            "verify",
+            "fattree",
+            "--k",
+            "4",
+            "--runtime",
+            "socket",
+            "--workers",
+            "3",
+            "--shards",
+            "2",
+            "--rpc-timeout",
+            "60",
+            "--rpc-retries",
+            "3",
+            "--inject-fault",
+            "torn_frame:worker=0,command=compute_exports",
+            "--metrics-out",
+            metrics_path,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK" in out
+    with open(metrics_path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    transport = snapshot["transport"]["total"]
+    assert transport["calls"] > 0
+    assert transport["torn_frames"] >= 1
+
+
+def test_cli_worker_hosts_requires_socket_runtime(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "verify",
+            "fattree",
+            "--k",
+            "4",
+            "--runtime",
+            "process",
+            "--worker-hosts",
+            "127.0.0.1:9001",
+        ]
+    )
+    assert code == 2
+    assert "socket" in capsys.readouterr().err
