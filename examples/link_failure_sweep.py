@@ -11,12 +11,20 @@ interesting part is what happens when the design margin is consumed — we
 pre-fail one aggregation uplink and sweep again, exposing the links whose
 *additional* failure would now partition traffic.
 
+The final act runs the same what-if against a resident
+:class:`~repro.serve.VerifierSession`: the worker fleet boots once, each
+failure is a link *delta* (down, verify, up), and the sweep early-exits
+the moment a delta reports lost pairs — the counterexample, without
+paying a cold start per hypothesis.
+
 Run:  python examples/link_failure_sweep.py
 """
 
+from repro.config.loader import snapshot_from_texts
 from repro.core.analysis import LinkFailureAnalyzer, without_link
 from repro.dist.controller import S2Options
-from repro.net.fattree import build_fattree
+from repro.net.fattree import FatTreeSpec, build_fattree, render_configs
+from repro.serve import LinkDelta, VerifierSession
 
 
 def sweep(snapshot, label, sample=10):
@@ -44,6 +52,30 @@ def sweep(snapshot, label, sample=10):
     return reports
 
 
+def resident_sweep(session, links):
+    """Fail each link as a delta on the live session; stop at the first
+    counterexample.  Every 'up' delta restores the committed baseline
+    before the next hypothesis, so the sweep never compounds failures."""
+    for link in links:
+        a, b = link.a.node, link.b.node
+        down = session.apply_delta(LinkDelta(a=a, b=b), timeout=300)
+        if down.lost_pairs:
+            sample_pairs = ", ".join(
+                f"{s}->{d}" for s, d in down.lost_pairs[:3]
+            )
+            print(
+                f"  counterexample at epoch {down.epoch}: {a}~{b} "
+                f"loses {sample_pairs}"
+            )
+            return link, down.lost_pairs
+        print(
+            f"  epoch {down.epoch}: {a}~{b} down, "
+            f"{down.reachable_pairs} pairs still reachable — safe"
+        )
+        session.apply_delta(LinkDelta(a=a, b=b, up=True), timeout=300)
+    return None, ()
+
+
 def main():
     healthy = build_fattree(4)
     reports = sweep(healthy, "healthy FatTree4 (ECMP everywhere)")
@@ -67,6 +99,34 @@ def main():
     assert not report.is_safe
     print("\nS2 verdict: after the first failure, edge-0-0's remaining "
           "uplink is a single point of failure — fix before maintenance.")
+
+    # The same question, asked of a resident verifier: one fleet, one
+    # boot, each hypothesis a delta on the live session.
+    print("\n=== resident verifier: the sweep as link deltas ===")
+    texts = render_configs(FatTreeSpec(k=4))
+    snapshot = snapshot_from_texts(texts, name="ft4")
+    with VerifierSession(
+        snapshot, S2Options(num_workers=2, num_shards=4)
+    ) as session:
+        topology = session.snapshot.topology
+        # Consume the margin first (a delta too), then sweep the links
+        # that now matter; the second hypothesis is the counterexample.
+        session.apply_delta(
+            LinkDelta(a="edge-0-0", b="agg-0-0"), timeout=300
+        )
+        candidates = [
+            topology.link_between("edge-1-0", "agg-1-0"),
+            topology.link_between("edge-0-0", "agg-0-1"),
+            topology.link_between("edge-1-1", "agg-1-1"),
+        ]
+        fragile, lost = resident_sweep(session, candidates)
+        assert fragile is not None, "the sweep should find the SPOF"
+        assert fragile.a.node == "edge-0-0"
+        print(
+            f"resident sweep verdict: {fragile.a.node}~{fragile.b.node} "
+            f"is the single point of failure ({len(lost)} pairs lost); "
+            f"found after {session.epoch} epochs without a cold start"
+        )
 
 
 if __name__ == "__main__":

@@ -12,7 +12,11 @@ Commands:
 ``trace``      print the forwarding paths of one source→destination pair;
 ``fuzz``       differentially fuzz the engines with random networks;
 ``worker``     run a standalone TCP worker listener for ``--runtime
-               socket`` with ``--worker-hosts`` (multi-host deployments).
+               socket`` with ``--worker-hosts`` (multi-host deployments);
+``serve``      run a resident verifier session: converged state stays
+               live in the worker fleet, config/link deltas recompute
+               incrementally (epoch-fenced), queries answer from the
+               last committed epoch over a line-JSON TCP API.
 """
 
 from __future__ import annotations
@@ -380,6 +384,70 @@ def cmd_worker(args) -> int:
         return 2
     except KeyboardInterrupt:
         pass
+    print("worker: drained and shut down cleanly", flush=True)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import signal
+
+    from .dist.transport import parse_hostport
+    from .serve.api import SessionServer
+    from .serve.session import VerifierSession
+
+    snapshot = _load(args)
+    fault_plan = None
+    if args.inject_fault:
+        from .dist.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_args(
+                args.inject_fault, seed=args.fault_seed
+            )
+        except ValueError as exc:
+            print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
+            return 2
+    try:
+        host, port = parse_hostport(args.listen)
+    except ValueError as exc:
+        print(f"bad --listen spec: {exc}", file=sys.stderr)
+        return 2
+    options = S2Options(
+        num_workers=args.workers,
+        num_shards=args.shards,
+        partition_scheme=args.scheme,
+        runtime=args.runtime,
+        store_dir=args.store_dir,
+        fault_plan=fault_plan,
+    )
+    session = VerifierSession(
+        snapshot, options, queue_limit=args.queue_limit
+    )
+    server = SessionServer(session, host=host, port=port)
+
+    def _shutdown(_signum, _frame) -> None:
+        server.stop()
+
+    try:
+        signal.signal(signal.SIGTERM, _shutdown)
+        signal.signal(signal.SIGINT, _shutdown)
+    except ValueError:
+        pass  # not the main thread (tests drive serve_forever directly)
+    health = session.health()
+    boot = "warm boot" if health["warm_boot"] else "cold start"
+    print(
+        f"serving {snapshot.name} on {server.host}:{server.port} "
+        f"(epoch {health['epoch']}, {health['endpoints']} endpoints, "
+        f"{boot})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        session.close()
+    print("serve: drained and shut down cleanly", flush=True)
     return 0
 
 
@@ -588,6 +656,62 @@ def build_parser() -> argparse.ArgumentParser:
         "startup; default 127.0.0.1:0)",
     )
     worker.set_defaults(func=cmd_worker)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a resident verifier session (line-JSON TCP API)",
+        description="Verify the snapshot once, then keep the converged "
+        "state live in the worker fleet.  Clients send config/link "
+        "deltas (recomputed incrementally under epoch fencing) and "
+        "reachability queries (answered from the last committed epoch) "
+        "as one JSON object per line.  SIGTERM/SIGINT shut down "
+        "gracefully: in-flight work finishes, state is flushed, exit 0.",
+    )
+    _add_snapshot_args(serve)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        help="prefix shards (sharding is what makes announce-only "
+        "deltas incremental; default 8)",
+    )
+    serve.add_argument("--scheme", choices=SCHEMES, default="metis")
+    serve.add_argument(
+        "--runtime",
+        choices=["sequential", "threaded", "process", "socket"],
+        default="sequential",
+    )
+    serve.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address of the line-JSON API (port 0 picks an "
+        "ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        help="persistent spool directory; an existing committed epoch "
+        "there is warm-booted (skipping the cold-start convergence) "
+        "when its manifest, epoch tag, and options all check out",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission queue depth; further deltas are refused with "
+        "'busy' (default 8)",
+    )
+    serve.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="chaos for the serve loop (same specs as verify)",
+    )
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

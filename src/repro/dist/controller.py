@@ -40,7 +40,13 @@ from ..routing.engine import BgpResult
 from ..routing.route import BgpRoute
 from .cpo import ControlPlaneOrchestrator, ControlPlaneStats
 from .dpo import DataPlaneOrchestrator, DataPlaneStats
-from .faults import FaultPlan, RespawnError, RetryPolicy, WorkerFailure
+from .faults import (
+    FaultPlan,
+    RespawnError,
+    RetryPolicy,
+    StaleEpochError,
+    WorkerFailure,
+)
 from .partition import PartitionResult, partition
 from .resources import (
     DEFAULT_WORKER_CAPACITY,
@@ -146,6 +152,10 @@ class WorkerSupervisor:
         self.sidecars = list(sidecars) if sidecars else []
         self._ospf_states: Dict[int, Any] = {}
         self.recoveries = 0
+        # Serving mode: the epoch a recovered worker must be re-seeded
+        # to before it may rejoin the fixed point.  None outside serving.
+        self.epoch: Optional[int] = None
+        self.stale_epoch_rejections = 0
 
     # -- OSPF checkpoint --------------------------------------------------
 
@@ -182,6 +192,8 @@ class WorkerSupervisor:
         if worker_id is None or not (0 <= worker_id < len(self.workers)):
             raise failure
         self.recoveries += 1
+        if isinstance(failure, StaleEpochError):
+            self.stale_epoch_rejections += 1
         if self.pool is not None:
             self.pool.respawn(worker_id)
         else:
@@ -191,12 +203,22 @@ class WorkerSupervisor:
         self.workers[worker_id].restore_ospf_state(
             self._ospf_states.get(worker_id)
         )
+        if self.epoch is not None:
+            # Fresh execution contexts come up at epoch -1 (stale by
+            # construction); re-seed before the shard replay so the
+            # fence admits the recovered worker.
+            self.workers[worker_id].begin_epoch(self.epoch)
         # The respawned worker lost its receive-side memory: every
         # surviving sender's dedup cache toward it would under-charge
         # (and a real dedup transport would dangle), so invalidate on
         # the incarnation change.
         for sidecar in self.sidecars:
             sidecar.on_peer_respawn(worker_id)
+
+    def forget_checkpoints(self) -> None:
+        """Drop the in-memory OSPF checkpoints (full reconfigure: the
+        old IGP result no longer describes the snapshot)."""
+        self._ospf_states.clear()
 
 
 class S2Controller:
@@ -421,6 +443,157 @@ class S2Controller:
         if not options.checkpoint:
             raise ValueError("resume() requires options.checkpoint")
         return cls(snapshot, options, resuming=True)
+
+    # -- serving support (epoch-fenced deltas) -----------------------------
+
+    def _on_each_worker(self, fn) -> None:
+        """Apply ``fn`` to every worker, healing one failure per worker.
+
+        A worker that died *between* epochs (no shard in flight, so the
+        CPO's replay machinery never sees it) first surfaces here when
+        the next delta fans out.  Route the failure through supervisor
+        recovery — respawn from the pool's current configure args, OSPF
+        checkpoint restore, epoch re-seed — then retry once on the
+        recovered worker; a second failure propagates to the caller.
+        """
+        for index in range(len(self.workers)):
+            try:
+                fn(self.workers[index])
+            except WorkerFailure as failure:
+                if failure.worker_id is None:
+                    failure.worker_id = index
+                self.supervisor.recover(failure)
+                fn(self.workers[index])
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Seed every worker — and the fence plumbing — with ``epoch``.
+
+        From here on, ``begin_shard`` carries the epoch and any worker
+        at a different one (a respawn that missed the delta, a healed
+        partition survivor) raises :class:`StaleEpochError` and goes
+        through supervisor recovery before touching the shard.
+        """
+        self.supervisor.epoch = epoch
+        self.cpo.epoch = epoch
+        self._on_each_worker(lambda worker: worker.begin_epoch(epoch))
+
+    def make_cpo(
+        self, manifest: Optional[RunManifest], epoch: Optional[int] = None
+    ) -> ControlPlaneOrchestrator:
+        """Bind a fresh orchestrator (and manifest) for one recompute.
+
+        Serving reruns the control plane once per committed delta and
+        wants per-epoch stats, so each recompute gets its own CPO while
+        the workers, sidecars, runtime, and supervisor carry over.
+        """
+        opts = self.options
+        self.manifest = manifest
+        self.cpo = ControlPlaneOrchestrator(
+            self.workers,
+            self.sidecars,
+            self.store,
+            runtime=self.runtime,
+            max_rounds=opts.max_rounds,
+            fault_plan=opts.fault_plan,
+            supervisor=self.supervisor,
+            retry_policy=opts.retry_policy,
+            manifest=manifest,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        if epoch is not None:
+            self.cpo.epoch = epoch
+            self.supervisor.epoch = epoch
+        self._cp_done = False
+        return self.cpo
+
+    def rebind_snapshot(
+        self,
+        snapshot: Snapshot,
+        changed_hosts: Sequence[str] = (),
+        epoch: Optional[int] = None,
+    ) -> None:
+        """Incremental rebind for announce-only deltas.
+
+        Topology, partition, and the IGP result are unchanged, so only
+        the changed hosts' router models are rebuilt (their installed
+        OSPF routes replayed from the worker's live checkpoint); the
+        caller then recomputes just the dirty shards.
+        """
+        self.snapshot = snapshot
+        changed = tuple(changed_hosts)
+        if self._pool is not None:
+            # A worker respawned mid-epoch is re-seeded from the pool's
+            # spawn args; those must describe the *current* snapshot.
+            self._pool.update_snapshot(snapshot)
+        self._on_each_worker(
+            lambda worker: worker.rebind_snapshot(snapshot, changed, epoch)
+        )
+        if epoch is not None:
+            self.supervisor.epoch = epoch
+            self.cpo.epoch = epoch
+        self.dpo.invalidate(snapshot)
+        self._cp_done = False
+
+    def reconfigure(
+        self, snapshot: Snapshot, epoch: Optional[int] = None
+    ) -> None:
+        """Full rebind for topology/policy deltas.
+
+        Repartitions the new snapshot and logically respawns every
+        worker on it; the IGP fixed point and all shards recompute.
+        """
+        opts = self.options
+        self.snapshot = snapshot
+        self.partition = partition(
+            snapshot,
+            opts.num_workers,
+            scheme=opts.partition_scheme,
+            seed=opts.seed,
+        )
+        assignment = self.partition.assignment
+        # Old-snapshot IGP checkpoints are meaningless for the new one;
+        # drop them *before* any recovery so a respawn mid-reconfigure
+        # doesn't restore stale OSPF state.
+        self.supervisor.forget_checkpoints()
+        if self._pool is not None:
+            attempts = 0
+            while True:
+                try:
+                    self._pool.reconfigure(snapshot, assignment)
+                    break
+                except WorkerFailure as failure:
+                    attempts += 1
+                    if attempts > len(self.workers):
+                        raise
+                    self.supervisor.recover(failure)
+        else:
+            for worker in self.workers:
+                worker.snapshot = snapshot
+                worker.assignment = assignment
+                worker.reset()
+        # Every worker was logically respawned: receive-side sequence
+        # and dedup state is gone everywhere, so every sender's caches
+        # must go too.
+        for sidecar in self.sidecars:
+            sidecar.invalidate_send_caches()
+        if opts.num_shards and opts.num_shards > 1:
+            self.shards = make_shards(
+                snapshot, opts.num_shards, seed=opts.seed
+            )
+            problems = validate_shards(self.shards, snapshot)
+            if problems:
+                raise ValueError(f"invalid shards: {problems[:3]}")
+        if epoch is not None:
+            self.begin_epoch(epoch)
+        self.dpo.invalidate(snapshot)
+        self._cp_done = False
+
+    def rebuild_data_plane(self) -> DataPlaneStats:
+        """Force a fresh distributed data plane from the current store."""
+        self.dpo.invalidate()
+        self.dpo.build(self.store)
+        return self.dpo.stats
 
     # -- pipeline ---------------------------------------------------------
 

@@ -91,6 +91,10 @@ class ControlPlaneOrchestrator:
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics
         self.stats = ControlPlaneStats()
+        # Epoch fence (serving mode): when set, every begin_shard carries
+        # it and a worker at any other epoch refuses the shard, which
+        # surfaces as a WorkerFailure and routes through recovery.
+        self.epoch: Optional[int] = None
 
     # -- helpers ------------------------------------------------------------
 
@@ -226,7 +230,7 @@ class ControlPlaneOrchestrator:
         if self.fault_plan is not None:
             self.fault_plan.set_context(shard=shard_index)
         for worker in self.workers:
-            worker.begin_shard(shard)
+            worker.begin_shard(shard, self.epoch)
         heartbeat_every = self.retry_policy.heartbeat_interval_rounds
         last_outcomes = []
         with self.tracer.span(

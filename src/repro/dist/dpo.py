@@ -122,6 +122,14 @@ class DataPlaneOrchestrator:
                     raise
                 self._recover(failure)
 
+    def invalidate(self, snapshot=None) -> None:
+        """Force the next :meth:`build` to run (and optionally rebind the
+        snapshot) — the serving path calls this after every committed
+        delta so FIBs and predicates reflect the new routes."""
+        if snapshot is not None:
+            self.snapshot = snapshot
+        self._built = False
+
     def _build_once(self, store: RouteStore) -> None:
         if self._built:
             return

@@ -98,6 +98,19 @@ class RespawnError(WorkerFailure):
     """Respawning a dead worker failed; callers degrade gracefully."""
 
 
+class StaleEpochError(WorkerFailure):
+    """A worker presented (or was asked to act at) an out-of-date epoch.
+
+    The serving layer (:mod:`repro.serve`) stamps every delta with a
+    monotonically increasing epoch and fences shard work on it: a worker
+    that was respawned from stale configure args, or that sat out an
+    epoch bump behind a partition, fails the fence instead of silently
+    computing against the wrong snapshot.  The supervisor treats it like
+    any other :class:`WorkerFailure` — recover, re-seed the checkpoint
+    *and the current epoch*, replay the shard.
+    """
+
+
 # -- supervision policy -----------------------------------------------------
 
 
@@ -465,4 +478,44 @@ def sample_network_plan(seed: int, num_workers: int) -> FaultPlan:
         elif kind == "slow_link":
             spec.delay = rng.choice([0.02, 0.05])
         specs.append(spec)
+    return FaultPlan(specs, seed=seed)
+
+
+def sample_serve_plan(seed: int, num_workers: int) -> FaultPlan:
+    """Draw a recoverable fault plan for a *serve* session (multi-delta).
+
+    A one-shot run sees each fault at most once; a resident session
+    recomputes across many epochs, so the serve plan mixes network kinds
+    (partition/torn_frame stress the epoch fence: a worker healed after a
+    partition must be rejected and re-seeded, not trusted) with a bounded
+    crash, and gives each spec more firings so faults land in more than
+    the first delta.  Everything sampled is recoverable: the serve-chaos
+    oracle asserts the session's final verdicts and RIBs are bit-identical
+    to a cold start at the final config.
+    """
+    rng = random.Random(seed ^ 0xE60C)
+    commands = ["pull_round", "compute_exports", "deliver_routes"]
+    specs: List[FaultSpec] = []
+    for kind in rng.sample(sorted(NETWORK_KINDS), k=2):
+        spec = FaultSpec(
+            kind=kind,
+            worker=rng.randrange(num_workers),
+            command=rng.choice(commands),
+            times=rng.randint(2, 3),
+        )
+        if kind == "partition":
+            spec.where = rng.choice(["request", "response"])
+            spec.heal_after = rng.randint(1, 2)
+        elif kind == "slow_link":
+            spec.delay = rng.choice([0.01, 0.02])
+        specs.append(spec)
+    if rng.random() < 0.5:
+        specs.append(
+            FaultSpec(
+                kind="crash",
+                worker=rng.randrange(num_workers),
+                command=rng.choice(["pull_round", "compute_exports"]),
+                times=1,
+            )
+        )
     return FaultPlan(specs, seed=seed)

@@ -50,6 +50,7 @@ from .faults import (
     FaultPlan,
     RespawnError,
     RetryPolicy,
+    StaleEpochError,
     TransientRpcError,
     WorkerDiedError,
     WorkerFailure,
@@ -69,6 +70,9 @@ from .worker import PullOutcome
 _RELAYED_EXCEPTIONS = {
     "SimulatedOOM": SimulatedOOM,
     "BddOverflowError": BddOverflowError,
+    # Epoch-fence rejections must keep their type across the wire: the
+    # supervisor counts them and re-seeds the epoch on recovery.
+    "StaleEpochError": StaleEpochError,
 }
 
 
@@ -107,9 +111,35 @@ def _worker_main(
         if command == "stop":
             connection.send(("ok", None))
             break
+        if command == "__configure__":
+            # Live reconfigure (logical respawn): the serving layer
+            # rebinds a resident fleet to a new snapshot/assignment
+            # without restarting processes.
+            try:
+                service.configure(*args)
+                connection.send(("ok", (None, _telemetry(service))))
+            except Exception as exc:  # noqa: BLE001 — relayed
+                import traceback as _tb
+
+                connection.send(
+                    ("exc", (type(exc).__name__, str(exc), _tb.format_exc()))
+                )
+            continue
         connection.send(service.dispatch(command, args, flow_id))
     service.finish()
     connection.close()
+
+
+def _telemetry(service: WorkerService) -> tuple:
+    resources = service.resources
+    return (
+        resources.current_bytes,
+        resources.peak_bytes,
+        resources.candidate_routes,
+        resources.bdd_nodes,
+        resources.fib_entries,
+        resources.oom,
+    )
 
 
 class WorkerProcessProxy:
@@ -274,6 +304,10 @@ class WorkerProcessProxy:
                     self.resources.capacity,
                 )
             if exc_type is not None:
+                if issubclass(exc_type, WorkerFailure):
+                    raise exc_type(
+                        message, worker_id=self.worker_id, command=command
+                    )
                 raise exc_type(message)
             raise RemoteWorkerError(
                 f"{name}: {message}\n{trace}",
@@ -331,10 +365,29 @@ class WorkerProcessProxy:
             self._poisoned = False
         self.resources.respawns += 1
 
+    # -- serving ---------------------------------------------------------------
+
+    def begin_epoch(self, epoch: int) -> int:
+        return self._call("begin_epoch", epoch)
+
+    def rebind_snapshot(
+        self,
+        snapshot: Snapshot,
+        changed_hosts=(),
+        epoch: Optional[int] = None,
+    ) -> None:
+        self._call("rebind_snapshot", snapshot, tuple(changed_hosts), epoch)
+
+    @property
+    def epoch(self) -> int:
+        return self._call("epoch_value")
+
     # -- control plane ---------------------------------------------------------
 
-    def begin_shard(self, shard: Optional[PrefixShard]) -> None:
-        self._call("begin_shard", shard)
+    def begin_shard(
+        self, shard: Optional[PrefixShard], epoch: Optional[int] = None
+    ) -> None:
+        self._call("begin_shard", shard, epoch)
 
     def compute_exports(self, round_token: int):
         return self._call("compute_exports", round_token)
@@ -524,6 +577,57 @@ class ProcessWorkerPool:
         process.start()
         child_conn.close()
         return parent_conn, process
+
+    # -- serving ----------------------------------------------------------
+
+    def update_snapshot(
+        self, snapshot: Snapshot, assignment: Optional[Dict[str, int]] = None
+    ) -> None:
+        """Point future (re)spawns at the current snapshot/assignment.
+
+        The serving layer calls this on *every* delta, including the
+        incremental path that never reconfigures live workers: a worker
+        respawned mid-epoch must be rebuilt from the session's current
+        config, not the boot-time one (it would then fail the epoch
+        fence and recovery would loop).
+        """
+        _old_snapshot, old_assignment, capacity, cost_model, max_hops = (
+            self._spawn_args
+        )
+        self._spawn_args = (
+            snapshot,
+            assignment if assignment is not None else old_assignment,
+            capacity,
+            cost_model,
+            max_hops,
+        )
+
+    def reconfigure(
+        self, snapshot: Snapshot, assignment: Dict[str, int]
+    ) -> None:
+        """Rebind every *live* worker to a new snapshot (logical respawn).
+
+        The processes stay resident; each worker rebuilds its state from
+        the shipped config at the next incarnation.  Raises
+        :class:`~repro.dist.faults.WorkerFailure` if a worker cannot be
+        reached — the caller's supervisor takes over from there.
+        """
+        self.update_snapshot(snapshot, assignment)
+        _snap, _assign, capacity, cost_model, max_hops = self._spawn_args
+        for proxy in self.proxies:
+            incarnation = self._incarnations.get(proxy.worker_id, -1) + 1
+            self._incarnations[proxy.worker_id] = incarnation
+            proxy._call(
+                "__configure__",
+                proxy.worker_id,
+                snapshot,
+                assignment,
+                capacity,
+                cost_model,
+                max_hops,
+                self._trace_dir,
+                incarnation,
+            )
 
     # -- supervision ------------------------------------------------------
 

@@ -139,6 +139,11 @@ class WorkerService:
                     )
                 elif command == "pending_packets":
                     result = worker.pending_packets
+                elif command == "rebind_snapshot":
+                    # The service keeps its own snapshot reference for
+                    # the data-plane resolver; a rebind must move both.
+                    result = worker.rebind_snapshot(*args)
+                    self._snapshot = args[0]
                 else:
                     result = getattr(worker, command)(*args)
             resources = self.resources

@@ -17,6 +17,7 @@ shard (the §4.5 balance fix).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
@@ -38,6 +39,17 @@ class PrefixShard:
 
     def __contains__(self, prefix: Prefix) -> bool:
         return prefix in self.prefixes
+
+    def fingerprint(self) -> str:
+        """Content digest of the prefix set (index-independent).
+
+        The serving layer stores it per flush index: a shard whose
+        fingerprint reappears in the next epoch holds the same prefixes,
+        so its flushed results can be carried over even when the packer
+        assigned it a different index.
+        """
+        text = "\n".join(sorted(str(p) for p in self.prefixes))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass

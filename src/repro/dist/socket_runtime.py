@@ -86,13 +86,18 @@ def _socket_worker_main(handshake, host: str, port: int) -> None:
         service.finish()
 
 
-def serve_worker(listen: str) -> None:
+def serve_worker(listen: str, install_signal_handlers: bool = True) -> None:
     """Run a standalone worker listener (the ``repro worker`` command).
 
-    Blocks until a controller sends ``__stop__`` (or the process is
-    killed).  Identity, snapshot, and assignment all arrive over the
+    Blocks until a controller sends ``__stop__``, or SIGTERM/SIGINT
+    arrives.  Identity, snapshot, and assignment all arrive over the
     wire via ``__configure__``; reconfiguration is a logical respawn, so
     one listener can serve many runs.
+
+    Shutdown is graceful: a signal triggers a *draining* server stop —
+    the RPC currently executing finishes and its response is delivered
+    — then the tracer shard is flushed and the call returns normally
+    (exit code 0 from the CLI).
     """
     host, port = parse_hostport(listen)
     service = WorkerService()
@@ -104,6 +109,17 @@ def serve_worker(listen: str) -> None:
         return service.dispatch(command, args, flow_id)
 
     server = RpcServer(handler, host=host, port=port)
+    if install_signal_handlers:
+        import signal
+
+        def _drain(_signum, _frame) -> None:
+            server.stop(drain=True)
+
+        try:
+            signal.signal(signal.SIGTERM, _drain)
+            signal.signal(signal.SIGINT, _drain)
+        except ValueError:
+            pass  # not the main thread (embedded in tests)
     print(f"worker listening on {server.host}:{server.port}", flush=True)
     try:
         server.serve_forever()
@@ -355,6 +371,44 @@ class SocketWorkerPool:
                 f"worker {worker_id} failed to configure: {payload!r}",
                 worker_id=worker_id,
             )
+
+    # -- serving ----------------------------------------------------------
+
+    def update_snapshot(
+        self, snapshot: Snapshot, assignment: Optional[Dict[str, int]] = None
+    ) -> None:
+        """Point future respawn ``__configure__`` replays at the current
+        snapshot/assignment (see the process pool's docstring: a worker
+        respawned mid-epoch from boot-time args would carry a stale
+        config *and* a stale epoch)."""
+        _old_snapshot, old_assignment, capacity, cost_model, max_hops = (
+            self._configure_args
+        )
+        self._configure_args = (
+            snapshot,
+            assignment if assignment is not None else old_assignment,
+            capacity,
+            cost_model,
+            max_hops,
+        )
+
+    def reconfigure(
+        self, snapshot: Snapshot, assignment: Dict[str, int]
+    ) -> None:
+        """Rebind every live worker to a new snapshot (logical respawn);
+        listeners and channels stay resident.  Transport failures surface
+        as :class:`WorkerFailure` for the caller's supervisor."""
+        self.update_snapshot(snapshot, assignment)
+        for proxy in self.proxies:
+            try:
+                self._configure(proxy.worker_id, proxy._channel)
+            except (TransportError, RespawnError) as exc:
+                raise WorkerDiedError(
+                    f"worker {proxy.worker_id} unreachable during "
+                    f"reconfigure: {exc}",
+                    worker_id=proxy.worker_id,
+                    command="__configure__",
+                ) from exc
 
     # -- supervision ------------------------------------------------------
 

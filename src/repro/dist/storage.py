@@ -31,6 +31,7 @@ from ..routing.route import BgpRoute
 ShardRoutes = Dict[str, Dict[Prefix, Tuple[BgpRoute, ...]]]
 
 MANIFEST_NAME = "manifest.json"
+EPOCH_TAG_NAME = "EPOCH"
 
 
 class CorruptShardError(RuntimeError):
@@ -41,6 +42,27 @@ class CorruptShardError(RuntimeError):
             f"corrupt shard file {path}: {type(cause).__name__}: {cause}"
         )
         self.path = path
+
+
+class EpochMismatchError(RuntimeError):
+    """The store's epoch tag disagrees with its manifest.
+
+    A serve session commits an epoch in two places — the manifest and the
+    ``EPOCH`` tag file — written back to back.  A crash between the two
+    writes (or a checkpoint restored from a different epoch's backup)
+    leaves them disagreeing, and the RIB files cannot be trusted to all
+    belong to either epoch.  Callers must treat the store as damaged and
+    fall back to a cold start instead of serving mixed-epoch state.
+    """
+
+    def __init__(self, manifest_epoch: int, tag_epoch: Optional[int]) -> None:
+        super().__init__(
+            f"store epoch tag {tag_epoch!r} does not match manifest epoch "
+            f"{manifest_epoch!r}; refusing to warm-boot from mixed-epoch "
+            "state"
+        )
+        self.manifest_epoch = manifest_epoch
+        self.tag_epoch = tag_epoch
 
 
 @dataclass
@@ -61,6 +83,13 @@ class RunManifest:
     ospf_done: bool = False
     # str(flush index) -> {"status": "converged", "rounds": int}
     shards: Dict[str, Dict] = field(default_factory=dict)
+    # Serving state: the committed epoch this manifest belongs to, and a
+    # content fingerprint per flush index (hash of the shard's sorted
+    # prefixes).  Fingerprints let a later epoch carry a clean shard's
+    # files over even when the packer assigned it a different index.
+    epoch: int = 0
+    # str(flush index) -> fingerprint
+    shard_fingerprints: Dict[str, str] = field(default_factory=dict)
 
     def mark_shard(self, flush_index: int, rounds: int = 0) -> None:
         self.shards[str(flush_index)] = {
@@ -89,6 +118,8 @@ class RunManifest:
                 "num_shards": self.num_shards,
                 "ospf_done": self.ospf_done,
                 "shards": self.shards,
+                "epoch": self.epoch,
+                "shard_fingerprints": self.shard_fingerprints,
             },
             indent=2,
             sort_keys=True,
@@ -105,6 +136,8 @@ class RunManifest:
             num_shards=data.get("num_shards", 0),
             ospf_done=data.get("ospf_done", False),
             shards=data.get("shards", {}),
+            epoch=data.get("epoch", 0),
+            shard_fingerprints=data.get("shard_fingerprints", {}),
         )
 
 
@@ -175,6 +208,49 @@ class RouteStore:
     def read_shard(self, worker_id: int, shard_index: int) -> ShardRoutes:
         return self._load(self._path(worker_id, shard_index))
 
+    def read_shard_payload(
+        self, worker_id: int, shard_index: int
+    ) -> Optional[bytes]:
+        """Raw bytes of one shard file, or None if it was never flushed.
+
+        (A worker with no routes in a shard still flushes an empty dict,
+        so post-convergence every (worker, shard) file exists; None only
+        shows up for indices outside the run.)
+        """
+        try:
+            with open(self._path(worker_id, shard_index), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def write_shard_payload(
+        self, worker_id: int, shard_index: int, payload: bytes
+    ) -> None:
+        """Install pre-serialized shard bytes (epoch carry-over path).
+
+        Used by the serving layer to move a *clean* shard's results to
+        its index in the next epoch without deserializing them — the
+        bytes are byte-identical to what a recompute would flush.
+        """
+        path = self._path(worker_id, shard_index)
+        self._atomic_write(path, payload)
+        self._files.append(path)
+        self.bytes_written += len(payload)
+
+    def clear_shard_files(self) -> None:
+        """Remove only the RIB shard files (keep OSPF state + manifest).
+
+        The between-epoch reset: OSPF checkpoints stay valid across an
+        announce-only delta, but the shard layout may change, so every
+        ``.rib`` file is either recomputed or explicitly carried over.
+        """
+        for name in os.listdir(self.directory):
+            if name.endswith(".rib") or ".tmp." in name:
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
     def iter_worker_shards(self, worker_id: int) -> Iterator[ShardRoutes]:
         """All shard files of one worker, in shard order."""
         prefix = f"worker{worker_id:03d}-"
@@ -210,6 +286,40 @@ class RouteStore:
         except (json.JSONDecodeError, ValueError) as exc:
             raise CorruptShardError(self.manifest_path, exc) from exc
 
+    # -- epoch tag -------------------------------------------------------
+
+    @property
+    def epoch_tag_path(self) -> str:
+        return os.path.join(self.directory, EPOCH_TAG_NAME)
+
+    def write_epoch_tag(self, epoch: int) -> None:
+        """Stamp the store with its committed epoch (atomic).
+
+        Written immediately after the committed manifest; the pair
+        agreeing is what a warm boot verifies before trusting the RIB
+        files (:class:`EpochMismatchError` otherwise).
+        """
+        self._atomic_write(
+            self.epoch_tag_path,
+            json.dumps({"epoch": epoch}).encode("utf-8"),
+        )
+
+    def read_epoch_tag(self) -> Optional[int]:
+        try:
+            with open(self.epoch_tag_path, "r", encoding="utf-8") as handle:
+                data = json.loads(handle.read())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise CorruptShardError(self.epoch_tag_path, exc) from exc
+        epoch = data.get("epoch")
+        if not isinstance(epoch, int):
+            raise CorruptShardError(
+                self.epoch_tag_path,
+                ValueError(f"epoch tag holds {epoch!r}, expected an int"),
+            )
+        return epoch
+
     # -- OSPF checkpoints ------------------------------------------------
 
     def write_ospf_state(self, worker_id: int, state) -> int:
@@ -241,6 +351,7 @@ class RouteStore:
                 name.endswith(".rib")
                 or name.endswith(".ospf")
                 or name == MANIFEST_NAME
+                or name == EPOCH_TAG_NAME
                 or ".tmp." in name
             ):
                 try:

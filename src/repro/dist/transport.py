@@ -337,6 +337,12 @@ class RpcChannel:
             sock.settimeout(None)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._sock = sock
+            # A fresh connection means fresh liveness state: suspicion
+            # accumulated against the *previous* socket must not carry
+            # over, or a healed channel reads as dead until enough
+            # heartbeats succeed to outvote history that no longer
+            # describes this connection.
+            self._suspect_count = 0
             self._generation += 1
             if self._ever_connected:
                 self._count("reconnects")
@@ -683,6 +689,9 @@ class RpcServer:
     the connection is dropped, the accept loop takes the next one.
     """
 
+    #: How often an idle connection wakes to check for a drain-stop.
+    DRAIN_POLL_SECONDS = 0.5
+
     def __init__(
         self,
         handler: Callable[[str, tuple, Optional[int]], Tuple[str, Any]],
@@ -732,10 +741,16 @@ class RpcServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # A short receive timeout lets the loop observe a drain-stop
+        # between frames instead of blocking in recv() forever; in-flight
+        # requests still run to completion before the check fires.
+        conn.settimeout(self.DRAIN_POLL_SECONDS)
         decoder = FrameDecoder()
         while not self._stopping:
             try:
                 data = conn.recv(1 << 16)
+            except socket.timeout:
+                continue  # idle tick — re-check _stopping
             except OSError:
                 data = b""
             if not data:
@@ -784,20 +799,37 @@ class RpcServer:
     @staticmethod
     def _send(conn: socket.socket, frame: bytes) -> bool:
         try:
-            conn.sendall(frame)
+            # The drain-poll receive timeout must not tear a large
+            # response mid-sendall; sends are always blocking.
+            timeout = conn.gettimeout()
+            conn.settimeout(None)
+            try:
+                conn.sendall(frame)
+            finally:
+                conn.settimeout(timeout)
             return True
         except OSError:
             # The client vanished mid-response; the cached copy answers
             # its retry after it reconnects.
             return False
 
-    def stop(self) -> None:
-        """Stop from another thread (tests); the loop exits promptly."""
+    def stop(self, drain: bool = False) -> None:
+        """Stop from another thread; the loop exits promptly.
+
+        Forceful by default: the active connection is shut down,
+        aborting whatever was mid-flight.  With ``drain=True`` the
+        listener closes but the live connection is left untouched, so
+        the request currently executing finishes and its response is
+        delivered before the loop exits at the next receive-timeout
+        tick — this is what SIGTERM handlers want.
+        """
         self._stopping = True
         try:
             self._listener.close()
         except OSError:
             pass
+        if drain:
+            return
         active = self._active
         if active is not None:
             try:

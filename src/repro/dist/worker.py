@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..bdd.engine import BddEngine
 from ..bdd.headerspace import HeaderEncoding
@@ -40,7 +40,7 @@ from ..dataplane.predicates import compile_predicates
 from ..net.ip import Prefix
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..routing.node import RouterNode
-from .faults import FaultPlan, InjectedWorkerCrash
+from .faults import FaultPlan, InjectedWorkerCrash, StaleEpochError
 from ..routing.ospf import OspfProcess
 from ..routing.route import BgpRoute, Route
 from .message import (
@@ -118,6 +118,10 @@ class Worker:
         self._batch_sequences: Dict[int, int] = {}
         self.duplicate_batches = 0
         self._ospf_installed: Dict[str, Tuple] = {}
+        # Serving epoch (-1 = never seeded).  A fresh or respawned worker
+        # starts stale on purpose: it must fail the epoch fence until the
+        # session (or the supervisor's recovery path) seeds it.
+        self.epoch: int = -1
         self._build_nodes()
         # -- data-plane state (populated by the DPO phase) --
         self.engine: Optional[BddEngine] = None
@@ -163,6 +167,7 @@ class Worker:
         self.ospf_mailbox.clear()
         self._batch_sequences.clear()
         self._ospf_installed = {}
+        self.epoch = -1
         self._build_nodes()
         self.engine = None
         self.encoding = None
@@ -207,9 +212,61 @@ class Worker:
     def owns(self, name: str) -> bool:
         return name in self.nodes
 
+    # -- serving: epoch fence and in-place snapshot rebind -----------------
+
+    def begin_epoch(self, epoch: int) -> int:
+        """Seed the worker's serving epoch; returns the installed value."""
+        self.epoch = epoch
+        return self.epoch
+
+    def epoch_value(self) -> int:
+        """RPC-friendly epoch getter (proxies expose it as ``.epoch``)."""
+        return self.epoch
+
+    def _fence_epoch(self, expected: Optional[int]) -> None:
+        if expected is not None and self.epoch != expected:
+            raise StaleEpochError(
+                f"worker {self.worker_id} is at epoch {self.epoch}, "
+                f"controller expects {expected}",
+                worker_id=self.worker_id,
+                command="begin_shard",
+            )
+
+    def rebind_snapshot(
+        self,
+        snapshot: Snapshot,
+        changed_hosts: Sequence[str] = (),
+        epoch: Optional[int] = None,
+    ) -> None:
+        """Swap in a delta'd snapshot without discarding resident state.
+
+        The incremental path for announce-only deltas: topology, the
+        assignment, and the IGP result are unchanged by construction, so
+        only the changed devices' node models are rebuilt (their OSPF
+        routes reinstalled from the retained checkpoint); every other
+        node keeps its warm state.  ``epoch``, when given, seeds the
+        fence in the same call — one RPC instead of two per worker.
+        """
+        self.snapshot = snapshot
+        for hostname in changed_hosts:
+            if self.assignment.get(hostname) != self.worker_id:
+                continue
+            config = snapshot.configs[hostname]
+            self.nodes[hostname] = RouterNode(config, snapshot.topology)
+            self.ospf[hostname] = OspfProcess(config, snapshot.topology)
+            for route in self._ospf_installed.get(hostname, ()):
+                self.nodes[hostname].main_rib.add(route)
+        self.mailbox.clear()
+        self.ospf_mailbox.clear()
+        if epoch is not None:
+            self.epoch = epoch
+
     # -- control plane: shard lifecycle ------------------------------------
 
-    def begin_shard(self, shard: Optional[PrefixShard]) -> None:
+    def begin_shard(
+        self, shard: Optional[PrefixShard], epoch: Optional[int] = None
+    ) -> None:
+        self._fence_epoch(epoch)
         prefixes = shard.prefixes if shard is not None else None
         for node in self.nodes.values():
             node.begin_shard(prefixes)

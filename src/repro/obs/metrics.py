@@ -136,6 +136,12 @@ class MetricsRegistry:
                 found = self._gauges.setdefault(name, Gauge(name, self._lock))
         return found
 
+    def set_gauges(self, values: Dict[str, float]) -> None:
+        """Set several gauges at once (e.g. a health snapshot: serving
+        epoch, admission queue depth, degraded flag)."""
+        for name, value in values.items():
+            self.gauge(name).set(value)
+
     def histogram(self, name: str) -> Histogram:
         found = self._histograms.get(name)
         if found is None:

@@ -1,0 +1,49 @@
+"""The serving layer: a resident, delta-accepting verifier.
+
+:class:`VerifierSession` keeps one converged S2 controller (and its
+worker fleet) alive between requests, applies config/link deltas with
+epoch-fenced incremental recompute, and serves reachability queries
+from the last committed epoch.  :class:`SessionServer` exposes it over
+a line-JSON TCP API (the ``repro serve`` command).
+"""
+
+from .api import SessionServer, parse_delta
+from .deltas import (
+    ConfigTextDelta,
+    DeltaClassification,
+    DeltaError,
+    LinkDelta,
+    classify,
+    dirty_closure,
+)
+from .session import (
+    CommittedView,
+    DeltaResult,
+    QueryResult,
+    SessionBusyError,
+    SessionClosedError,
+    SessionDegradedError,
+    SessionError,
+    UnknownEndpointError,
+    VerifierSession,
+)
+
+__all__ = [
+    "CommittedView",
+    "ConfigTextDelta",
+    "DeltaClassification",
+    "DeltaError",
+    "DeltaResult",
+    "LinkDelta",
+    "QueryResult",
+    "SessionBusyError",
+    "SessionClosedError",
+    "SessionDegradedError",
+    "SessionError",
+    "SessionServer",
+    "UnknownEndpointError",
+    "VerifierSession",
+    "classify",
+    "dirty_closure",
+    "parse_delta",
+]

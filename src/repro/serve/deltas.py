@@ -1,0 +1,232 @@
+"""Delta vocabulary for the serving layer (``repro serve``).
+
+A delta is a small, operator-shaped change to the running snapshot: one
+device's configuration text is swapped, or one link is failed/restored.
+Applying a delta produces a *new* :class:`~repro.config.loader.Snapshot`
+(the serving layer treats snapshots as immutable) plus the hosts whose
+device model changed.
+
+:func:`classify` then decides how much recompute the delta needs:
+
+* **announce-only** — every changed host differs solely in its
+  ``bgp.networks`` list (prefixes announced or withdrawn).  Topology,
+  IGP, sessions, and policy are untouched, so only the shards holding a
+  *dirty* prefix (the per-host symmetric difference, closed over the
+  DPDG components of both the old and the new snapshot) must recompute.
+* **full** — anything else (interfaces, links, neighbors, policy): the
+  partition and the IGP result may shift, so everything reruns.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+
+from ..config.loader import Snapshot, make_snapshot, parse_device
+from ..dist.sharding import build_dpdg
+from ..net.ip import Prefix
+
+
+class DeltaError(ValueError):
+    """A delta that cannot be applied to the current snapshot."""
+
+
+def _reannotate(old: Snapshot, new: Snapshot) -> Snapshot:
+    """Carry synthesizer hints (role/pod/layer) across re-derivation."""
+    new.metadata.update(old.metadata)
+    for node in new.topology.nodes():
+        try:
+            original = old.topology.node(node.name)
+        except KeyError:
+            continue
+        node.role = original.role
+        node.pod = original.pod
+        node.layer = original.layer
+        node.cluster = original.cluster
+    return new
+
+
+@dataclass(frozen=True)
+class ConfigTextDelta:
+    """Swap one device's configuration text in place."""
+
+    hostname: str
+    text: str
+    dialect: Optional[str] = None
+
+    def apply(self, snapshot: Snapshot) -> Tuple[Snapshot, Tuple[str, ...]]:
+        if self.hostname not in snapshot.configs:
+            raise DeltaError(
+                f"unknown device {self.hostname!r} (snapshot has "
+                f"{len(snapshot.configs)} devices)"
+            )
+        try:
+            config = parse_device(self.text, dialect=self.dialect)
+        except Exception as exc:  # noqa: BLE001 — parser errors vary
+            raise DeltaError(
+                f"cannot parse config for {self.hostname}: {exc}"
+            ) from exc
+        if config.hostname != self.hostname:
+            raise DeltaError(
+                f"config text names {config.hostname!r}, delta targets "
+                f"{self.hostname!r}"
+            )
+        configs = dict(snapshot.configs)
+        configs[self.hostname] = config
+        new = make_snapshot(configs, name=snapshot.name)
+        return _reannotate(snapshot, new), (self.hostname,)
+
+
+@dataclass(frozen=True)
+class LinkDelta:
+    """Fail (``up=False``) or restore (``up=True``) one a—b link.
+
+    Modeled the way operators see it: both endpoint interfaces go
+    ``shutdown`` (or come back up), which removes the link from the
+    derived topology and the sessions riding it.
+    """
+
+    a: str
+    b: str
+    up: bool = False
+
+    def apply(self, snapshot: Snapshot) -> Tuple[Snapshot, Tuple[str, ...]]:
+        for host in (self.a, self.b):
+            if host not in snapshot.configs:
+                raise DeltaError(f"unknown device {host!r}")
+        pairs = (
+            self._shut_interface_pairs(snapshot)
+            if self.up
+            else self._live_interface_pairs(snapshot)
+        )
+        if not pairs:
+            state = "failed" if self.up else "live"
+            raise DeltaError(
+                f"no {state} link between {self.a} and {self.b}"
+            )
+        configs = copy.deepcopy(snapshot.configs)
+        for (iface_a, iface_b) in pairs:
+            configs[self.a].interfaces[iface_a].shutdown = not self.up
+            configs[self.b].interfaces[iface_b].shutdown = not self.up
+        new = make_snapshot(configs, name=snapshot.name)
+        return _reannotate(snapshot, new), (self.a, self.b)
+
+    def _live_interface_pairs(
+        self, snapshot: Snapshot
+    ) -> Sequence[Tuple[str, str]]:
+        """Interface pairs of links currently in the derived topology."""
+        pairs = []
+        for link in snapshot.topology.links():
+            ends = {link.a.node: link.a, link.b.node: link.b}
+            if set(ends) == {self.a, self.b}:
+                pairs.append((ends[self.a].interface, ends[self.b].interface))
+        return pairs
+
+    def _shut_interface_pairs(
+        self, snapshot: Snapshot
+    ) -> Sequence[Tuple[str, str]]:
+        """Shutdown interface pairs sharing a subnet (a failed link is
+        no longer in the derived topology, so match on addressing)."""
+        pairs = []
+        for iface_a in snapshot.configs[self.a].interfaces.values():
+            if not iface_a.shutdown or iface_a.prefix is None:
+                continue
+            for iface_b in snapshot.configs[self.b].interfaces.values():
+                if not iface_b.shutdown or iface_b.prefix is None:
+                    continue
+                if iface_a.prefix == iface_b.prefix:
+                    pairs.append((iface_a.name, iface_b.name))
+        return pairs
+
+
+@dataclass(frozen=True)
+class DeltaClassification:
+    """How much recompute a delta needs."""
+
+    kind: str                       # "announce" | "full"
+    changed_hosts: Tuple[str, ...]
+    dirty_prefixes: FrozenSet[Prefix] = frozenset()
+
+    @property
+    def incremental(self) -> bool:
+        return self.kind == "announce"
+
+
+def _links_signature(snapshot: Snapshot) -> FrozenSet[Tuple]:
+    return frozenset(
+        tuple(
+            sorted(
+                [
+                    (link.a.node, link.a.interface),
+                    (link.b.node, link.b.interface),
+                ]
+            )
+        )
+        for link in snapshot.topology.links()
+    )
+
+
+def _same_but_networks(old_cfg, new_cfg) -> bool:
+    """True when the configs differ at most in ``bgp.networks``."""
+    if (old_cfg.bgp is None) != (new_cfg.bgp is None):
+        return False
+    if replace(old_cfg, bgp=None) != replace(new_cfg, bgp=None):
+        return False
+    if old_cfg.bgp is None:
+        return True
+    return replace(old_cfg.bgp, networks=[]) == replace(
+        new_cfg.bgp, networks=[]
+    )
+
+
+def dirty_closure(
+    dirty: Iterable[Prefix], *snapshots: Snapshot
+) -> FrozenSet[Prefix]:
+    """Close a dirty prefix set over DPDG components of every snapshot.
+
+    A dirty prefix drags its whole dependency component along (an
+    aggregate watching a withdrawn contributor recomputes too), and the
+    closure must hold in *both* the old and the new graph — a dependency
+    that only exists on one side still couples the shards on that side.
+    """
+    closed: Set[Prefix] = set(dirty)
+    components = [
+        set(component)
+        for snapshot in snapshots
+        for component in build_dpdg(snapshot).weakly_connected_components()
+        if len(component) > 1
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for component in components:
+            if (closed & component) and not component <= closed:
+                closed |= component
+                changed = True
+    return frozenset(closed)
+
+
+def classify(
+    old: Snapshot, new: Snapshot, changed_hosts: Sequence[str]
+) -> DeltaClassification:
+    """Decide the recompute scope of ``old -> new``."""
+    changed = tuple(changed_hosts)
+    full = DeltaClassification(kind="full", changed_hosts=changed)
+    if set(old.configs) != set(new.configs):
+        return full
+    if _links_signature(old) != _links_signature(new):
+        return full
+    dirty: Set[Prefix] = set()
+    for host in changed:
+        old_cfg, new_cfg = old.configs[host], new.configs[host]
+        if old_cfg == new_cfg:
+            continue
+        if not _same_but_networks(old_cfg, new_cfg):
+            return full
+        dirty |= set(old_cfg.bgp.networks) ^ set(new_cfg.bgp.networks)
+    return DeltaClassification(
+        kind="announce",
+        changed_hosts=changed,
+        dirty_prefixes=dirty_closure(dirty, old, new),
+    )

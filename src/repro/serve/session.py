@@ -1,0 +1,506 @@
+"""The resident verifier behind ``repro serve``.
+
+A :class:`VerifierSession` wraps one :class:`~repro.dist.controller.
+S2Controller` and keeps it *converged*: the worker fleet stays up
+between requests, holding the committed epoch's state, and every
+accepted delta advances a monotonically-increasing **epoch**.
+
+Self-healing rests on four mechanisms:
+
+* **Epoch fencing** — every delta bumps the epoch and re-seeds it into
+  each worker; ``begin_shard`` carries the expected epoch, so a worker
+  that respawned (fresh contexts boot at epoch ``-1``) or rejoined
+  after a partition with stale state is *rejected*, routed through
+  :meth:`~repro.dist.controller.WorkerSupervisor.recover` (respawn +
+  OSPF checkpoint + epoch re-seed), and the shard replays.
+* **Read/write separation** — queries read the last *committed* view
+  (reachability matrix + RIBs), swapped atomically after each epoch
+  commits.  A query during a recompute sees the previous epoch, never
+  torn state.
+* **Bounded admission** — deltas queue up to ``queue_limit``; beyond
+  that :class:`SessionBusyError` sheds load explicitly.
+* **Graceful degradation** — a recompute that fails terminally (after
+  worker recovery, shard replay, and the sequential fallback have all
+  been exhausted) flips the session to *degraded*: the previous epoch
+  keeps serving read-only and further deltas are refused.
+
+Commits are two-phase on disk: the manifest (tagged with the epoch and
+per-shard fingerprints) is written, then the ``EPOCH`` tag file.  A warm
+boot (:class:`VerifierSession` over an existing store) trusts the RIB
+files only when the two agree — otherwise (torn commit, damaged
+manifest) it raises the typed storage error internally and falls back
+to a cold start.
+"""
+
+from __future__ import annotations
+
+import queue
+import shutil
+import tempfile
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, replace as dc_replace
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from ..config.loader import Snapshot
+from ..dataplane.queries import Query
+from ..dist.controller import S2Controller, S2Options, options_fingerprint
+from ..dist.sharding import make_shards
+from ..dist.storage import (
+    CorruptShardError,
+    EpochMismatchError,
+    RouteStore,
+    RunManifest,
+)
+from ..routing.engine import BgpResult
+from .deltas import DeltaClassification, DeltaError, classify
+
+
+class SessionError(RuntimeError):
+    """Base of the serving layer's refusals."""
+
+
+class SessionBusyError(SessionError):
+    """The admission queue is full; retry later (explicit load shed)."""
+
+
+class SessionDegradedError(SessionError):
+    """The session is read-only: a recompute failed terminally."""
+
+
+class SessionClosedError(SessionError):
+    """The session was closed (or has no committed epoch to serve)."""
+
+
+class UnknownEndpointError(SessionError):
+    """A query named a node outside the committed endpoint set."""
+
+
+@dataclass(frozen=True)
+class CommittedView:
+    """One epoch's queryable state; immutable, swapped atomically."""
+
+    epoch: int
+    endpoints: Tuple[str, ...]
+    pairs: FrozenSet[Tuple[str, str]]
+    ribs: BgpResult
+
+    def holds(self, src: str, dst: str) -> bool:
+        return (src, dst) in self.pairs
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    holds: bool
+    epoch: int
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class DeltaResult:
+    """What one committed delta did."""
+
+    epoch: int
+    kind: str                    # "announce" | "full"
+    shards_recomputed: int
+    shards_reused: int
+    dirty_prefixes: int
+    sequential_fallback: bool
+    reachable_pairs: int
+    lost_pairs: Tuple[Tuple[str, str], ...] = ()
+    gained_pairs: Tuple[Tuple[str, str], ...] = ()
+
+
+_STOP = object()
+
+
+class VerifierSession:
+    """A persistent, delta-accepting verifier over one worker fleet."""
+
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        options: Optional[S2Options] = None,
+        queue_limit: int = 8,
+        warm_boot: bool = True,
+    ) -> None:
+        opts = dc_replace(options) if options is not None else S2Options()
+        self._owned_store = False
+        if opts.store_dir is None:
+            # Epoch commits and respawn re-seeding live on the store, so
+            # a session is always persistent — anonymous ones own a
+            # temp spool removed on close.
+            opts.store_dir = tempfile.mkdtemp(prefix="s2-serve-")
+            self._owned_store = True
+        opts.checkpoint = True
+        self.options = opts
+        self.snapshot = snapshot
+        self.epoch = 0
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        self.warm_booted = False
+        self.boot_fallback: Optional[str] = None
+        self._closed = False
+        self._recomputing = False
+        self._view_lock = threading.Lock()
+        self._committed: Optional[CommittedView] = None
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, queue_limit))
+        self._controller = self._boot(warm_boot)
+        self._commit_view()
+        self._mutator = threading.Thread(
+            target=self._mutate_loop, name="serve-mutator", daemon=True
+        )
+        self._mutator.start()
+
+    # -- boot --------------------------------------------------------------
+
+    def _boot(self, warm_boot: bool) -> S2Controller:
+        if warm_boot:
+            try:
+                controller = self._try_warm_boot()
+            except (CorruptShardError, EpochMismatchError, ValueError) as exc:
+                # Typed damage — torn manifest JSON, epoch tag/manifest
+                # disagreement, incompatible options hash.  The store
+                # cannot be trusted; record why and start cold.
+                self.boot_fallback = f"{type(exc).__name__}: {exc}"
+            else:
+                if controller is not None:
+                    self.warm_booted = True
+                    return controller
+        return self._cold_start()
+
+    def _try_warm_boot(self) -> Optional[S2Controller]:
+        """Adopt an existing store's committed epoch; None = nothing there.
+
+        Raises the typed storage errors (:class:`CorruptShardError`,
+        :class:`EpochMismatchError`) or ``ValueError`` (options hash)
+        when the store exists but cannot be trusted.
+        """
+        probe = RouteStore(self.options.store_dir)
+        manifest = probe.read_manifest()
+        if manifest is None:
+            return None
+        tag = probe.read_epoch_tag()
+        if tag is None or tag != manifest.epoch:
+            raise EpochMismatchError(manifest.epoch, tag)
+        controller = S2Controller.resume(self.snapshot, self.options)
+        self.epoch = manifest.epoch
+        controller.begin_epoch(self.epoch)
+        controller.run_control_plane()
+        controller.build_data_plane()
+        return controller
+
+    def _cold_start(self) -> S2Controller:
+        controller = S2Controller(self.snapshot, self.options)
+        self.epoch = 0
+        controller.begin_epoch(0)
+        controller.run_control_plane()
+        controller.build_data_plane()
+        return controller
+
+    # -- committed view ----------------------------------------------------
+
+    def _commit_view(
+        self,
+    ) -> Tuple[Optional[CommittedView], CommittedView]:
+        """Persist the epoch (manifest, then tag) and swap the view."""
+        controller = self._controller
+        manifest = controller.manifest
+        if manifest is not None:
+            manifest.epoch = self.epoch
+            manifest.shard_fingerprints = {
+                str(shard.index): shard.fingerprint()
+                for shard in controller.shards
+            }
+            controller.store.write_manifest(manifest)
+            controller.store.write_epoch_tag(self.epoch)
+        checker = controller.checker()
+        endpoints = tuple(controller.prefix_holders())
+        result = checker.check_reachability(
+            Query(sources=endpoints, destinations=endpoints)
+        )
+        view = CommittedView(
+            epoch=self.epoch,
+            endpoints=endpoints,
+            pairs=frozenset(result.pairs()),
+            ribs=controller.collected_ribs(),
+        )
+        with self._view_lock:
+            previous, self._committed = self._committed, view
+        self._publish_gauges()
+        return previous, view
+
+    def _publish_gauges(self) -> None:
+        self._controller.metrics.set_gauges(
+            {
+                "serve.epoch": self.epoch,
+                "serve.queue_depth": self._queue.qsize(),
+                "serve.degraded": 1 if self.degraded else 0,
+            }
+        )
+
+    def _view(self) -> CommittedView:
+        with self._view_lock:
+            view = self._committed
+        if view is None:
+            raise SessionClosedError("no committed epoch yet")
+        return view
+
+    # -- reads (always served, never torn) ---------------------------------
+
+    def query(self, src: str, dst: str) -> QueryResult:
+        view = self._view()
+        unknown = [n for n in (src, dst) if n not in view.endpoints]
+        if unknown:
+            raise UnknownEndpointError(
+                f"not in the committed endpoint set: {', '.join(unknown)}"
+            )
+        return QueryResult(
+            holds=view.holds(src, dst),
+            epoch=view.epoch,
+            degraded=self.degraded,
+        )
+
+    def routes(self, node: str) -> Dict[str, int]:
+        """Per-prefix selected-route counts of one node's committed RIB."""
+        view = self._view()
+        if node not in view.ribs:
+            raise UnknownEndpointError(f"unknown node {node!r}")
+        return {
+            str(prefix): len(selected)
+            for prefix, selected in sorted(view.ribs[node].items())
+        }
+
+    def reachability(self) -> CommittedView:
+        return self._view()
+
+    def health(self) -> Dict[str, Any]:
+        with self._view_lock:
+            view = self._committed
+        if self.degraded:
+            status = "degraded"
+        elif self._recomputing or not self._queue.empty():
+            status = "recomputing"
+        else:
+            status = "serving"
+        return {
+            "status": status,
+            "epoch": view.epoch if view is not None else None,
+            "queue_depth": self._queue.qsize(),
+            "degraded_reason": self.degraded_reason,
+            "warm_boot": self.warm_booted,
+            "boot_fallback": self.boot_fallback,
+            "endpoints": len(view.endpoints) if view is not None else 0,
+            "snapshot": self.snapshot.name,
+            "workers": self.options.num_workers,
+            "runtime": self.options.runtime,
+        }
+
+    # -- writes (single mutator thread, bounded admission) -----------------
+
+    def submit_delta(self, delta) -> Future:
+        """Enqueue a delta; the Future resolves to a :class:`DeltaResult`."""
+        if self._closed:
+            raise SessionClosedError("session is closed")
+        if self.degraded:
+            raise SessionDegradedError(
+                self.degraded_reason or "session is degraded"
+            )
+        future: Future = Future()
+        try:
+            self._queue.put_nowait((delta, future))
+        except queue.Full:
+            raise SessionBusyError(
+                f"admission queue is full "
+                f"({self._queue.maxsize} deltas pending)"
+            ) from None
+        return future
+
+    def apply_delta(self, delta, timeout: Optional[float] = None) -> DeltaResult:
+        return self.submit_delta(delta).result(timeout)
+
+    def _mutate_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            delta, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            if self.degraded:
+                future.set_exception(
+                    SessionDegradedError(
+                        self.degraded_reason or "session is degraded"
+                    )
+                )
+                continue
+            self._recomputing = True
+            try:
+                result = self._apply(delta)
+            except DeltaError as exc:
+                # Rejected before any state was touched (bad hostname,
+                # unparsable text, no such link): not a degradation.
+                future.set_exception(exc)
+            except BaseException as exc:  # noqa: BLE001 — degradation ladder
+                self.degraded = True
+                self.degraded_reason = f"{type(exc).__name__}: {exc}"
+                self._publish_gauges()
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+            finally:
+                self._recomputing = False
+
+    def _apply(self, delta) -> DeltaResult:
+        old_snapshot = self.snapshot
+        new_snapshot, changed_hosts = delta.apply(old_snapshot)
+        classification = classify(old_snapshot, new_snapshot, changed_hosts)
+        epoch = self.epoch + 1
+        controller = self._controller
+        if classification.incremental:
+            self._prepare_incremental(new_snapshot, classification, epoch)
+        else:
+            self._prepare_full(new_snapshot, epoch)
+        stats = controller.run_control_plane()
+        controller.rebuild_data_plane()
+        self.snapshot = new_snapshot
+        self.epoch = epoch
+        previous, view = self._commit_view()
+        return DeltaResult(
+            epoch=epoch,
+            kind=classification.kind,
+            shards_recomputed=stats.shards_run,
+            shards_reused=stats.shards_skipped,
+            dirty_prefixes=len(classification.dirty_prefixes),
+            sequential_fallback=stats.sequential_fallback,
+            reachable_pairs=len(view.pairs),
+            lost_pairs=(
+                tuple(sorted(previous.pairs - view.pairs))
+                if previous is not None
+                else ()
+            ),
+            gained_pairs=(
+                tuple(sorted(view.pairs - previous.pairs))
+                if previous is not None
+                else ()
+            ),
+        )
+
+    def _prepare_incremental(
+        self,
+        new_snapshot: Snapshot,
+        classification: DeltaClassification,
+        epoch: int,
+    ) -> int:
+        """Announce-only path: carry clean shards over, recompute dirty.
+
+        Returns the number of shards carried over (also visible as the
+        new CPO's ``shards_skipped``).
+        """
+        opts = self.options
+        controller = self._controller
+        store = controller.store
+        old_manifest = controller.manifest
+        old_fingerprints = (
+            dict(old_manifest.shard_fingerprints)
+            if old_manifest is not None
+            else {}
+        )
+        new_shards = (
+            make_shards(new_snapshot, opts.num_shards, seed=opts.seed)
+            if opts.num_shards and opts.num_shards > 1
+            else []
+        )
+        # Same topology and partition: rebuild only the changed hosts'
+        # router models, seeding the new epoch in the same RPC.
+        controller.rebind_snapshot(
+            new_snapshot, classification.changed_hosts, epoch
+        )
+        controller.shards = new_shards
+        # A new shard is *clean* when it holds no dirty prefix and its
+        # fingerprint matches a converged flush index of the old epoch.
+        dirty = classification.dirty_prefixes
+        carry: Dict[int, int] = {}
+        for shard in new_shards:
+            if shard.prefixes & dirty:
+                continue
+            fingerprint = shard.fingerprint()
+            for old_index_text, old_fp in old_fingerprints.items():
+                if old_fp != fingerprint:
+                    continue
+                old_index = int(old_index_text)
+                if old_manifest is not None and old_manifest.is_shard_done(
+                    old_index
+                ):
+                    carry[shard.index] = old_index
+                break
+        # Read the clean payloads out before the between-epoch reset; a
+        # shard with any file missing is recomputed instead.
+        payloads: Dict[int, Dict[int, bytes]] = {}
+        for new_index, old_index in list(carry.items()):
+            per_worker: Dict[int, bytes] = {}
+            for worker in controller.workers:
+                data = store.read_shard_payload(worker.worker_id, old_index)
+                if data is None:
+                    break
+                per_worker[worker.worker_id] = data
+            else:
+                payloads[new_index] = per_worker
+                continue
+            del carry[new_index]
+        store.clear_shard_files()
+        for new_index, per_worker in payloads.items():
+            for worker_id, data in per_worker.items():
+                store.write_shard_payload(worker_id, new_index, data)
+        manifest = RunManifest(
+            options_hash=options_fingerprint(opts, new_snapshot),
+            seed=opts.seed,
+            num_workers=opts.num_workers,
+            num_shards=max(1, len(new_shards) or 1),
+            ospf_done=True,  # announce-only: the IGP result is unchanged
+            epoch=epoch,
+        )
+        for new_index in carry:
+            manifest.mark_shard(new_index)
+        manifest.shard_fingerprints = {
+            str(shard.index): shard.fingerprint() for shard in new_shards
+        }
+        store.write_manifest(manifest)
+        controller.make_cpo(manifest, epoch)
+        return len(carry)
+
+    def _prepare_full(self, new_snapshot: Snapshot, epoch: int) -> None:
+        """Topology/policy path: repartition, respawn, recompute all."""
+        opts = self.options
+        controller = self._controller
+        controller.reconfigure(new_snapshot, epoch)
+        controller.store.clear_run_state()
+        manifest = RunManifest(
+            options_hash=options_fingerprint(opts, new_snapshot),
+            seed=opts.seed,
+            num_workers=opts.num_workers,
+            num_shards=max(1, len(controller.shards) or 1),
+            epoch=epoch,
+        )
+        controller.store.write_manifest(manifest)
+        controller.make_cpo(manifest, epoch)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)  # drains queued deltas first
+        self._mutator.join(timeout=120)
+        try:
+            self._controller.close()
+        finally:
+            if self._owned_store:
+                shutil.rmtree(self.options.store_dir, ignore_errors=True)
+
+    def __enter__(self) -> "VerifierSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -23,7 +23,12 @@ EXAMPLES = [
     ("scale_out_study.py", ["recommendation:"]),
     (
         "link_failure_sweep.py",
-        ["safe to lose", "single point of failure"],
+        [
+            "safe to lose",
+            "single point of failure",
+            "counterexample at epoch",
+            "resident sweep verdict",
+        ],
     ),
 ]
 

@@ -1,0 +1,188 @@
+"""Warm boot over a damaged store degrades to a cold start, typed.
+
+The two-phase commit (manifest, then ``EPOCH`` tag) means a store is
+trustworthy only when the pair agrees and both parse.  Each kind of
+damage must surface as a *typed* error — :class:`CorruptShardError` for
+unparsable files, :class:`EpochMismatchError` for a torn commit — and
+:class:`VerifierSession` must respond by falling back to a cold start
+(recording why), never by serving stale or torn state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.config.loader import snapshot_from_texts
+from repro.dataplane.queries import Query
+from repro.dist.controller import S2Controller, S2Options
+from repro.dist.storage import (
+    CorruptShardError,
+    EpochMismatchError,
+    RouteStore,
+)
+from repro.net.fattree import FatTreeSpec, render_configs
+from repro.serve import ConfigTextDelta, VerifierSession
+
+from tests.conftest import normalize_ribs
+
+NUM_WORKERS = 2
+NUM_SHARDS = 4
+
+
+def _options(store_dir, **overrides) -> S2Options:
+    defaults = dict(
+        num_workers=NUM_WORKERS,
+        num_shards=NUM_SHARDS,
+        store_dir=str(store_dir),
+        checkpoint=True,
+    )
+    defaults.update(overrides)
+    return S2Options(**defaults)
+
+
+@pytest.fixture(scope="module")
+def seeded(tmp_path_factory):
+    """A committed store at epoch 1, plus the snapshot it describes."""
+    texts = render_configs(FatTreeSpec(k=4))
+    snapshot = snapshot_from_texts(texts, name="ft4-resume")
+    host = sorted(
+        h
+        for h, (_d, t) in texts.items()
+        if any(
+            line.strip().startswith("network ")
+            for line in t.splitlines()
+        )
+    )[0]
+    dialect, text = texts[host]
+    lines = text.splitlines()
+    last_net = max(
+        i
+        for i, line in enumerate(lines)
+        if line.strip().startswith("network ")
+    )
+    lines.insert(last_net + 1, " network 203.0.113.0 mask 255.255.255.0")
+    delta = ConfigTextDelta(
+        hostname=host, text="\n".join(lines), dialect=dialect
+    )
+    store_dir = tmp_path_factory.mktemp("seed") / "store"
+    with VerifierSession(snapshot, _options(store_dir)) as session:
+        result = session.apply_delta(delta, timeout=300)
+        assert result.epoch == 1
+        final_snapshot = session.snapshot
+        view = session.reachability()
+        expected = (normalize_ribs(view.ribs), view.pairs)
+    return str(store_dir), final_snapshot, expected
+
+
+@pytest.fixture
+def store_copy(seeded, tmp_path):
+    """A private copy of the committed store, safe to damage."""
+    store_dir, final_snapshot, expected = seeded
+    copy = tmp_path / "store"
+    shutil.copytree(store_dir, copy)
+    return str(copy), final_snapshot, expected
+
+
+def _boot(store_dir, snapshot, **overrides) -> VerifierSession:
+    return VerifierSession(snapshot, _options(store_dir, **overrides))
+
+
+def _assert_serves_expected(session, expected) -> None:
+    ribs, pairs = expected
+    view = session.reachability()
+    assert normalize_ribs(view.ribs) == ribs
+    assert view.pairs == pairs
+
+
+# -- the happy path ---------------------------------------------------------
+
+
+def test_warm_boot_adopts_the_committed_epoch(store_copy):
+    store_dir, snapshot, expected = store_copy
+    with _boot(store_dir, snapshot) as session:
+        assert session.warm_booted
+        assert session.boot_fallback is None
+        assert session.epoch == 1
+        assert session.health()["warm_boot"]
+        _assert_serves_expected(session, expected)
+
+
+# -- typed damage at the storage layer --------------------------------------
+
+
+def test_corrupt_manifest_raises_typed_error(store_copy):
+    store_dir, _snapshot, _expected = store_copy
+    store = RouteStore(store_dir)
+    with open(store.manifest_path, "w", encoding="utf-8") as handle:
+        handle.write('{"truncated": ')
+    with pytest.raises(CorruptShardError):
+        store.read_manifest()
+
+
+def test_corrupt_epoch_tag_raises_typed_error(store_copy):
+    store_dir, _snapshot, _expected = store_copy
+    store = RouteStore(store_dir)
+    with open(store.epoch_tag_path, "w", encoding="utf-8") as handle:
+        handle.write("not json at all")
+    with pytest.raises(CorruptShardError):
+        store.read_epoch_tag()
+    with open(store.epoch_tag_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"epoch": "one"}))
+    with pytest.raises(CorruptShardError):
+        store.read_epoch_tag()
+
+
+# -- the session falls back to a cold start ---------------------------------
+
+
+def test_corrupt_manifest_falls_back_to_cold_start(store_copy):
+    store_dir, snapshot, expected = store_copy
+    store = RouteStore(store_dir)
+    with open(store.manifest_path, "w", encoding="utf-8") as handle:
+        handle.write("{[garbage")
+    with _boot(store_dir, snapshot) as session:
+        assert not session.warm_booted
+        assert "CorruptShardError" in session.boot_fallback
+        assert session.health()["boot_fallback"] == session.boot_fallback
+        assert session.epoch == 0  # a fresh history, not the old one
+        _assert_serves_expected(session, expected)
+
+
+def test_epoch_tag_mismatch_falls_back_to_cold_start(store_copy):
+    """A torn commit: the manifest advanced but the tag did not (or
+    vice versa).  The RIB files cannot be trusted."""
+    store_dir, snapshot, expected = store_copy
+    RouteStore(store_dir).write_epoch_tag(99)
+    with _boot(store_dir, snapshot) as session:
+        assert not session.warm_booted
+        assert "EpochMismatchError" in session.boot_fallback
+        _assert_serves_expected(session, expected)
+
+
+def test_missing_epoch_tag_falls_back_to_cold_start(store_copy):
+    store_dir, snapshot, expected = store_copy
+    os.unlink(RouteStore(store_dir).epoch_tag_path)
+    with _boot(store_dir, snapshot) as session:
+        assert not session.warm_booted
+        assert "EpochMismatchError" in session.boot_fallback
+        _assert_serves_expected(session, expected)
+
+
+def test_incompatible_options_fall_back_to_cold_start(store_copy):
+    store_dir, snapshot, expected = store_copy
+    with _boot(store_dir, snapshot, num_workers=3) as session:
+        assert not session.warm_booted
+        assert session.boot_fallback is not None
+        _assert_serves_expected(session, expected)
+
+
+def test_empty_store_is_a_plain_cold_start(tmp_path, store_copy):
+    _store, snapshot, expected = store_copy
+    with _boot(tmp_path / "fresh", snapshot) as session:
+        assert not session.warm_booted
+        assert session.boot_fallback is None  # nothing there ≠ damage
+        _assert_serves_expected(session, expected)

@@ -1,0 +1,239 @@
+"""The line-JSON TCP surface of ``repro serve``.
+
+End-to-end over real sockets where the wire matters (health, query,
+delta, stop round-trips; concurrent connections), and directly against
+``SessionServer.handle`` for the error-mapping table (busy/degraded/
+closed/bad-request are typed refusals, not stack traces).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.config.loader import snapshot_from_texts
+from repro.dist.controller import S2Options
+from repro.net.fattree import FatTreeSpec, render_configs
+from repro.serve import (
+    DeltaError,
+    SessionBusyError,
+    SessionDegradedError,
+    SessionServer,
+    VerifierSession,
+    parse_delta,
+)
+from repro.serve.deltas import ConfigTextDelta, LinkDelta
+
+
+@pytest.fixture(scope="module")
+def ft4_texts():
+    return render_configs(FatTreeSpec(k=4))
+
+
+@pytest.fixture(scope="module")
+def served(ft4_texts):
+    """One session + server shared by the module; tests that mutate do
+    so with config no-ops (same text re-applied), which bump the epoch
+    without changing verdicts."""
+    snapshot = snapshot_from_texts(ft4_texts, name="ft4-api")
+    session = VerifierSession(
+        snapshot, S2Options(num_workers=2, num_shards=4)
+    )
+    server = SessionServer(session)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield session, server
+    finally:
+        server.stop()
+        thread.join(timeout=10)
+        session.close()
+
+
+def _roundtrip(server: SessionServer, *requests):
+    """Send JSON lines over a real socket, one response per request."""
+    responses = []
+    with socket.create_connection(
+        (server.host, server.port), timeout=60
+    ) as conn:
+        reader = conn.makefile("r", encoding="utf-8")
+        for request in requests:
+            line = (
+                request
+                if isinstance(request, str)
+                else json.dumps(request)
+            )
+            conn.sendall((line + "\n").encode("utf-8"))
+            responses.append(json.loads(reader.readline()))
+    return responses
+
+
+# -- parse_delta ------------------------------------------------------------
+
+
+def test_parse_delta_builds_typed_deltas():
+    config = parse_delta(
+        {"kind": "config", "hostname": "edge-0-0", "text": "hostname x"}
+    )
+    assert isinstance(config, ConfigTextDelta)
+    link = parse_delta({"kind": "link", "a": "x", "b": "y"})
+    assert isinstance(link, LinkDelta) and not link.up
+    up = parse_delta({"kind": "link", "a": "x", "b": "y", "state": "up"})
+    assert up.up
+    for bad in (
+        {"kind": "config", "hostname": "x"},  # no text
+        {"kind": "link", "a": "x"},  # no b
+        {"kind": "link", "a": "x", "b": "y", "state": "sideways"},
+        {"kind": "flap"},
+        {},
+    ):
+        with pytest.raises(DeltaError):
+            parse_delta(bad)
+
+
+# -- the wire ---------------------------------------------------------------
+
+
+def test_health_and_query_over_the_wire(served):
+    session, server = served
+    (health,) = _roundtrip(server, {"op": "health"})
+    assert health["ok"]
+    assert health["status"] in ("serving", "recomputing")
+    assert health["snapshot"] == "ft4-api"
+    view = session.reachability()
+    src, dst = sorted(view.endpoints)[:2]
+    query, routes = _roundtrip(
+        server,
+        {"op": "query", "src": src, "dst": dst},
+        {"op": "routes", "node": src},
+    )
+    assert query["ok"]
+    assert query["holds"] == ((src, dst) in view.pairs)
+    assert not query["degraded"]
+    assert routes["ok"] and routes["routes"]
+
+
+def test_delta_over_the_wire_commits_an_epoch(served, ft4_texts):
+    session, server = served
+    host = sorted(
+        h
+        for h, (_d, t) in ft4_texts.items()
+        if any(
+            l.strip().startswith("network ") for l in t.splitlines()
+        )
+    )[0]
+    dialect, text = ft4_texts[host]
+    before = session.epoch
+    (response,) = _roundtrip(
+        server,
+        {
+            "op": "delta",
+            "kind": "config",
+            "hostname": host,
+            "text": text,
+            "dialect": dialect,
+            "timeout": 300,
+        },
+    )
+    assert response["ok"]
+    assert response["epoch"] == before + 1
+    assert response["kind"] == "announce"
+    assert response["shards_recomputed"] == 0
+    assert response["lost_pairs"] == []
+    assert session.epoch == before + 1
+
+
+def test_bad_requests_are_typed_refusals(served):
+    _session, server = served
+    not_json, not_object, no_op, bad_kind, bad_node = _roundtrip(
+        server,
+        "this is not json",
+        json.dumps(["a", "list"]),
+        {"op": "transmogrify"},
+        {"op": "delta", "kind": "flap"},
+        {"op": "routes", "node": "no-such-node"},
+    )
+    for response in (not_json, not_object, no_op, bad_kind, bad_node):
+        assert not response["ok"]
+        assert response["error"] == "bad-request"
+
+
+def test_concurrent_connections_each_get_their_answers(served):
+    session, server = served
+    view = session.reachability()
+    src, dst = sorted(view.endpoints)[:2]
+    results = []
+    errors = []
+
+    def client():
+        try:
+            results.append(
+                _roundtrip(
+                    server,
+                    {"op": "health"},
+                    {"op": "query", "src": src, "dst": dst},
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 — surfaced via errors
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors
+    assert len(results) == 4
+    for health, query in results:
+        assert health["ok"] and query["ok"]
+
+
+# -- error mapping (handle(), no sockets) -----------------------------------
+
+
+def _erroring_server(served, exc):
+    session, _server = served
+    server = SessionServer.__new__(SessionServer)
+    server.session = session
+
+    def raise_it(_delta, timeout=None):
+        raise exc
+
+    server.session = type(
+        "S", (), {"apply_delta": staticmethod(raise_it)}
+    )()
+    return server
+
+
+def test_handle_maps_session_errors_to_codes(served):
+    request = {"op": "delta", "kind": "link", "a": "x", "b": "y"}
+    for exc, code in (
+        (SessionBusyError("queue full"), "busy"),
+        (SessionDegradedError("read-only"), "degraded"),
+        (DeltaError("nope"), "bad-request"),
+        (RuntimeError("boom"), "internal"),
+    ):
+        response = _erroring_server(served, exc).handle(request)
+        assert not response["ok"]
+        assert response["error"] == code
+
+
+def test_stop_over_the_wire_shuts_the_server_down(ft4_texts):
+    snapshot = snapshot_from_texts(ft4_texts, name="ft4-stop")
+    with VerifierSession(
+        snapshot, S2Options(num_workers=2, num_shards=2)
+    ) as session:
+        server = SessionServer(session)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        (ack,) = _roundtrip(server, {"op": "stop"})
+        assert ack["ok"] and ack["stopping"]
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        with pytest.raises(OSError):
+            socket.create_connection(
+                (server.host, server.port), timeout=5
+            )

@@ -1,0 +1,154 @@
+"""Delta-equivalence under chaos: the serve-mode oracle.
+
+A resident session absorbing deltas while the transport misbehaves —
+sampled partitions, torn frames, reorders, crashes — plus one worker
+process force-killed between epochs, must end bit-identical to a cold
+start at the final configuration: same RIBs, same reachability
+verdicts.  Anything less means a fault leaked into the results instead
+of being healed by the epoch fence and supervisor recovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.loader import snapshot_from_texts
+from repro.dataplane.queries import Query
+from repro.dist.controller import S2Controller, S2Options
+from repro.dist.faults import sample_serve_plan
+from repro.net.fattree import FatTreeSpec, render_configs
+from repro.serve import ConfigTextDelta, LinkDelta, VerifierSession
+
+from tests.conftest import normalize_ribs
+
+NUM_WORKERS = 3
+NUM_SHARDS = 8
+
+
+@pytest.fixture(scope="module")
+def ft4_texts():
+    return render_configs(FatTreeSpec(k=4))
+
+
+@pytest.fixture(scope="module")
+def ft4(ft4_texts):
+    return snapshot_from_texts(ft4_texts, name="ft4-chaos")
+
+
+def _announce_delta(ft4_texts):
+    host = sorted(
+        h
+        for h, (_d, t) in ft4_texts.items()
+        if any(
+            line.strip().startswith("network ")
+            for line in t.splitlines()
+        )
+    )[0]
+    dialect, text = ft4_texts[host]
+    lines = text.splitlines()
+    last_net = max(
+        i
+        for i, line in enumerate(lines)
+        if line.strip().startswith("network ")
+    )
+    lines.insert(last_net + 1, " network 203.0.113.0 mask 255.255.255.0")
+    return ConfigTextDelta(
+        hostname=host, text="\n".join(lines), dialect=dialect
+    )
+
+
+def _oracle(snapshot):
+    with S2Controller(
+        snapshot, S2Options(num_workers=NUM_WORKERS, num_shards=NUM_SHARDS)
+    ) as controller:
+        controller.run_control_plane()
+        endpoints = tuple(controller.prefix_holders())
+        result = controller.checker().check_reachability(
+            Query(sources=endpoints, destinations=endpoints)
+        )
+        return (
+            normalize_ribs(controller.collected_ribs()),
+            frozenset(result.pairs()),
+        )
+
+
+def _drive(session, ft4, ft4_texts, kill_worker: bool) -> None:
+    """The delta schedule: announce, link down, (kill), link up."""
+    link = next(iter(ft4.topology.links()))
+    a, b = link.a.node, link.b.node
+    result = session.apply_delta(_announce_delta(ft4_texts), timeout=300)
+    assert result.kind == "announce"
+    result = session.apply_delta(LinkDelta(a=a, b=b), timeout=300)
+    assert result.kind == "full"
+    if kill_worker:
+        # A hard kill *between* epochs: no shard in flight, so the
+        # death first surfaces when the next delta fans out and must
+        # be healed there (respawn + checkpoint + epoch re-seed).
+        session._controller._pool.proxies[1]._process.kill()
+    result = session.apply_delta(LinkDelta(a=a, b=b, up=True), timeout=300)
+    assert result.kind == "full"
+
+
+def _assert_final_state(session) -> None:
+    oracle_ribs, oracle_pairs = _oracle(session.snapshot)
+    view = session.reachability()
+    assert view.pairs == oracle_pairs
+    assert normalize_ribs(view.ribs) == oracle_ribs
+    assert not session.degraded
+    assert session.health()["status"] == "serving"
+    assert session.epoch == 3
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_socket_session_under_sampled_chaos(ft4, ft4_texts, seed):
+    """Sampled network faults + a forced worker kill across three
+    epochs over real TCP: final state equals the cold start."""
+    plan = sample_serve_plan(seed, NUM_WORKERS)
+    options = S2Options(
+        num_workers=NUM_WORKERS,
+        num_shards=NUM_SHARDS,
+        runtime="socket",
+        fault_plan=plan,
+    )
+    with VerifierSession(ft4, options) as session:
+        _drive(session, ft4, ft4_texts, kill_worker=True)
+        assert session._controller.supervisor.recoveries >= 1
+        _assert_final_state(session)
+    fired = sum(
+        plan.count(kind)
+        for kind in ("partition", "torn_frame", "reorder", "slow_link",
+                     "crash")
+    )
+    assert fired >= 1, "the sampled plan never injected anything"
+
+
+def test_process_session_survives_worker_kill(ft4, ft4_texts):
+    options = S2Options(
+        num_workers=NUM_WORKERS, num_shards=NUM_SHARDS, runtime="process"
+    )
+    with VerifierSession(ft4, options) as session:
+        _drive(session, ft4, ft4_texts, kill_worker=True)
+        assert session._controller.supervisor.recoveries >= 1
+        _assert_final_state(session)
+
+
+def test_socket_session_kill_during_incremental_delta(ft4, ft4_texts):
+    """The kill lands before an *announce* delta: the respawn must be
+    re-seeded from the new snapshot (not boot-time configure args) and
+    fenced into the new epoch before its dirty shards replay."""
+    options = S2Options(
+        num_workers=NUM_WORKERS, num_shards=NUM_SHARDS, runtime="socket"
+    )
+    with VerifierSession(ft4, options) as session:
+        session._controller._pool.proxies[0]._process.kill()
+        result = session.apply_delta(
+            _announce_delta(ft4_texts), timeout=300
+        )
+        assert result.kind == "announce"
+        assert result.shards_reused >= 1
+        assert session._controller.supervisor.recoveries >= 1
+        oracle_ribs, oracle_pairs = _oracle(session.snapshot)
+        view = session.reachability()
+        assert view.pairs == oracle_pairs
+        assert normalize_ribs(view.ribs) == oracle_ribs
+        assert not session.degraded

@@ -1,0 +1,412 @@
+"""The resident verifier behind ``repro serve``.
+
+The central claims under test:
+
+* **Delta equivalence** — a session that absorbs config/link deltas
+  produces bit-identical RIBs and reachability verdicts to a cold-start
+  run of the final snapshot, whether the delta took the incremental
+  (announce-only) or the full-recompute path.
+* **Incrementality** — a single-device announce delta recomputes
+  strictly fewer shards than the full run, carrying converged clean
+  shards across the epoch by fingerprint.
+* **Self-healing** — a worker holding a stale epoch is rejected by the
+  ``begin_shard`` fence and recovered; queries during a recompute read
+  the previous committed epoch; a full admission queue sheds load with
+  a typed refusal; a terminal recompute failure degrades the session to
+  read-only instead of corrupting it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config.loader import snapshot_from_texts
+from repro.dataplane.queries import Query
+from repro.dist.controller import S2Controller, S2Options
+from repro.net.fattree import FatTreeSpec, render_configs
+from repro.serve import (
+    ConfigTextDelta,
+    DeltaError,
+    LinkDelta,
+    SessionBusyError,
+    SessionDegradedError,
+    UnknownEndpointError,
+    VerifierSession,
+)
+
+from tests.conftest import normalize_ribs
+
+NUM_WORKERS = 2
+NUM_SHARDS = 8
+
+
+def _options(**overrides) -> S2Options:
+    defaults = dict(num_workers=NUM_WORKERS, num_shards=NUM_SHARDS)
+    defaults.update(overrides)
+    return S2Options(**defaults)
+
+
+@pytest.fixture(scope="module")
+def ft4_texts():
+    return render_configs(FatTreeSpec(k=4))
+
+
+@pytest.fixture(scope="module")
+def ft4(ft4_texts):
+    return snapshot_from_texts(ft4_texts, name="ft4-serve")
+
+
+@pytest.fixture(scope="module")
+def announce_host(ft4_texts):
+    """The first device that actually announces networks (an edge
+    switch — agg/core have no ``network`` statements)."""
+    return sorted(
+        host
+        for host, (_dialect, text) in ft4_texts.items()
+        if any(
+            line.strip().startswith("network ")
+            for line in text.splitlines()
+        )
+    )[0]
+
+
+def _with_extra_network(text: str) -> str:
+    """The device's config with one more announced network."""
+    lines = text.splitlines()
+    last_net = max(
+        index
+        for index, line in enumerate(lines)
+        if line.strip().startswith("network ")
+    )
+    lines.insert(last_net + 1, " network 203.0.113.0 mask 255.255.255.0")
+    return "\n".join(lines)
+
+
+def _without_networks(text: str) -> str:
+    return "\n".join(
+        line
+        for line in text.splitlines()
+        if not line.strip().startswith("network ")
+    )
+
+
+def _oracle(snapshot):
+    """Cold-start RIBs + reachability pairs for ``snapshot``."""
+    with S2Controller(snapshot, _options()) as controller:
+        controller.run_control_plane()
+        endpoints = tuple(controller.prefix_holders())
+        result = controller.checker().check_reachability(
+            Query(sources=endpoints, destinations=endpoints)
+        )
+        return (
+            normalize_ribs(controller.collected_ribs()),
+            frozenset(result.pairs()),
+        )
+
+
+def _assert_equivalent(session: VerifierSession) -> None:
+    """The session's committed view matches a cold start of its
+    current snapshot, bit for bit."""
+    oracle_ribs, oracle_pairs = _oracle(session.snapshot)
+    view = session.reachability()
+    assert normalize_ribs(view.ribs) == oracle_ribs
+    assert view.pairs == oracle_pairs
+
+
+# -- boot and reads ---------------------------------------------------------
+
+
+def test_cold_boot_serves_cold_start_verdicts(ft4):
+    with VerifierSession(ft4, _options()) as session:
+        health = session.health()
+        assert health["status"] == "serving"
+        assert health["epoch"] == 0
+        assert not health["warm_boot"]
+        _assert_equivalent(session)
+        view = session.reachability()
+        src, dst = sorted(view.endpoints)[:2]
+        result = session.query(src, dst)
+        assert result.holds == ((src, dst) in view.pairs)
+        assert result.epoch == 0
+        assert not result.degraded
+        routes = session.routes(src)
+        assert routes and all(count >= 1 for count in routes.values())
+
+
+def test_unknown_endpoint_is_a_typed_refusal(ft4):
+    with VerifierSession(ft4, _options()) as session:
+        with pytest.raises(UnknownEndpointError):
+            session.query("no-such-node", "also-missing")
+        with pytest.raises(UnknownEndpointError):
+            session.routes("no-such-node")
+
+
+# -- the incremental path ---------------------------------------------------
+
+
+def test_announce_delta_recomputes_strictly_fewer_shards(
+    ft4, ft4_texts, announce_host
+):
+    """The acceptance criterion: one device's announce change recomputes
+    only the dirty shards — strictly fewer than the full run — and the
+    result is bit-identical to a cold start of the new snapshot."""
+    dialect, text = ft4_texts[announce_host]
+    with VerifierSession(ft4, _options()) as session:
+        total = len(session._controller.shards)
+        result = session.apply_delta(
+            ConfigTextDelta(
+                hostname=announce_host,
+                text=_with_extra_network(text),
+                dialect=dialect,
+            ),
+            timeout=300,
+        )
+        assert result.kind == "announce"
+        assert result.epoch == 1
+        assert result.dirty_prefixes >= 1
+        assert 1 <= result.shards_recomputed < total
+        assert result.shards_reused >= 1
+        assert result.shards_recomputed + result.shards_reused == len(
+            session._controller.shards
+        )
+        assert not result.sequential_fallback
+        _assert_equivalent(session)
+
+
+def test_withdraw_delta_loses_pairs_and_stays_equivalent(
+    ft4, ft4_texts, announce_host
+):
+    dialect, text = ft4_texts[announce_host]
+    with VerifierSession(ft4, _options()) as session:
+        before = session.reachability()
+        result = session.apply_delta(
+            ConfigTextDelta(
+                hostname=announce_host,
+                text=_without_networks(text),
+                dialect=dialect,
+            ),
+            timeout=300,
+        )
+        assert result.kind == "announce"
+        # The host stopped announcing: every pair involving it is gone.
+        assert result.lost_pairs
+        assert all(
+            announce_host in pair for pair in result.lost_pairs
+        )
+        assert announce_host not in session.reachability().endpoints
+        assert announce_host in before.endpoints
+        _assert_equivalent(session)
+
+
+def test_reapplying_the_same_config_is_a_cheap_epoch(
+    ft4, ft4_texts, announce_host
+):
+    dialect, text = ft4_texts[announce_host]
+    with VerifierSession(ft4, _options()) as session:
+        before = session.reachability()
+        result = session.apply_delta(
+            ConfigTextDelta(
+                hostname=announce_host, text=text, dialect=dialect
+            ),
+            timeout=300,
+        )
+        assert result.kind == "announce"
+        assert result.shards_recomputed == 0
+        assert result.dirty_prefixes == 0
+        assert not result.lost_pairs and not result.gained_pairs
+        after = session.reachability()
+        assert after.epoch == 1
+        assert after.pairs == before.pairs
+        assert normalize_ribs(after.ribs) == normalize_ribs(before.ribs)
+
+
+# -- the full-recompute path ------------------------------------------------
+
+
+def test_link_down_then_up_round_trips(ft4):
+    link = next(iter(ft4.topology.links()))
+    a, b = link.a.node, link.b.node
+    with VerifierSession(ft4, _options()) as session:
+        baseline = session.reachability()
+        down = session.apply_delta(LinkDelta(a=a, b=b), timeout=300)
+        assert down.kind == "full"
+        assert down.epoch == 1
+        _assert_equivalent(session)
+        up = session.apply_delta(LinkDelta(a=a, b=b, up=True), timeout=300)
+        assert up.kind == "full"
+        assert up.epoch == 2
+        after = session.reachability()
+        assert after.pairs == baseline.pairs
+        assert normalize_ribs(after.ribs) == normalize_ribs(baseline.ribs)
+
+
+def test_unknown_link_is_rejected_without_degrading(ft4):
+    with VerifierSession(ft4, _options()) as session:
+        with pytest.raises(DeltaError):
+            session.apply_delta(
+                LinkDelta(a="nope-0", b="nope-1"), timeout=300
+            )
+        assert not session.degraded
+        assert session.health()["status"] == "serving"
+        assert session.epoch == 0
+
+
+def test_wrong_hostname_in_config_delta_is_rejected(
+    ft4, ft4_texts, announce_host
+):
+    _dialect, text = ft4_texts[announce_host]
+    with VerifierSession(ft4, _options()) as session:
+        with pytest.raises(DeltaError):
+            session.apply_delta(
+                ConfigTextDelta(hostname="not-in-snapshot", text=text),
+                timeout=300,
+            )
+        assert session.health()["status"] == "serving"
+
+
+# -- self-healing -----------------------------------------------------------
+
+
+def test_stale_epoch_worker_is_fenced_and_recovered(ft4):
+    """A worker that misses the epoch seed (here: its ``begin_epoch``
+    drops the first call) is rejected by the ``begin_shard`` fence,
+    routed through supervisor recovery, re-seeded, and the shard
+    replays — with verdicts identical to the healthy run."""
+    link = next(iter(ft4.topology.links()))
+    with VerifierSession(ft4, _options()) as session:
+        worker = session._controller.workers[1]
+        real_begin_epoch = worker.begin_epoch
+        dropped = []
+
+        def drop_first_seed(epoch):
+            if not dropped:
+                dropped.append(epoch)
+                return None
+            return real_begin_epoch(epoch)
+
+        worker.begin_epoch = drop_first_seed
+        result = session.apply_delta(
+            LinkDelta(a=link.a.node, b=link.b.node), timeout=300
+        )
+        supervisor = session._controller.supervisor
+        assert dropped, "the faulty seed never fired"
+        assert supervisor.stale_epoch_rejections >= 1
+        assert supervisor.recoveries >= 1
+        assert result.epoch == 1
+        assert not session.degraded
+        _assert_equivalent(session)
+
+
+def test_queries_read_the_committed_epoch_during_recompute(
+    ft4, ft4_texts, announce_host
+):
+    dialect, text = ft4_texts[announce_host]
+    with VerifierSession(ft4, _options()) as session:
+        controller = session._controller
+        entered = threading.Event()
+        release = threading.Event()
+        real_run = controller.run_control_plane
+
+        def paused_run():
+            entered.set()
+            assert release.wait(timeout=60)
+            return real_run()
+
+        controller.run_control_plane = paused_run
+        view = session.reachability()
+        src, dst = sorted(view.endpoints)[:2]
+        future = session.submit_delta(
+            ConfigTextDelta(
+                hostname=announce_host,
+                text=_with_extra_network(text),
+                dialect=dialect,
+            )
+        )
+        assert entered.wait(timeout=60)
+        # Mid-recompute: reads are served from epoch 0, untorn.
+        mid = session.query(src, dst)
+        assert mid.epoch == 0
+        assert session.health()["status"] == "recomputing"
+        release.set()
+        result = future.result(timeout=300)
+        assert result.epoch == 1
+        assert session.query(src, dst).epoch == 1
+
+
+def test_full_admission_queue_sheds_with_busy(
+    ft4, ft4_texts, announce_host
+):
+    dialect, text = ft4_texts[announce_host]
+
+    def delta():
+        return ConfigTextDelta(
+            hostname=announce_host, text=text, dialect=dialect
+        )
+
+    with VerifierSession(ft4, _options(), queue_limit=1) as session:
+        gate = threading.Event()
+        real_apply = session._apply
+
+        def gated_apply(item):
+            assert gate.wait(timeout=60)
+            return real_apply(item)
+
+        session._apply = gated_apply
+        first = session.submit_delta(delta())
+        # Wait for the mutator to take the first delta off the queue,
+        # then fill the single admission slot.
+        deadline = threading.Event()
+        for _ in range(600):
+            if session._queue.empty():
+                break
+            deadline.wait(0.05)
+        assert session._queue.empty()
+        second = session.submit_delta(delta())
+        with pytest.raises(SessionBusyError):
+            session.submit_delta(delta())
+        gate.set()
+        assert first.result(timeout=300).epoch == 1
+        assert second.result(timeout=300).epoch == 2
+
+
+def test_terminal_failure_degrades_to_read_only(
+    ft4, ft4_texts, announce_host
+):
+    """When the degradation ladder is exhausted the session turns
+    read-only on the previous epoch instead of serving torn state."""
+    dialect, text = ft4_texts[announce_host]
+    with VerifierSession(ft4, _options()) as session:
+        view = session.reachability()
+        src, dst = sorted(view.endpoints)[:2]
+        expected = session.query(src, dst).holds
+
+        def explode():
+            raise RuntimeError("data plane rebuild failed terminally")
+
+        session._controller.rebuild_data_plane = explode
+        with pytest.raises(RuntimeError):
+            session.apply_delta(
+                ConfigTextDelta(
+                    hostname=announce_host,
+                    text=_with_extra_network(text),
+                    dialect=dialect,
+                ),
+                timeout=300,
+            )
+        health = session.health()
+        assert health["status"] == "degraded"
+        assert "RuntimeError" in health["degraded_reason"]
+        # Reads keep answering from the last committed epoch...
+        result = session.query(src, dst)
+        assert result.epoch == 0
+        assert result.holds == expected
+        assert result.degraded
+        # ...and writes are refused with the typed error.
+        with pytest.raises(SessionDegradedError):
+            session.submit_delta(
+                ConfigTextDelta(
+                    hostname=announce_host, text=text, dialect=dialect
+                )
+            )
