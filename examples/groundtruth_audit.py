@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Ground-truth audit: concrete packets judging the symbolic verifier.
+
+Builds a 2-datacenter folded Clos (three ECMP tiers, inter-DC paths),
+verifies it with the distributed pipeline, then replays the verdicts
+with `repro.groundtruth`: witness packets sampled from every reachable
+pair must *actually arrive* when walked hop-by-hop through the computed
+FIBs — by a walker that shares no code with the BDD engine — and
+near-miss packets from just outside each destination prefix must not.
+Finally it corrupts one FIB to show what a detection looks like.
+
+Run:  python examples/groundtruth_audit.py
+"""
+
+from repro import S2Options, S2Verifier
+from repro.dataplane.verifier import verifier_from_ribs
+from repro.groundtruth import audit_verifier
+from repro.net.folded_clos import build_folded_clos
+
+snapshot = build_folded_clos(dcs=2, pods=2, leaves=2, spines=2)
+print(f"synthesized {snapshot.name}: {len(snapshot)} switches, "
+      f"{len(list(snapshot.topology.links()))} links, 2 datacenters")
+
+options = S2Options(num_workers=4, num_shards=4)
+with S2Verifier(snapshot, options) as verifier:
+    result = verifier.verify()
+    print(result.summary())
+    ribs = verifier.collected_ribs()
+
+# Walk the *distributed* run's FIBs with concrete packets.
+dpv = verifier_from_ribs(snapshot, ribs)
+report = audit_verifier(dpv, seed=0, witnesses=2, near_misses=2)
+print(f"\nground-truth audit: {report.summary()}")
+assert report.ok
+
+# What a real disagreement looks like: blank one leaf's FIB after the
+# symbolic verdicts are computed and audit again.
+victim = dpv.prefix_holders()[0]
+dpv.compile_predicates()
+
+
+class EmptyFib:
+    def entries(self):
+        return []
+
+
+dpv.fibs[victim] = EmptyFib()
+broken = audit_verifier(dpv, seed=0, witnesses=1, near_misses=1)
+print(f"\nafter blanking {victim}'s FIB: {broken.summary()}")
+print("first mismatch with its minimal hop trace:")
+print(f"  {broken.mismatches[0].describe()}")
+assert not broken.ok

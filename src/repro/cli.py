@@ -44,16 +44,37 @@ def _load(args) -> Snapshot:
         from .net.dcn import build_dcn
 
         return build_dcn(scale=args.scale)
+    if args.snapshot == "folded-clos":
+        from .net.folded_clos import build_folded_clos
+
+        return build_folded_clos(
+            dcs=args.dcs,
+            pods=args.pods,
+            leaves=args.leaves,
+            spines=args.spines,
+            fanout=args.fanout,
+        )
     return load_snapshot_dir(args.snapshot)
 
 
 def _add_snapshot_args(parser) -> None:
     parser.add_argument(
         "snapshot",
-        help="snapshot directory, or 'fattree' / 'dcn' to synthesize",
+        help="snapshot directory, or 'fattree' / 'dcn' / 'folded-clos' "
+        "to synthesize",
     )
     parser.add_argument("--k", type=int, default=4, help="FatTree pods")
     parser.add_argument("--scale", type=int, default=1, help="DCN scale")
+    parser.add_argument("--dcs", type=int, default=2,
+                        help="folded-Clos datacenters")
+    parser.add_argument("--pods", type=int, default=2,
+                        help="folded-Clos pods per DC")
+    parser.add_argument("--leaves", type=int, default=2,
+                        help="folded-Clos leaves per pod")
+    parser.add_argument("--spines", type=int, default=2,
+                        help="folded-Clos spines per pod")
+    parser.add_argument("--fanout", type=int, default=1,
+                        help="folded-Clos super-spines per plane")
 
 
 def cmd_verify(args) -> int:
@@ -153,6 +174,24 @@ def cmd_verify(args) -> int:
                 )
             )
         exit_code = 0 if result.ok else 1
+        if args.ground_truth and result.ok:
+            from .dataplane.verifier import verifier_from_ribs
+            from .groundtruth import audit_verifier
+
+            dpv = verifier_from_ribs(snapshot, verifier.collected_ribs())
+            gt = audit_verifier(dpv, seed=args.fault_seed)
+            print(gt.summary())
+            for mismatch in gt.mismatches[:10]:
+                print(f"  {mismatch.describe()}")
+            if args.ground_truth_report:
+                import json
+
+                with open(args.ground_truth_report, "w") as handle:
+                    json.dump(gt.to_dict(), handle, indent=2)
+                print(f"ground-truth report written to "
+                      f"{args.ground_truth_report}")
+            if not gt.ok:
+                exit_code = 1
     # Trace shards are merged (and the metrics file written) by
     # controller.close(), i.e. when the `with` block above exits.
     if args.trace_out:
@@ -291,6 +330,7 @@ def cmd_fuzz(args) -> int:
         faults_every = _every(args.faults_every, 10)
         dataplane_every = _every(args.dataplane_every, 15)
         socket_every = _every(args.socket_every, 30)
+        groundtruth_every = _every(args.groundtruth_every, 5)
     else:
         iterations = args.iterations if args.iterations is not None else 100
         profile = {
@@ -302,6 +342,7 @@ def cmd_fuzz(args) -> int:
         faults_every = _every(args.faults_every, 0)
         dataplane_every = _every(args.dataplane_every, 0)
         socket_every = _every(args.socket_every, 0)
+        groundtruth_every = _every(args.groundtruth_every, 0)
 
     started = time.perf_counter()
     failures = 0
@@ -319,6 +360,8 @@ def cmd_fuzz(args) -> int:
             include_socket=bool(socket_every) and i % socket_every == 0,
             check_dataplane=bool(dataplane_every)
             and i % dataplane_every == 0,
+            include_groundtruth=bool(groundtruth_every)
+            and i % groundtruth_every == 0,
             fault_seed=seed,
         )
         report = DifferentialOracle(plan).check(spec)
@@ -421,7 +464,10 @@ def cmd_serve(args) -> int:
         fault_plan=fault_plan,
     )
     session = VerifierSession(
-        snapshot, options, queue_limit=args.queue_limit
+        snapshot,
+        options,
+        queue_limit=args.queue_limit,
+        ground_truth_every=args.ground_truth_check,
     )
     server = SessionServer(session, host=host, port=port)
 
@@ -532,6 +578,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's metrics snapshot (counters/gauges/"
         "histograms plus per-worker telemetry) as JSON",
     )
+    verify.add_argument(
+        "--ground-truth",
+        action="store_true",
+        help="after verifying, walk sampled concrete packets through "
+        "the computed FIBs (no BDDs involved) and assert they agree "
+        "with the symbolic verdicts",
+    )
+    verify.add_argument(
+        "--ground-truth-report",
+        metavar="PATH",
+        help="write the ground-truth audit (counts + any mismatch "
+        "hop-traces) as JSON",
+    )
     verify.add_argument("-v", "--verbose", action="store_true")
     verify.set_defaults(func=cmd_verify)
 
@@ -632,6 +691,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="include the socket runtime (with a sampled "
                       "network-fault plan) every Nth iteration (0 = "
                       "never; default 0, or 30 with --smoke)")
+    fuzz.add_argument("--groundtruth-every", type=int, default=None,
+                      metavar="N",
+                      help="adjudicate verdicts with concrete packet "
+                      "walks over the computed FIBs every Nth iteration "
+                      "(0 = never; default 0, or 5 with --smoke)")
     fuzz.add_argument("--no-threaded", action="store_true",
                       help="skip the threaded-runtime variant")
     fuzz.add_argument("--fail-fast", action="store_true",
@@ -711,6 +775,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos for the serve loop (same specs as verify)",
     )
     serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument(
+        "--ground-truth-check",
+        type=int,
+        default=0,
+        metavar="N",
+        help="after every Nth committed epoch, spot-check the verdicts "
+        "with concrete packet walks over the committed FIBs (0 = off); "
+        "results appear in health and the serve.groundtruth_mismatches "
+        "gauge",
+    )
     serve.set_defaults(func=cmd_serve)
     return parser
 

@@ -151,3 +151,25 @@ class DataPlaneVerifier:
             nodes = self.prefix_holders()
         query = Query(sources=tuple(nodes), destinations=tuple(nodes))
         return self.check_reachability(query)
+
+
+def verifier_from_ribs(
+    snapshot: Snapshot, bgp_routes: BgpResult, **kwargs
+) -> DataPlaneVerifier:
+    """A DPV over externally-computed BGP RIBs (e.g. a distributed run's
+    :meth:`~repro.dist.controller.S2Controller.collected_ribs`).
+
+    The IGP result is a pure function of the snapshot, so it is recomputed
+    locally; the BGP routes — the part the distributed pipeline actually
+    computes differently — are taken as given.  This is how the
+    ground-truth oracle walks the FIBs a *distributed* run produced.
+    """
+    engine = SimulationEngine(snapshot)
+    engine.run_ospf()
+    return DataPlaneVerifier(
+        snapshot=snapshot,
+        bgp_routes=bgp_routes,
+        local_prefixes=engine.local_prefixes(),
+        main_routes=engine.main_routes(),
+        **kwargs,
+    )

@@ -41,6 +41,7 @@ class CorpusCase:
     profile: Dict = field(default_factory=dict)   # GeneratorProfile overrides
     spec: Optional[NetworkSpec] = None            # explicit shrunken spec
     expect: str = "equivalent"
+    metadata: Dict = field(default_factory=dict)  # e.g. ground-truth verdicts
     path: Optional[str] = None                    # where it was loaded from
 
     def resolve_spec(self) -> NetworkSpec:
@@ -65,6 +66,8 @@ class CorpusCase:
             data["profile"] = dict(self.profile)
         if self.spec is not None:
             data["spec"] = self.spec.to_dict()
+        if self.metadata:
+            data["metadata"] = dict(self.metadata)
         return data
 
     @classmethod
@@ -79,6 +82,7 @@ class CorpusCase:
             profile=data.get("profile", {}),
             spec=spec,
             expect=data.get("expect", "equivalent"),
+            metadata=data.get("metadata", {}),
             path=path,
         )
 

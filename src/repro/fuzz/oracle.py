@@ -168,6 +168,8 @@ class CheckPlan:
     include_socket: bool = False     # TCP workers + network faults (slow)
     fault_seed: int = 0
     check_dataplane: bool = False    # all-pair verdict comparison (slow)
+    include_groundtruth: bool = False  # concrete packet-walk adjudication
+    groundtruth_witnesses: int = 2   # packets sampled per verdict
     projection: RouteProjection = field(default_factory=RouteProjection)
     max_divergences: int = 25
 
@@ -323,6 +325,37 @@ class DifferentialOracle:
                 break
         return divergences
 
+    def _check_groundtruth(self, spec: NetworkSpec) -> List[Divergence]:
+        """Third adjudicator: concrete packet walks over the monolithic
+        FIBs must agree with the symbolic verdicts (no BDDs involved in
+        the walking — see :mod:`repro.groundtruth`)."""
+        from ..dataplane.verifier import DataPlaneVerifier
+        from ..groundtruth import audit_verifier
+
+        snapshot = build_snapshot(spec)
+        engine = SimulationEngine(snapshot)
+        routes = engine.run()
+        dpv = DataPlaneVerifier.from_simulation(engine, routes)
+        report = audit_verifier(
+            dpv,
+            seed=self.plan.seed,
+            witnesses=self.plan.groundtruth_witnesses,
+            near_misses=self.plan.groundtruth_witnesses,
+        )
+        divergences = []
+        for mismatch in report.mismatches[: self.plan.max_divergences]:
+            divergences.append(
+                Divergence(
+                    variant="groundtruth",
+                    kind="groundtruth",
+                    host=mismatch.source,
+                    prefix=mismatch.packet,
+                    expected=mismatch.expected,
+                    got=f"{mismatch.got}; {mismatch.trace}",
+                )
+            )
+        return divergences
+
     # -- entry point ------------------------------------------------------
 
     def check(self, spec: NetworkSpec) -> OracleReport:
@@ -383,7 +416,126 @@ class DifferentialOracle:
                         got=f"{type(exc).__name__}: {exc}",
                     )
                 )
+        if self.plan.include_groundtruth and not report.divergences:
+            try:
+                report.divergences.extend(self._check_groundtruth(spec))
+                report.variants_run.append("groundtruth")
+            except Exception as exc:  # noqa: BLE001
+                report.divergences.append(
+                    Divergence(
+                        variant="groundtruth",
+                        kind="error",
+                        got=f"{type(exc).__name__}: {exc}",
+                    )
+                )
         return report
+
+
+def adjudicate_groundtruth(
+    spec: NetworkSpec,
+    plan: Optional[CheckPlan] = None,
+    witnesses: int = 2,
+) -> Dict:
+    """Adjudicate a known-divergent case with the concrete packet walker.
+
+    The expect-divergent corpus gadgets are networks where two runtimes
+    converge to *different* RIB fixed points (BGP disagree/oscillation
+    gadgets), so "who is right?" cannot be settled by diffing RIBs.  The
+    ground-truth oracle settles a weaker but decidable question instead:
+    for each runtime's FIBs, do concrete packet walks reproduce that
+    runtime's own symbolic verdicts?  A runtime whose data plane is
+    self-consistent under the walk is a legitimate fixed point; one that
+    is not has a genuine bug.
+
+    Returns a JSON-serializable verdict recorded in the case's corpus
+    ``metadata``:
+
+    * ``sides_with`` — ``"both"`` when each runtime's data plane is
+      internally confirmed (the divergence is purely a control-plane
+      tie-break), ``"monolithic"``/``"divergent"`` when only one side
+      survives the walk, ``"neither"`` when both fail.
+    * ``reachable_pairs`` — how the two fixed points differ end to end.
+    """
+    from ..dataplane.verifier import verifier_from_ribs
+    from ..groundtruth import audit_verifier
+
+    plan = plan or CheckPlan.quick()
+    oracle = DifferentialOracle(plan)
+    projection = plan.projection
+    baseline_ribs = oracle._run_monolithic(spec, sharded=False)
+    baseline_norm = projection.normalize(baseline_ribs)
+
+    divergent_name: Optional[str] = None
+    divergent_ribs: Optional[BgpResult] = None
+    divergent_error: Optional[str] = None
+    for name, params in oracle._variants():
+        try:
+            if params["kind"] == "mono":
+                result = oracle._run_monolithic(spec, sharded=True)
+            else:
+                result = oracle._run_distributed(
+                    spec,
+                    runtime=params["runtime"],
+                    num_shards=params["num_shards"],
+                )
+        except Exception as exc:  # noqa: BLE001 — oscillation gadgets
+            # A variant that never converges *is* the divergence; it
+            # produced no FIBs, so the walk cannot side with it.
+            divergent_name = name
+            divergent_error = f"{type(exc).__name__}: {exc}"
+            break
+        if oracle._diff(name, baseline_norm, projection.normalize(result)):
+            divergent_name, divergent_ribs = name, result
+            break
+
+    def _audit(ribs: BgpResult) -> Tuple[Dict, set]:
+        dpv = verifier_from_ribs(build_snapshot(spec), ribs)
+        report = audit_verifier(
+            dpv, seed=plan.seed, witnesses=witnesses, near_misses=witnesses
+        )
+        summary = {
+            "ok": report.ok,
+            "packets_walked": report.packets_walked,
+            "mismatches": len(report.mismatches),
+        }
+        if report.mismatches:
+            summary["first_mismatch"] = report.mismatches[0].describe()
+        return summary, set(dpv.all_pair_reachability().pairs())
+
+    verdict: Dict = {
+        "adjudicator": "groundtruth-walk",
+        "divergent_variant": divergent_name,
+    }
+    mono_summary, mono_pairs = _audit(baseline_ribs)
+    verdict["monolithic"] = mono_summary
+    if divergent_ribs is None:
+        if divergent_error is not None:
+            verdict["divergent"] = {"ok": False, "error": divergent_error}
+        verdict["sides_with"] = (
+            "monolithic" if mono_summary["ok"] else "neither"
+        )
+        return verdict
+    div_summary, div_pairs = _audit(divergent_ribs)
+    verdict["divergent"] = div_summary
+    verdict["reachable_pairs"] = {
+        "monolithic": len(mono_pairs),
+        "divergent": len(div_pairs),
+        "only_monolithic": sorted(
+            f"{s}->{d}" for s, d in mono_pairs - div_pairs
+        )[:10],
+        "only_divergent": sorted(
+            f"{s}->{d}" for s, d in div_pairs - mono_pairs
+        )[:10],
+    }
+    if mono_summary["ok"] and div_summary["ok"]:
+        verdict["sides_with"] = "both"
+    elif mono_summary["ok"]:
+        verdict["sides_with"] = "monolithic"
+    elif div_summary["ok"]:
+        verdict["sides_with"] = "divergent"
+    else:
+        verdict["sides_with"] = "neither"
+    return verdict
 
 
 def _render_views(views: Optional[Tuple], plan: CheckPlan) -> str:

@@ -1,0 +1,46 @@
+"""Ground-truth packet-walk oracle (ROADMAP item 5).
+
+Every verdict the verifier emits is computed *and* adjudicated by the
+same BDD stack — a shared symbolic bug would be invisible to the
+differential fuzz oracle, which only cross-checks runtimes against each
+other.  This package is the second, independent oracle: concrete packets
+are sampled from each query's satisfying BDD assignment (witnesses) and
+from its negation (near misses), then walked hop-by-hop through the
+computed per-device FIBs with this package's *own* longest-prefix-match,
+ACL evaluation, and all-ECMP-paths traversal.
+
+Independence contract (enforced by a lint test): **nothing in
+``repro.groundtruth`` imports ``repro.bdd``**.  The only bridge to the
+symbolic world is :class:`~repro.groundtruth.sampler.WitnessSampler`,
+which extracts concrete bit assignments through the *caller-supplied*
+engine object's public ``any_sat``/``cube``/``diff`` surface — the
+walker and the comparison logic never see a BDD.
+"""
+
+from .walker import (
+    ConcretePacket,
+    GroundTruthNetwork,
+    WalkBudgetError,
+    WalkOutcome,
+    WalkResult,
+)
+from .sampler import WitnessSampler
+from .oracle import (
+    GroundTruthMismatch,
+    GroundTruthReport,
+    audit_verifier,
+    audit_waypoints,
+)
+
+__all__ = [
+    "ConcretePacket",
+    "GroundTruthNetwork",
+    "GroundTruthMismatch",
+    "GroundTruthReport",
+    "WalkBudgetError",
+    "WalkOutcome",
+    "WalkResult",
+    "WitnessSampler",
+    "audit_verifier",
+    "audit_waypoints",
+]

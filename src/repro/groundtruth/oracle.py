@@ -1,0 +1,430 @@
+"""The ground-truth audit: symbolic verdicts vs concrete packet walks.
+
+:func:`audit_verifier` takes any monolithic-verifier-shaped object (duck
+typed; :class:`~repro.dataplane.verifier.DataPlaneVerifier` fits) and
+adjudicates every class of verdict it produces:
+
+* **reachability** — witness packets sampled from each reachable
+  (source, destination) set must arrive at the destination when walked
+  concretely, and near-miss packets from the set's negation must not;
+* **blackhole / loop / exit finals** — a witness sampled from each
+  symbolic final must reproduce that final state at that node when
+  walked (the concrete path is the explanation the symbolic side
+  cannot give);
+* the **concrete → symbolic** direction: every node a witness walk
+  actually arrives at must be claimed reachable by the symbolic side.
+
+Mismatches carry the *minimal hop-trace* — the shortest concrete path
+that demonstrates the disagreement — so a failure is directly
+actionable.  :func:`audit_waypoints` does the same for §4.4 waypoint
+verdicts (visited-node sets against the metadata-bit implication).
+
+Everything symbolic is reached through the audited verifier's own
+``engine``/``encoding`` objects; this module imports nothing from
+``repro.bdd`` (see the package docstring for the independence
+contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .sampler import FALSE, TRUE, WitnessSampler
+from .walker import (
+    ARRIVE,
+    BLACKHOLE,
+    EXIT,
+    LOOP,
+    ConcretePacket,
+    GroundTruthNetwork,
+    WalkResult,
+)
+
+
+@dataclass(frozen=True)
+class GroundTruthMismatch:
+    """One disagreement between the symbolic verdict and a concrete walk."""
+
+    kind: str               # reachability | near-miss | final | waypoint
+    source: str
+    node: str               # destination / final node / transit
+    packet: str             # ConcretePacket.describe()
+    expected: str
+    got: str
+    trace: str              # minimal hop-trace (or the outcome summary)
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] {self.source} -> {self.node} "
+            f"({self.packet}): symbolic says {self.expected}, "
+            f"concrete walk says {self.got}; trace: {self.trace}"
+        )
+
+
+@dataclass
+class GroundTruthReport:
+    """The outcome of one ground-truth audit."""
+
+    packets_walked: int = 0
+    witnesses_confirmed: int = 0
+    near_misses_refuted: int = 0
+    finals_confirmed: int = 0
+    pairs_checked: int = 0
+    mismatches: List[GroundTruthMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def merge(self, other: "GroundTruthReport") -> None:
+        self.packets_walked += other.packets_walked
+        self.witnesses_confirmed += other.witnesses_confirmed
+        self.near_misses_refuted += other.near_misses_refuted
+        self.finals_confirmed += other.finals_confirmed
+        self.pairs_checked += other.pairs_checked
+        self.mismatches.extend(other.mismatches)
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.mismatches)} MISMATCHES"
+        return (
+            f"ground truth: {status} — {self.packets_walked} packets "
+            f"walked over {self.pairs_checked} pairs "
+            f"({self.witnesses_confirmed} witnesses confirmed, "
+            f"{self.near_misses_refuted} near misses refuted, "
+            f"{self.finals_confirmed} finals confirmed)"
+        )
+
+    def describe(self, limit: int = 10) -> str:
+        lines = [self.summary()]
+        lines += [m.describe() for m in self.mismatches[:limit]]
+        extra = len(self.mismatches) - limit
+        if extra > 0:
+            lines.append(f"... and {extra} more")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "packets_walked": self.packets_walked,
+            "witnesses_confirmed": self.witnesses_confirmed,
+            "near_misses_refuted": self.near_misses_refuted,
+            "finals_confirmed": self.finals_confirmed,
+            "pairs_checked": self.pairs_checked,
+            "mismatches": [
+                {
+                    "kind": m.kind,
+                    "source": m.source,
+                    "node": m.node,
+                    "packet": m.packet,
+                    "expected": m.expected,
+                    "got": m.got,
+                    "trace": m.trace,
+                }
+                for m in self.mismatches
+            ],
+        }
+
+
+def _walk_summary(walk: WalkResult) -> str:
+    states = sorted(walk.states()) or ["no outcome"]
+    arrived = sorted(walk.arrived_at())
+    summary = "/".join(states)
+    if arrived:
+        summary += f" (arrived at {', '.join(arrived)})"
+    return summary
+
+
+def _minimal(walk: WalkResult, state: Optional[str] = None,
+             node: Optional[str] = None) -> str:
+    outcome = walk.minimal_trace(state, node)
+    if outcome is None:
+        outcome = walk.minimal_trace()
+    return outcome.trace() if outcome is not None else "<no path>"
+
+
+class GroundTruthAuditor:
+    """Bundles the network model + sampler for one audited verifier."""
+
+    def __init__(
+        self,
+        verifier,
+        seed: int = 0,
+        witnesses: int = 3,
+        near_misses: int = 3,
+        budget: Optional[int] = None,
+    ) -> None:
+        self.verifier = verifier
+        kwargs = {}
+        if budget is not None:
+            kwargs["budget"] = budget
+        self.network = GroundTruthNetwork(
+            verifier.snapshot,
+            verifier.fibs,
+            modeled_fields=tuple(verifier.encoding.fields),
+            max_hops=getattr(verifier.context, "max_hops", 24),
+            **kwargs,
+        )
+        self.sampler = WitnessSampler(
+            verifier.engine, verifier.encoding, seed=seed
+        )
+        self.witnesses = witnesses
+        self.near_misses = near_misses
+
+    # -- reachability ------------------------------------------------------
+
+    def audit_reachability(
+        self,
+        sources: Sequence[str],
+        destinations: Sequence[str],
+        header_bdd: int = TRUE,
+    ) -> GroundTruthReport:
+        report = GroundTruthReport()
+        engine = self.verifier.engine
+        finals = self.verifier.forward(list(sources), header_bdd, False)
+        reachable: Dict[Tuple[str, str], int] = {}
+        for final in finals:
+            if final.state.value != ARRIVE:
+                continue
+            key = (final.source, final.node)
+            reachable[key] = engine.or_(
+                reachable.get(key, FALSE), final.bdd
+            )
+        wanted = set(destinations)
+        # Witness direction: claimed-reachable packets must arrive.
+        for (source, node), bdd in sorted(reachable.items()):
+            for packet in self.sampler.packets(bdd, self.witnesses):
+                walk = self.network.walk(packet, source)
+                report.packets_walked += 1
+                if node in walk.arrived_at():
+                    report.witnesses_confirmed += 1
+                else:
+                    report.mismatches.append(
+                        GroundTruthMismatch(
+                            kind="reachability",
+                            source=source,
+                            node=node,
+                            packet=packet.describe(),
+                            expected=f"arrives at {node}",
+                            got=_walk_summary(walk),
+                            trace=_minimal(walk),
+                        )
+                    )
+                # Concrete -> symbolic: every arrival of this witness
+                # must be claimed by some symbolic ARRIVE verdict.
+                for arrived in walk.arrived_at():
+                    claimed = reachable.get((source, arrived), FALSE)
+                    if not self.sampler.contains(claimed, packet):
+                        report.mismatches.append(
+                            GroundTruthMismatch(
+                                kind="reachability",
+                                source=source,
+                                node=arrived,
+                                packet=packet.describe(),
+                                expected=f"not reachable at {arrived}",
+                                got="concrete walk arrives",
+                                trace=_minimal(walk, ARRIVE, arrived),
+                            )
+                        )
+        # Near-miss direction: packets outside the verdict must not
+        # arrive at that destination.
+        for source in sources:
+            for node in sorted(wanted):
+                report.pairs_checked += 1
+                bdd = reachable.get((source, node), FALSE)
+                misses = self.sampler.near_miss_packets(
+                    bdd, self.near_misses, universe=header_bdd
+                )
+                for packet in misses:
+                    walk = self.network.walk(packet, source)
+                    report.packets_walked += 1
+                    if node not in walk.arrived_at():
+                        report.near_misses_refuted += 1
+                    else:
+                        report.mismatches.append(
+                            GroundTruthMismatch(
+                                kind="near-miss",
+                                source=source,
+                                node=node,
+                                packet=packet.describe(),
+                                expected=f"does not arrive at {node}",
+                                got="concrete walk arrives",
+                                trace=_minimal(walk, ARRIVE, node),
+                            )
+                        )
+        # Final-state direction: blackholes, loops, and exits must
+        # reproduce concretely at the node the symbolic side names.
+        for final in finals:
+            state = final.state.value
+            if state == ARRIVE:
+                continue
+            for packet in self.sampler.packets(final.bdd, 1):
+                walk = self.network.walk(packet, final.source)
+                report.packets_walked += 1
+                matched = any(
+                    o.state == state and o.node == final.node
+                    and (state != EXIT or o.out_port == final.out_port)
+                    for o in walk.outcomes
+                )
+                if matched:
+                    report.finals_confirmed += 1
+                else:
+                    report.mismatches.append(
+                        GroundTruthMismatch(
+                            kind="final",
+                            source=final.source,
+                            node=final.node,
+                            packet=packet.describe(),
+                            expected=f"{state} at {final.node}",
+                            got=_walk_summary(walk),
+                            trace=_minimal(walk),
+                        )
+                    )
+        return report
+
+    # -- waypoints ---------------------------------------------------------
+
+    def audit_waypoints(
+        self,
+        transits: Sequence[str],
+        sources: Sequence[str],
+        destinations: Sequence[str],
+    ) -> GroundTruthReport:
+        """Adjudicate §4.4 waypoint verdicts against visited-node sets.
+
+        The symbolic machinery is per *path class*: an arriving final
+        with the transit's metadata bit clear means "this packet set
+        reached the destination along some path that bypassed the
+        transit" — even if an ECMP sibling visits it.  The faithful
+        concrete reading is therefore existential, per packet:
+
+        * packet ∈ (arriving finals ∧ ¬bit)  ⟺  some concrete arriving
+          path avoids the transit;
+        * packet ∈ (arriving finals ∧ bit)   ⟺  some concrete arriving
+          path visits it.
+
+        Both directions are checked for every sampled witness.
+        """
+        report = GroundTruthReport()
+        verifier = self.verifier
+        engine = verifier.engine
+        encoding = verifier.encoding
+        verifier.install_waypoints(list(transits))
+        header = TRUE
+        for index in range(len(transits)):
+            header = engine.and_(
+                header, engine.nvar(encoding.metadata_var(index))
+            )
+        finals = verifier.forward(list(sources), header, False)
+        wanted = set(destinations)
+        # (source, destination) -> union of arriving finals' sets.
+        arrive_all: Dict[Tuple[str, str], int] = {}
+        for final in finals:
+            if final.state.value != ARRIVE or final.node not in wanted:
+                continue
+            key = (final.source, final.node)
+            arrive_all[key] = engine.or_(
+                arrive_all.get(key, FALSE), final.bdd
+            )
+        for (source, node), union in sorted(arrive_all.items()):
+            for index, transit in enumerate(transits):
+                report.pairs_checked += 1
+                var = engine.var(encoding.metadata_var(index))
+                bypass_bdd = engine.diff(union, var)
+                through_bdd = engine.and_(union, var)
+                # Sample from both sides so each claim is exercised even
+                # when one dominates the union.
+                packets = self.sampler.packets(bypass_bdd, self.witnesses)
+                packets += self.sampler.packets(through_bdd, self.witnesses)
+                for packet in packets:
+                    walk = self.network.walk(packet, source, track=[transit])
+                    report.packets_walked += 1
+                    arrivals = walk.arrivals_at(node)
+                    has_bypass = any(
+                        transit not in o.path for o in arrivals
+                    )
+                    has_through = any(
+                        transit in o.path for o in arrivals
+                    )
+                    sym_bypass = self.sampler.intersects(bypass_bdd, packet)
+                    sym_through = self.sampler.intersects(
+                        through_bdd, packet
+                    )
+                    if (has_bypass, has_through) == (sym_bypass, sym_through):
+                        report.witnesses_confirmed += 1
+                        continue
+                    if sym_bypass != has_bypass:
+                        expected = (
+                            f"some path bypasses {transit}"
+                            if sym_bypass
+                            else f"no path bypasses {transit}"
+                        )
+                        got = (
+                            "a concrete path bypasses it"
+                            if has_bypass
+                            else "every concrete path visits it"
+                        )
+                    else:
+                        expected = (
+                            f"some path visits {transit}"
+                            if sym_through
+                            else f"no path visits {transit}"
+                        )
+                        got = (
+                            "a concrete path visits it"
+                            if has_through
+                            else "no concrete path visits it"
+                        )
+                    report.mismatches.append(
+                        GroundTruthMismatch(
+                            kind="waypoint",
+                            source=source,
+                            node=transit,
+                            packet=packet.describe(),
+                            expected=expected,
+                            got=got,
+                            trace=_minimal(walk, ARRIVE, node),
+                        )
+                    )
+        return report
+
+
+def audit_verifier(
+    verifier,
+    sources: Optional[Sequence[str]] = None,
+    destinations: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    witnesses: int = 3,
+    near_misses: int = 3,
+    budget: Optional[int] = None,
+) -> GroundTruthReport:
+    """One-call reachability + final-state audit of a monolithic verifier.
+
+    ``sources``/``destinations`` default to the verifier's prefix
+    holders (the paper's all-pair endpoint set).
+    """
+    if sources is None:
+        sources = verifier.prefix_holders()
+    if destinations is None:
+        destinations = sources
+    auditor = GroundTruthAuditor(
+        verifier,
+        seed=seed,
+        witnesses=witnesses,
+        near_misses=near_misses,
+        budget=budget,
+    )
+    return auditor.audit_reachability(sources, destinations)
+
+
+def audit_waypoints(
+    verifier,
+    transits: Sequence[str],
+    sources: Sequence[str],
+    destinations: Sequence[str],
+    seed: int = 0,
+    witnesses: int = 2,
+) -> GroundTruthReport:
+    """One-call waypoint audit (see :meth:`GroundTruthAuditor.audit_waypoints`)."""
+    auditor = GroundTruthAuditor(verifier, seed=seed, witnesses=witnesses)
+    return auditor.audit_waypoints(transits, sources, destinations)

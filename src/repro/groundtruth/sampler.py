@@ -1,0 +1,123 @@
+"""Sampling concrete packets from symbolic verdicts.
+
+This module is the one place where the ground-truth oracle touches the
+symbolic world, and it does so without importing any of it: the engine
+and header encoding are *caller-supplied* objects used only through
+their public surface (``any_sat``, ``cube``, ``diff``, ``fields``,
+``field_base``, ``width_of``).  Everything this module hands onward is a
+plain :class:`~repro.groundtruth.walker.ConcretePacket`.
+
+Sampling strategy:
+
+* **Witnesses** come from a verdict's satisfying set.  ``any_sat``
+  returns one partial assignment; the sampled *concrete point* (every
+  variable pinned) is then subtracted from the set with
+  ``diff(bdd, cube(point))``, so repeated draws are distinct and
+  enumeration terminates even on small sets.
+* **Near misses** are the same draw from ``diff(universe, bdd)`` — the
+  packets the verdict claims do *not* satisfy the query.
+* Bits the assignment leaves free are don't-cares for the verdict; the
+  first draw fills them with zeros (stable), later draws fill them from
+  a seeded RNG so repeated audits probe different corners of the cube.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .walker import ConcretePacket
+
+# Terminal node ids of the hash-consed engines — a stable public
+# contract (repro.bdd.engine.FALSE/TRUE), restated here because this
+# package must not import that module.
+FALSE = 0
+TRUE = 1
+
+
+class WitnessSampler:
+    """Draws distinct concrete packets from a symbolic packet set."""
+
+    def __init__(self, engine, encoding, seed: int = 0) -> None:
+        self._engine = engine
+        self._encoding = encoding
+        self._rng = random.Random(seed)
+
+    # -- assignments -------------------------------------------------------
+
+    def _field_bits(self) -> List[Tuple[str, int, int]]:
+        """(field, base var, width) for every encoded header field."""
+        return [
+            (name, self._encoding.field_base(name),
+             self._encoding.width_of(name))
+            for name in self._encoding.fields
+        ]
+
+    def _concretize(
+        self, assignment: Dict[int, bool], fill_zero: bool
+    ) -> Dict[int, bool]:
+        """Pin every header variable (metadata bits stay free)."""
+        point = {}
+        for _name, base, width in self._field_bits():
+            for i in range(width):
+                var = base + i
+                if var in assignment:
+                    point[var] = assignment[var]
+                elif fill_zero:
+                    point[var] = False
+                else:
+                    point[var] = bool(self._rng.getrandbits(1))
+        return point
+
+    def _to_packet(self, point: Dict[int, bool]) -> ConcretePacket:
+        values = {"dst": 0, "src": 0, "proto": 0, "sport": 0, "dport": 0}
+        for name, base, width in self._field_bits():
+            value = 0
+            for i in range(width):
+                if point.get(base + i):
+                    value |= 1 << (width - 1 - i)
+            values[name] = value
+        return ConcretePacket(width=self._encoding.address_bits, **values)
+
+    # -- packet draws -----------------------------------------------------
+
+    def packets(self, bdd: int, count: int) -> List[ConcretePacket]:
+        """Up to ``count`` distinct packets satisfying ``bdd``."""
+        engine = self._engine
+        packets: List[ConcretePacket] = []
+        remaining = bdd
+        for index in range(count):
+            assignment = engine.any_sat(remaining)
+            if assignment is None:
+                break
+            point = self._concretize(assignment, fill_zero=(index == 0))
+            packets.append(self._to_packet(point))
+            remaining = engine.diff(remaining, engine.cube(point))
+        return packets
+
+    def near_miss_packets(
+        self, bdd: int, count: int, universe: int = TRUE
+    ) -> List[ConcretePacket]:
+        """Packets in ``universe`` that do *not* satisfy ``bdd``."""
+        return self.packets(self._engine.diff(universe, bdd), count)
+
+    def _header_cube(self, packet: ConcretePacket) -> int:
+        point = {}
+        for _name, base, width in self._field_bits():
+            value = getattr(packet, _name)
+            for i in range(width):
+                point[base + i] = bool((value >> (width - 1 - i)) & 1)
+        return self._engine.cube(point)
+
+    def contains(self, bdd: int, packet: ConcretePacket) -> bool:
+        """Whether a concrete packet lies in a symbolic set (used to
+        cross-check a walker finding against the symbolic verdict)."""
+        cube = self._header_cube(packet)
+        return self._engine.diff(cube, bdd) == FALSE
+
+    def intersects(self, bdd: int, packet: ConcretePacket) -> bool:
+        """Whether the set contains the packet under *some* metadata
+        assignment — the existential reading needed when ``bdd``
+        constrains waypoint bits the packet does not carry."""
+        cube = self._header_cube(packet)
+        return self._engine.and_(cube, bdd) != FALSE

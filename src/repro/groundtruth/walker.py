@@ -1,0 +1,373 @@
+"""Concrete packet forwarding over computed FIBs — no BDDs anywhere.
+
+This is a deliberate *re-implementation* of the forwarding semantics in
+:mod:`repro.dataplane.forwarding`, written against concrete packets
+instead of symbolic sets:
+
+* longest-prefix match is a linear scan with integer mask arithmetic
+  (not the FIB's binary trie, and not the symbolic LPM partition);
+* ACLs are evaluated first-match with an implicit trailing deny,
+  directly over the parsed :class:`~repro.config.ast.Acl` lines;
+* ECMP is explored as *all* paths (breadth-first over every next hop),
+  because the symbolic walker forwards a packet set out of every port
+  whose predicate intersects it.
+
+The point of the duplication is independence: a bug in the BDD engine,
+the predicate compiler, or the symbolic hop function cannot also live
+here, so agreement between the two walkers is evidence about the
+network, not about shared code.
+
+Semantics mirrored from the symbolic side (same final states, same
+ordering of checks, same ``max_hops`` loop cutoff):
+
+1. inbound ACL on the entry port (injected packets have none) — denied
+   packets blackhole at the node;
+2. LPM over the node's FIB: RECEIVE → ``arrive``; DROP or no matching
+   entry → ``blackhole``;
+3. FORWARD → for every ECMP next hop: outbound ACL (denied →
+   ``blackhole``), then an edge port (no adjacency) → ``exit``, a hop
+   budget overrun → ``loop``, else the packet steps to the peer.
+
+One conscious divergence from the symbolic model: ACL constraints on
+header fields that are *not modeled* by the verifier's encoding are
+treated as wildcard, because that is the documented (conservative)
+symbolic semantics — the concrete walker must judge the symbolic verdict
+on its own terms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+DEFAULT_MAX_HOPS = 24
+DEFAULT_BUDGET = 50_000
+
+ARRIVE = "arrive"
+EXIT = "exit"
+BLACKHOLE = "blackhole"
+LOOP = "loop"
+
+
+class WalkBudgetError(RuntimeError):
+    """The all-ECMP-paths exploration exceeded its expansion budget."""
+
+
+def _format_address(value: int, width: int) -> str:
+    """Render an address for error messages.  Local on purpose: this
+    package imports nothing from the rest of ``repro`` (see the lint in
+    ``tests/test_groundtruth.py``)."""
+    if width == 32:
+        return ".".join(str((value >> s) & 0xFF) for s in (24, 16, 8, 0))
+    groups = [f"{(value >> s) & 0xFFFF:x}" for s in range(width - 16, -1, -16)]
+    return ":".join(groups)
+
+
+@dataclass(frozen=True)
+class ConcretePacket:
+    """One fully concrete packet header (ints, MSB-aligned per field)."""
+
+    dst: int
+    src: int = 0
+    proto: int = 0
+    sport: int = 0
+    dport: int = 0
+    width: int = 32          # address family of dst/src: 32 or 128
+
+    def describe(self) -> str:
+        return (
+            f"dst={_format_address(self.dst, self.width)} "
+            f"src={_format_address(self.src, self.width)} "
+            f"proto={self.proto} sport={self.sport} dport={self.dport}"
+        )
+
+
+@dataclass(frozen=True)
+class WalkOutcome:
+    """One final state of one concrete path."""
+
+    state: str                    # arrive | exit | blackhole | loop
+    node: str
+    path: Tuple[str, ...]         # every node the packet visited, in order
+    out_port: Optional[str] = None
+
+    def trace(self) -> str:
+        suffix = f" out {self.out_port}" if self.out_port else ""
+        return f"[{self.state}] {' -> '.join(self.path)}{suffix}"
+
+
+@dataclass
+class WalkResult:
+    """All final states of one packet injected at one source."""
+
+    packet: ConcretePacket
+    source: str
+    outcomes: List[WalkOutcome] = field(default_factory=list)
+
+    def states(self) -> Set[str]:
+        return {o.state for o in self.outcomes}
+
+    def arrived_at(self) -> Set[str]:
+        return {o.node for o in self.outcomes if o.state == ARRIVE}
+
+    def arrivals_at(self, node: str) -> List[WalkOutcome]:
+        return [
+            o for o in self.outcomes if o.state == ARRIVE and o.node == node
+        ]
+
+    def minimal_trace(
+        self, state: Optional[str] = None, node: Optional[str] = None
+    ) -> Optional[WalkOutcome]:
+        """The shortest-path outcome matching the filters (for reports)."""
+        candidates = [
+            o
+            for o in self.outcomes
+            if (state is None or o.state == state)
+            and (node is None or o.node == node)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda o: (len(o.path), o.path))
+
+
+def _prefix_matches(prefix, address: int, width: int) -> bool:
+    """Mask arithmetic only — independent of Prefix.contains_ip."""
+    if prefix.width != width:
+        return False
+    shift = width - prefix.length
+    return (address >> shift) == (prefix.network >> shift)
+
+
+class _AclEvaluator:
+    """First-match ACL evaluation with modeled-field wildcarding."""
+
+    def __init__(self, modeled_fields: Sequence[str]) -> None:
+        self._modeled = frozenset(modeled_fields)
+
+    def line_matches(self, line, packet: ConcretePacket) -> bool:
+        if line.dst is not None:
+            if not _prefix_matches(line.dst, packet.dst, packet.width):
+                return False
+        if line.src is not None and "src" in self._modeled:
+            if not _prefix_matches(line.src, packet.src, packet.width):
+                return False
+        if line.protocol is not None and "proto" in self._modeled:
+            if packet.proto != line.protocol:
+                return False
+        if line.src_port is not None and "sport" in self._modeled:
+            low, high = line.src_port
+            if not low <= packet.sport <= high:
+                return False
+        if line.dst_port is not None and "dport" in self._modeled:
+            low, high = line.dst_port
+            if not low <= packet.dport <= high:
+                return False
+        return True
+
+    def permits(self, acl, packet: ConcretePacket) -> bool:
+        for line in acl.sorted_lines():
+            if self.line_matches(line, packet):
+                return line.action.value == "permit"
+        return False  # implicit trailing deny
+
+
+@dataclass(frozen=True)
+class _InFlight:
+    node: str
+    in_port: Optional[str]
+    hops: int
+    path: Tuple[str, ...]
+    visited: FrozenSet[str]  # tracked nodes seen so far (waypoint audits)
+
+
+class GroundTruthNetwork:
+    """The concrete forwarding model of one snapshot + its computed FIBs.
+
+    Built from the same inputs the symbolic data plane consumes — the
+    parsed device configs (for ACL bindings) and the per-device FIBs —
+    but everything derived from them here (entry lists, ACL tables,
+    adjacency) is recomputed with plain Python, not reused from the
+    symbolic pipeline.
+    """
+
+    def __init__(
+        self,
+        snapshot,
+        fibs: Dict[str, object],
+        modeled_fields: Sequence[str] = ("dst",),
+        max_hops: int = DEFAULT_MAX_HOPS,
+        budget: int = DEFAULT_BUDGET,
+    ) -> None:
+        self.max_hops = max_hops
+        self.budget = budget
+        self._acl_eval = _AclEvaluator(modeled_fields)
+        # (node, iface) -> (peer node, peer iface); absent = edge port.
+        self.adjacency: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        for link in snapshot.topology.links():
+            self.adjacency[(link.a.node, link.a.interface)] = (
+                link.b.node,
+                link.b.interface,
+            )
+            self.adjacency[(link.b.node, link.b.interface)] = (
+                link.a.node,
+                link.a.interface,
+            )
+        # node -> [(prefix, entry)] — order is irrelevant; the LPM scan
+        # below picks the longest match itself.
+        self._entries: Dict[str, List[Tuple[object, object]]] = {}
+        for node, fib in fibs.items():
+            self._entries[node] = [
+                (entry.prefix, entry) for entry in fib.entries()
+            ]
+        # node -> iface -> Acl (resolved from the config's name bindings).
+        self._acl_in: Dict[str, Dict[str, object]] = {}
+        self._acl_out: Dict[str, Dict[str, object]] = {}
+        for hostname, config in snapshot.configs.items():
+            table_in: Dict[str, object] = {}
+            table_out: Dict[str, object] = {}
+            for iface in config.interfaces.values():
+                if iface.acl_in is not None and iface.acl_in in config.acls:
+                    table_in[iface.name] = config.acls[iface.acl_in]
+                if iface.acl_out is not None and iface.acl_out in config.acls:
+                    table_out[iface.name] = config.acls[iface.acl_out]
+            self._acl_in[hostname] = table_in
+            self._acl_out[hostname] = table_out
+
+    # -- the independent LPM ----------------------------------------------
+
+    def lookup(self, node: str, packet: ConcretePacket):
+        """Longest-prefix match by linear scan over the node's entries."""
+        best = None
+        best_length = -1
+        for prefix, entry in self._entries.get(node, ()):
+            if prefix.width != packet.width:
+                continue
+            if not _prefix_matches(prefix, packet.dst, packet.width):
+                continue
+            if prefix.length > best_length:
+                best, best_length = entry, prefix.length
+        return best
+
+    def _permitted(
+        self, table: Dict[str, Dict[str, object]], node: str,
+        iface: Optional[str], packet: ConcretePacket,
+    ) -> bool:
+        if iface is None:
+            return True
+        acl = table.get(node, {}).get(iface)
+        if acl is None:
+            return True
+        return self._acl_eval.permits(acl, packet)
+
+    # -- the hop loop ------------------------------------------------------
+
+    def walk(
+        self,
+        packet: ConcretePacket,
+        source: str,
+        track: Sequence[str] = (),
+    ) -> WalkResult:
+        """Forward one concrete packet from ``source`` along every ECMP
+        path until each copy reaches a final state.
+
+        Like the symbolic :class:`~repro.dataplane.forwarding.PacketBuffer`,
+        copies meeting at the same ``(node, in-port, hop count)`` are
+        merged — ECMP makes distinct paths combinatorial, but they share
+        every future.  Each final state keeps its BFS-first (shortest)
+        representative path.  ``track`` lists nodes whose visit status
+        must survive the merge (the concrete analogue of the waypoint
+        metadata bits): copies differing on any tracked node stay
+        separate, so existence of a path avoiding or visiting a transit
+        is still answered exactly.
+        """
+        result = WalkResult(packet=packet, source=source)
+        tracked = frozenset(track)
+        start = _InFlight(
+            source, None, 0, (source,), frozenset({source} & tracked)
+        )
+        work = deque([start])
+        seen = {(start.node, start.in_port, start.hops, start.visited)}
+        expansions = 0
+        while work:
+            expansions += 1
+            if expansions > self.budget:
+                raise WalkBudgetError(
+                    f"packet {packet.describe()} from {source} exceeded "
+                    f"{self.budget} path expansions (raise `budget`)"
+                )
+            state = work.popleft()
+            if not self._permitted(
+                self._acl_in, state.node, state.in_port, packet
+            ):
+                result.outcomes.append(
+                    WalkOutcome(BLACKHOLE, state.node, state.path)
+                )
+                continue
+            entry = self.lookup(state.node, packet)
+            if entry is None or entry.action.value == "drop":
+                result.outcomes.append(
+                    WalkOutcome(BLACKHOLE, state.node, state.path)
+                )
+                continue
+            if entry.action.value == "receive":
+                result.outcomes.append(
+                    WalkOutcome(ARRIVE, state.node, state.path)
+                )
+                continue
+            for hop in entry.next_hops:
+                if not self._permitted(
+                    self._acl_out, state.node, hop.iface, packet
+                ):
+                    result.outcomes.append(
+                        WalkOutcome(BLACKHOLE, state.node, state.path)
+                    )
+                    continue
+                peer = self.adjacency.get((state.node, hop.iface))
+                if peer is None:
+                    result.outcomes.append(
+                        WalkOutcome(
+                            EXIT, state.node, state.path, out_port=hop.iface
+                        )
+                    )
+                    continue
+                if state.hops + 1 > self.max_hops:
+                    result.outcomes.append(
+                        WalkOutcome(LOOP, state.node, state.path)
+                    )
+                    continue
+                peer_node, peer_iface = peer
+                visited = state.visited
+                if peer_node in tracked:
+                    visited = visited | {peer_node}
+                key = (peer_node, peer_iface, state.hops + 1, visited)
+                if key in seen:
+                    continue
+                seen.add(key)
+                work.append(
+                    _InFlight(
+                        peer_node,
+                        peer_iface,
+                        state.hops + 1,
+                        state.path + (peer_node,),
+                        visited,
+                    )
+                )
+        return result
+
+    def walk_all(
+        self,
+        packets: Iterable[ConcretePacket],
+        source: str,
+        track: Sequence[str] = (),
+    ) -> List[WalkResult]:
+        return [self.walk(packet, source, track) for packet in packets]

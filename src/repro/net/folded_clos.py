@@ -1,0 +1,340 @@
+"""Synthesized multi-DC folded-Clos networks.
+
+``build_folded_clos(...)`` produces a parameterized folded Clos: each
+datacenter is a set of pods (leaf ↔ spine full bipartite), spines fold
+upward into per-plane super-spine groups, and the super-spines of the
+same plane are meshed across datacenters.  Like the FatTree and DCN
+synthesizers, it emits *vendor config text* (both dialects) and pushes
+it through the real parsers, runs eBGP with a unique ASN per switch,
+and allocates /31 link subnets from the shared
+:class:`~repro.net.addressing.AddressPlan`.
+
+The family exists to give the ground-truth oracle a topology shape the
+FatTree/DCN pair does not cover: three tiers of ECMP fanout *plus*
+inter-DC paths whose lengths differ from intra-DC ones, with leaf
+prefixes and management loopbacks that must stay unique across
+datacenters.
+
+Wiring, per datacenter:
+
+* every pod is a full bipartite leaf ↔ spine graph;
+* spine ``j`` of every pod belongs to *plane* ``j`` and connects to all
+  ``fanout`` super-spines of that plane (so there are
+  ``spines × fanout`` super-spines per DC);
+* super-spine ``s`` of plane ``j`` peers with super-spine ``s`` of the
+  same plane in every other DC (a per-plane full mesh across DCs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config.loader import Snapshot, make_snapshot, parse_device
+from .addressing import AddressPlan
+from .ip import Prefix, format_ip
+from .topology import Topology
+
+LINK_SPACE = Prefix.parse("100.64.0.0/10")
+LOOPBACK_SPACE = Prefix.parse("172.16.0.0/16")
+ASN_BASE = 5000
+DEFAULT_MAX_PATHS = 64
+
+
+@dataclass(frozen=True)
+class FoldedClosSpec:
+    """Parameters of a synthesized multi-DC folded Clos."""
+
+    dcs: int = 2                   # number of datacenters
+    pods: int = 2                  # pods per DC
+    leaves: int = 2                # leaf switches per pod
+    spines: int = 2                # spine switches per pod (= planes)
+    fanout: int = 1                # super-spines per plane
+    prefixes_per_leaf: int = 1     # host /24s announced by each leaf
+    max_paths: int = DEFAULT_MAX_PATHS
+    juniper_fraction: float = 0.0  # fraction of switches on the 2nd dialect
+
+    def __post_init__(self) -> None:
+        for name in ("dcs", "pods", "leaves", "spines", "fanout"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.dcs * self.pods > 255:
+            raise ValueError("dcs x pods must fit the 10/8 prefix plan")
+        if self.leaves * self.prefixes_per_leaf > 256:
+            raise ValueError("too many host prefixes per pod for 10/8 plan")
+        if self.num_devices > LOOPBACK_SPACE.num_addresses:
+            raise ValueError("device count exceeds the loopback /16 plan")
+
+    # -- derived sizes (the structural invariants the tests pin down) -----
+
+    @property
+    def super_spines_per_dc(self) -> int:
+        return self.spines * self.fanout
+
+    @property
+    def devices_per_dc(self) -> int:
+        return (
+            self.pods * (self.leaves + self.spines)
+            + self.super_spines_per_dc
+        )
+
+    @property
+    def num_devices(self) -> int:
+        return self.dcs * self.devices_per_dc
+
+    @property
+    def links_per_dc(self) -> int:
+        pod_links = self.pods * self.leaves * self.spines
+        up_links = self.pods * self.spines * self.fanout
+        return pod_links + up_links
+
+    @property
+    def inter_dc_links(self) -> int:
+        mesh_pairs = self.dcs * (self.dcs - 1) // 2
+        return mesh_pairs * self.super_spines_per_dc
+
+    @property
+    def num_links(self) -> int:
+        return self.dcs * self.links_per_dc + self.inter_dc_links
+
+    @property
+    def num_prefixes(self) -> int:
+        return self.dcs * self.pods * self.leaves * self.prefixes_per_leaf
+
+
+@dataclass
+class _Switch:
+    name: str
+    asn: int
+    role: str                      # "leaf" | "spine" | "superspine"
+    dc: int
+    pod: Optional[int]
+    plane: Optional[int]
+    interfaces: List[Tuple[str, int, int]]  # (name, address, prefix-length)
+    neighbors: List[Tuple[str, int, int]]   # (iface, peer-addr, peer-asn)
+    networks: List[Prefix]
+
+
+def leaf_prefix(spec: FoldedClosSpec, dc: int, pod: int, leaf: int,
+                index: int = 0) -> Prefix:
+    """Host prefix ``index`` of a leaf: 10.<dc*pods+pod>.<leaf*n+index>.0/24.
+
+    The second octet folds the DC in, so prefixes stay unique across
+    datacenters by construction.
+    """
+    second = dc * spec.pods + pod
+    third = leaf * spec.prefixes_per_leaf + index
+    return Prefix((10 << 24) | (second << 16) | (third << 8), 24)
+
+
+def _build_switches(spec: FoldedClosSpec) -> List[_Switch]:
+    plan = AddressPlan(LINK_SPACE)
+    switches: Dict[str, _Switch] = {}
+    asn = ASN_BASE
+    loopback_index = 0
+
+    def new_switch(
+        name: str, role: str, dc: int,
+        pod: Optional[int], plane: Optional[int],
+    ) -> _Switch:
+        nonlocal asn, loopback_index
+        switch = _Switch(
+            name=name,
+            asn=asn,
+            role=role,
+            dc=dc,
+            pod=pod,
+            plane=plane,
+            interfaces=[],
+            neighbors=[],
+            networks=[Prefix(LOOPBACK_SPACE.network + loopback_index, 32)],
+        )
+        asn += 1
+        loopback_index += 1
+        switches[name] = switch
+        return switch
+
+    for dc in range(spec.dcs):
+        for pod in range(spec.pods):
+            for i in range(spec.leaves):
+                leaf = new_switch(f"dc{dc}-leaf-{pod}-{i}", "leaf", dc, pod, None)
+                for p in range(spec.prefixes_per_leaf):
+                    leaf.networks.append(leaf_prefix(spec, dc, pod, i, p))
+            for j in range(spec.spines):
+                new_switch(f"dc{dc}-spine-{pod}-{j}", "spine", dc, pod, j)
+        for j in range(spec.spines):
+            for s in range(spec.fanout):
+                new_switch(
+                    f"dc{dc}-ss-{j}-{s}", "superspine", dc, None, j
+                )
+
+    def connect(a: _Switch, b: _Switch) -> None:
+        addr_a, addr_b, _prefix = plan.next_p2p()
+        iface_a = f"eth{len(a.interfaces)}"
+        iface_b = f"eth{len(b.interfaces)}"
+        a.interfaces.append((iface_a, addr_a, 31))
+        b.interfaces.append((iface_b, addr_b, 31))
+        a.neighbors.append((iface_a, addr_b, b.asn))
+        b.neighbors.append((iface_b, addr_a, a.asn))
+
+    for dc in range(spec.dcs):
+        # Pod wiring: full bipartite leaf <-> spine.
+        for pod in range(spec.pods):
+            for i in range(spec.leaves):
+                for j in range(spec.spines):
+                    connect(
+                        switches[f"dc{dc}-leaf-{pod}-{i}"],
+                        switches[f"dc{dc}-spine-{pod}-{j}"],
+                    )
+        # Fold: spine j of every pod to all super-spines of plane j.
+        for pod in range(spec.pods):
+            for j in range(spec.spines):
+                for s in range(spec.fanout):
+                    connect(
+                        switches[f"dc{dc}-spine-{pod}-{j}"],
+                        switches[f"dc{dc}-ss-{j}-{s}"],
+                    )
+    # Inter-DC: per-plane mesh between same-index super-spines.
+    for j in range(spec.spines):
+        for s in range(spec.fanout):
+            for dc_a in range(spec.dcs):
+                for dc_b in range(dc_a + 1, spec.dcs):
+                    connect(
+                        switches[f"dc{dc_a}-ss-{j}-{s}"],
+                        switches[f"dc{dc_b}-ss-{j}-{s}"],
+                    )
+    return list(switches.values())
+
+
+def _render_cisco(switch: _Switch, spec: FoldedClosSpec) -> str:
+    lines = [f"hostname {switch.name}", "!"]
+    for iface, addr, length in switch.interfaces:
+        mask = format_ip(Prefix(addr, length).mask)
+        lines += [
+            f"interface {iface}",
+            f" ip address {format_ip(addr)} {mask}",
+            "!",
+        ]
+    lines.append(f"router bgp {switch.asn}")
+    lines.append(f" bgp router-id {format_ip((192 << 24) | switch.asn)}")
+    lines.append(f" maximum-paths {spec.max_paths}")
+    for _iface, peer_addr, peer_asn in switch.neighbors:
+        lines.append(f" neighbor {format_ip(peer_addr)} remote-as {peer_asn}")
+    for prefix in switch.networks:
+        lines.append(
+            f" network {format_ip(prefix.network)} mask {format_ip(prefix.mask)}"
+        )
+    lines.append("!")
+    return "\n".join(lines) + "\n"
+
+
+def _render_juniper(switch: _Switch, spec: FoldedClosSpec) -> str:
+    out = [
+        "system {",
+        f"    host-name {switch.name};",
+        "}",
+        "interfaces {",
+    ]
+    for iface, addr, length in switch.interfaces:
+        out += [
+            f"    {iface} {{",
+            "        unit 0 {",
+            "            family {",
+            "                inet {",
+            f"                    address {format_ip(addr)}/{length};",
+            "                }",
+            "            }",
+            "        }",
+            "    }",
+        ]
+    out.append("}")
+    out += [
+        "routing-options {",
+        f"    router-id {format_ip((192 << 24) | switch.asn)};",
+        f"    autonomous-system {switch.asn};",
+        "}",
+        "protocols {",
+        "    bgp {",
+        f"        multipath {spec.max_paths};",
+        "        group fabric {",
+    ]
+    for _iface, peer_addr, peer_asn in switch.neighbors:
+        out += [
+            f"            neighbor {format_ip(peer_addr)} {{",
+            f"                peer-as {peer_asn};",
+            "            }",
+        ]
+    out.append("        }")
+    for prefix in switch.networks:
+        out.append(f"        network {prefix};")
+    out += ["    }", "}"]
+    return "\n".join(out) + "\n"
+
+
+def render_configs(spec: FoldedClosSpec) -> Dict[str, Tuple[str, str]]:
+    """Render hostname -> (dialect, config-text) for the folded Clos."""
+    switches = _build_switches(spec)
+    texts: Dict[str, Tuple[str, str]] = {}
+    for i, switch in enumerate(switches):
+        use_juniper = (
+            spec.juniper_fraction > 0
+            and (i % max(1, round(1 / spec.juniper_fraction))) == 0
+        )
+        if use_juniper:
+            texts[switch.name] = ("juniperish", _render_juniper(switch, spec))
+        else:
+            texts[switch.name] = ("ciscoish", _render_cisco(switch, spec))
+    return texts
+
+
+def build_folded_clos(
+    dcs: int = 2,
+    pods: int = 2,
+    leaves: int = 2,
+    spines: int = 2,
+    fanout: int = 1,
+    prefixes_per_leaf: int = 1,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    juniper_fraction: float = 0.0,
+) -> Snapshot:
+    """Synthesize a multi-DC folded Clos and return its parsed snapshot."""
+    spec = FoldedClosSpec(
+        dcs=dcs,
+        pods=pods,
+        leaves=leaves,
+        spines=spines,
+        fanout=fanout,
+        prefixes_per_leaf=prefixes_per_leaf,
+        max_paths=max_paths,
+        juniper_fraction=juniper_fraction,
+    )
+    texts = render_configs(spec)
+    configs = {
+        hostname: parse_device(text, dialect)
+        for hostname, (dialect, text) in texts.items()
+    }
+    snapshot = make_snapshot(configs, name=f"folded-clos-d{dcs}")
+    _annotate(snapshot.topology)
+    snapshot.metadata["kind"] = "folded-clos"
+    snapshot.metadata["dcs"] = str(dcs)
+    snapshot.metadata["pods"] = str(pods)
+    return snapshot
+
+
+def _annotate(topology: Topology) -> None:
+    """Attach role/dc/pod/layer metadata parsed back from switch names.
+
+    The DC index rides in the node's ``cluster`` field (the partitioner's
+    generic grouping hint, used the same way by the DCN synthesizer).
+    """
+    for node in topology.nodes():
+        dc_text, role, *rest = node.name.split("-")
+        node.cluster = int(dc_text[2:])
+        if role == "leaf":
+            node.role, node.layer = "leaf", 0
+            node.pod = int(rest[0])
+        elif role == "spine":
+            node.role, node.layer = "spine", 1
+            node.pod = int(rest[0])
+        else:
+            node.role, node.layer = "superspine", 2

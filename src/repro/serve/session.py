@@ -123,6 +123,7 @@ class VerifierSession:
         options: Optional[S2Options] = None,
         queue_limit: int = 8,
         warm_boot: bool = True,
+        ground_truth_every: int = 0,
     ) -> None:
         opts = dc_replace(options) if options is not None else S2Options()
         self._owned_store = False
@@ -144,6 +145,12 @@ class VerifierSession:
         self._recomputing = False
         self._view_lock = threading.Lock()
         self._committed: Optional[CommittedView] = None
+        # Post-commit spot check: every Nth committed epoch, walk sampled
+        # concrete packets through the committed FIBs (no BDDs) and
+        # compare against the symbolic verdicts (0 = off).
+        self._ground_truth_every = max(0, ground_truth_every)
+        self._commits = 0
+        self.last_ground_truth: Optional[Dict[str, Any]] = None
         self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, queue_limit))
         self._controller = self._boot(warm_boot)
         self._commit_view()
@@ -227,17 +234,59 @@ class VerifierSession:
         )
         with self._view_lock:
             previous, self._committed = self._committed, view
+        if self._ground_truth_every:
+            self._commits += 1
+            if (self._commits - 1) % self._ground_truth_every == 0:
+                self._ground_truth_check(view)
         self._publish_gauges()
         return previous, view
 
-    def _publish_gauges(self) -> None:
-        self._controller.metrics.set_gauges(
-            {
-                "serve.epoch": self.epoch,
-                "serve.queue_depth": self._queue.qsize(),
-                "serve.degraded": 1 if self.degraded else 0,
+    def _ground_truth_check(self, view: CommittedView) -> None:
+        """Audit the committed epoch with concrete packet walks.
+
+        A mismatch does not degrade the session (queries keep serving
+        the committed view), but it is surfaced in :meth:`health` and
+        the ``serve.groundtruth_mismatches`` gauge — a symbolic verdict
+        the concrete FIB walk contradicts is exactly the regression this
+        spot check exists to catch.
+        """
+        from ..dataplane.verifier import verifier_from_ribs
+        from ..groundtruth import audit_verifier
+
+        try:
+            dpv = verifier_from_ribs(self.snapshot, view.ribs)
+            report = audit_verifier(
+                dpv, seed=view.epoch, witnesses=1, near_misses=1
+            )
+            self.last_ground_truth = {
+                "epoch": view.epoch,
+                "ok": report.ok,
+                "packets_walked": report.packets_walked,
+                "mismatches": [
+                    m.describe() for m in report.mismatches[:10]
+                ],
             }
-        )
+        except Exception as exc:  # noqa: BLE001 — a check, not the service
+            self.last_ground_truth = {
+                "epoch": view.epoch,
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    def _publish_gauges(self) -> None:
+        gauges = {
+            "serve.epoch": self.epoch,
+            "serve.queue_depth": self._queue.qsize(),
+            "serve.degraded": 1 if self.degraded else 0,
+        }
+        if self.last_ground_truth is not None:
+            # -1 flags an audit that failed to run at all.
+            gauges["serve.groundtruth_mismatches"] = (
+                -1
+                if "error" in self.last_ground_truth
+                else len(self.last_ground_truth.get("mismatches", ()))
+            )
+        self._controller.metrics.set_gauges(gauges)
 
     def _view(self) -> CommittedView:
         with self._view_lock:
@@ -294,6 +343,7 @@ class VerifierSession:
             "snapshot": self.snapshot.name,
             "workers": self.options.num_workers,
             "runtime": self.options.runtime,
+            "ground_truth": self.last_ground_truth,
         }
 
     # -- writes (single mutator thread, bounded admission) -----------------

@@ -1,0 +1,116 @@
+"""Structural invariants of the multi-DC folded-Clos synthesizer.
+
+Every count below is pinned against :class:`FoldedClosSpec`'s derived
+properties — the spec predicts, the built snapshot must agree — and the
+uniqueness checks (loopbacks, leaf prefixes, ASNs) are the properties
+the ground-truth oracle relies on when it walks cross-DC paths.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.config.loader import parse_device
+from repro.net.folded_clos import (
+    FoldedClosSpec,
+    build_folded_clos,
+    leaf_prefix,
+    render_configs,
+)
+
+SPECS = [
+    FoldedClosSpec(),                                    # 2 DC default
+    FoldedClosSpec(dcs=3, pods=2, leaves=3, spines=2, fanout=2),
+    FoldedClosSpec(dcs=2, pods=1, leaves=2, spines=3, fanout=1,
+                   prefixes_per_leaf=2),
+]
+
+
+@pytest.mark.parametrize(
+    "spec", SPECS, ids=[f"d{s.dcs}p{s.pods}l{s.leaves}" for s in SPECS]
+)
+def test_device_and_link_counts_match_spec(spec):
+    snapshot = build_folded_clos(
+        dcs=spec.dcs, pods=spec.pods, leaves=spec.leaves,
+        spines=spec.spines, fanout=spec.fanout,
+        prefixes_per_leaf=spec.prefixes_per_leaf,
+    )
+    assert len(snapshot.configs) == spec.num_devices
+    links = list(snapshot.topology.links())
+    assert len(links) == spec.num_links
+    roles = Counter(node.role for node in snapshot.topology.nodes())
+    assert roles["leaf"] == spec.dcs * spec.pods * spec.leaves
+    assert roles["spine"] == spec.dcs * spec.pods * spec.spines
+    assert roles["superspine"] == spec.dcs * spec.super_spines_per_dc
+
+
+def test_links_are_symmetric_point_to_point():
+    snapshot = build_folded_clos()
+    endpoints = Counter()
+    for link in snapshot.topology.links():
+        assert link.a.node != link.b.node
+        endpoints[(link.a.node, link.a.interface)] += 1
+        endpoints[(link.b.node, link.b.interface)] += 1
+    # every (node, interface) terminates exactly one link
+    assert all(count == 1 for count in endpoints.values())
+
+
+def test_loopbacks_and_prefixes_unique_across_dcs():
+    spec = FoldedClosSpec(dcs=3, pods=2, leaves=2, spines=2)
+    snapshot = build_folded_clos(dcs=3, pods=2, leaves=2, spines=2)
+    loopbacks, host_prefixes = [], []
+    for config in snapshot.configs.values():
+        assert config.bgp is not None
+        for prefix in config.bgp.networks:
+            (loopbacks if prefix.length == 32 else host_prefixes).append(
+                prefix
+            )
+    assert len(loopbacks) == len(set(loopbacks)) == spec.num_devices
+    assert len(host_prefixes) == len(set(host_prefixes)) == spec.num_prefixes
+    # the prefix plan folds the DC into the second octet by construction
+    assert leaf_prefix(spec, 0, 0, 0) != leaf_prefix(spec, 1, 0, 0)
+    for prefix in host_prefixes:
+        assert (prefix.network >> 24) == 10
+        assert prefix.length == 24
+
+
+def test_asns_are_unique():
+    snapshot = build_folded_clos()
+    asns = [config.bgp.asn for config in snapshot.configs.values()]
+    assert len(asns) == len(set(asns))
+
+
+def test_both_dialects_render_and_parse():
+    spec = FoldedClosSpec(juniper_fraction=0.5)
+    texts = render_configs(spec)
+    dialects = {dialect for dialect, _text in texts.values()}
+    assert dialects == {"ciscoish", "juniperish"}
+    for hostname, (dialect, text) in texts.items():
+        config = parse_device(text, dialect)
+        assert config.hostname == hostname
+        assert config.bgp is not None
+        assert config.bgp.networks
+    # and the mixed-dialect snapshot assembles end to end
+    snapshot = build_folded_clos(juniper_fraction=0.5)
+    assert len(snapshot.configs) == spec.num_devices
+
+
+def test_annotation_carries_dc_and_pod():
+    snapshot = build_folded_clos(dcs=2)
+    assert snapshot.metadata["kind"] == "folded-clos"
+    for node in snapshot.topology.nodes():
+        assert node.cluster == int(node.name[2:node.name.index("-")])
+        if node.role in ("leaf", "spine"):
+            assert node.pod is not None
+        assert node.layer in (0, 1, 2)
+
+
+def test_spec_validation_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        FoldedClosSpec(dcs=0)
+    with pytest.raises(ValueError):
+        FoldedClosSpec(dcs=128, pods=3)  # 384 > 255 second octets
+    with pytest.raises(ValueError):
+        FoldedClosSpec(leaves=200, prefixes_per_leaf=2)

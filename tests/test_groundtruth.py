@@ -1,0 +1,267 @@
+"""The ground-truth oracle: concrete packets vs symbolic verdicts.
+
+``repro.groundtruth`` re-implements forwarding from scratch — its own
+longest-prefix match, ACL evaluation, and all-ECMP-paths walk — so that
+agreement with the BDD-based verifier is evidence, not tautology.  These
+tests check both directions of that bargain:
+
+* the *independence lint*: the package must never import ``repro.bdd``
+  (or anything that transitively does, like ``repro.dataplane``), and
+* the *agreement property*: witness packets sampled from every query
+  BDD are confirmed by the walker, near-miss packets are refuted, on
+  FatTree-4, the default DCN, and a 2-DC folded Clos.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import subprocess
+import sys
+
+import repro.groundtruth
+from repro.dataplane.verifier import DataPlaneVerifier
+from repro.groundtruth import (
+    ConcretePacket,
+    GroundTruthNetwork,
+    WitnessSampler,
+    audit_verifier,
+    audit_waypoints,
+)
+from repro.net.folded_clos import build_folded_clos
+
+GROUNDTRUTH_DIR = os.path.dirname(
+    os.path.abspath(repro.groundtruth.__file__)
+)
+
+
+# -- independence lint -------------------------------------------------------
+
+
+def _imported_names(path):
+    """Every module name an import statement in *path* references, with
+    relative imports resolved to their ``..``-level prefix."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    names = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level >= 2:
+                # ``from ..something import x`` escapes the package.
+                names.append(f"<relative:{'.' * node.level}{node.module}>")
+            elif node.level == 0 and node.module:
+                names.append(node.module)
+    return names
+
+
+def test_groundtruth_never_imports_bdd_statically():
+    """AST lint: no module in repro.groundtruth imports repro.bdd — or
+    anything else under repro outside the package itself."""
+    sources = sorted(
+        entry for entry in os.listdir(GROUNDTRUTH_DIR)
+        if entry.endswith(".py")
+    )
+    assert sources, "groundtruth package has no sources?"
+    for entry in sources:
+        for name in _imported_names(os.path.join(GROUNDTRUTH_DIR, entry)):
+            assert not name.startswith("repro."), (
+                f"{entry} imports {name!r}: the ground-truth oracle must "
+                "stay independent of the symbolic stack"
+            )
+            assert not name.startswith("<relative:"), (
+                f"{entry} has an escaping relative import {name!r}"
+            )
+
+
+def test_groundtruth_never_imports_bdd_at_runtime():
+    """The package must execute in a fresh interpreter where ``repro``
+    is not importable at all: load it under an alias with ``repro``
+    absent from the path.  Any import of repro.bdd — direct, relative,
+    or lazy-at-module-scope — raises ModuleNotFoundError here.
+
+    (Importing ``repro.groundtruth`` by its real name would prove
+    nothing: the parent ``repro/__init__.py`` re-exports the whole
+    verifier stack, BDD engine included.)"""
+    program = (
+        "import importlib.util, sys\n"
+        f"init = {os.path.join(GROUNDTRUTH_DIR, '__init__.py')!r}\n"
+        f"pkg_dir = {GROUNDTRUTH_DIR!r}\n"
+        "spec = importlib.util.spec_from_file_location(\n"
+        "    'gt', init, submodule_search_locations=[pkg_dir])\n"
+        "module = importlib.util.module_from_spec(spec)\n"
+        "sys.modules['gt'] = module\n"
+        "spec.loader.exec_module(module)\n"
+        "assert module.GroundTruthNetwork is not None\n"
+        "loaded = [m for m in sys.modules if m.startswith('repro')]\n"
+        "assert not loaded, loaded\n"
+    )
+    env = {
+        key: value
+        for key, value in os.environ.items()
+        if key != "PYTHONPATH"
+    }
+    result = subprocess.run(
+        [sys.executable, "-c", program],
+        env=env,
+        cwd=os.path.dirname(GROUNDTRUTH_DIR),  # repro/ itself, not src/
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+# -- walker unit behavior ----------------------------------------------------
+
+
+def test_longest_prefix_match_and_hop_trace(fattree4, fattree4_sim):
+    engine, routes = fattree4_sim
+    dpv = DataPlaneVerifier.from_simulation(engine, routes)
+    net = GroundTruthNetwork(fattree4, dpv.fibs)
+    holders = dpv.prefix_holders()
+    source, dest = holders[0], holders[-1]
+    prefix = next(iter(fattree4.configs[dest].bgp.networks))
+    packet = ConcretePacket(dst=int(prefix.network))
+    result = net.walk(packet, source)
+    assert dest in result.arrived_at()
+    outcome = result.minimal_trace("arrive", dest)
+    assert outcome is not None
+    assert outcome.path[0] == source
+    assert outcome.path[-1] == dest
+    assert outcome.trace().startswith("[arrive]")
+
+
+def test_walker_terminates_on_forwarding_loops():
+    """Two nodes whose FIBs forward everything at each other must yield
+    a LOOP verdict at max_hops, not an unbounded path explosion.  Built
+    from stubs so the loop is certain, not a property of a generator."""
+    from types import SimpleNamespace as NS
+
+    def _pt(node, iface):
+        return NS(node=node, interface=iface)
+
+    snapshot = NS(
+        topology=NS(links=lambda: [NS(a=_pt("a", "eth0"),
+                                      b=_pt("b", "eth0"))]),
+        configs={},
+    )
+    default_route = NS(width=32, length=0, network=0)
+    bounce = NS(entries=lambda: [
+        NS(prefix=default_route,
+           action=NS(value="forward"),
+           next_hops=[NS(iface="eth0")]),
+    ])
+    net = GroundTruthNetwork(snapshot, {"a": bounce, "b": bounce})
+    result = net.walk(ConcretePacket(dst=0x0A000001), "a")
+    assert result.states() == {"loop"}
+    outcome = result.minimal_trace("loop")
+    assert len(outcome.path) == net.max_hops + 1
+
+
+# -- agreement properties ----------------------------------------------------
+
+
+def test_fattree_witnesses_confirmed_and_near_misses_refuted(fattree4_sim):
+    engine, routes = fattree4_sim
+    dpv = DataPlaneVerifier.from_simulation(engine, routes)
+    report = audit_verifier(dpv, seed=11, witnesses=3, near_misses=3)
+    assert report.ok, report.describe()
+    assert report.witnesses_confirmed > 0
+    assert report.near_misses_refuted > 0
+    assert report.finals_confirmed > 0
+
+
+def test_dcn_witnesses_confirmed_and_near_misses_refuted(dcn1_sim):
+    engine, routes = dcn1_sim
+    dpv = DataPlaneVerifier.from_simulation(engine, routes)
+    report = audit_verifier(dpv, seed=13, witnesses=2, near_misses=2)
+    assert report.ok, report.describe()
+    assert report.witnesses_confirmed > 0
+    assert report.near_misses_refuted > 0
+
+
+def test_audit_is_deterministic_for_a_seed(fattree4_sim):
+    engine, routes = fattree4_sim
+    dpv = DataPlaneVerifier.from_simulation(engine, routes)
+    first = audit_verifier(dpv, seed=5, witnesses=2, near_misses=2)
+    second = audit_verifier(dpv, seed=5, witnesses=2, near_misses=2)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_waypoint_audit_agrees(fattree4_sim):
+    from repro.bdd.headerspace import HeaderEncoding
+
+    engine, routes = fattree4_sim
+    dpv = DataPlaneVerifier.from_simulation(
+        engine, routes, encoding=HeaderEncoding(metadata_bits=2)
+    )
+    holders = dpv.prefix_holders()
+    transits = [
+        node for node in sorted(dpv.fibs) if node not in holders
+    ][:2]
+    assert transits
+    report = audit_waypoints(
+        dpv, transits, sources=holders[:4], destinations=holders[:4]
+    )
+    assert report.ok, report.describe()
+    assert report.pairs_checked > 0
+
+
+def test_audit_catches_a_corrupted_fib(fattree4):
+    """Non-vacuity: blank one *destination's* FIB after the symbolic
+    predicates are compiled and the audit must report mismatches with
+    hop traces.  (A blanked transit can be routed around by ECMP; a
+    blanked destination cannot receive its own prefix.)"""
+    from repro.routing.engine import SimulationEngine
+
+    engine = SimulationEngine(fattree4)
+    routes = engine.run()
+    dpv = DataPlaneVerifier.from_simulation(engine, routes)
+    dpv.compile_predicates()
+
+    class _EmptyFib:
+        def entries(self):
+            return []
+
+    victim = dpv.prefix_holders()[0]
+    dpv.fibs[victim] = _EmptyFib()
+    report = audit_verifier(dpv, seed=3, witnesses=2, near_misses=1)
+    assert not report.ok
+    assert report.mismatches
+    described = report.mismatches[0].describe()
+    assert "->" in described or "blackhole" in described
+
+
+def test_sampler_draws_distinct_packets(fattree4_sim):
+    engine, routes = fattree4_sim
+    dpv = DataPlaneVerifier.from_simulation(engine, routes)
+    dpv.compile_predicates()
+    holders = dpv.prefix_holders()
+    prefix = next(iter(dpv.snapshot.configs[holders[0]].bgp.networks))
+    bdd = dpv.encoding.prefix_bdd(dpv.engine, prefix)
+    sampler = WitnessSampler(dpv.engine, dpv.encoding, seed=2)
+    packets = sampler.packets(bdd, 4)
+    assert len({p.dst for p in packets}) == len(packets)
+    for packet in packets:
+        assert sampler.contains(bdd, packet)
+    for packet in sampler.near_miss_packets(bdd, 4):
+        assert not sampler.contains(bdd, packet)
+
+
+def test_folded_clos_two_dc_audit_is_clean():
+    snapshot = build_folded_clos(dcs=2, pods=2, leaves=2, spines=2)
+    from repro.routing.engine import SimulationEngine
+
+    engine = SimulationEngine(snapshot)
+    routes = engine.run()
+    dpv = DataPlaneVerifier.from_simulation(engine, routes)
+    report = audit_verifier(dpv, seed=17, witnesses=1, near_misses=1)
+    assert report.ok, report.describe()
+    # cross-DC reachability is the point of the super-spine mesh
+    pairs = set(dpv.all_pair_reachability().pairs())
+    cross = [
+        (s, d) for s, d in pairs if s.split("-")[0] != d.split("-")[0]
+    ]
+    assert cross, "no cross-DC reachable pairs in a 2-DC folded Clos"
