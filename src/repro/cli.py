@@ -16,7 +16,13 @@ Commands:
 ``serve``      run a resident verifier session: converged state stays
                live in the worker fleet, config/link deltas recompute
                incrementally (epoch-fenced), queries answer from the
-               last committed epoch over a line-JSON TCP API.
+               last committed epoch over a line-JSON TCP API;
+``top``        live console over a serving session: per-worker telemetry
+               frames, epoch/queue state, and the event journal tail.
+
+``verify``, ``worker``, and ``serve`` accept ``--metrics-listen
+HOST:PORT`` to expose an OpenMetrics (Prometheus-scrapeable) HTTP
+endpoint while they run.
 """
 
 from __future__ import annotations
@@ -131,6 +137,25 @@ def cmd_verify(args) -> int:
             return 2
     else:
         verifier = S2Verifier(snapshot, options)
+    metrics_server = None
+    if args.metrics_listen:
+        from .dist.transport import parse_hostport
+        from .obs.openmetrics import MetricsHTTPServer
+
+        try:
+            mhost, mport = parse_hostport(args.metrics_listen)
+        except ValueError as exc:
+            print(f"bad --metrics-listen spec: {exc}", file=sys.stderr)
+            return 2
+        metrics_server = MetricsHTTPServer(
+            verifier.controller.metrics_snapshot,
+            host=mhost,
+            port=mport,
+        )
+        print(
+            f"metrics on http://{metrics_server.address}/metrics",
+            flush=True,
+        )
     with verifier:
         query = None
         if args.src and args.dst:
@@ -192,6 +217,8 @@ def cmd_verify(args) -> int:
                       f"{args.ground_truth_report}")
             if not gt.ok:
                 exit_code = 1
+    if metrics_server is not None:
+        metrics_server.close()
     # Trace shards are merged (and the metrics file written) by
     # controller.close(), i.e. when the `with` block above exits.
     if args.trace_out:
@@ -295,18 +322,36 @@ def cmd_trace(args) -> int:
 def cmd_report(args) -> int:
     from .obs.report import render_report
 
-    try:
-        print(
-            render_report(
-                args.trace,
-                by_process=args.by_process,
-                top=args.top,
-                category=args.category,
-            )
-        )
-    except (OSError, ValueError) as exc:
-        print(f"cannot read trace {args.trace}: {exc}", file=sys.stderr)
+    if args.trace is None and not args.journal:
+        print("report needs a trace file and/or --journal", file=sys.stderr)
         return 2
+    if args.trace is not None:
+        try:
+            print(
+                render_report(
+                    args.trace,
+                    by_process=args.by_process,
+                    top=args.top,
+                    category=args.category,
+                )
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace {args.trace}: {exc}", file=sys.stderr)
+            return 2
+    if args.journal:
+        from .obs.journal import read_journal
+        from .obs.report import render_journal
+
+        try:
+            events = read_journal(args.journal)
+        except OSError as exc:
+            print(
+                f"cannot read journal {args.journal}: {exc}", file=sys.stderr
+            )
+            return 2
+        if args.trace is not None:
+            print()
+        print(render_journal(events, top=args.top))
     return 0
 
 
@@ -421,7 +466,7 @@ def cmd_worker(args) -> int:
     from .dist.socket_runtime import serve_worker
 
     try:
-        serve_worker(args.listen)
+        serve_worker(args.listen, metrics_listen=args.metrics_listen)
     except ValueError as exc:
         print(f"bad --listen spec: {exc}", file=sys.stderr)
         return 2
@@ -470,6 +515,27 @@ def cmd_serve(args) -> int:
         ground_truth_every=args.ground_truth_check,
     )
     server = SessionServer(session, host=host, port=port)
+    metrics_server = None
+    if args.metrics_listen:
+        from .obs.openmetrics import MetricsHTTPServer
+
+        try:
+            mhost, mport = parse_hostport(args.metrics_listen)
+        except ValueError as exc:
+            print(f"bad --metrics-listen spec: {exc}", file=sys.stderr)
+            session.close()
+            return 2
+        metrics_server = MetricsHTTPServer(
+            session.metrics_snapshot,
+            host=mhost,
+            port=mport,
+            journal=session.journal,
+            status_fn=session.statusz,
+        )
+        print(
+            f"metrics on http://{metrics_server.address}/metrics",
+            flush=True,
+        )
 
     def _shutdown(_signum, _frame) -> None:
         server.stop()
@@ -492,9 +558,32 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         session.close()
     print("serve: drained and shut down cleanly", flush=True)
     return 0
+
+
+def cmd_top(args) -> int:
+    from .dist.transport import parse_hostport
+    from .obs.top import run_top
+
+    try:
+        host, port = parse_hostport(args.address)
+    except ValueError as exc:
+        print(f"bad address: {exc}", file=sys.stderr)
+        return 2
+    ansi = False if args.no_ansi else None
+    iterations = 1 if args.once else args.iterations
+    return run_top(
+        host,
+        port,
+        interval=args.interval,
+        iterations=iterations,
+        events_limit=args.events,
+        ansi=ansi,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -579,6 +668,12 @@ def build_parser() -> argparse.ArgumentParser:
         "histograms plus per-worker telemetry) as JSON",
     )
     verify.add_argument(
+        "--metrics-listen",
+        metavar="HOST:PORT",
+        help="expose a live OpenMetrics HTTP endpoint (/metrics) while "
+        "the run is in flight (port 0 picks an ephemeral port)",
+    )
+    verify.add_argument(
         "--ground-truth",
         action="store_true",
         help="after verifying, walk sampled concrete packets through "
@@ -623,7 +718,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "trace",
+        nargs="?",
+        default=None,
         help="trace file (--trace-out output), shard file, or shard dir",
+    )
+    report.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="render a serve session's event journal (the journal.jsonl "
+        "in its store directory, or a CI artifact) as a table",
     )
     report.add_argument(
         "--by-process",
@@ -719,6 +822,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind address (port 0 picks an ephemeral port, printed on "
         "startup; default 127.0.0.1:0)",
     )
+    worker.add_argument(
+        "--metrics-listen",
+        metavar="HOST:PORT",
+        help="expose this worker's own OpenMetrics HTTP endpoint "
+        "(/metrics, /statusz) for direct scraping",
+    )
     worker.set_defaults(func=cmd_worker)
 
     serve = sub.add_parser(
@@ -785,7 +894,41 @@ def build_parser() -> argparse.ArgumentParser:
         "results appear in health and the serve.groundtruth_mismatches "
         "gauge",
     )
+    serve.add_argument(
+        "--metrics-listen",
+        metavar="HOST:PORT",
+        help="expose an OpenMetrics HTTP endpoint for this session "
+        "(/metrics, /eventsz, /statusz, /healthz; port 0 picks an "
+        "ephemeral port)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live console over a serving session",
+        description="Poll a `repro serve` session's statusz/eventsz ops "
+        "and render per-worker telemetry (epoch, round, BDD nodes, "
+        "memory, respawns), session health, and the event journal tail. "
+        "On a TTY the screen refreshes in place; piped output prints "
+        "one frame (or --iterations frames) and exits.",
+    )
+    top.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="the serve session's line-JSON API address",
+    )
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS", help="refresh period (default 1)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="render N frames then exit (default: forever on "
+                     "a TTY, once otherwise)")
+    top.add_argument("--events", type=int, default=10, metavar="N",
+                     help="journal-tail length (default 10)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.add_argument("--no-ansi", action="store_true",
+                     help="plain frames, no screen clearing")
+    top.set_defaults(func=cmd_top)
     return parser
 
 

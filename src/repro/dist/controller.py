@@ -34,6 +34,7 @@ from ..bdd.headerspace import HeaderEncoding
 from ..config.loader import Snapshot
 from ..net.ip import Prefix
 from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import TelemetryCollector, TelemetrySource
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..obs.merge import merge_shards
 from ..routing.engine import BgpResult
@@ -96,6 +97,8 @@ class S2Options:
     trace_out: Optional[str] = None      # merged Chrome trace-event file
     trace_dir: Optional[str] = None      # per-participant JSONL shards
     metrics_out: Optional[str] = None    # metrics snapshot JSON
+    telemetry: bool = True               # stream worker telemetry frames
+    telemetry_interval: float = 0.25     # min seconds between frames
 
 
 def options_fingerprint(options: S2Options, snapshot: Snapshot) -> str:
@@ -156,6 +159,9 @@ class WorkerSupervisor:
         # to before it may rejoin the fixed point.  None outside serving.
         self.epoch: Optional[int] = None
         self.stale_epoch_rejections = 0
+        # Serving mode: the session's event journal, when attached —
+        # respawns and stale-epoch rejections become typed records.
+        self.journal: Optional[Any] = None
 
     # -- OSPF checkpoint --------------------------------------------------
 
@@ -194,6 +200,21 @@ class WorkerSupervisor:
         self.recoveries += 1
         if isinstance(failure, StaleEpochError):
             self.stale_epoch_rejections += 1
+            if self.journal is not None:
+                self.journal.record(
+                    "stale_epoch_rejection",
+                    worker=worker_id,
+                    epoch=self.epoch,
+                    command=failure.command,
+                )
+        if self.journal is not None:
+            self.journal.record(
+                "worker_respawn",
+                worker=worker_id,
+                reason=type(failure).__name__,
+                epoch=self.epoch,
+                recoveries=self.recoveries,
+            )
         if self.pool is not None:
             self.pool.respawn(worker_id)
         else:
@@ -249,6 +270,13 @@ class S2Controller:
             opts.trace_out + ".shards" if opts.trace_out else None
         )
         self.metrics = MetricsRegistry()
+        # Streaming telemetry: every runtime pushes frames into this
+        # collector (remote runtimes piggyback them on RPC responses;
+        # in-process workers call the sink at phase boundaries).
+        self.telemetry = TelemetryCollector(self.metrics)
+        telemetry_interval = (
+            opts.telemetry_interval if opts.telemetry else 0.0
+        )
         if self.trace_dir:
             self.tracer: Tracer = Tracer(
                 process="controller",
@@ -277,6 +305,8 @@ class S2Controller:
                 fault_plan=opts.fault_plan,
                 trace_dir=self.trace_dir,
                 tracer=self.tracer,
+                telemetry_interval=telemetry_interval,
+                telemetry_sink=self.telemetry.ingest,
             )
             self.workers = self._pool.proxies
             self.runtime: Runtime = make_runtime("threaded")
@@ -300,6 +330,8 @@ class S2Controller:
                 tracer=self.tracer,
                 metrics=self.metrics,
                 worker_hosts=opts.worker_hosts,
+                telemetry_interval=telemetry_interval,
+                telemetry_sink=self.telemetry.ingest,
             )
             self.workers = self._pool.proxies
             self.runtime = make_runtime("threaded")
@@ -341,6 +373,14 @@ class S2Controller:
             # (the process runtime injects at the proxy call layer).
             for worker in self.workers:
                 worker.fault_injector = opts.fault_plan
+            if telemetry_interval > 0:
+                for worker in self.workers:
+                    worker.attach_telemetry(
+                        TelemetrySource(
+                            worker, interval=telemetry_interval
+                        ),
+                        sink=self.telemetry.ingest,
+                    )
         self.sidecars = [
             Sidecar(worker, fault_plan=opts.fault_plan, metrics=self.metrics)
             for worker in self.workers
@@ -743,6 +783,7 @@ class S2Controller:
                 self.options.fault_plan.fired_by_kind
             )
         snapshot["recoveries"] = self.supervisor.recoveries
+        snapshot["telemetry"] = self.telemetry.summary()
         if self._pool is not None and hasattr(
             self._pool, "transport_counters"
         ):

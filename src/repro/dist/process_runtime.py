@@ -40,7 +40,7 @@ import multiprocessing as mp
 import os
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..bdd.engine import BddOverflowError
 from ..bdd.headerspace import HeaderEncoding
@@ -90,6 +90,7 @@ def _worker_main(
     max_hops: int,
     trace_dir: Optional[str] = None,
     incarnation: int = 0,
+    telemetry_interval: float = 0.0,
 ) -> None:
     """The worker process service loop: execute commands off the pipe."""
     service = WorkerService()
@@ -102,6 +103,7 @@ def _worker_main(
         max_hops,
         trace_dir=trace_dir,
         incarnation=incarnation,
+        telemetry_interval=telemetry_interval,
     )
     while True:
         try:
@@ -139,6 +141,7 @@ def _telemetry(service: WorkerService) -> tuple:
         resources.bdd_nodes,
         resources.fib_entries,
         resources.oom,
+        None,  # no streaming frame on the configure path
     )
 
 
@@ -161,6 +164,7 @@ class WorkerProcessProxy:
         policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
+        telemetry_sink: Optional[Callable[[Dict[str, Any]], Any]] = None,
     ) -> None:
         self.worker_id = worker_id
         self.resources = resources
@@ -169,6 +173,9 @@ class WorkerProcessProxy:
         self._policy = policy or RetryPolicy()
         self._fault_plan = fault_plan
         self.tracer = tracer or NULL_TRACER
+        # Streaming telemetry frames piggybacked on responses are handed
+        # to this callable (the controller's collector) when set.
+        self.telemetry_sink = telemetry_sink
         self._flow_seq = 0
         # A timed-out pipe may deliver the stale response to the *next*
         # call; refuse further traffic until the worker is respawned.
@@ -315,6 +322,9 @@ class WorkerProcessProxy:
                 command=command,
             )
         result, telemetry = payload
+        # Tolerate both tuple shapes: the legacy 6-tuple and the current
+        # 7-tuple whose tail is an optional streaming telemetry frame.
+        frame = telemetry[6] if len(telemetry) > 6 else None
         (
             self.resources.current_bytes,
             peak,
@@ -322,9 +332,14 @@ class WorkerProcessProxy:
             self.resources.bdd_nodes,
             self.resources.fib_entries,
             oom,
-        ) = telemetry
+        ) = telemetry[:6]
         self.resources.peak_bytes = max(self.resources.peak_bytes, peak)
         self.resources.oom = self.resources.oom or oom
+        if frame is not None and self.telemetry_sink is not None:
+            try:
+                self.telemetry_sink(frame)
+            except Exception:  # noqa: BLE001 — telemetry must never
+                pass  # poison the RPC result path
         return result
 
     # -- supervision ------------------------------------------------------
@@ -523,6 +538,8 @@ class ProcessWorkerPool:
         fault_plan: Optional[FaultPlan] = None,
         trace_dir: Optional[str] = None,
         tracer: Optional[Tracer] = None,
+        telemetry_interval: float = 0.0,
+        telemetry_sink: Optional[Callable[[Dict[str, Any]], Any]] = None,
     ) -> None:
         self._context = mp.get_context(
             "fork" if os.name == "posix" else "spawn"
@@ -531,6 +548,7 @@ class ProcessWorkerPool:
         self._policy = retry_policy or RetryPolicy()
         self._fault_plan = fault_plan
         self._trace_dir = trace_dir
+        self._telemetry_interval = telemetry_interval
         # Spawn counts per worker id: a respawned worker's shard carries
         # the next incarnation number, so its spans stay distinguishable
         # after merging onto the same process track.
@@ -551,6 +569,7 @@ class ProcessWorkerPool:
                     policy=self._policy,
                     fault_plan=fault_plan,
                     tracer=tracer,
+                    telemetry_sink=telemetry_sink,
                 )
             )
 
@@ -571,6 +590,7 @@ class ProcessWorkerPool:
                 max_hops,
                 self._trace_dir,
                 incarnation,
+                self._telemetry_interval,
             ),
             daemon=True,
         )
@@ -627,6 +647,7 @@ class ProcessWorkerPool:
                 max_hops,
                 self._trace_dir,
                 incarnation,
+                self._telemetry_interval,
             )
 
     # -- supervision ------------------------------------------------------

@@ -13,7 +13,9 @@ incarnation.
 is ``("ok", (result, telemetry))`` or ``("exc", (name, message,
 traceback))``, with the telemetry tuple piggybacking the worker's
 resource counters so proxies track memory peaks without extra round
-trips.
+trips.  When streaming telemetry is enabled the tuple grows a seventh
+element — an interval-gated :mod:`repro.obs.telemetry` frame (or
+``None``) — which proxies forward to the controller's collector.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import traceback
 from typing import Any, Dict, Optional, Tuple
 
 from ..obs.tracer import NULL_TRACER, Tracer
+from ..obs.telemetry import TelemetrySource
 from .resources import WorkerResources
 from .storage import RouteStore
 from .worker import Worker
@@ -40,6 +43,7 @@ class WorkerService:
         self.resources: Optional[WorkerResources] = None
         self.tracer = NULL_TRACER
         self.incarnation = -1
+        self.telemetry: Optional[TelemetrySource] = None
         self._snapshot = None
         self._stores: Dict[str, RouteStore] = {}
 
@@ -57,6 +61,7 @@ class WorkerService:
         max_hops: int,
         trace_dir: Optional[str] = None,
         incarnation: int = 0,
+        telemetry_interval: float = 0.0,
     ) -> None:
         """(Re)build the worker; a reconfigure is a logical respawn."""
         if self.tracer is not NULL_TRACER:
@@ -85,6 +90,18 @@ class WorkerService:
         )
         self._snapshot = snapshot
         self.incarnation = incarnation
+        # Streaming telemetry: interval-gated, sequence numbers scoped
+        # per incarnation so the collector sees a respawn as a fresh
+        # stream rather than a seq regression.
+        self.telemetry = (
+            TelemetrySource(
+                self.worker,
+                interval=telemetry_interval,
+                incarnation=incarnation,
+            )
+            if telemetry_interval > 0
+            else None
+        )
         self._stores.clear()
 
     def _store_for(self, directory: str) -> RouteStore:
@@ -149,7 +166,13 @@ class WorkerService:
             resources = self.resources
             # PullOutcome travels fine; attach fresh memory telemetry so
             # the proxy mirror can track the peak without extra round
-            # trips.
+            # trips.  The optional seventh element is an interval-gated
+            # streaming frame for the controller's collector.
+            frame = (
+                self.telemetry.maybe_frame(phase=command)
+                if self.telemetry is not None
+                else None
+            )
             telemetry = (
                 resources.current_bytes,
                 resources.peak_bytes,
@@ -157,6 +180,7 @@ class WorkerService:
                 resources.bdd_nodes,
                 resources.fib_entries,
                 resources.oom,
+                frame,
             )
             return "ok", (result, telemetry)
         except Exception as exc:  # noqa: BLE001 — relayed to the controller

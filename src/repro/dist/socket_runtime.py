@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config.loader import Snapshot
 from ..obs.metrics import MetricsRegistry
@@ -86,13 +86,22 @@ def _socket_worker_main(handshake, host: str, port: int) -> None:
         service.finish()
 
 
-def serve_worker(listen: str, install_signal_handlers: bool = True) -> None:
+def serve_worker(
+    listen: str,
+    install_signal_handlers: bool = True,
+    metrics_listen: Optional[str] = None,
+) -> None:
     """Run a standalone worker listener (the ``repro worker`` command).
 
     Blocks until a controller sends ``__stop__``, or SIGTERM/SIGINT
     arrives.  Identity, snapshot, and assignment all arrive over the
     wire via ``__configure__``; reconfiguration is a logical respawn, so
     one listener can serve many runs.
+
+    ``metrics_listen`` (``host:port``) additionally exposes a local
+    OpenMetrics scrape endpoint reporting this worker's live frame —
+    remote workers in connect mode are observable even when the
+    controller is on another machine.
 
     Shutdown is graceful: a signal triggers a *draining* server stop —
     the RPC currently executing finishes and its response is delivered
@@ -109,6 +118,55 @@ def serve_worker(listen: str, install_signal_handlers: bool = True) -> None:
         return service.dispatch(command, args, flow_id)
 
     server = RpcServer(handler, host=host, port=port)
+    metrics_server = None
+    if metrics_listen:
+        from ..obs.openmetrics import MetricsHTTPServer
+        from ..obs.telemetry import TelemetryCollector
+
+        scrape_metrics = MetricsRegistry()
+        collector = TelemetryCollector(scrape_metrics)
+        # A dedicated source per worker incarnation: sharing the RPC
+        # piggyback source would consume its sequence numbers and show
+        # up as frame gaps on the controller side.
+        scrape_sources: Dict[Tuple[int, int], Any] = {}
+
+        def _scrape_snapshot() -> Dict[str, Any]:
+            # Fold a fresh frame on demand: the scrape itself is the
+            # sampling clock for a standalone worker.
+            worker = service.worker
+            if worker is not None:
+                key = (id(worker), service.incarnation)
+                source = scrape_sources.get(key)
+                if source is None:
+                    scrape_sources.clear()
+                    source = TelemetrySource(
+                        worker,
+                        interval=1e-9,
+                        incarnation=max(service.incarnation, 0),
+                    )
+                    scrape_sources[key] = source
+                collector.ingest(source.frame(phase="scrape"))
+            return scrape_metrics.snapshot()
+
+        def _scrape_status() -> Dict[str, Any]:
+            return {
+                "role": "worker",
+                "configured": service.configured,
+                "incarnation": service.incarnation,
+                "listen": f"{server.host}:{server.port}",
+            }
+
+        mhost, mport = parse_hostport(metrics_listen)
+        metrics_server = MetricsHTTPServer(
+            _scrape_snapshot,
+            host=mhost,
+            port=mport,
+            status_fn=_scrape_status,
+        )
+        print(
+            f"worker metrics on http://{metrics_server.address}/metrics",
+            flush=True,
+        )
     if install_signal_handlers:
         import signal
 
@@ -124,6 +182,8 @@ def serve_worker(listen: str, install_signal_handlers: bool = True) -> None:
     try:
         server.serve_forever()
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         service.finish()
 
 
@@ -145,6 +205,7 @@ class SocketWorkerProxy(WorkerProcessProxy):
         policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
+        telemetry_sink: Optional[Callable[[Dict[str, Any]], Any]] = None,
     ) -> None:
         super().__init__(
             worker_id,
@@ -154,6 +215,7 @@ class SocketWorkerProxy(WorkerProcessProxy):
             policy=policy,
             fault_plan=fault_plan,
             tracer=tracer,
+            telemetry_sink=telemetry_sink,
         )
         self._channel = channel
 
@@ -259,6 +321,8 @@ class SocketWorkerPool:
         metrics: Optional[MetricsRegistry] = None,
         worker_hosts: Optional[Sequence[str]] = None,
         host: str = "127.0.0.1",
+        telemetry_interval: float = 0.0,
+        telemetry_sink: Optional[Callable[[Dict[str, Any]], Any]] = None,
     ) -> None:
         self._context = mp.get_context(
             "fork" if os.name == "posix" else "spawn"
@@ -271,6 +335,7 @@ class SocketWorkerPool:
         self._trace_dir = trace_dir
         self._metrics = metrics
         self._host = host
+        self._telemetry_interval = telemetry_interval
         self._incarnations: Dict[int, int] = {}
         self.managed = not worker_hosts
         if worker_hosts:
@@ -307,6 +372,7 @@ class SocketWorkerPool:
                     policy=self._policy,
                     fault_plan=fault_plan,
                     tracer=tracer,
+                    telemetry_sink=telemetry_sink,
                 )
             )
             self._configure(worker_id, channel)
@@ -363,6 +429,7 @@ class SocketWorkerPool:
                 max_hops,
                 self._trace_dir,
                 incarnation,
+                self._telemetry_interval,
             ),
             internal=True,
         )

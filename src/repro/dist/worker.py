@@ -122,6 +122,13 @@ class Worker:
         # starts stale on purpose: it must fail the epoch fence until the
         # session (or the supervisor's recovery path) seeds it.
         self.epoch: int = -1
+        # Streaming telemetry (in-process runtimes): an attached source
+        # emits interval-gated frames at phase boundaries straight into
+        # the controller's collector.  Remote runtimes piggyback frames
+        # on RPC responses instead (see WorkerService.dispatch).
+        self.telemetry = None
+        self.telemetry_sink = None
+        self.last_round: int = -1
         self._build_nodes()
         # -- data-plane state (populated by the DPO phase) --
         self.engine: Optional[BddEngine] = None
@@ -151,6 +158,24 @@ class Worker:
         """Liveness probe; the heartbeat path of the supervisor."""
         return "pong"
 
+    # -- streaming telemetry ---------------------------------------------
+
+    def attach_telemetry(self, source, sink=None) -> None:
+        """Wire an in-process frame source (and collector sink)."""
+        self.telemetry = source
+        self.telemetry_sink = sink
+
+    def _emit_telemetry(self, phase: str) -> None:
+        """Push one interval-gated frame to the sink, if attached."""
+        if self.telemetry is None or self.telemetry_sink is None:
+            return
+        frame = self.telemetry.maybe_frame(phase=phase)
+        if frame is not None:
+            try:
+                self.telemetry_sink(frame)
+            except Exception:  # noqa: BLE001 — observability must never
+                pass  # fail the phase it observes
+
     def reset(self) -> None:
         """Rebuild this worker from scratch *in place* (identity kept).
 
@@ -168,6 +193,11 @@ class Worker:
         self._batch_sequences.clear()
         self._ospf_installed = {}
         self.epoch = -1
+        self.last_round = -1
+        if self.telemetry is not None:
+            # A reset is the in-process respawn: the frame stream starts
+            # a new incarnation so the collector sees a fresh sequence.
+            self.telemetry.reincarnate()
         self._build_nodes()
         self.engine = None
         self.encoding = None
@@ -313,6 +343,7 @@ class Worker:
                 for routes in node_routes.values()
             )
             span.set(bytes=written, selected=selected)
+        self._emit_telemetry("flush_shard")
         return written, selected
 
     # -- control plane: one round (two phases) ---------------------------------
@@ -324,6 +355,7 @@ class Worker:
         whose importer lives elsewhere are batched per target worker.
         """
         self._inject("compute_exports", round_token)
+        self.last_round = round_token
         boundary: Dict[int, BoundaryExports] = {}
         with self.tracer.span(
             "worker.exports", category="cpo", round=round_token
@@ -338,6 +370,7 @@ class Worker:
                         (hostname, session.peer_ip)
                     ] = exports
             span.set(boundary_targets=len(boundary))
+        self._emit_telemetry("compute_exports")
         return {
             target: RouteBatch(
                 source_worker=self.worker_id,
@@ -371,6 +404,7 @@ class Worker:
     def pull_round(self, round_token: int) -> PullOutcome:
         """Phase B: every real node pulls from its (real or shadow) peers."""
         self._inject("pull_round", round_token)
+        self.last_round = round_token
         changed_nodes: List[str] = []
         updates = 0
         with self.tracer.span(
@@ -385,6 +419,7 @@ class Worker:
                 node.route_count() for node in self.nodes.values()
             )
             span.set(updates=updates, changed=len(changed_nodes))
+        self._emit_telemetry("pull_round")
         return PullOutcome(
             changed=bool(changed_nodes),
             updates_processed=updates,
@@ -543,6 +578,7 @@ class Worker:
                 self.engine.add_root(root)
         self._serialize_memo = {}
         self.update_memory()
+        self._emit_telemetry("build_dataplane")
         return self.engine.ops - ops_before
 
     def set_waypoint_bit(self, node: str, metadata_index: int) -> None:
@@ -628,6 +664,7 @@ class Worker:
                 bdd_ops=self.engine.ops - ops_before,
             )
         self.update_memory()
+        self._emit_telemetry("drain")
         batches = {
             target: PacketBatch(
                 source_worker=self.worker_id,

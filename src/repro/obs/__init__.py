@@ -17,6 +17,24 @@ from .metrics import (  # noqa: F401
     Histogram,
     MetricsRegistry,
 )
+from .journal import (  # noqa: F401
+    EVENT_KINDS,
+    EventJournal,
+    JournalEvent,
+    journal_gaps,
+    read_journal,
+)
+from .telemetry import (  # noqa: F401
+    FRAME_VERSION,
+    TelemetryCollector,
+    TelemetrySource,
+    validate_frame,
+)
+from .openmetrics import (  # noqa: F401
+    MetricsHTTPServer,
+    render_openmetrics,
+    validate_openmetrics,
+)
 from .tracer import (  # noqa: F401
     NULL_SPAN,
     NULL_TRACER,

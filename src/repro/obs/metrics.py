@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import threading
+import zlib
 from typing import Any, Dict, List, Optional
 
 
@@ -51,34 +53,87 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution of observations with exact percentiles.
+    """A distribution of observations with bounded memory.
 
-    Observations are retained (runs record thousands of events, not
-    millions), so percentiles are computed by sorting on demand — exact,
-    and plenty fast at this scale.
+    Up to :data:`RESERVOIR_SIZE` observations are retained verbatim, so
+    percentiles are *exact* for any run that records fewer events than
+    the cap (batch verifications record thousands, not millions).  Past
+    the cap — a resident ``repro serve`` session observing every query —
+    the retained set becomes a uniform reservoir sample (Vitter's
+    algorithm R, seeded deterministically from the instrument name), so
+    percentiles degrade gracefully to an unbiased approximation while
+    ``count``/``sum``/``mean``/``min``/``max`` stay exact.
     """
 
-    __slots__ = ("name", "values", "_lock")
+    RESERVOIR_SIZE = 8192
 
-    def __init__(self, name: str, lock: threading.Lock) -> None:
+    __slots__ = (
+        "name",
+        "values",
+        "_lock",
+        "_cap",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        lock: threading.Lock,
+        reservoir_size: Optional[int] = None,
+    ) -> None:
         self.name = name
         self.values: List[float] = []
         self._lock = lock
+        self._cap = max(1, reservoir_size or self.RESERVOIR_SIZE)
+        self._count = 0
+        self._sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
+        # Deterministic per-name seed: identical runs sample identically.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         with self._lock:
-            self.values.append(value)
+            if self._count == 0:
+                self._min = self._max = value
+            else:
+                if value < self._min:
+                    self._min = value
+                if value > self._max:
+                    self._max = value
+            self._count += 1
+            self._sum += value
+            if len(self.values) < self._cap:
+                self.values.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self._cap:
+                    self.values[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        return self._sum
+
+    @property
+    def sampled(self) -> bool:
+        """True once the reservoir overflowed and percentiles are
+        approximate rather than exact."""
+        return self._count > self._cap
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0..100), linear interpolation."""
+        """The ``p``-th percentile (0..100), linear interpolation.
+
+        Exact while ``count <= RESERVOIR_SIZE``; computed over a uniform
+        sample (unbiased, approximate) once the reservoir overflows.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile {p} out of range [0, 100]")
         with self._lock:
@@ -96,19 +151,25 @@ class Histogram:
 
     def summary(self) -> Dict[str, float]:
         with self._lock:
-            values = list(self.values)
-        if not values:
+            count = self._count
+            total = self._sum
+            low, high = self._min, self._max
+            sampled = count > self._cap
+        if not count:
             return {"count": 0}
-        return {
-            "count": len(values),
-            "sum": sum(values),
-            "mean": sum(values) / len(values),
-            "min": min(values),
-            "max": max(values),
+        result = {
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": low,
+            "max": high,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
+        if sampled:
+            result["sampled"] = True
+        return result
 
 
 class MetricsRegistry:

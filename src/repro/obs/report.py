@@ -162,3 +162,65 @@ def render_report(
             RPC_HEADERS, rpc_rows, title="rpc supervision (per worker)"
         )
     return report
+
+
+JOURNAL_HEADERS = ["seq", "time", "kind", "details"]
+
+
+def render_journal(events, top: Optional[int] = None) -> str:
+    """The ``repro report --journal`` table for a serve session journal.
+
+    Accepts :class:`~repro.obs.journal.JournalEvent` objects (from
+    ``read_journal``) or plain event dicts (from an ``eventsz`` reply).
+    """
+    import time as _time
+
+    from ..harness.reporting import format_table  # local: avoids a cycle
+
+    if not events:
+        return "journal is empty"
+    records = [
+        event.to_dict() if hasattr(event, "to_dict") else dict(event)
+        for event in events
+    ]
+    if top:
+        records = records[-top:]
+    rows: List[List[Any]] = []
+    for record in records:
+        attrs = {
+            key: value
+            for key, value in (record.get("attrs") or {}).items()
+            if value is not None
+        }
+        details = " ".join(
+            f"{key}={value}" for key, value in sorted(attrs.items())
+        )
+        rows.append(
+            [
+                record.get("seq", "?"),
+                _time.strftime(
+                    "%H:%M:%S", _time.localtime(record.get("ts", 0))
+                ),
+                record.get("kind", "?"),
+                details[:72],
+            ]
+        )
+    kinds: Dict[str, int] = {}
+    for record in records:
+        kind = record.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    missing = 0
+    previous = None
+    for record in records:
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if previous is not None and seq > previous + 1:
+                missing += seq - previous - 1
+            previous = seq
+    summary = ", ".join(
+        f"{count} {kind}" for kind, count in sorted(kinds.items())
+    )
+    title = f"{len(records)} events ({summary})"
+    if missing:
+        title += f" — {missing} missing seq (trimmed or torn)"
+    return format_table(JOURNAL_HEADERS, rows, title=title)

@@ -23,6 +23,7 @@ from .session import (
     SessionBusyError,
     SessionClosedError,
     SessionDegradedError,
+    SessionDrainingError,
     SessionError,
     UnknownEndpointError,
     VerifierSession,
@@ -39,6 +40,7 @@ __all__ = [
     "SessionBusyError",
     "SessionClosedError",
     "SessionDegradedError",
+    "SessionDrainingError",
     "SessionError",
     "SessionServer",
     "UnknownEndpointError",

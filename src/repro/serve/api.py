@@ -6,16 +6,22 @@ One JSON object per line in, one per line out; readable with netcat::
 
 Operations (``op`` field):
 
-``health``   session status, epoch, queue depth
+``health``   session status, epoch, queue depth, journal/commit liveness
 ``query``    ``src``/``dst`` → committed reachability verdict
 ``routes``   ``node`` → per-prefix selected-route counts
 ``delta``    ``kind: "config"`` (``hostname``, ``text``, optional
              ``dialect``) or ``kind: "link"`` (``a``, ``b``, optional
              ``state: "down"|"up"``); blocks until the epoch commits
+``statusz``  health plus live per-worker telemetry frames and the
+             query-latency summary (what ``repro top`` renders)
+``eventsz``  structured event journal replay; optional ``since``
+             (sequence-number floor) and ``limit``
+``metrics``  the session's metrics as OpenMetrics text (``text`` field)
 ``stop``     acknowledge, then shut the server down
 
 Every response carries ``ok``.  Refusals are typed: ``"busy"`` (queue
-full — retry later), ``"degraded"`` (read-only), ``"bad-request"``,
+full — retry later), ``"degraded"`` (read-only), ``"draining"``
+(shutting down, queued deltas still finishing), ``"bad-request"``,
 ``"closed"``.  Connections are handled on their own threads, so queries
 keep answering while a delta recomputes on another connection.
 """
@@ -32,6 +38,7 @@ from .session import (
     SessionBusyError,
     SessionClosedError,
     SessionDegradedError,
+    SessionDrainingError,
     UnknownEndpointError,
     VerifierSession,
 )
@@ -189,6 +196,25 @@ class SessionServer:
                         list(pair) for pair in result.gained_pairs
                     ],
                 }
+            if op == "statusz":
+                return {"ok": True, **self.session.statusz()}
+            if op == "eventsz":
+                since = request.get("since", 0)
+                limit = request.get("limit")
+                if not isinstance(since, int) or isinstance(since, bool):
+                    return _error("bad-request", "'since' must be an integer")
+                if limit is not None and (
+                    not isinstance(limit, int) or isinstance(limit, bool)
+                ):
+                    return _error("bad-request", "'limit' must be an integer")
+                events = self.session.journal.events(since=since, limit=limit)
+                return {
+                    "ok": True,
+                    "journal": self.session.journal.describe(),
+                    "events": [event.to_dict() for event in events],
+                }
+            if op == "metrics":
+                return {"ok": True, "text": self.session.openmetrics()}
             if op == "stop":
                 self.stop()
                 return {"ok": True, "stopping": True}
@@ -197,6 +223,10 @@ class SessionServer:
             return _error("busy", str(exc))
         except SessionDegradedError as exc:
             return _error("degraded", str(exc))
+        except SessionDrainingError as exc:
+            # Before SessionClosedError — draining subclasses closed, and
+            # monitors treat "still finishing" and "gone" differently.
+            return _error("draining", str(exc))
         except SessionClosedError as exc:
             return _error("closed", str(exc))
         except (DeltaError, UnknownEndpointError) as exc:

@@ -34,10 +34,12 @@ to a cold start.
 
 from __future__ import annotations
 
+import os
 import queue
 import shutil
 import tempfile
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, replace as dc_replace
 from typing import Any, Dict, FrozenSet, Optional, Tuple
@@ -52,6 +54,8 @@ from ..dist.storage import (
     RouteStore,
     RunManifest,
 )
+from ..obs.journal import EventJournal
+from ..obs.openmetrics import render_openmetrics
 from ..routing.engine import BgpResult
 from .deltas import DeltaClassification, DeltaError, classify
 
@@ -70,6 +74,13 @@ class SessionDegradedError(SessionError):
 
 class SessionClosedError(SessionError):
     """The session was closed (or has no committed epoch to serve)."""
+
+
+class SessionDrainingError(SessionClosedError):
+    """The session is shutting down: queued deltas are still finishing,
+    but new ones are refused.  Subclasses :class:`SessionClosedError`
+    so callers that only know "closed" still behave correctly; the API
+    maps it to its own ``draining`` code."""
 
 
 class UnknownEndpointError(SessionError):
@@ -124,6 +135,7 @@ class VerifierSession:
         queue_limit: int = 8,
         warm_boot: bool = True,
         ground_truth_every: int = 0,
+        journal_capacity: int = 512,
     ) -> None:
         opts = dc_replace(options) if options is not None else S2Options()
         self._owned_store = False
@@ -142,9 +154,17 @@ class VerifierSession:
         self.warm_booted = False
         self.boot_fallback: Optional[str] = None
         self._closed = False
+        self._draining = False
         self._recomputing = False
         self._view_lock = threading.Lock()
         self._committed: Optional[CommittedView] = None
+        # The structured event journal: bounded in memory, mirrored to a
+        # JSONL sink on the store so post-mortems survive the process.
+        self.journal = EventJournal(
+            capacity=journal_capacity,
+            sink_path=os.path.join(opts.store_dir, "journal.jsonl"),
+        )
+        self.last_commit_ts: Optional[float] = None
         # Post-commit spot check: every Nth committed epoch, walk sampled
         # concrete packets through the committed FIBs (no BDDs) and
         # compare against the symbolic verdicts (0 = off).
@@ -153,6 +173,18 @@ class VerifierSession:
         self.last_ground_truth: Optional[Dict[str, Any]] = None
         self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, queue_limit))
         self._controller = self._boot(warm_boot)
+        # Supervision and telemetry feed the journal from here on.
+        self._controller.supervisor.journal = self.journal
+        self._controller.telemetry.journal = self.journal
+        self.journal.record(
+            "boot",
+            warm=self.warm_booted,
+            fallback=self.boot_fallback,
+            epoch=self.epoch,
+            snapshot=snapshot.name,
+            runtime=opts.runtime,
+            workers=opts.num_workers,
+        )
         self._commit_view()
         self._mutator = threading.Thread(
             target=self._mutate_loop, name="serve-mutator", daemon=True
@@ -234,6 +266,13 @@ class VerifierSession:
         )
         with self._view_lock:
             previous, self._committed = self._committed, view
+        self.last_commit_ts = time.time()
+        self.journal.record(
+            "epoch_commit",
+            epoch=self.epoch,
+            endpoints=len(endpoints),
+            reachable_pairs=len(view.pairs),
+        )
         if self._ground_truth_every:
             self._commits += 1
             if (self._commits - 1) % self._ground_truth_every == 0:
@@ -272,6 +311,13 @@ class VerifierSession:
                 "ok": False,
                 "error": f"{type(exc).__name__}: {exc}",
             }
+        self.journal.record(
+            "ground_truth",
+            epoch=view.epoch,
+            ok=bool(self.last_ground_truth.get("ok")),
+            mismatches=len(self.last_ground_truth.get("mismatches", ())),
+            error=self.last_ground_truth.get("error"),
+        )
 
     def _publish_gauges(self) -> None:
         gauges = {
@@ -298,17 +344,25 @@ class VerifierSession:
     # -- reads (always served, never torn) ---------------------------------
 
     def query(self, src: str, dst: str) -> QueryResult:
-        view = self._view()
-        unknown = [n for n in (src, dst) if n not in view.endpoints]
-        if unknown:
-            raise UnknownEndpointError(
-                f"not in the committed endpoint set: {', '.join(unknown)}"
+        started = time.perf_counter()
+        try:
+            view = self._view()
+            unknown = [n for n in (src, dst) if n not in view.endpoints]
+            if unknown:
+                raise UnknownEndpointError(
+                    f"not in the committed endpoint set: {', '.join(unknown)}"
+                )
+            return QueryResult(
+                holds=view.holds(src, dst),
+                epoch=view.epoch,
+                degraded=self.degraded,
             )
-        return QueryResult(
-            holds=view.holds(src, dst),
-            epoch=view.epoch,
-            degraded=self.degraded,
-        )
+        finally:
+            # Bounded-reservoir histogram: a resident session can absorb
+            # millions of queries without growing.
+            self._controller.metrics.histogram(
+                "serve.query_latency"
+            ).observe(time.perf_counter() - started)
 
     def routes(self, node: str) -> Dict[str, int]:
         """Per-prefix selected-route counts of one node's committed RIB."""
@@ -328,10 +382,14 @@ class VerifierSession:
             view = self._committed
         if self.degraded:
             status = "degraded"
+        elif self._draining:
+            status = "draining"
         elif self._recomputing or not self._queue.empty():
             status = "recomputing"
         else:
             status = "serving"
+        supervisor = self._controller.supervisor
+        now = time.time()
         return {
             "status": status,
             "epoch": view.epoch if view is not None else None,
@@ -344,13 +402,53 @@ class VerifierSession:
             "workers": self.options.num_workers,
             "runtime": self.options.runtime,
             "ground_truth": self.last_ground_truth,
+            # Machine-monitorable liveness: a scraper can alert on a
+            # stalled journal sequence or a stale last-commit timestamp
+            # without parsing prose.
+            "journal": self.journal.describe(),
+            "last_commit_ts": self.last_commit_ts,
+            "last_commit_age_seconds": (
+                now - self.last_commit_ts
+                if self.last_commit_ts is not None
+                else None
+            ),
+            "worker_health": {
+                "recoveries": supervisor.recoveries,
+                "stale_epoch_rejections": supervisor.stale_epoch_rejections,
+                "workers": self._controller.telemetry.worker_summary(),
+            },
         }
+
+    def statusz(self) -> Dict[str, Any]:
+        """:meth:`health` plus the live telemetry plane — the payload
+        behind the ``statusz`` API op and ``repro top``."""
+        status = self.health()
+        status["frames"] = {
+            str(worker_id): frame
+            for worker_id, frame in self._controller.telemetry.latest().items()
+        }
+        status["telemetry"] = self._controller.telemetry.summary()
+        status["query_latency"] = self._controller.metrics.histogram(
+            "serve.query_latency"
+        ).summary()
+        return status
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        return self._controller.metrics.snapshot()
+
+    def openmetrics(self) -> str:
+        """The session's metrics in OpenMetrics text format."""
+        return render_openmetrics(self.metrics_snapshot())
 
     # -- writes (single mutator thread, bounded admission) -----------------
 
     def submit_delta(self, delta) -> Future:
         """Enqueue a delta; the Future resolves to a :class:`DeltaResult`."""
         if self._closed:
+            if self._draining:
+                raise SessionDrainingError(
+                    "session is draining; new deltas refused"
+                )
             raise SessionClosedError("session is closed")
         if self.degraded:
             raise SessionDegradedError(
@@ -360,6 +458,11 @@ class VerifierSession:
         try:
             self._queue.put_nowait((delta, future))
         except queue.Full:
+            self.journal.record(
+                "load_shed",
+                queue_limit=self._queue.maxsize,
+                epoch=self.epoch,
+            )
             raise SessionBusyError(
                 f"admission queue is full "
                 f"({self._queue.maxsize} deltas pending)"
@@ -394,6 +497,11 @@ class VerifierSession:
             except BaseException as exc:  # noqa: BLE001 — degradation ladder
                 self.degraded = True
                 self.degraded_reason = f"{type(exc).__name__}: {exc}"
+                self.journal.record(
+                    "degraded",
+                    reason=self.degraded_reason,
+                    epoch=self.epoch,
+                )
                 self._publish_gauges()
                 future.set_exception(exc)
             else:
@@ -406,6 +514,14 @@ class VerifierSession:
         new_snapshot, changed_hosts = delta.apply(old_snapshot)
         classification = classify(old_snapshot, new_snapshot, changed_hosts)
         epoch = self.epoch + 1
+        self.journal.record(
+            "delta_classified",
+            delta_kind=classification.kind,
+            incremental=classification.incremental,
+            dirty_prefixes=len(classification.dirty_prefixes),
+            changed_hosts=len(classification.changed_hosts),
+            epoch=epoch,
+        )
         controller = self._controller
         if classification.incremental:
             self._prepare_incremental(new_snapshot, classification, epoch)
@@ -540,12 +656,20 @@ class VerifierSession:
     def close(self) -> None:
         if self._closed:
             return
+        # Draining before closed: new deltas get the typed refusal while
+        # queued ones still finish.
+        self._draining = True
         self._closed = True
+        self.journal.record(
+            "drain", epoch=self.epoch, queued=self._queue.qsize()
+        )
         self._queue.put(_STOP)  # drains queued deltas first
         self._mutator.join(timeout=120)
+        self._draining = False
         try:
             self._controller.close()
         finally:
+            self.journal.close()
             if self._owned_store:
                 shutil.rmtree(self.options.store_dir, ignore_errors=True)
 

@@ -1,0 +1,588 @@
+"""The live telemetry plane: frames, journal, OpenMetrics, repro top.
+
+Unit coverage for the new ``repro.obs`` pieces (bounded journal,
+reservoir histograms, frame validation, churn-aware collection,
+exposition-format rendering) plus end-to-end checks: a serving session
+stays observable across a forced worker respawn, torn telemetry frames
+under chaos faults never poison results, and ``repro top`` renders a
+live session without a TTY.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.dist.controller import S2Options
+from repro.obs.journal import (
+    EventJournal,
+    JournalEvent,
+    journal_gaps,
+    read_journal,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    MetricsHTTPServer,
+    render_openmetrics,
+    sanitize_metric_name,
+    validate_openmetrics,
+)
+from repro.obs.telemetry import (
+    FRAME_VERSION,
+    TelemetryCollector,
+    TelemetrySource,
+    validate_frame,
+)
+from repro.obs.top import render_top, run_top
+
+
+# -- journal ---------------------------------------------------------------
+
+
+def test_journal_orders_and_replays():
+    journal = EventJournal(capacity=64)
+    journal.record("boot", warm=False)
+    journal.record("epoch_commit", epoch=1)
+    journal.record("epoch_commit", epoch=2)
+    events = journal.events()
+    assert [e.seq for e in events] == [1, 2, 3]
+    assert [e.kind for e in events] == ["boot", "epoch_commit", "epoch_commit"]
+    assert journal.events(since=2) == events[2:]
+    # limit keeps the newest matching records
+    assert [e.seq for e in journal.events(limit=2)] == [2, 3]
+    assert journal_gaps(events) == []
+
+
+def test_journal_rejects_unknown_kinds():
+    journal = EventJournal()
+    with pytest.raises(ValueError):
+        journal.record("made_up_kind")
+
+
+def test_journal_bounds_memory_and_counts_drops():
+    journal = EventJournal(capacity=10)
+    for epoch in range(25):
+        journal.record("epoch_commit", epoch=epoch)
+    events = journal.events()
+    assert len(events) == 10
+    assert journal.dropped == 15
+    assert journal.first_seq == 16
+    assert journal.last_seq == 25
+    # seq is never reused: the retained window is contiguous
+    assert [e.seq for e in events] == list(range(16, 26))
+    describe = journal.describe()
+    assert describe["retained"] == 10
+    assert describe["dropped"] == 15
+
+
+def test_journal_sink_round_trips_and_skips_torn_lines(tmp_path):
+    sink = tmp_path / "journal.jsonl"
+    journal = EventJournal(capacity=4, sink_path=str(sink))
+    for epoch in range(8):
+        journal.record("epoch_commit", epoch=epoch)
+    journal.close()
+    # the sink keeps everything, even what the ring dropped
+    events = read_journal(str(sink))
+    assert [e.seq for e in events] == list(range(1, 9))
+    assert journal_gaps(events) == []
+    # a torn tail (process died mid-write) is skipped, not fatal
+    with open(sink, "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 9, "ts": 1.0, "ki')
+    assert [e.seq for e in read_journal(str(sink))] == list(range(1, 9))
+
+
+def test_journal_gaps_reports_missing_seq():
+    events = [
+        JournalEvent(seq=s, ts=0.0, kind="epoch_commit") for s in (1, 2, 5, 6)
+    ]
+    assert journal_gaps(events) == [3, 4]
+
+
+# -- reservoir histogram ---------------------------------------------------
+
+
+def test_histogram_exact_below_cap():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h")
+    for value in range(100):
+        hist.observe(float(value))
+    summary = hist.summary()
+    assert summary["count"] == 100
+    assert summary["sum"] == pytest.approx(sum(range(100)))
+    assert summary["min"] == 0 and summary["max"] == 99
+    assert "sampled" not in summary
+
+
+def test_histogram_memory_is_bounded_above_cap():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h")
+    n = hist._cap
+    total = n + 5000
+    for value in range(total):
+        hist.observe(float(value))
+    assert len(hist.values) == n          # bounded
+    assert hist.count == total            # exact
+    assert hist.total == pytest.approx(sum(range(total)))
+    assert hist.summary()["sampled"] is True
+    # the approximation stays sane: p50 of a uniform ramp is near mid
+    p50 = hist.percentile(50)
+    assert total * 0.3 < p50 < total * 0.7
+
+
+# -- frames ----------------------------------------------------------------
+
+
+class _FakeResources:
+    candidate_routes = 7
+    bdd_nodes = 42
+    fib_entries = 5
+    current_bytes = 1 << 20
+    peak_bytes = 2 << 20
+    retries = 0
+    respawns = 1
+    oom = False
+
+
+class _FakeWorker:
+    worker_id = 3
+    epoch = 9
+    last_round = 4
+    resources = _FakeResources()
+    pending_packets = 2
+    duplicate_batches = 0
+    engine = None
+    tracer = None
+
+
+def test_source_builds_valid_frames_with_monotonic_seq():
+    source = TelemetrySource(_FakeWorker(), interval=1e-9)
+    first = source.maybe_frame(phase="pull_round")
+    second = source.frame(phase="drain")
+    for frame in (first, second):
+        assert validate_frame(frame) is None
+    assert first["v"] == FRAME_VERSION
+    assert (first["seq"], second["seq"]) == (1, 2)
+    assert first["worker"] == 3 and first["epoch"] == 9
+    assert first["stats"]["candidate_routes"] == 7
+    assert first["stats"]["respawns"] == 1
+    assert second["phase"] == "drain"
+    # frames are wire-safe
+    json.dumps(first)
+
+
+def test_source_interval_gate_and_disable():
+    clock = [0.0]
+    source = TelemetrySource(
+        _FakeWorker(), interval=1.0, clock=lambda: clock[0]
+    )
+    assert source.maybe_frame() is not None  # first call always emits
+    assert source.maybe_frame() is None      # gated
+    clock[0] += 1.5
+    assert source.maybe_frame() is not None
+    assert source.maybe_frame(force=True) is not None
+    disabled = TelemetrySource(_FakeWorker(), interval=0.0)
+    assert not disabled.enabled
+    assert disabled.maybe_frame(force=True) is None
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda f: f.pop("seq"),
+        lambda f: f.__setitem__("seq", 0),
+        lambda f: f.__setitem__("seq", True),
+        lambda f: f.__setitem__("v", FRAME_VERSION + 1),
+        lambda f: f.__setitem__("stats", [1, 2]),
+        lambda f: f["stats"].__setitem__("bdd_nodes", "torn#garbage"),
+    ],
+)
+def test_validate_frame_rejects_damage(mutate):
+    frame = TelemetrySource(_FakeWorker(), interval=1e-9).frame()
+    assert validate_frame(frame) is None
+    mutate(frame)
+    assert validate_frame(frame) is not None
+
+
+def test_validate_frame_rejects_non_dicts():
+    assert validate_frame(None) is not None
+    assert validate_frame(b"\x00\x01torn") is not None
+    assert validate_frame(["not", "a", "frame"]) is not None
+
+
+# -- collector -------------------------------------------------------------
+
+
+def _frame(worker=0, incarnation=0, seq=1, **stats):
+    return {
+        "v": FRAME_VERSION,
+        "worker": worker,
+        "incarnation": incarnation,
+        "seq": seq,
+        "ts": time.time(),
+        "epoch": 1,
+        "round": 2,
+        "phase": "pull_round",
+        "spans": [],
+        "stats": {"bdd_nodes": 10, **stats},
+    }
+
+
+def test_collector_folds_frames_into_worker_gauges():
+    registry = MetricsRegistry()
+    collector = TelemetryCollector(registry)
+    assert collector.ingest(_frame(worker=1, seq=1)) == "ok"
+    snapshot = registry.snapshot()
+    assert snapshot["gauges"]["worker1.bdd_nodes"]["value"] == 10
+    assert snapshot["gauges"]["worker1.epoch"]["value"] == 1
+    assert snapshot["counters"]["telemetry.frames"] == 1
+    assert collector.worker_summary()["worker1"]["seq"] == 1
+
+
+def test_collector_drops_stale_and_counts_gaps():
+    registry = MetricsRegistry()
+    journal = EventJournal()
+    collector = TelemetryCollector(registry, journal=journal)
+    assert collector.ingest(_frame(seq=1)) == "ok"
+    assert collector.ingest(_frame(seq=1)) == "stale"   # duplicate
+    assert collector.ingest(_frame(seq=4)) == "gap"     # 2, 3 lost
+    assert collector.frames_lost == 2
+    assert collector.ingest(_frame(seq=3)) == "stale"   # reordered past
+    gap_events = [e for e in journal.events() if e.kind == "telemetry_gap"]
+    assert len(gap_events) == 1
+    assert gap_events[0].attrs["lost"] == 2
+    assert collector.ingest(b"torn!") == "invalid"
+    assert registry.snapshot()["counters"]["telemetry.frames_invalid"] == 1
+
+
+def test_collector_accepts_respawn_mid_push():
+    """A respawned worker restarts at seq 1 under a new incarnation —
+    that must be accepted, not treated as a stale duplicate."""
+    registry = MetricsRegistry()
+    collector = TelemetryCollector(registry)
+    source = TelemetrySource(_FakeWorker(), interval=1e-9)
+    assert collector.ingest(source.frame()) == "ok"
+    assert collector.ingest(source.frame()) == "ok"
+    source.reincarnate()  # the respawn, mid-push
+    frame = source.frame()
+    assert frame["seq"] == 1 and frame["incarnation"] == 1
+    assert collector.ingest(frame) == "ok"
+    # ...and a zombie from the old incarnation is now stale
+    assert collector.ingest(_frame(worker=3, incarnation=0, seq=9)) == "stale"
+    summary = collector.worker_summary()["worker3"]
+    assert summary["incarnation"] == 1 and summary["seq"] == 1
+
+
+# -- openmetrics -----------------------------------------------------------
+
+
+def test_render_openmetrics_is_valid_and_labels_workers():
+    registry = MetricsRegistry()
+    registry.counter("telemetry.frames").inc(3)
+    registry.set_gauges(
+        {
+            "serve.epoch": 5,
+            "worker0.bdd_nodes": 11,
+            "worker1.bdd_nodes": 22,
+            "worker1.engine.cache_hit_rate": 0.75,
+        }
+    )
+    hist = registry.histogram("serve.query_latency")
+    for value in (0.001, 0.002, 0.003):
+        hist.observe(value)
+    text = render_openmetrics(registry.snapshot())
+    assert validate_openmetrics(text) == [], text
+    assert "# TYPE s2_telemetry_frames counter" in text
+    assert "s2_telemetry_frames_total 3" in text
+    assert 's2_worker_bdd_nodes{worker="0"} 11' in text
+    assert 's2_worker_bdd_nodes{worker="1"} 22' in text
+    assert 's2_worker_engine_cache_hit_rate{worker="1"} 0.75' in text
+    assert "# TYPE s2_serve_query_latency summary" in text
+    assert "s2_serve_query_latency_count 3" in text
+    assert 's2_serve_query_latency{quantile="0.5"}' in text
+    assert text.endswith("# EOF\n")
+    # one TYPE line per family even with many labelled samples
+    assert text.count("# TYPE s2_worker_bdd_nodes gauge") == 1
+
+
+def test_validate_openmetrics_catches_malformations():
+    assert validate_openmetrics("") != []
+    assert validate_openmetrics("s2_x 1\n# EOF\n") != []  # no TYPE
+    assert validate_openmetrics("# TYPE s2_x counter\ns2_x 1\n# EOF\n") != []
+    assert (
+        validate_openmetrics("# TYPE s2_x gauge\ns2_x notanumber\n# EOF\n")
+        != []
+    )
+    assert validate_openmetrics("# TYPE s2_x gauge\ns2_x 1\n") != []  # no EOF
+    assert (
+        validate_openmetrics("# TYPE s2_x gauge\ns2_x 1\n# EOF\njunk\n") != []
+    )
+    ok = "# TYPE s2_x counter\ns2_x_total 1\n# EOF\n"
+    assert validate_openmetrics(ok) == []
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("serve.query_latency") == (
+        "s2_serve_query_latency"
+    )
+    assert sanitize_metric_name("rpc.bytes-sent") == "s2_rpc_bytes_sent"
+
+
+def test_metrics_http_server_scrapes():
+    registry = MetricsRegistry()
+    registry.counter("telemetry.frames").inc()
+    journal = EventJournal()
+    journal.record("boot", warm=False)
+    journal.record("epoch_commit", epoch=1)
+    server = MetricsHTTPServer(
+        registry.snapshot,
+        journal=journal,
+        status_fn=lambda: {"status": "serving"},
+    )
+    base = f"http://{server.address}"
+    try:
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as reply:
+            text = reply.read().decode("utf-8")
+        assert validate_openmetrics(text) == [], text
+        with urllib.request.urlopen(
+            f"{base}/eventsz?since=1", timeout=10
+        ) as reply:
+            payload = json.loads(reply.read())
+        assert payload["journal"]["last_seq"] == 2
+        assert [e["seq"] for e in payload["events"]] == [2]
+        with urllib.request.urlopen(f"{base}/statusz", timeout=10) as reply:
+            assert json.loads(reply.read())["status"] == "serving"
+        with urllib.request.urlopen(f"{base}/healthz", timeout=10) as reply:
+            assert json.loads(reply.read())["ok"] is True
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(f"{base}/nope", timeout=10)
+    finally:
+        server.close()
+
+
+# -- torn/partitioned telemetry under chaos --------------------------------
+
+
+def test_telemetry_survives_socket_chaos(fattree4):
+    """Torn frames and a partition on the very RPCs that piggyback
+    telemetry: the run must still converge, and whatever frames did get
+    through must have been folded without poisoning the registry."""
+    from repro import FaultPlan, FaultSpec, RetryPolicy, S2Verifier
+
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="torn_frame", worker=0, command="compute_exports"
+            ),
+            FaultSpec(
+                kind="partition",
+                worker=1,
+                command="pull_round",
+                where="response",
+                heal_after=2,
+            ),
+        ]
+    )
+    options = S2Options(
+        num_workers=3,
+        num_shards=2,
+        runtime="socket",
+        fault_plan=plan,
+        retry_policy=RetryPolicy(backoff_base=0.01),
+        telemetry_interval=1e-9,  # every dispatch carries a frame
+    )
+    with S2Verifier(fattree4, options) as verifier:
+        result = verifier.verify()
+        collector = verifier.controller.telemetry
+        snapshot = verifier.controller.metrics_snapshot()
+    assert result.status == "ok"
+    assert collector.frames_total > 0
+    assert snapshot["telemetry"]["frames"] == collector.frames_total
+    # every folded gauge is numeric — nothing torn leaked through
+    for name, payload in snapshot["gauges"].items():
+        if name.startswith("worker"):
+            assert isinstance(payload["value"], (int, float)), name
+    text = render_openmetrics(snapshot)
+    assert validate_openmetrics(text) == [], text
+
+
+# -- end-to-end: serve session observability -------------------------------
+
+
+@pytest.fixture(scope="module")
+def observed_session(fattree4):
+    """A process-runtime serving session with fast telemetry, plus its
+    line-JSON server — the fixture behind the end-to-end assertions."""
+    from repro.serve.api import SessionServer
+    from repro.serve.session import VerifierSession
+
+    session = VerifierSession(
+        fattree4,
+        S2Options(
+            num_workers=2,
+            num_shards=4,
+            runtime="process",
+            telemetry_interval=1e-9,
+        ),
+        warm_boot=False,
+    )
+    server = SessionServer(session)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield session, server
+    finally:
+        server.stop()
+        thread.join(timeout=10)
+        session.close()
+
+
+def test_serve_session_streams_frames_and_journals(observed_session):
+    session, server = observed_session
+    link = next(iter(session.snapshot.topology.links()))
+    from repro.serve.deltas import LinkDelta
+
+    session.apply_delta(
+        LinkDelta(a=link.a.node, b=link.b.node, up=False), timeout=300
+    )
+    # statusz carries live per-worker frames from the process runtime
+    status = server.handle({"op": "statusz"})
+    assert status["ok"]
+    assert status["frames"], "no telemetry frames reached the controller"
+    for frame in status["frames"].values():
+        assert validate_frame(frame) is None
+    assert status["journal"]["last_seq"] >= 2
+    assert status["last_commit_ts"] is not None
+    assert status["worker_health"]["workers"]
+    # the journal recorded the boot, the classification, and the commits
+    events = server.handle({"op": "eventsz"})
+    assert events["ok"]
+    kinds = [e["kind"] for e in events["events"]]
+    assert kinds[0] == "boot"
+    assert "delta_classified" in kinds
+    assert kinds.count("epoch_commit") >= 2
+    seqs = [e["seq"] for e in events["events"]]
+    assert seqs == sorted(seqs)
+    # the metrics op serves valid OpenMetrics with worker series
+    metrics = server.handle({"op": "metrics"})
+    assert metrics["ok"]
+    assert validate_openmetrics(metrics["text"]) == []
+    assert 's2_worker_bdd_nodes{worker="0"}' in metrics["text"]
+    assert "s2_serve_epoch" in metrics["text"]
+
+
+def test_eventsz_replays_in_order_across_worker_respawn(observed_session):
+    session, server = observed_session
+    before = server.handle({"op": "eventsz"})["journal"]["last_seq"]
+    # force a respawn: kill one worker process, then commit an epoch
+    session._controller._pool.proxies[1]._process.kill()
+    link = next(iter(session.snapshot.topology.links()))
+    from repro.serve.deltas import LinkDelta
+
+    session.apply_delta(
+        LinkDelta(a=link.a.node, b=link.b.node, up=False), timeout=300
+    )
+    reply = server.handle({"op": "eventsz", "since": before})
+    assert reply["ok"]
+    kinds = [e["kind"] for e in reply["events"]]
+    assert "worker_respawn" in kinds
+    assert "epoch_commit" in kinds
+    seqs = [e["seq"] for e in reply["events"]]
+    assert seqs == list(range(before + 1, before + 1 + len(seqs)))
+    # the respawned worker's telemetry keeps flowing under its new
+    # incarnation (collector did not stale-drop the fresh stream)
+    status = server.handle({"op": "statusz"})
+    incarnations = {
+        key: frame["incarnation"]
+        for key, frame in status["frames"].items()
+    }
+    assert any(inc >= 1 for inc in incarnations.values()), incarnations
+
+
+def test_health_is_machine_monitorable(observed_session):
+    session, server = observed_session
+    session.query(*sorted(session.reachability().endpoints)[:2])
+    health = server.handle({"op": "health"})
+    assert health["ok"]
+    assert health["status"] in ("serving", "recomputing")
+    assert health["journal"]["last_seq"] >= 1
+    assert health["last_commit_age_seconds"] >= 0
+    assert "recoveries" in health["worker_health"]
+    status = server.handle({"op": "statusz"})
+    assert status["query_latency"]["count"] >= 1
+
+
+def test_draining_is_a_distinct_refusal(observed_session):
+    session, server = observed_session
+    from repro.serve.deltas import LinkDelta
+
+    link = next(iter(session.snapshot.topology.links()))
+    delta = LinkDelta(a=link.a.node, b=link.b.node, up=False)
+    session._closed = True
+    session._draining = True
+    try:
+        draining = server.handle(
+            {"op": "delta", "kind": "link", "a": link.a.node, "b": link.b.node}
+        )
+        assert draining["error"] == "draining"
+        session._draining = False
+        closed = server.handle(
+            {"op": "delta", "kind": "link", "a": link.a.node, "b": link.b.node}
+        )
+        assert closed["error"] == "closed"
+    finally:
+        session._closed = False
+        session._draining = False
+    # reopened: the same delta goes through the normal path
+    assert session.submit_delta(delta).result(300).epoch == session.epoch
+
+
+def test_top_renders_against_live_session(observed_session):
+    _session, server = observed_session
+    out = io.StringIO()  # StringIO has no isatty → non-TTY fallback
+    code = run_top(server.host, server.port, interval=0.01, out=out)
+    assert code == 0
+    frame = out.getvalue()
+    assert frame.count("repro top —") == 1  # non-TTY default: one shot
+    assert "\x1b[" not in frame             # no ANSI without a TTY
+    assert "WORKER" in frame and "worker0" in frame
+    assert "events (last" in frame
+    assert "epoch_commit" in frame
+
+
+def test_top_reports_unreachable_session():
+    assert run_top("127.0.0.1", 1, interval=0.01, out=io.StringIO()) == 1
+
+
+def test_render_top_is_pure():
+    status = {
+        "status": "serving",
+        "snapshot": "ft4",
+        "epoch": 3,
+        "queue_depth": 0,
+        "runtime": "process",
+        "workers": 2,
+        "journal": {"last_seq": 7, "dropped": 0},
+        "last_commit_age_seconds": 1.5,
+        "query_latency": {"count": 10, "p50": 0.001, "p99": 0.004},
+        "frames": {
+            "0": _frame(worker=0, seq=5),
+            "1": _frame(worker=1, seq=6, current_bytes=3 << 20),
+        },
+    }
+    events = [
+        {"seq": 7, "ts": time.time(), "kind": "epoch_commit",
+         "attrs": {"epoch": 3}},
+    ]
+    now = time.time()
+    text = render_top(status, events, now=now)
+    assert "[serving]" in text and "epoch=3" in text
+    assert "worker0" in text and "worker1" in text
+    assert "p50=1.0ms" in text
+    assert "#   7" in text and "epoch_commit" in text
+    # render is a pure function of its inputs
+    assert text == render_top(status, events, now=now)
