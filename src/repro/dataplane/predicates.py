@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
-from ..bdd.engine import FALSE, TRUE, BddEngine
+from ..bdd.engine import FALSE, OP_OR, TRUE, BddEngine
 from ..bdd.headerspace import HeaderEncoding
 from ..config.ast import DeviceConfig
 from .fib import Fib, FibAction, FibEntry
@@ -115,19 +115,27 @@ def compile_predicates(
         encoding.address_bits,
     )
     # The regions are pairwise disjoint, so the per-action unions below
-    # are the only apply work left in FIB compilation.
+    # are the only apply work left in FIB compilation.  Each union goes
+    # through apply_many, the kernel's batched compile path (a balanced
+    # reduction on the flat kernel, the historical left fold on dict).
+    drop_regions = []
+    receive_regions = []
+    forward_regions: Dict[str, list] = {}
     for entry, region in sorted(
         regions.items(),
         key=lambda item: (item[0] is not None, item[0].prefix if item[0] else None),
     ):
         if entry is None or entry.action is FibAction.DROP:
-            predicates.drop = engine.or_(predicates.drop, region)
+            drop_regions.append(region)
         elif entry.action is FibAction.RECEIVE:
-            predicates.receive = engine.or_(predicates.receive, region)
+            receive_regions.append(region)
         else:
             for hop in entry.next_hops:
-                existing = predicates.forward.get(hop.iface, FALSE)
-                predicates.forward[hop.iface] = engine.or_(existing, region)
+                forward_regions.setdefault(hop.iface, []).append(region)
+    predicates.drop = engine.apply_many(OP_OR, drop_regions)
+    predicates.receive = engine.apply_many(OP_OR, receive_regions)
+    for iface, iface_regions in forward_regions.items():
+        predicates.forward[iface] = engine.apply_many(OP_OR, iface_regions)
 
     for iface in config.interfaces.values():
         if iface.acl_in is not None and iface.acl_in in config.acls:

@@ -75,6 +75,11 @@ class S2Options:
     encoding: HeaderEncoding = field(default_factory=HeaderEncoding)
     node_limit: int = 1 << 22            # per-worker BDD table capacity
     controller_node_limit: int = 1 << 24
+    bdd_kernel: str = "flat"         # "flat" (array kernel) | "dict"
+    #                                  (legacy fallback); excluded from
+    #                                  the options fingerprint — both
+    #                                  kernels are differential-tested to
+    #                                  produce bit-identical results
     max_rounds: int = 200
     max_hops: int = 24
     runtime: str = "sequential"      # "sequential" | "threaded" |
@@ -450,6 +455,7 @@ class S2Controller:
             runtime=self.runtime,
             node_limit=opts.node_limit,
             controller_node_limit=opts.controller_node_limit,
+            bdd_kernel=opts.bdd_kernel,
             supervisor=self.supervisor,
             retry_policy=opts.retry_policy,
             tracer=self.tracer,

@@ -62,6 +62,7 @@ class ControlPlaneStats:
     batches_dropped: int = 0        # injected at the sidecars
     batches_duplicated: int = 0     # injected at the sidecars
     duplicates_discarded: int = 0   # receiver-side sequence dedup hits
+    pipelined_deliveries: int = 0   # coalesced in-flight sends per round
 
 
 class ControlPlaneOrchestrator:
@@ -123,6 +124,28 @@ class ControlPlaneOrchestrator:
                     command="ping",
                 )
 
+    def _exchange(self, batch_maps) -> int:
+        """Ship one round's boundary batches, pipelined.
+
+        Every sender's batches are queued first, then all outboxes flush
+        before any delivery is awaited — remote deliveries for the whole
+        round are in flight together instead of call-and-wait one batch
+        at a time.  Settling every handle before returning is the
+        delivery barrier phase B's pulls depend on.
+        """
+        sent = 0
+        for sidecar, batches in zip(self.sidecars, batch_maps):
+            for batch in batches.values():
+                sidecar.queue_routes(batch)
+                sent += 1
+        handles = []
+        for sidecar in self.sidecars:
+            handles.extend(sidecar.flush_routes())
+        for handle in handles:
+            handle.result()
+        self.stats.pipelined_deliveries += len(handles)
+        return sent
+
     def _collect_fault_telemetry(self) -> None:
         """Fold sidecar and worker fault counters into the stats."""
         self.stats.batches_dropped = sum(
@@ -174,9 +197,7 @@ class ControlPlaneOrchestrator:
                     batch_maps = self.runtime.map(
                         [w.compute_ospf_exports for w in self.workers]
                     )
-                    for sidecar, batches in zip(self.sidecars, batch_maps):
-                        for batch in batches.values():
-                            sidecar.send_routes(batch)
+                    self._exchange(batch_maps)
                     changed_flags = self.runtime.map(
                         [w.pull_ospf_round for w in self.workers]
                     )
@@ -267,11 +288,7 @@ class ControlPlaneOrchestrator:
                         ]
                     )
                 with self.tracer.span("cpo.exchange", category="cpo") as ex:
-                    sent = 0
-                    for sidecar, batches in zip(self.sidecars, batch_maps):
-                        for batch in batches.values():
-                            sidecar.send_routes(batch)
-                            sent += 1
+                    sent = self._exchange(batch_maps)
                     ex.set(batches=sent)
                 # Phase B: pull and merge.
                 with self.tracer.span("cpo.pull", category="cpo"):

@@ -67,6 +67,7 @@ class DataPlaneOrchestrator:
         runtime: Optional[Runtime] = None,
         node_limit: int = 1 << 24,
         controller_node_limit: int = 1 << 24,
+        bdd_kernel: str = "flat",
         supervisor=None,
         retry_policy: Optional[RetryPolicy] = None,
         tracer: Optional[Tracer] = None,
@@ -78,8 +79,9 @@ class DataPlaneOrchestrator:
         self.encoding = encoding or HeaderEncoding()
         self.runtime = runtime or SequentialRuntime()
         self.node_limit = node_limit
+        self.bdd_kernel = bdd_kernel
         self.engine: BddEngine = self.encoding.make_engine(
-            node_limit=controller_node_limit
+            node_limit=controller_node_limit, kernel=bdd_kernel
         )
         self.supervisor = supervisor
         self.retry_policy = retry_policy or RetryPolicy()
@@ -141,7 +143,11 @@ class DataPlaneOrchestrator:
                 [
                     (
                         lambda w=w: w.build_dataplane(
-                            store, resolver, self.encoding, self.node_limit
+                            store,
+                            resolver,
+                            self.encoding,
+                            self.node_limit,
+                            self.bdd_kernel,
                         )
                     )
                     for w in self.workers

@@ -462,7 +462,7 @@ def sample_network_plan(seed: int, num_workers: int) -> FaultPlan:
     actually fires.
     """
     rng = random.Random(seed ^ 0x5EED)
-    commands = ["pull_round", "compute_exports", "deliver_routes"]
+    commands = ["pull_round", "compute_exports", "deliver_routes_many"]
     specs: List[FaultSpec] = []
     for _ in range(rng.randint(1, 2)):
         kind = rng.choice(sorted(NETWORK_KINDS))
@@ -494,7 +494,7 @@ def sample_serve_plan(seed: int, num_workers: int) -> FaultPlan:
     to a cold start at the final config.
     """
     rng = random.Random(seed ^ 0xE60C)
-    commands = ["pull_round", "compute_exports", "deliver_routes"]
+    commands = ["pull_round", "compute_exports", "deliver_routes_many"]
     specs: List[FaultSpec] = []
     for kind in rng.sample(sorted(NETWORK_KINDS), k=2):
         spec = FaultSpec(

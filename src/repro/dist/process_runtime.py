@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import queue
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -78,6 +79,43 @@ _RELAYED_EXCEPTIONS = {
 
 class RemoteWorkerError(WorkerFailure):
     """An unexpected exception inside a worker process."""
+
+
+class ProxyCallFuture:
+    """Result handle for a pipelined proxy call (see ``call_nowait``).
+
+    ``result()`` blocks until the call completes and then returns its
+    value or re-raises its failure — the same outcome the equivalent
+    blocking call would have produced, just deferred.  Safe to resolve
+    exactly once and to await from any thread.
+    """
+
+    __slots__ = ("_event", "_value", "_failure")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._failure: Optional[BaseException] = None
+
+    def set_result(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def set_exception(self, failure: BaseException) -> None:
+        self._failure = failure
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._event.wait(timeout):
+            raise RpcTimeoutError(
+                f"pipelined call did not complete within {timeout}s"
+            )
+        if self._failure is not None:
+            raise self._failure
+        return self._value
 
 
 def _worker_main(
@@ -183,8 +221,45 @@ class WorkerProcessProxy:
         # One in-flight request per pipe: phases call one method per
         # worker concurrently, and sidecar deliveries interleave.
         self._lock = threading.Lock()
+        # Pipelined calls: a lazily started per-proxy dispatch thread
+        # drains a FIFO of deferred calls (see call_nowait).
+        self._nowait_lock = threading.Lock()
+        self._nowait_queue: Optional["queue.Queue"] = None
+        self._nowait_thread: Optional[threading.Thread] = None
 
     # -- plumbing ---------------------------------------------------------
+
+    def call_nowait(self, command: str, *args) -> ProxyCallFuture:
+        """Issue a call without waiting; returns a future with .result().
+
+        The pipe transport admits one in-flight request per worker, so
+        pipelining here comes from a per-proxy dispatch thread draining
+        a FIFO: callers enqueue and immediately regain control (the
+        sidecar issues one delivery per peer and overlaps them *across*
+        workers) while per-worker ordering is preserved.  The socket
+        runtime overrides this with true wire pipelining inside the
+        channel's in-flight window.
+        """
+        future = ProxyCallFuture()
+        with self._nowait_lock:
+            if self._nowait_thread is None or not self._nowait_thread.is_alive():
+                self._nowait_queue = queue.Queue()
+                self._nowait_thread = threading.Thread(
+                    target=self._nowait_loop,
+                    name=f"worker{self.worker_id}-nowait",
+                    daemon=True,
+                )
+                self._nowait_thread.start()
+            self._nowait_queue.put((command, args, future))
+        return future
+
+    def _nowait_loop(self) -> None:
+        while True:
+            command, args, future = self._nowait_queue.get()
+            try:
+                future.set_result(self._call(command, *args))
+            except BaseException as exc:  # noqa: BLE001 — deferred raise
+                future.set_exception(exc)
 
     def _call(self, command: str, *args) -> Any:
         attempt = 0
@@ -410,6 +485,9 @@ class WorkerProcessProxy:
     def deliver_routes(self, batch) -> None:
         self._call("deliver_routes", batch)
 
+    def deliver_routes_many(self, batches) -> None:
+        self._call("deliver_routes_many", tuple(batches))
+
     def pull_round(self, round_token: int) -> PullOutcome:
         return self._call("pull_round", round_token)
 
@@ -454,10 +532,11 @@ class WorkerProcessProxy:
         resolver,
         encoding: HeaderEncoding,
         node_limit: int = 1 << 24,
+        bdd_kernel: str = "flat",
     ) -> int:
         del resolver  # rebuilt worker-side from the snapshot
         return self._call(
-            "build_dataplane", store.directory, encoding, node_limit
+            "build_dataplane", store.directory, encoding, node_limit, bdd_kernel
         )
 
     def set_waypoint_bit(self, node: str, metadata_index: int) -> None:

@@ -139,7 +139,7 @@ class WorkerService:
                     )
                     result = (written, selected)
                 elif command == "build_dataplane":
-                    directory, encoding, node_limit = args
+                    directory, encoding, node_limit, bdd_kernel = args
                     from ..dataplane.fib import NextHopResolver
 
                     resolver = NextHopResolver.from_snapshot(self._snapshot)
@@ -148,6 +148,7 @@ class WorkerService:
                         resolver,
                         encoding,
                         node_limit,
+                        bdd_kernel,
                     )
                 elif command == "merged_routes":
                     (directory,) = args

@@ -48,6 +48,10 @@ class Sidecar:
         self._sequence = 0
         self.batches_dropped = 0
         self.batches_duplicated = 0
+        # Per-round outbox for the pipelined exchange path: batches are
+        # queued (charged immediately) and shipped by flush_routes() as
+        # one coalesced delivery per target worker.
+        self._outbox: Dict[int, List[RouteBatch]] = {}
 
     @property
     def worker_id(self) -> int:
@@ -97,6 +101,64 @@ class Sidecar:
                 span.set(outcome="duplicated")
                 target.deliver_routes(batch)
         return size
+
+    def queue_routes(self, batch: RouteBatch) -> int:
+        """Queue one batch for the round's pipelined flush.
+
+        Identical accounting to :meth:`send_routes` — sequence stamp,
+        measured-size charge, metrics, and fault-plan drop/duplicate —
+        but delivery is deferred to :meth:`flush_routes`, which ships
+        every target's batches in one coalesced call per peer.
+        """
+        self._sequence += 1
+        batch = replace(batch, sequence=self._sequence)
+        size = measured_size(batch)
+        self.worker.resources.charge_rpc(size, messages=1)
+        self._record("rpc.route_batches", size)
+        action = "deliver"
+        if self.fault_plan is not None:
+            action = self.fault_plan.on_batch(
+                batch.source_worker, batch.round_token
+            )
+        if action == "drop":
+            self.batches_dropped += 1
+            return size
+        self._outbox.setdefault(batch.target_worker, []).append(batch)
+        if action == "duplicate":
+            # Redeliver the same sequence number: the receiver dedupes,
+            # but the duplicate bytes are still charged to the sender.
+            self.batches_duplicated += 1
+            self.worker.resources.charge_rpc(size, messages=1)
+            self._record("rpc.route_batches", size)
+            self._outbox[batch.target_worker].append(batch)
+        return size
+
+    def flush_routes(self) -> List:
+        """Ship the queued round, one ``deliver_routes_many`` per target.
+
+        Remote peers that support pipelined calls (``call_nowait``) are
+        issued without waiting and their result handles returned — the
+        caller **must** settle every handle before Phase B pulls, since
+        mailboxes must be filled before they are read.  In-process peers
+        deliver synchronously here and contribute no handle.
+        """
+        outbox, self._outbox = self._outbox, {}
+        handles: List = []
+        with self.worker.tracer.span(
+            "sidecar.flush_routes",
+            category="rpc",
+            targets=len(outbox),
+            batches=sum(len(b) for b in outbox.values()),
+        ):
+            for target_id in sorted(outbox):
+                batches = tuple(outbox[target_id])
+                target = self.peers[target_id].worker
+                nowait = getattr(target, "call_nowait", None)
+                if nowait is not None:
+                    handles.append(nowait("deliver_routes_many", batches))
+                else:
+                    target.deliver_routes_many(batches)
+        return handles
 
     def send_packets(self, batch: PacketBatch) -> int:
         # Packet batches are not subject to drop/duplicate injection:

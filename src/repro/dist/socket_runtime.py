@@ -187,6 +187,44 @@ def serve_worker(
         service.finish()
 
 
+class _SocketCallFuture:
+    """Proxy-level future over a wire :class:`RpcFuture`.
+
+    Settling maps transport failures to worker failures and applies the
+    proxy's ``_relay`` (telemetry mirror, exception relaying) — the same
+    post-processing a blocking call would have done inline.
+    """
+
+    __slots__ = ("_proxy", "_command", "_future")
+
+    def __init__(self, proxy, command: str, future) -> None:
+        self._proxy = proxy
+        self._command = command
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        del timeout  # the channel enforces its own call deadline
+        try:
+            status, payload = self._future.result()
+        except RpcTimeoutError as exc:
+            raise WorkerTimeoutError(
+                str(exc),
+                worker_id=self._proxy.worker_id,
+                command=self._command,
+            ) from exc
+        except TransportError as exc:
+            raise WorkerDiedError(
+                f"worker {self._proxy.worker_id} unreachable during "
+                f"{self._command}: {exc}",
+                worker_id=self._proxy.worker_id,
+                command=self._command,
+            ) from exc
+        return self._proxy._relay(self._command, status, payload)
+
+
 class SocketWorkerProxy(WorkerProcessProxy):
     """Controller-side handle for one socket worker.
 
@@ -218,6 +256,27 @@ class SocketWorkerProxy(WorkerProcessProxy):
             telemetry_sink=telemetry_sink,
         )
         self._channel = channel
+
+    # -- pipelined calls ---------------------------------------------------
+
+    def call_nowait(self, command: str, *args):
+        """True wire pipelining: issue on the channel, relay at result.
+
+        Unlike the pipe proxy (one request in flight per pipe, pipelined
+        by a dispatch thread), the socket channel multiplexes responses
+        by request id, so several requests genuinely share the wire up
+        to ``rpc_window``.  With a fault plan attached we fall back to
+        the thread-backed path so injected call faults keep their exact
+        blocking-call semantics (preamble, transient retries).
+        """
+        if self._fault_plan is not None:
+            return super().call_nowait(command, *args)
+        flow_id = None
+        if self.tracer.enabled:
+            self._flow_seq += 1
+            flow_id = (self.worker_id + 1) * 1_000_000 + self._flow_seq
+        wire_future = self._channel.call_nowait(command, args, flow_id=flow_id)
+        return _SocketCallFuture(self, command, wire_future)
 
     # -- transact (the only wire-specific layer) --------------------------
 

@@ -211,6 +211,146 @@ class _Pending:
             self.event.set()
 
 
+class RpcFuture:
+    """One pipelined RPC issued with :meth:`RpcChannel.call_nowait`.
+
+    The request is already on the wire (or its first transmission
+    already failed) by the time the caller holds this object; the
+    response streams in on the channel's receive thread while the caller
+    does other work.  :meth:`result` then settles the call with exactly
+    the semantics the blocking :meth:`RpcChannel.call` always had —
+    deadline, jittered-backoff retransmits under the same idempotent
+    request id, ``__transport__`` demux — and releases the in-flight
+    window slot.  ``result()`` is idempotent: the outcome is cached and
+    re-returned (or re-raised) on repeat calls.
+    """
+
+    __slots__ = (
+        "_channel",
+        "_command",
+        "_frame",
+        "_pending",
+        "_rid",
+        "_deadline",
+        "_budget",
+        "_post_send",
+        "_internal",
+        "_span",
+        "_send_failure",
+        "_done",
+        "_outcome",
+        "_error",
+    )
+
+    def __init__(
+        self,
+        channel: "RpcChannel",
+        command: str,
+        frame: bytes,
+        pending: _Pending,
+        rid: int,
+        deadline: float,
+        budget: float,
+        post_send,
+        internal: bool,
+        span,
+        send_failure: Optional[TransportError],
+    ) -> None:
+        self._channel = channel
+        self._command = command
+        self._frame = frame
+        self._pending = pending
+        self._rid = rid
+        self._deadline = deadline
+        self._budget = budget
+        self._post_send = post_send
+        self._internal = internal
+        self._span = span
+        self._send_failure = send_failure
+        self._done = False
+        self._outcome: Optional[Tuple[str, Any]] = None
+        self._error: Optional[TransportError] = None
+
+    def done(self) -> bool:
+        """True once the response (or a transport failure) arrived.
+
+        Purely advisory — a pending retransmit still counts as not done.
+        """
+        return self._done or self._pending.event.is_set()
+
+    def _settle(self) -> Tuple[str, Any]:
+        channel = self._channel
+        pending = self._pending
+        failure = self._send_failure
+        attempts = 0
+        while True:
+            if failure is None:
+                remaining = self._deadline - time.monotonic()
+                if remaining > 0 and pending.event.wait(remaining):
+                    if pending.status == "__transport__":
+                        failure = pending.payload
+                    else:
+                        channel._suspect_count = 0
+                        if attempts and self._span is not None:
+                            self._span.set(transport_retries=attempts)
+                        return pending.status, pending.payload
+                else:
+                    channel._count("timeouts")
+                    failure = RpcTimeoutError(
+                        f"worker {channel.worker_id} did not answer "
+                        f"{self._command} within {self._budget:.1f}s"
+                    )
+            attempts += 1
+            out_of_budget = (
+                attempts > channel._policy.max_call_retries
+                or time.monotonic() >= self._deadline
+            )
+            if self._span is not None:
+                self._span.set(
+                    transport_retries=attempts,
+                    transport_failure=type(failure).__name__,
+                )
+            if out_of_budget:
+                raise failure
+            channel._count("retries")
+            time.sleep(
+                min(
+                    channel._jittered_backoff(attempts),
+                    max(0.0, self._deadline - time.monotonic()),
+                )
+            )
+            failure = None
+            pending.reset()
+            try:
+                channel._ensure_connected(self._deadline)
+                channel._transmit(self._frame, self._command, self._internal)
+                if self._post_send is not None:
+                    callback, self._post_send = self._post_send, None
+                    callback()
+            except TransportError as exc:
+                failure = exc
+
+    def result(self) -> Tuple[str, Any]:
+        """Block until settled; return ``(status, payload)`` or raise."""
+        if self._done:
+            if self._error is not None:
+                raise self._error
+            return self._outcome
+        try:
+            self._outcome = self._settle()
+            return self._outcome
+        except TransportError as exc:
+            self._error = exc
+            raise
+        finally:
+            self._done = True
+            channel = self._channel
+            with channel._pending_lock:
+                channel._pending.pop(self._rid, None)
+            channel._inflight -= 1
+            channel._window.release()
+
+
 class RpcChannel:
     """One hardened client connection to one worker's RPC server.
 
@@ -537,7 +677,7 @@ class RpcChannel:
         base = self._policy.backoff(attempt)
         return base * (1.0 + self._policy.backoff_jitter * self._rng.random())
 
-    def call(
+    def call_nowait(
         self,
         command: str,
         args: tuple = (),
@@ -546,14 +686,17 @@ class RpcChannel:
         post_send: Optional[Callable[[], None]] = None,
         internal: bool = False,
         span=None,
-    ) -> Tuple[str, Any]:
-        """One idempotent RPC; returns the raw ``(status, payload)``.
+    ) -> RpcFuture:
+        """Issue one idempotent RPC without waiting for its response.
 
-        Raises :class:`RpcTimeoutError` when the deadline expires and
-        :class:`ConnectionLostError` when the peer stays unreachable
-        through the retry budget.  ``post_send`` runs exactly once after
-        the first successful transmission (fault injection uses it to
-        kill the worker "after send").
+        The request is transmitted before this returns (a first-send
+        transport failure is captured into the future and handled by its
+        retry loop), so several calls issued back to back share the wire
+        — true pipelining within the channel's ``rpc_window``.  Window
+        acquisition still blocks here, which is the backpressure point:
+        a caller cannot race further ahead than the window allows.
+        Settle the call with :meth:`RpcFuture.result`, which owns the
+        deadline/retransmit loop and releases the window slot.
         """
         budget = timeout if timeout is not None else self._policy.call_timeout
         deadline = time.monotonic() + budget
@@ -577,59 +720,57 @@ class RpcChannel:
         with self._pending_lock:
             self._pending[rid] = pending
         self._count("calls")
-        attempts = 0
+        send_failure: Optional[TransportError] = None
         try:
-            while True:
-                failure: Optional[TransportError] = None
-                pending.reset()
-                try:
-                    self._ensure_connected(deadline)
-                    self._transmit(frame, command, internal)
-                    if post_send is not None:
-                        callback, post_send = post_send, None
-                        callback()
-                except TransportError as exc:
-                    failure = exc
-                else:
-                    remaining = deadline - time.monotonic()
-                    if remaining > 0 and pending.event.wait(remaining):
-                        if pending.status == "__transport__":
-                            failure = pending.payload
-                        else:
-                            self._suspect_count = 0
-                            if attempts and span is not None:
-                                span.set(transport_retries=attempts)
-                            return pending.status, pending.payload
-                    else:
-                        self._count("timeouts")
-                        failure = RpcTimeoutError(
-                            f"worker {self.worker_id} did not answer "
-                            f"{command} within {budget:.1f}s"
-                        )
-                attempts += 1
-                out_of_budget = (
-                    attempts > self._policy.max_call_retries
-                    or time.monotonic() >= deadline
-                )
-                if span is not None:
-                    span.set(
-                        transport_retries=attempts,
-                        transport_failure=type(failure).__name__,
-                    )
-                if out_of_budget:
-                    raise failure
-                self._count("retries")
-                time.sleep(
-                    min(
-                        self._jittered_backoff(attempts),
-                        max(0.0, deadline - time.monotonic()),
-                    )
-                )
-        finally:
-            with self._pending_lock:
-                self._pending.pop(rid, None)
-            self._inflight -= 1
-            self._window.release()
+            self._ensure_connected(deadline)
+            self._transmit(frame, command, internal)
+            if post_send is not None:
+                callback, post_send = post_send, None
+                callback()
+        except TransportError as exc:
+            send_failure = exc
+        return RpcFuture(
+            self,
+            command,
+            frame,
+            pending,
+            rid,
+            deadline,
+            budget,
+            post_send,
+            internal,
+            span,
+            send_failure,
+        )
+
+    def call(
+        self,
+        command: str,
+        args: tuple = (),
+        flow_id: Optional[int] = None,
+        timeout: Optional[float] = None,
+        post_send: Optional[Callable[[], None]] = None,
+        internal: bool = False,
+        span=None,
+    ) -> Tuple[str, Any]:
+        """One idempotent RPC; returns the raw ``(status, payload)``.
+
+        Raises :class:`RpcTimeoutError` when the deadline expires and
+        :class:`ConnectionLostError` when the peer stays unreachable
+        through the retry budget.  ``post_send`` runs exactly once after
+        the first successful transmission (fault injection uses it to
+        kill the worker "after send").  Equivalent to
+        ``call_nowait(...).result()``.
+        """
+        return self.call_nowait(
+            command,
+            args,
+            flow_id=flow_id,
+            timeout=timeout,
+            post_send=post_send,
+            internal=internal,
+            span=span,
+        ).result()
 
     # -- heartbeat --------------------------------------------------------
 

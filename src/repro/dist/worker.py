@@ -401,6 +401,18 @@ class Worker:
             for key, vector in batch.ospf_exports.items():
                 self.ospf_mailbox[key] = vector
 
+    def deliver_routes_many(self, batches: Sequence[RouteBatch]) -> None:
+        """Deliver one round's worth of batches in a single call.
+
+        The pipelined exchange path coalesces every batch bound for this
+        worker into one RPC per round, so a remote runtime pays one
+        round trip per (sender set, receiver) instead of one per batch.
+        Dedup semantics are per-batch, identical to repeated
+        :meth:`deliver_routes` calls.
+        """
+        for batch in batches:
+            self.deliver_routes(batch)
+
     def pull_round(self, round_token: int) -> PullOutcome:
         """Phase B: every real node pulls from its (real or shadow) peers."""
         self._inject("pull_round", round_token)
@@ -525,6 +537,7 @@ class Worker:
         resolver: NextHopResolver,
         encoding: HeaderEncoding,
         node_limit: int = 1 << 24,
+        bdd_kernel: str = "flat",
     ) -> int:
         """Build FIBs (from the route store) and compile predicates into
         this worker's private engine.  Returns BDD ops spent (phase 1 of
@@ -533,7 +546,9 @@ class Worker:
         self._inject("build_dataplane")
         self.encoding = encoding
         self._fib_entries = 0
-        self.engine = encoding.make_engine(node_limit=node_limit)
+        self.engine = encoding.make_engine(
+            node_limit=node_limit, kernel=bdd_kernel
+        )
         self.engine.tracer = self.tracer if self.tracer.enabled else None
         self.context = ForwardingContext(
             self.engine,

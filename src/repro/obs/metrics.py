@@ -110,6 +110,12 @@ class Histogram:
             if len(self.values) < self._cap:
                 self.values.append(value)
             else:
+                # Algorithm R: the n-th observation (1-based; _count was
+                # just incremented, so _count == n here) must be kept
+                # with probability cap/n.  randrange(_count) draws
+                # uniformly from [0, n), so P(slot < cap) == cap/n —
+                # drawing over [0, n-1) or using the pre-increment count
+                # would oversample late arrivals.
                 slot = self._rng.randrange(self._count)
                 if slot < self._cap:
                     self.values[slot] = value

@@ -404,3 +404,58 @@ class TestSendDedupCache:
         for payload in payloads:
             cache.offer(payload)
         assert len(cache) <= 2 * 4
+
+
+class TestOpCacheBounds:
+    def test_hit_only_workload_keeps_cache_bounded(self):
+        """Regression: promoting old-generation hits must rotate when
+        the live generation fills, exactly like misses do.  Before the
+        fix, a hit-dominated phase grew ``_cache`` without bound —
+        every promotion inserted, and only misses checked the limit."""
+        limit = 16
+        engine = BddEngine(N_VARS, cache_limit=limit)
+        pairs = [
+            (engine.var(i), engine.nvar(j))
+            for i in range(N_VARS)
+            for j in range(N_VARS)
+            if i != j
+        ]
+        # Warm phase: populate both generations with distinct entries.
+        for a, b in pairs:
+            engine.or_(a, b)
+            assert len(engine._cache) <= limit
+        generations_before = engine.cache_generation
+        # Hit-only phase: every op is answered from cache (no new nodes,
+        # no misses) yet the live generation must stay bounded.
+        nodes_before = engine.node_count
+        for _ in range(3):
+            for a, b in pairs:
+                engine.or_(a, b)
+                assert len(engine._cache) <= limit
+        assert engine.node_count == nodes_before
+        assert engine.cache_generation > generations_before
+
+    def test_promotion_still_hits_after_rotation(self):
+        engine = BddEngine(N_VARS, cache_limit=4)
+        a, b = engine.var(0), engine.var(1)
+        u = engine.or_(a, b)
+        hits_before = engine.cache_hits
+        # Force rotations so the (OR, a, b) entry ages into _cache_old,
+        # then query it again: the promotion path must return it.
+        for i in range(2, 8):
+            engine.or_(engine.var(i), engine.nvar(i - 1))
+        assert engine.or_(a, b) == u
+        assert engine.cache_hits > hits_before
+
+
+class TestCubeValidation:
+    def test_cube_rejects_out_of_range_index(self, engine):
+        """Regression: ``cube`` must validate like ``var``/``nvar`` —
+        an out-of-range index previously built a node at a phantom
+        level, corrupting variable ordering silently."""
+        with pytest.raises(ValueError, match="out of range"):
+            engine.cube({N_VARS: True})
+        with pytest.raises(ValueError, match="out of range"):
+            engine.cube({-1: False})
+        # In-range assignments are unaffected.
+        assert engine.cube({0: True}) == engine.var(0)

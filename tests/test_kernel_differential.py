@@ -1,0 +1,216 @@
+"""Differential testing of the flat BDD kernel against the dict kernel.
+
+The flat kernel (:mod:`repro.bdd.flat`) is a from-scratch rewrite of
+the node table and op caches; its only acceptable observable difference
+from the reference dict engine is speed.  Node *ids* are allowed to
+differ (allocation order depends on cache hits), so equivalence is
+checked on the canonical form: nodes relabeled in children-first
+traversal order, plus the model count.
+
+Three layers:
+
+* a pinned 200-seed corpus of random op traces (cube / apply / not /
+  ite / exists / set_var / apply_many / GC with root remapping) that
+  must fingerprint identically on both kernels, forever;
+* a hypothesis property: any formula tree evaluates to the same
+  canonical BDD on both kernels;
+* end-to-end replays of the stored fuzz corpus: the full distributed
+  verifier run under each kernel must produce bit-identical RIBs and
+  reachability verdicts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd.engine import (
+    FALSE,
+    OP_AND,
+    OP_OR,
+    OP_XOR,
+    TRUE,
+    BddEngine,
+)
+from repro.bdd.flat import FlatBddEngine
+
+N_VARS = 24
+PINNED_SEEDS = range(200)
+
+
+def fingerprint(engine, root):
+    """Kernel-independent canonical form of one BDD."""
+    ids = {FALSE: 0, TRUE: 1}
+    triples = []
+    for node, var, low, high in engine.nodes_of(root):
+        ids[node] = len(ids)
+        triples.append((var, ids[low], ids[high]))
+    return tuple(triples), engine.sat_count(root)
+
+
+def run_trace(engine, seed: int, steps: int = 120):
+    """One seeded random op trace; returns periodic fingerprints."""
+    rng = random.Random(seed)
+    nodes = [FALSE, TRUE]
+    roots = []
+    fps = []
+    for step in range(steps):
+        choice = rng.random()
+        if choice < 0.2:
+            bits = {
+                rng.randrange(N_VARS): rng.random() < 0.5
+                for _ in range(rng.randrange(1, 6))
+            }
+            nodes.append(engine.cube(bits))
+        elif choice < 0.45:
+            a, b = rng.choice(nodes), rng.choice(nodes)
+            op = rng.choice((OP_AND, OP_OR, OP_XOR))
+            nodes.append(engine.apply(op, a, b))
+        elif choice < 0.6:
+            nodes.append(engine.not_(rng.choice(nodes)))
+        elif choice < 0.7:
+            f, g, h = (rng.choice(nodes) for _ in range(3))
+            nodes.append(engine.ite(f, g, h))
+        elif choice < 0.8:
+            nodes.append(
+                engine.exists(rng.choice(nodes), rng.randrange(N_VARS))
+            )
+        elif choice < 0.86:
+            nodes.append(
+                engine.set_var(
+                    rng.choice(nodes),
+                    rng.randrange(N_VARS),
+                    rng.random() < 0.5,
+                )
+            )
+        elif choice < 0.93:
+            ops = rng.sample(nodes, min(len(nodes), rng.randrange(2, 9)))
+            nodes.append(engine.apply_many(OP_OR, ops))
+        else:
+            u = rng.choice(nodes)
+            engine.add_root(u)
+            roots.append(u)
+            remap = engine.collect_garbage(extra_roots=())
+            nodes = [remap.get(n, n) for n in nodes if n in remap]
+            roots = [remap[r] for r in roots]
+            if not nodes:
+                nodes = [FALSE, TRUE]
+        if step % 17 == 0 and nodes[-1] > TRUE:
+            fps.append(fingerprint(engine, nodes[-1]))
+    for r in roots:
+        fps.append(fingerprint(engine, r))
+    return fps
+
+
+@pytest.mark.parametrize("seed", PINNED_SEEDS)
+def test_pinned_trace_corpus(seed):
+    """The 200-seed pinned corpus: bit-identical canonical results."""
+    dict_fps = run_trace(BddEngine(N_VARS, node_limit=1 << 20), seed)
+    flat_fps = run_trace(FlatBddEngine(N_VARS, node_limit=1 << 20), seed)
+    assert dict_fps == flat_fps
+
+
+# -- hypothesis property ----------------------------------------------------
+
+from tests.test_bdd import build, formula  # noqa: E402
+
+
+@settings(max_examples=60, deadline=None)
+@given(formula, formula)
+def test_formula_trees_agree(ta, tb):
+    results = []
+    for cls in (BddEngine, FlatBddEngine):
+        engine = cls(12)
+        a, b = build(engine, ta), build(engine, tb)
+        conj = engine.and_(a, b)
+        ex = engine.exists(conj, 3)
+        results.append(
+            (
+                fingerprint(engine, a),
+                fingerprint(engine, b),
+                fingerprint(engine, conj),
+                fingerprint(engine, engine.ite(a, b, conj)),
+                fingerprint(engine, ex),
+            )
+        )
+    assert results[0] == results[1]
+
+
+def test_apply_many_matches_fold():
+    for cls in (BddEngine, FlatBddEngine):
+        engine = cls(N_VARS)
+        rng = random.Random(11)
+        operands = [
+            engine.cube(
+                {
+                    rng.randrange(N_VARS): rng.random() < 0.5
+                    for _ in range(3)
+                }
+            )
+            for _ in range(25)
+        ]
+        for op in (OP_AND, OP_OR, OP_XOR):
+            folded = operands[0]
+            for u in operands[1:]:
+                folded = engine.apply(op, folded, u)
+            assert engine.apply_many(op, operands) == folded
+        # Identity elements for the empty operand set.
+        assert engine.apply_many(OP_AND, []) == TRUE
+        assert engine.apply_many(OP_OR, []) == FALSE
+        assert engine.apply_many(OP_XOR, []) == FALSE
+
+
+# -- end-to-end: stored fuzz corpus, one run per kernel ---------------------
+
+
+def _kernel_run(spec, kernel: str):
+    from repro.dataplane.queries import Query
+    from repro.dist.controller import S2Controller, S2Options
+    from repro.fuzz.generators import build_snapshot
+    from repro.fuzz.oracle import normalize_ribs
+
+    snapshot = build_snapshot(spec)
+    options = S2Options(
+        num_workers=min(3, max(1, spec.size)),
+        num_shards=3,
+        partition_scheme="random",
+        seed=7,
+        bdd_kernel=kernel,
+    )
+    with S2Controller(snapshot, options) as controller:
+        controller.run_control_plane()
+        ribs = normalize_ribs(controller.collected_ribs())
+        holders = tuple(controller.prefix_holders())
+        pairs = frozenset(
+            controller.checker()
+            .check_reachability(
+                Query(sources=holders, destinations=holders)
+            )
+            .pairs()
+        )
+    return ribs, pairs
+
+
+def _equivalent_cases():
+    from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, load_corpus
+
+    return [
+        case
+        for case in load_corpus(DEFAULT_CORPUS_DIR)
+        if case.expect == "equivalent"
+    ]
+
+
+@pytest.mark.parametrize(
+    "case", _equivalent_cases(), ids=lambda case: case.name
+)
+def test_corpus_replay_is_kernel_invariant(case):
+    """Full verifier runs under each kernel: bit-identical RIBs and
+    reachability verdicts on every stored equivalent fuzz case."""
+    spec = case.resolve_spec()
+    flat_ribs, flat_pairs = _kernel_run(spec, "flat")
+    dict_ribs, dict_pairs = _kernel_run(spec, "dict")
+    assert flat_pairs == dict_pairs, case.name
+    assert flat_ribs == dict_ribs, case.name
