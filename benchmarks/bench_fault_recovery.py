@@ -10,6 +10,10 @@ Three questions, answered on one FatTree control-plane run:
    roughly one shard replay, not a full rerun.
 3. **Resume savings** — resuming a run killed after most shards have
    converged recomputes only the remainder.
+4. **Loss + rebalance** — a *permanent* worker loss pays the shard
+   reassignment once (the survivors adopt the orphans and the run still
+   finishes distributed), and after the healed host is rebalanced back
+   in, steady-state throughput is within 10% of the pre-loss fleet.
 """
 
 from __future__ import annotations
@@ -112,11 +116,76 @@ def _run_experiment():
         ]
     )
 
-    return rows, overhead, crash_stats
+    # Permanent loss: one host dies for good mid-run — pinned to a
+    # middle shard so the survivors adopt real flushed store files.
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="host_loss", worker=1, command="pull_round",
+                shard=SHARDS // 2, heal_after=100,
+            )
+        ]
+    )
+    loss_s, loss_stats, _ = _run(snapshot, fault_plan=plan, runs=1)
+    assert loss_stats.workers_lost == 1
+    assert not loss_stats.sequential_fallback
+    reassign_cost = (loss_s - plain_s) / plain_s * 100.0
+    rows.append(
+        [
+            "1 worker lost permanently",
+            f"{loss_s:.3f}",
+            loss_stats.bgp_rounds,
+            loss_stats.worker_failures,
+            loss_stats.shard_replays,
+            f"{loss_stats.shards_reassigned} shards reassigned "
+            f"({reassign_cost:+.1f}%)",
+        ]
+    )
+
+    # Post-rebalance throughput: lose a worker, let the host heal,
+    # rebalance it back, then time a full reconfigure+rerun on the
+    # healed fleet against the best fault-free time.
+    heal_plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="host_loss", worker=1, command="pull_round",
+                heal_after=2,   # == respawn budget: healed right after loss
+            )
+        ]
+    )
+    options = S2Options(
+        num_workers=WORKERS, num_shards=SHARDS, fault_plan=heal_plan
+    )
+    rebalanced_s = float("inf")
+    with S2Controller(snapshot, options) as controller:
+        controller.run_control_plane()
+        assert controller.capacity()["lost_workers"] == 1
+        assert controller.rejoin_worker(1)
+        assert controller.capacity()["lost_workers"] == 0
+        for _ in range(3):
+            controller.reconfigure(snapshot)
+            started = time.perf_counter()
+            controller.run_control_plane()
+            rebalanced_s = min(
+                rebalanced_s, time.perf_counter() - started
+            )
+    rebalance_delta = (rebalanced_s - plain_s) / plain_s * 100.0
+    rows.append(
+        [
+            "post-rebalance rerun",
+            f"{rebalanced_s:.3f}",
+            "-",
+            0,
+            0,
+            f"{rebalance_delta:+.1f}% vs pre-loss",
+        ]
+    )
+
+    return rows, overhead, crash_stats, rebalance_delta
 
 
 def test_fault_recovery(benchmark):
-    rows, overhead, crash_stats = benchmark.pedantic(
+    rows, overhead, crash_stats, rebalance_delta = benchmark.pedantic(
         _run_experiment, rounds=1, iterations=1
     )
     table = format_table(
@@ -131,10 +200,15 @@ def test_fault_recovery(benchmark):
     # Recovery replays one shard, not the whole run.
     assert crash_stats.worker_failures == 1
     assert crash_stats.shard_replays == 1
+    # After the healed host is rebalanced back in, steady-state
+    # throughput is within 10% of the pre-loss fleet.
+    assert rebalance_delta < 10.0, (
+        f"post-rebalance rerun {rebalance_delta:+.1f}% vs pre-loss"
+    )
 
 
 if __name__ == "__main__":
-    rows, overhead, _ = _run_experiment()
+    rows, overhead, _, _ = _run_experiment()
     print(
         format_table(
             ["scenario", "wall-s", "bgp-rounds", "failures", "replays", "notes"],

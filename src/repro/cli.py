@@ -374,6 +374,7 @@ def cmd_fuzz(args) -> int:
         profile = GeneratorProfile.smoke()
         process_every = _every(args.process_every, 20)
         faults_every = _every(args.faults_every, 10)
+        host_loss_every = _every(args.host_loss_every, 12)
         dataplane_every = _every(args.dataplane_every, 15)
         socket_every = _every(args.socket_every, 30)
         groundtruth_every = _every(args.groundtruth_every, 5)
@@ -386,6 +387,7 @@ def cmd_fuzz(args) -> int:
         }[args.profile]
         process_every = _every(args.process_every, 25)
         faults_every = _every(args.faults_every, 0)
+        host_loss_every = _every(args.host_loss_every, 0)
         dataplane_every = _every(args.dataplane_every, 0)
         socket_every = _every(args.socket_every, 0)
         groundtruth_every = _every(args.groundtruth_every, 0)
@@ -403,6 +405,8 @@ def cmd_fuzz(args) -> int:
             include_threaded=not args.no_threaded,
             include_process=bool(process_every) and i % process_every == 0,
             include_faults=bool(faults_every) and i % faults_every == 0,
+            include_host_loss=bool(host_loss_every)
+            and i % host_loss_every == 0,
             include_socket=bool(socket_every) and i % socket_every == 0,
             check_dataplane=bool(dataplane_every)
             and i % dataplane_every == 0,
@@ -653,9 +657,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="SPEC",
         help="inject a fault, e.g. 'crash:worker=1,round=3' or "
-        "'drop:worker=0,times=2' (repeatable; kinds: crash, delay, "
-        "error, drop, duplicate, respawn_fail, and — socket runtime "
-        "only — partition, reorder, slow_link, torn_frame)",
+        "'host_loss:worker=2,heal_after=100' (repeatable; kinds: crash, "
+        "delay, error, drop, duplicate, respawn_fail, host_loss — a "
+        "permanently dead host whose shards migrate to the survivors — "
+        "and, socket runtime only, partition, reorder, slow_link, "
+        "torn_frame)",
     )
     verify.add_argument(
         "--fault-seed",
@@ -791,6 +797,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--faults-every", type=int, default=None, metavar="N",
                       help="include a fault-injected run every Nth "
                       "iteration (0 = never; default 0, or 10 with "
+                      "--smoke)")
+    fuzz.add_argument("--host-loss-every", type=int, default=None,
+                      metavar="N",
+                      help="include a run that permanently loses one "
+                      "worker (shards migrate to the survivors) every "
+                      "Nth iteration (0 = never; default 0, or 12 with "
                       "--smoke)")
     fuzz.add_argument("--dataplane-every", type=int, default=None,
                       metavar="N",

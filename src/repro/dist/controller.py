@@ -48,7 +48,12 @@ from .faults import (
     StaleEpochError,
     WorkerFailure,
 )
-from .partition import PartitionResult, partition
+from .partition import (
+    PartitionResult,
+    estimate_loads,
+    partition,
+    plan_reassignment,
+)
 from .resources import (
     DEFAULT_WORKER_CAPACITY,
     ClusterReport,
@@ -58,7 +63,7 @@ from .resources import (
 from .runtime import Runtime, make_runtime
 from .sharding import PrefixShard, make_shards, validate_shards
 from .sidecar import Sidecar
-from .storage import RouteStore, RunManifest
+from .storage import RouteStore, RunManifest, ShardRoutes
 from .worker import Worker
 
 
@@ -143,6 +148,16 @@ class WorkerSupervisor:
     sidecar references stay valid; (2) replay the OSPF checkpoint taken
     after the IGP fixed point; (3) the caller (CPO/DPO) replays the
     interrupted unit of work (shard or query), which is idempotent.
+
+    Respawn itself can fail (dead host, ``respawn_fail``/``host_loss``
+    injection).  Each recovery retries up to ``policy.respawn_budget``
+    times — except against an *unmanaged* pool (connect-mode socket
+    hosts), where a refused re-dial means the host is gone and the
+    budget is one.  A worker whose budget is spent is declared **lost**:
+    journaled, then handed to :attr:`on_loss` (the controller's shard
+    migration hook) so the run continues on the survivors.  Without a
+    hook the :class:`RespawnError` propagates — the legacy
+    all-or-nothing degradation.
     """
 
     def __init__(
@@ -152,14 +167,23 @@ class WorkerSupervisor:
         pool=None,
         persistent: bool = False,
         sidecars: Optional[Sequence[Sidecar]] = None,
+        policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.workers = list(workers)
         self.store = store
         self.pool = pool
         self.persistent = persistent
         self.sidecars = list(sidecars) if sidecars else []
+        self.policy = policy or RetryPolicy()
+        self.fault_plan = fault_plan
         self._ospf_states: Dict[int, Any] = {}
         self.recoveries = 0
+        self.losses = 0
+        # Loss migration hook: ``on_loss(worker_id, cause)`` must either
+        # remove the worker from the fleet (migrating its state) or
+        # raise; installed by :class:`S2Controller`.
+        self.on_loss: Optional[Any] = None
         # Serving mode: the epoch a recovered worker must be re-seeded
         # to before it may rejoin the fixed point.  None outside serving.
         self.epoch: Optional[int] = None
@@ -197,10 +221,50 @@ class WorkerSupervisor:
 
     # -- recovery ---------------------------------------------------------
 
+    def _worker_by_id(self, worker_id: int):
+        """The active worker with this id, or None (lists shrink on loss,
+        so positional indexing stopped being valid)."""
+        for worker in self.workers:
+            if worker.worker_id == worker_id:
+                return worker
+        return None
+
+    def _respawn_once(self, worker_id: int) -> None:
+        """One respawn attempt; raises :class:`RespawnError` on failure.
+
+        In-process runtimes have no pool, but a host-down injection must
+        still be honoured there — otherwise ``host_loss`` plans would be
+        untestable under the sequential/threaded runtimes.
+        """
+        if self.pool is not None:
+            self.pool.respawn(worker_id)
+            return
+        worker = self._worker_by_id(worker_id)
+        if worker is None:
+            raise RespawnError(
+                f"worker {worker_id} is not in the active set",
+                worker_id=worker_id,
+            )
+        if (
+            self.fault_plan is not None
+            and self.fault_plan.should_fail_respawn(worker_id)
+        ):
+            raise RespawnError(
+                f"respawn of worker {worker_id} failed (injected)",
+                worker_id=worker_id,
+            )
+        worker.reset()
+        worker.resources.respawns += 1
+
     def recover(self, failure: WorkerFailure) -> None:
-        """Bring the failed worker back; raises RespawnError on failure."""
+        """Bring the failed worker back; raises RespawnError on failure.
+
+        When the respawn budget is spent the worker is declared lost and
+        :attr:`on_loss` migrates its shards instead — returning normally
+        so the caller's retry loop replays the unit on the survivors.
+        """
         worker_id = failure.worker_id
-        if worker_id is None or not (0 <= worker_id < len(self.workers)):
+        if worker_id is None or self._worker_by_id(worker_id) is None:
             raise failure
         self.recoveries += 1
         if isinstance(failure, StaleEpochError):
@@ -220,26 +284,73 @@ class WorkerSupervisor:
                 epoch=self.epoch,
                 recoveries=self.recoveries,
             )
-        if self.pool is not None:
-            self.pool.respawn(worker_id)
-        else:
-            worker = self.workers[worker_id]
-            worker.reset()
-            worker.resources.respawns += 1
-        self.workers[worker_id].restore_ospf_state(
-            self._ospf_states.get(worker_id)
-        )
+        budget = max(1, self.policy.respawn_budget)
+        if self.pool is not None and not getattr(self.pool, "managed", True):
+            # Connect-mode socket host: respawn re-dials the same
+            # address, so one refused attempt means the host is gone.
+            budget = 1
+        attempts = 0
+        while True:
+            try:
+                self._respawn_once(worker_id)
+                break
+            except RespawnError as exc:
+                attempts += 1
+                if attempts < budget:
+                    continue
+                self.declare_lost(worker_id, exc)
+                return
+        worker = self._worker_by_id(worker_id)
+        worker.restore_ospf_state(self._ospf_states.get(worker_id))
         if self.epoch is not None:
             # Fresh execution contexts come up at epoch -1 (stale by
             # construction); re-seed before the shard replay so the
             # fence admits the recovered worker.
-            self.workers[worker_id].begin_epoch(self.epoch)
+            worker.begin_epoch(self.epoch)
         # The respawned worker lost its receive-side memory: every
         # surviving sender's dedup cache toward it would under-charge
         # (and a real dedup transport would dangle), so invalidate on
         # the incarnation change.
         for sidecar in self.sidecars:
             sidecar.on_peer_respawn(worker_id)
+
+    def declare_lost(self, worker_id: int, cause: RespawnError) -> None:
+        """Budget spent: journal the loss and hand off to the migration
+        hook.  Without a hook (standalone supervisor) the RespawnError
+        propagates and the caller degrades as before."""
+        if self.journal is not None:
+            self.journal.record(
+                "worker_lost",
+                worker=worker_id,
+                reason=str(cause),
+                epoch=self.epoch,
+                survivors=max(0, len(self.workers) - 1),
+            )
+        if self.on_loss is None:
+            raise cause
+        self.on_loss(worker_id, cause)
+        self.losses += 1
+
+    def merge_ospf_checkpoints(self) -> None:
+        """Install the union of every checkpoint on every active worker.
+
+        After a loss migration a survivor owns nodes whose IGP state was
+        checkpointed by the dead worker; ``restore_ospf_state`` ignores
+        hostnames the worker doesn't own, so the union is safe to replay
+        everywhere — and it keeps each per-worker checkpoint
+        self-sufficient for the *next* recovery.
+        """
+        union: Dict[str, Any] = {}
+        for state in self._ospf_states.values():
+            if state:
+                union.update(state)
+        if not union:
+            return
+        for worker in self.workers:
+            worker.restore_ospf_state(dict(union))
+            self._ospf_states[worker.worker_id] = dict(union)
+            if self.persistent:
+                self.store.write_ospf_state(worker.worker_id, dict(union))
 
     def forget_checkpoints(self) -> None:
         """Drop the in-memory OSPF checkpoints (full reconfigure: the
@@ -433,7 +544,15 @@ class S2Controller:
             pool=self._pool,
             persistent=persistent,
             sidecars=self.sidecars,
+            policy=opts.retry_policy,
+            fault_plan=opts.fault_plan,
         )
+        # Permanently lost workers: worker_id -> (worker, sidecar), kept
+        # so their final stats stay reportable and a healed host can
+        # rejoin with its original identity.
+        self.lost: Dict[int, Tuple[Any, Sidecar]] = {}
+        self.lost_reasons: Dict[int, str] = {}
+        self.supervisor.on_loss = self._handle_worker_loss
         self.cpo = ControlPlaneOrchestrator(
             self.workers,
             self.sidecars,
@@ -501,15 +620,19 @@ class S2Controller:
         recovery — respawn from the pool's current configure args, OSPF
         checkpoint restore, epoch re-seed — then retry once on the
         recovered worker; a second failure propagates to the caller.
+        A worker declared *lost* during recovery needs no retry — the
+        migration already rebuilt the survivors.
         """
-        for index in range(len(self.workers)):
+        for worker in list(self.workers):
+            worker_id = worker.worker_id
             try:
-                fn(self.workers[index])
+                fn(worker)
             except WorkerFailure as failure:
                 if failure.worker_id is None:
-                    failure.worker_id = index
+                    failure.worker_id = worker_id
                 self.supervisor.recover(failure)
-                fn(self.workers[index])
+                if any(w.worker_id == worker_id for w in self.workers):
+                    fn(worker)
 
     def begin_epoch(self, epoch: int) -> None:
         """Seed every worker — and the fence plumbing — with ``epoch``.
@@ -597,7 +720,22 @@ class S2Controller:
             scheme=opts.partition_scheme,
             seed=opts.seed,
         )
-        assignment = self.partition.assignment
+        # A shrunken fleet keeps its reassignment overlay across deltas:
+        # re-plan the canonical partition around the workers still lost.
+        if self.lost:
+            loads = estimate_loads(snapshot)
+            active_ids = [w.worker_id for w in self.workers]
+            for lost_id in sorted(self.lost):
+                self.partition = PartitionResult(
+                    assignment=plan_reassignment(
+                        self.partition.assignment,
+                        lost_id,
+                        active_ids,
+                        node_loads=loads,
+                    ),
+                    num_workers=self.partition.num_workers,
+                    scheme=self.partition.scheme,
+                )
         # Old-snapshot IGP checkpoints are meaningless for the new one;
         # drop them *before* any recovery so a respawn mid-reconfigure
         # doesn't restore stale OSPF state.
@@ -606,7 +744,11 @@ class S2Controller:
             attempts = 0
             while True:
                 try:
-                    self._pool.reconfigure(snapshot, assignment)
+                    # Refetched every attempt: a recovery that declared a
+                    # worker lost re-planned the assignment under us.
+                    self._pool.reconfigure(
+                        snapshot, self.partition.assignment
+                    )
                     break
                 except WorkerFailure as failure:
                     attempts += 1
@@ -616,7 +758,7 @@ class S2Controller:
         else:
             for worker in self.workers:
                 worker.snapshot = snapshot
-                worker.assignment = assignment
+                worker.assignment = self.partition.assignment
                 worker.reset()
         # Every worker was logically respawned: receive-side sequence
         # and dedup state is gone everywhere, so every sender's caches
@@ -640,6 +782,282 @@ class S2Controller:
         self.dpo.invalidate()
         self.dpo.build(self.store)
         return self.dpo.stats
+
+    # -- permanent loss: shard reassignment --------------------------------
+
+    def capacity(self) -> Dict[str, Any]:
+        """Degraded-capacity summary (serving surfaces re-export this)."""
+        active = len(self.workers)
+        lost = len(self.lost)
+        total = active + lost
+        return {
+            "active_workers": active,
+            "lost_workers": lost,
+            "capacity_ratio": (active / total) if total else 0.0,
+            "lost": {
+                str(worker_id): self.lost_reasons.get(worker_id, "")
+                for worker_id in sorted(self.lost)
+            },
+        }
+
+    def _handle_worker_loss(
+        self, worker_id: int, cause: WorkerFailure
+    ) -> None:
+        """Migrate a dead worker's shards to the survivors.
+
+        Installed as the supervisor's ``on_loss`` hook.  The run stays
+        *distributed*: the lost worker's nodes are reassigned across the
+        survivors (heaviest first), its persisted shard files merge into
+        the adopters', the union OSPF checkpoint replays everywhere, and
+        the caller's retry loop replays the interrupted unit on the
+        shrunken fleet.  Raises :class:`RespawnError` when no survivors
+        remain — the sequential fallback's cue.
+        """
+        survivors = [w for w in self.workers if w.worker_id != worker_id]
+        if not survivors:
+            raise RespawnError(
+                f"worker {worker_id} is lost and no survivors remain",
+                worker_id=worker_id,
+            )
+        lost_worker = next(
+            w for w in self.workers if w.worker_id == worker_id
+        )
+        lost_sidecar = next(
+            s for s in self.sidecars if s.worker_id == worker_id
+        )
+        orphans = [
+            node
+            for node, owner in self.partition.assignment.items()
+            if owner == worker_id
+        ]
+        new_assignment = plan_reassignment(
+            self.partition.assignment,
+            worker_id,
+            [w.worker_id for w in survivors],
+            node_loads=estimate_loads(self.snapshot),
+        )
+        self.partition = PartitionResult(
+            assignment=new_assignment,
+            num_workers=self.partition.num_workers,
+            scheme=self.partition.scheme,
+        )
+        # Quarantine the dead worker: freeze its identity + stats, and
+        # drop it from every holder.  Pool proxy lists stay full-length
+        # (respawn indexes positionally); the pool just marks it lost.
+        self.lost[worker_id] = (lost_worker, lost_sidecar)
+        self.lost_reasons[worker_id] = f"{type(cause).__name__}: {cause}"
+        self.workers = survivors
+        self.sidecars = [
+            s for s in self.sidecars if s.worker_id != worker_id
+        ]
+        for sidecar in self.sidecars:
+            sidecar.register_peers(self.sidecars)
+        self.supervisor.workers = list(self.workers)
+        self.supervisor.sidecars = list(self.sidecars)
+        self.cpo.drop_worker(worker_id)
+        self.dpo.drop_worker(worker_id)
+        if self._pool is not None:
+            self._pool.mark_lost(worker_id)
+        migrated = self._migrate_store_files(worker_id, new_assignment)
+        # Account the loss *before* rebuilding the survivors: a cascade
+        # (another worker dying during the rebuild) must not erase the
+        # record of this one.
+        self.cpo.stats.workers_lost += 1
+        self.cpo.stats.shards_reassigned += migrated
+        self.metrics.counter("cluster.workers_lost").inc()
+        self.metrics.gauge("cluster.active_workers").set(len(self.workers))
+        self.tracer.instant(
+            "worker.lost",
+            worker=worker_id,
+            survivors=len(self.workers),
+            shards=migrated,
+        )
+        if self.supervisor.journal is not None:
+            self.supervisor.journal.record(
+                "shard_reassigned",
+                worker=worker_id,
+                shards=migrated,
+                nodes=len(orphans),
+                survivors=len(self.workers),
+            )
+        # The survivors' node sets changed: logically respawn them on
+        # the new assignment, replay the merged IGP checkpoint, and
+        # re-seed the serving epoch so the fence admits them.
+        self._reconfigure_active()
+        self.supervisor.merge_ospf_checkpoints()
+        self.supervisor._ospf_states.pop(worker_id, None)
+        if self.supervisor.epoch is not None:
+            for worker in self.workers:
+                worker.begin_epoch(self.supervisor.epoch)
+        self.dpo.invalidate()
+
+    def _reconfigure_active(self) -> None:
+        """Logically respawn every *active* worker on the current
+        snapshot + assignment (their node sets changed)."""
+        if self._pool is not None:
+            attempts = 0
+            while True:
+                try:
+                    self._pool.reconfigure(
+                        self.snapshot, self.partition.assignment
+                    )
+                    break
+                except WorkerFailure as failure:
+                    attempts += 1
+                    if attempts > len(self.workers):
+                        raise
+                    self.supervisor.recover(failure)
+        else:
+            for worker in list(self.workers):
+                worker.snapshot = self.snapshot
+                worker.assignment = self.partition.assignment
+                worker.reset()
+        # Every active worker was rebuilt: receive-side sequence and
+        # dedup memory is gone everywhere, so every sender's caches go.
+        for sidecar in self.sidecars:
+            sidecar.invalidate_send_caches()
+
+    def _migrate_store_files(
+        self, worker_id: int, assignment: Dict[str, int]
+    ) -> int:
+        """Merge the lost worker's flushed shard files into the adopters'.
+
+        ``collected_ribs`` and ``build_dataplane`` read per-worker merged
+        stores, so after migration the survivors' files must jointly
+        cover every node the dead worker owned.  Returns the number of
+        shard files migrated.
+        """
+        migrated = 0
+        for shard_index in self.store.worker_shard_indices(worker_id):
+            routes = self.store.read_shard(worker_id, shard_index)
+            adopted: Dict[int, ShardRoutes] = {}
+            for node, prefixes in routes.items():
+                owner = assignment.get(node)
+                if owner is None or owner == worker_id:
+                    continue
+                adopted.setdefault(owner, {})[node] = prefixes
+            for owner, nodes in sorted(adopted.items()):
+                self.store.merge_into_shard(owner, shard_index, nodes)
+            migrated += 1
+        self.store.delete_worker_files(worker_id)
+        return migrated
+
+    def rejoin_worker(
+        self, worker_id: int, epoch: Optional[int] = None
+    ) -> bool:
+        """Probe a lost worker's host and rebalance shards back onto it.
+
+        Returns False while the host is still down (the caller re-arms
+        its backoff timer).  On success the canonical partition for the
+        now-larger fleet is restored (re-planned around any *still*-lost
+        workers), the store's shard files are re-keyed to it, and the
+        rejoined worker comes back epoch-fenced like any respawn.
+        """
+        entry = self.lost.get(worker_id)
+        if entry is None:
+            raise ValueError(f"worker {worker_id} is not lost")
+        worker, sidecar = entry
+        try:
+            if self._pool is not None:
+                self._pool.respawn(worker_id)
+            else:
+                plan = self.options.fault_plan
+                if plan is not None and plan.should_fail_respawn(worker_id):
+                    raise RespawnError(
+                        f"respawn of worker {worker_id} failed (injected)",
+                        worker_id=worker_id,
+                    )
+                worker.reset()
+                worker.resources.respawns += 1
+        except RespawnError:
+            return False
+        del self.lost[worker_id]
+        self.lost_reasons.pop(worker_id, None)
+        self.workers = sorted(
+            self.workers + [worker], key=lambda w: w.worker_id
+        )
+        self.sidecars = sorted(
+            self.sidecars + [sidecar], key=lambda s: s.worker_id
+        )
+        for peer in self.sidecars:
+            peer.register_peers(self.sidecars)
+        self.supervisor.workers = list(self.workers)
+        self.supervisor.sidecars = list(self.sidecars)
+        self.cpo.set_fleet(self.workers, self.sidecars)
+        self.dpo.set_fleet(self.workers, self.sidecars)
+        opts = self.options
+        base = partition(
+            self.snapshot,
+            opts.num_workers,
+            scheme=opts.partition_scheme,
+            seed=opts.seed,
+        )
+        assignment = dict(base.assignment)
+        active_ids = [w.worker_id for w in self.workers]
+        loads = estimate_loads(self.snapshot)
+        for still_lost in sorted(self.lost):
+            assignment = plan_reassignment(
+                assignment, still_lost, active_ids, node_loads=loads
+            )
+        self.partition = PartitionResult(
+            assignment=assignment,
+            num_workers=base.num_workers,
+            scheme=base.scheme,
+        )
+        self._repartition_store(assignment)
+        self._reconfigure_active()
+        self.supervisor.merge_ospf_checkpoints()
+        if epoch is None:
+            epoch = self.supervisor.epoch
+        if epoch is not None:
+            self.supervisor.epoch = epoch
+            self.cpo.epoch = epoch
+            for active in self.workers:
+                active.begin_epoch(epoch)
+        self.dpo.invalidate()
+        self.metrics.gauge("cluster.active_workers").set(len(self.workers))
+        self.tracer.instant(
+            "worker.rejoined", worker=worker_id, active=len(self.workers)
+        )
+        if self.supervisor.journal is not None:
+            self.supervisor.journal.record(
+                "worker_rejoined",
+                worker=worker_id,
+                epoch=epoch,
+                active=len(self.workers),
+            )
+        return True
+
+    def _repartition_store(self, assignment: Dict[str, int]) -> int:
+        """Re-key every persisted shard file to ``assignment``'s owners.
+
+        Content is untouched — the same (node, prefix) routes land in
+        the owning worker's file at the same flush index, so the merged
+        RIBs stay bit-identical across the rebalance.
+        """
+        active = [w.worker_id for w in self.workers]
+        indices = sorted(
+            {
+                index
+                for wid in active
+                for index in self.store.worker_shard_indices(wid)
+            }
+        )
+        for shard_index in indices:
+            combined: ShardRoutes = {}
+            for wid in active:
+                try:
+                    combined.update(self.store.read_shard(wid, shard_index))
+                except FileNotFoundError:
+                    continue
+            per_worker: Dict[int, ShardRoutes] = {wid: {} for wid in active}
+            for node, prefixes in combined.items():
+                owner = assignment.get(node)
+                if owner in per_worker:
+                    per_worker[owner][node] = prefixes
+            for wid, routes in per_worker.items():
+                self.store.write_shard(wid, shard_index, routes)
+        return len(indices)
 
     # -- pipeline ---------------------------------------------------------
 
@@ -685,9 +1103,12 @@ class S2Controller:
             result = engine.run_bgp_shard(
                 shard.prefixes if shard is not None else None
             )
+            # Keyed by the *current* assignment's owners: after a loss
+            # migration only the survivors exist, and collected_ribs()
+            # reads exactly their files.
             per_worker: Dict[int, Dict] = {
                 worker_id: {}
-                for worker_id in range(self.options.num_workers)
+                for worker_id in sorted(set(self.partition.assignment.values()))
             }
             selected_total = 0
             for hostname, selected in result.items():
@@ -724,7 +1145,15 @@ class S2Controller:
     # -- results ------------------------------------------------------------
 
     def report(self) -> ClusterReport:
-        return ClusterReport(workers=[w.resources for w in self.workers])
+        # Lost workers' stats are frozen at their last observed values
+        # and stay in the report: dropping them would make totals like
+        # total_respawns go *down* when a worker is declared lost.
+        resources = [w.resources for w in self.workers]
+        resources += [
+            self.lost[worker_id][0].resources
+            for worker_id in sorted(self.lost)
+        ]
+        return ClusterReport(workers=resources)
 
     def collected_ribs(self) -> BgpResult:
         """Merge every worker's stored shards: the network-wide RIBs.
@@ -765,8 +1194,8 @@ class S2Controller:
         snapshot = self.metrics.snapshot()
         snapshot["control_plane"] = asdict(self.cpo.stats)
         snapshot["data_plane"] = asdict(self.dpo.stats)
-        snapshot["workers"] = [
-            {
+        def _worker_entry(r: WorkerResources, lost: bool) -> Dict[str, Any]:
+            return {
                 "name": r.name,
                 "candidate_routes": r.candidate_routes,
                 "bdd_nodes": r.bdd_nodes,
@@ -781,14 +1210,21 @@ class S2Controller:
                 "retries": r.retries,
                 "respawns": r.respawns,
                 "oom": r.oom,
+                "lost": lost,
             }
-            for r in (w.resources for w in self.workers)
+
+        snapshot["workers"] = [
+            _worker_entry(w.resources, False) for w in self.workers
+        ] + [
+            _worker_entry(self.lost[worker_id][0].resources, True)
+            for worker_id in sorted(self.lost)
         ]
         if self.options.fault_plan is not None:
             snapshot["faults_fired"] = dict(
                 self.options.fault_plan.fired_by_kind
             )
         snapshot["recoveries"] = self.supervisor.recoveries
+        snapshot["capacity"] = self.capacity()
         snapshot["telemetry"] = self.telemetry.summary()
         if self._pool is not None and hasattr(
             self._pool, "transport_counters"

@@ -63,6 +63,8 @@ class ControlPlaneStats:
     batches_duplicated: int = 0     # injected at the sidecars
     duplicates_discarded: int = 0   # receiver-side sequence dedup hits
     pipelined_deliveries: int = 0   # coalesced in-flight sends per round
+    workers_lost: int = 0           # respawn budget spent; left the fleet
+    shards_reassigned: int = 0      # shard files migrated to survivors
 
 
 class ControlPlaneOrchestrator:
@@ -96,6 +98,27 @@ class ControlPlaneOrchestrator:
         # it and a worker at any other epoch refuses the shard, which
         # surfaces as a WorkerFailure and routes through recovery.
         self.epoch: Optional[int] = None
+
+    # -- fleet membership ----------------------------------------------------
+
+    def drop_worker(self, worker_id: int) -> None:
+        """Remove a lost worker from the round loop (loss migration).
+
+        The caller replays the interrupted shard afterwards; every
+        round's thunks are built fresh from ``self.workers``, so the
+        shrunken fleet takes effect at the next phase.
+        """
+        self.workers = [w for w in self.workers if w.worker_id != worker_id]
+        self.sidecars = [
+            s for s in self.sidecars if s.worker_id != worker_id
+        ]
+
+    def set_fleet(
+        self, workers: Sequence[Worker], sidecars: Sequence[Sidecar]
+    ) -> None:
+        """Rebind the active fleet (a healed worker rejoined)."""
+        self.workers = list(workers)
+        self.sidecars = list(sidecars)
 
     # -- helpers ------------------------------------------------------------
 

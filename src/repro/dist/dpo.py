@@ -92,6 +92,30 @@ class DataPlaneOrchestrator:
         self._store: Optional[RouteStore] = None
         self._transits: List[str] = []
 
+    # -- fleet membership ------------------------------------------------
+
+    def drop_worker(self, worker_id: int) -> None:
+        """Remove a lost worker (loss migration).
+
+        Worker and sidecar are dropped in tandem so the forward loop's
+        ``zip(self.workers, self.sidecars, ...)`` stays aligned; the
+        caller invalidates the build so the next query reloads the
+        migrated routes from the store.
+        """
+        self.workers = [w for w in self.workers if w.worker_id != worker_id]
+        self.sidecars = [
+            s for s in self.sidecars if s.worker_id != worker_id
+        ]
+        self._built = False
+
+    def set_fleet(
+        self, workers: Sequence[Worker], sidecars: Sequence[Sidecar]
+    ) -> None:
+        """Rebind the active fleet (a healed worker rejoined)."""
+        self.workers = list(workers)
+        self.sidecars = list(sidecars)
+        self._built = False
+
     # -- fault handling --------------------------------------------------
 
     def _recover(self, failure: WorkerFailure) -> None:

@@ -22,7 +22,14 @@ kind        effect
 ``duplicate`` deliver a sidecar route batch twice (receivers dedupe by
             sequence number)
 ``respawn_fail`` make the next respawn of the matched worker fail, which
-            exercises the sequential-fallback degradation path
+            exercises the loss-migration (and, when every worker is gone,
+            the sequential-fallback) degradation path
+``host_loss`` kill the worker like ``crash`` **and** fail every respawn
+            attempt for the next ``heal_after`` tries — a permanently
+            dead host.  The supervisor exhausts its respawn budget,
+            declares the worker lost, and migrates its shards to the
+            survivors; once the budget drains the host "heals" and a
+            serve session's prober can rebalance work back onto it
 ``partition`` cut the link to the matched worker in one direction
             (``where=request`` blocks requests from reaching it,
             ``where=response`` lets the request execute but severs the
@@ -124,6 +131,11 @@ class RetryPolicy:
     backoff_factor: float = 2.0      # exponential growth per retry
     max_shard_retries: int = 2       # shard reruns after worker recovery
     max_query_retries: int = 2       # data-plane query/build reruns
+    respawn_budget: int = 2          # failed respawns before a worker is
+                                     # declared *lost* (shards migrate)
+    heal_probe_base: float = 0.25    # first heal-probe delay (seconds)
+    heal_probe_factor: float = 2.0   # probe backoff growth per failure
+    heal_probe_max: float = 30.0     # probe backoff ceiling (seconds)
     heartbeat_interval_rounds: int = 10  # liveness check cadence (0 = off)
     join_timeout: float = 5.0        # grace before terminate()/kill()
     # Socket-transport knobs (see repro.dist.transport):
@@ -146,13 +158,18 @@ KINDS = (
     "drop",
     "duplicate",
     "respawn_fail",
+    "host_loss",
     "partition",
     "reorder",
     "slow_link",
     "torn_frame",
 )
 
-_CALL_KINDS = {"crash", "delay", "error"}
+_CALL_KINDS = {"crash", "delay", "error", "host_loss"}
+#: Kinds that kill the worker at the matched site (the caller treats a
+#: fired ``host_loss`` exactly like ``crash``; the difference is what
+#: happens when the supervisor tries to bring the worker back).
+CRASH_KINDS = {"crash", "host_loss"}
 _BATCH_KINDS = {"drop", "duplicate"}
 #: Kinds injected at the socket transport layer (repro.dist.transport);
 #: the in-process and pipe runtimes have no wire, so these never fire
@@ -245,6 +262,9 @@ class FaultPlan:
         # (worker_id, direction) -> blocked transmissions remaining before
         # the injected partition heals.
         self._active_partitions: Dict[tuple, int] = {}
+        # worker_id -> failed respawn attempts remaining before the host
+        # heals (armed when a host_loss spec fires at a call site).
+        self._lost_hosts: Dict[int, int] = {}
         self.current_shard: Optional[int] = None
         self.current_round: Optional[int] = None
         # Observability hook: ``fn(kind, worker_id, command)`` called for
@@ -326,6 +346,13 @@ class FaultPlan:
                     continue
                 if self._matches(index, spec, worker_id, command, round_token):
                     fired = self._fire(index, spec)
+                    if fired.kind == "host_loss" and worker_id is not None:
+                        # The host is now down: the next heal_after
+                        # respawn attempts will fail too.
+                        self._lost_hosts[worker_id] = (
+                            self._lost_hosts.get(worker_id, 0)
+                            + fired.heal_after
+                        )
                     break
         if fired is not None and self.observer is not None:
             try:
@@ -358,9 +385,31 @@ class FaultPlan:
         return spec.kind if spec is not None else "deliver"
 
     def should_fail_respawn(self, worker_id: int) -> bool:
+        with self._lock:
+            remaining = self._lost_hosts.get(worker_id, 0)
+            if remaining > 0:
+                # One probe consumed; the host heals when the budget
+                # drains, after which respawns succeed again.
+                if remaining == 1:
+                    del self._lost_hosts[worker_id]
+                else:
+                    self._lost_hosts[worker_id] = remaining - 1
+                self.fired_by_kind["respawn_fail"] = (
+                    self.fired_by_kind.get("respawn_fail", 0) + 1
+                )
+                return True
         return (
             self._first_match({"respawn_fail"}, worker_id, None) is not None
         )
+
+    def host_is_down(self, worker_id: int) -> bool:
+        """True while an armed ``host_loss`` still refuses respawns.
+
+        A read-only peek (no budget consumed) — used by heal probers to
+        decide whether dialing the host is worth a real attempt.
+        """
+        with self._lock:
+            return self._lost_hosts.get(worker_id, 0) > 0
 
     def on_transport(
         self, worker_id: int, command: str
@@ -423,16 +472,19 @@ class FaultPlan:
 def sample_plan(seed: int, num_workers: int) -> FaultPlan:
     """Draw a small recoverable fault plan for differential fuzzing.
 
-    The sampled faults are all of the *recoverable* kinds (crash with
-    respawn, transient RPC errors, dropped/duplicated batches): the
-    fuzz oracle asserts that a run surviving them is bit-identical to a
-    fault-free run, so unrecoverable kinds (``respawn_fail``) are
-    excluded on purpose — those degrade to the sequential fallback,
+    The sampled faults are all of the *survivable* kinds (crash with
+    respawn, transient RPC errors, dropped/duplicated batches, and —
+    since the loss-migration layer — a permanent ``host_loss`` whose
+    shards migrate to the survivors): the fuzz oracle asserts that a run
+    surviving them is bit-identical to a fault-free run.  Bare
+    ``respawn_fail`` is excluded on purpose — with a budget of one
+    failure it is indistinguishable from a slow respawn, and exhausting
+    the budget on *every* worker degrades to the sequential fallback,
     which is covered by the fault-tolerance suite instead.
     """
     rng = random.Random(seed)
     specs: List[FaultSpec] = []
-    kinds = ["crash", "error", "drop", "duplicate"]
+    kinds = ["crash", "error", "drop", "duplicate", "host_loss"]
     for _ in range(rng.randint(1, 2)):
         kind = rng.choice(kinds)
         spec = FaultSpec(
@@ -447,8 +499,39 @@ def sample_plan(seed: int, num_workers: int) -> FaultPlan:
                 times=spec.times,
                 command=rng.choice(["pull_round", "compute_exports"]),
             )
+        elif kind == "host_loss":
+            # One permanent loss; heal_after large enough that every
+            # respawn-budget attempt fails and the worker is migrated.
+            spec = FaultSpec(
+                kind=kind,
+                worker=spec.worker,
+                times=1,
+                heal_after=8,
+                command=rng.choice(["pull_round", "compute_exports"]),
+            )
         specs.append(spec)
     return FaultPlan(specs, seed=seed)
+
+
+def sample_host_loss_plan(seed: int, num_workers: int) -> FaultPlan:
+    """One permanent host loss — the fuzz oracle's degraded-capacity
+    variant (``repro fuzz --host-loss-every N``).
+
+    ``heal_after`` far exceeds the respawn budget, so the matched worker
+    is declared *lost* and its shards migrate to the survivors mid-run;
+    the check is that the degraded run is still bit-identical to the
+    fault-free baseline (and, when every worker is lost, that the
+    sequential fallback is).
+    """
+    rng = random.Random(seed ^ 0x105E)
+    spec = FaultSpec(
+        kind="host_loss",
+        worker=rng.randrange(num_workers),
+        command=rng.choice(["pull_round", "compute_exports"]),
+        times=1,
+        heal_after=100,
+    )
+    return FaultPlan([spec], seed=seed)
 
 
 def sample_network_plan(seed: int, num_workers: int) -> FaultPlan:
@@ -510,12 +593,17 @@ def sample_serve_plan(seed: int, num_workers: int) -> FaultPlan:
             spec.delay = rng.choice([0.01, 0.02])
         specs.append(spec)
     if rng.random() < 0.5:
-        specs.append(
-            FaultSpec(
-                kind="crash",
-                worker=rng.randrange(num_workers),
-                command=rng.choice(["pull_round", "compute_exports"]),
-                times=1,
-            )
+        # Half the plans crash a worker; one in four of those turns the
+        # crash into a permanent host loss (shards migrate, capacity
+        # drops, and the session rebalances back once the host heals).
+        kind = "host_loss" if rng.random() < 0.25 else "crash"
+        spec = FaultSpec(
+            kind=kind,
+            worker=rng.randrange(num_workers),
+            command=rng.choice(["pull_round", "compute_exports"]),
+            times=1,
         )
+        if kind == "host_loss":
+            spec.heal_after = rng.randint(4, 8)
+        specs.append(spec)
     return FaultPlan(specs, seed=seed)

@@ -122,6 +122,45 @@ def partition(
     return PartitionResult(assignment, num_workers, scheme)
 
 
+def plan_reassignment(
+    assignment: Dict[str, int],
+    lost_worker: int,
+    survivors: Sequence[int],
+    node_loads: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """Redistribute a lost worker's nodes across the survivors.
+
+    Deterministic greedy bin packing: the lost worker's nodes, heaviest
+    first (ties broken by name), each go to the currently least-loaded
+    survivor (ties broken by worker id).  Survivors keep every node they
+    already own — only the lost worker's nodes move, so the migration
+    cost is proportional to the *lost* segment, not the fleet.
+
+    Returns the complete new ``node -> worker`` assignment.
+    """
+    survivors = sorted(survivors)
+    if not survivors:
+        raise ValueError("no survivors to reassign to")
+    if lost_worker in survivors:
+        raise ValueError(f"worker {lost_worker} is in the survivor set")
+    loads = node_loads or {}
+    totals = {worker: 0 for worker in survivors}
+    for node, worker in assignment.items():
+        if worker in totals:
+            totals[worker] += loads.get(node, 1)
+    orphans = sorted(
+        (node for node, worker in assignment.items()
+         if worker == lost_worker),
+        key=lambda node: (-loads.get(node, 1), node),
+    )
+    new_assignment = dict(assignment)
+    for node in orphans:
+        adopter = min(survivors, key=lambda w: (totals[w], w))
+        new_assignment[node] = adopter
+        totals[adopter] += loads.get(node, 1)
+    return new_assignment
+
+
 # -- simple schemes -----------------------------------------------------------
 
 

@@ -297,7 +297,7 @@ class WorkerProcessProxy:
                 worker_id=self.worker_id,
                 command=command,
             )
-        elif spec.kind == "crash":
+        elif spec.kind in ("crash", "host_loss"):
             if spec.where == "after_send":
                 return True
             self._fault_kill()
@@ -632,6 +632,10 @@ class ProcessWorkerPool:
         # the next incarnation number, so its spans stay distinguishable
         # after merging onto the same process track.
         self._incarnations: Dict[int, int] = {}
+        # Workers declared permanently lost by the supervisor: excluded
+        # from reconfigure/supervision sweeps (their proxy slot stays so
+        # a later heal-probe respawn can revive them in place).
+        self._lost: set = set()
         self.proxies: List[WorkerProcessProxy] = []
         for worker_id in range(num_workers):
             parent_conn, process = self._spawn(worker_id)
@@ -714,6 +718,8 @@ class ProcessWorkerPool:
         self.update_snapshot(snapshot, assignment)
         _snap, _assign, capacity, cost_model, max_hops = self._spawn_args
         for proxy in self.proxies:
+            if proxy.worker_id in self._lost:
+                continue
             incarnation = self._incarnations.get(proxy.worker_id, -1) + 1
             self._incarnations[proxy.worker_id] = incarnation
             proxy._call(
@@ -731,18 +737,34 @@ class ProcessWorkerPool:
 
     # -- supervision ------------------------------------------------------
 
+    def mark_lost(self, worker_id: int) -> None:
+        """Blacklist a worker (respawn budget spent, shards migrated).
+
+        The proxy slot is retained — ``respawn`` doubles as the heal
+        probe and clears the mark on success — but every fleet sweep
+        skips the worker until then.
+        """
+        self._lost.add(worker_id)
+
+    @property
+    def lost_workers(self) -> List[int]:
+        return sorted(self._lost)
+
     def dead_workers(self) -> List[int]:
-        """Worker ids whose process is gone or whose pipe is poisoned."""
+        """Worker ids whose process is gone or whose pipe is poisoned
+        (known-lost workers excluded — they are not news)."""
         return [
             proxy.worker_id
             for proxy in self.proxies
-            if not proxy.is_alive()
+            if proxy.worker_id not in self._lost and not proxy.is_alive()
         ]
 
     def ping_all(self) -> List[int]:
-        """Heartbeat every worker; returns the ids that failed."""
+        """Heartbeat every active worker; returns the ids that failed."""
         failed = []
         for proxy in self.proxies:
+            if proxy.worker_id in self._lost:
+                continue
             try:
                 if not proxy.ping():
                     failed.append(proxy.worker_id)
@@ -774,6 +796,7 @@ class ProcessWorkerPool:
                 worker_id=worker_id,
             ) from exc
         proxy.revive(parent_conn, process)
+        self._lost.discard(worker_id)
         return proxy
 
     def close(self) -> None:

@@ -396,6 +396,10 @@ class SocketWorkerPool:
         self._host = host
         self._telemetry_interval = telemetry_interval
         self._incarnations: Dict[int, int] = {}
+        # Workers declared permanently lost: worker_id -> their channel
+        # counters frozen at loss time (the live channel is gone, but the
+        # traffic it carried must stay reportable, tagged lost).
+        self._lost: Dict[int, Dict[str, Any]] = {}
         self.managed = not worker_hosts
         if worker_hosts:
             addresses = [parse_hostport(spec) for spec in worker_hosts]
@@ -526,6 +530,8 @@ class SocketWorkerPool:
         as :class:`WorkerFailure` for the caller's supervisor."""
         self.update_snapshot(snapshot, assignment)
         for proxy in self.proxies:
+            if proxy.worker_id in self._lost:
+                continue
             try:
                 self._configure(proxy.worker_id, proxy._channel)
             except (TransportError, RespawnError) as exc:
@@ -538,16 +544,37 @@ class SocketWorkerPool:
 
     # -- supervision ------------------------------------------------------
 
+    def mark_lost(self, worker_id: int) -> None:
+        """Blacklist a worker, freezing its transport counters.
+
+        The proxy slot is retained — ``respawn`` doubles as the heal
+        probe and clears the mark on success — but fleet sweeps skip the
+        worker and :meth:`transport_counters` reports the frozen stats
+        tagged ``lost`` until then.
+        """
+        proxy = self.proxies[worker_id]
+        try:
+            counters: Dict[str, Any] = dict(proxy.transport_counters())
+        except Exception:  # noqa: BLE001 — the channel may be torn down
+            counters = {}
+        self._lost[worker_id] = counters
+
+    @property
+    def lost_workers(self) -> List[int]:
+        return sorted(self._lost)
+
     def dead_workers(self) -> List[int]:
         return [
             proxy.worker_id
             for proxy in self.proxies
-            if not proxy.is_alive()
+            if proxy.worker_id not in self._lost and not proxy.is_alive()
         ]
 
     def ping_all(self) -> List[int]:
         failed = []
         for proxy in self.proxies:
+            if proxy.worker_id in self._lost:
+                continue
             try:
                 if not proxy.ping():
                     failed.append(proxy.worker_id)
@@ -583,6 +610,7 @@ class SocketWorkerPool:
             channel.connect()
             proxy.revive(channel, process)
             self._configure(worker_id, channel)
+            self._lost.pop(worker_id, None)
         except TransportError as exc:
             raise RespawnError(
                 f"respawn of worker {worker_id} failed: {exc}",
@@ -598,14 +626,25 @@ class SocketWorkerPool:
     # -- telemetry --------------------------------------------------------
 
     def transport_counters(self) -> Dict[str, Dict[str, int]]:
-        """Per-worker channel counters plus a fleet-wide total."""
-        per_worker = {
-            f"worker{proxy.worker_id}": proxy.transport_counters()
-            for proxy in self.proxies
-        }
+        """Per-worker channel counters plus a fleet-wide total.
+
+        A lost worker's entry is its counters frozen at loss time,
+        tagged ``lost: True`` — never the fresh zeros a torn-down
+        channel would report.
+        """
+        per_worker: Dict[str, Dict[str, Any]] = {}
+        for proxy in self.proxies:
+            if proxy.worker_id in self._lost:
+                counters = dict(self._lost[proxy.worker_id])
+                counters["lost"] = True
+            else:
+                counters = dict(proxy.transport_counters())
+            per_worker[f"worker{proxy.worker_id}"] = counters
         totals: Dict[str, int] = {}
         for counters in per_worker.values():
             for name, value in counters.items():
+                if name == "lost":
+                    continue
                 if name == "inflight_high_water":
                     totals[name] = max(totals.get(name, 0), value)
                 else:

@@ -258,6 +258,47 @@ class RouteStore:
             if name.startswith(prefix) and name.endswith(".rib"):
                 yield self._load(os.path.join(self.directory, name))
 
+    def worker_shard_indices(self, worker_id: int) -> List[int]:
+        """Flush indices of one worker's persisted shard files, sorted."""
+        prefix = f"worker{worker_id:03d}-shard"
+        suffix = ".rib"
+        indices: List[int] = []
+        for name in os.listdir(self.directory):
+            if name.startswith(prefix) and name.endswith(suffix):
+                indices.append(int(name[len(prefix):-len(suffix)]))
+        return sorted(indices)
+
+    def merge_into_shard(
+        self, worker_id: int, shard_index: int, routes: ShardRoutes
+    ) -> int:
+        """Fold ``routes`` into one shard file (loss-migration path).
+
+        Reads the existing file when present — mid-run the adopter may
+        not have flushed this index yet — merges at node granularity,
+        and rewrites atomically.  Returns bytes written.
+        """
+        try:
+            merged = self.read_shard(worker_id, shard_index)
+        except FileNotFoundError:
+            merged = {}
+        merged.update(routes)
+        return self.write_shard(worker_id, shard_index, merged)
+
+    def delete_worker_files(self, worker_id: int) -> None:
+        """Drop every persisted file of one worker (it left the fleet).
+
+        Without this, ``merged_routes`` over the surviving fleet would
+        be fine, but a later rejoin's re-keying (and any full-directory
+        scan) would resurrect the dead worker's stale shards.
+        """
+        prefix = f"worker{worker_id:03d}"
+        for name in os.listdir(self.directory):
+            if name.startswith(f"{prefix}-shard") or name == f"{prefix}.ospf":
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
     def merged_routes(self, worker_id: int) -> ShardRoutes:
         """Union of every shard's routes for one worker's nodes."""
         merged: ShardRoutes = {}

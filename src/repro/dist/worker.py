@@ -214,7 +214,7 @@ class Worker:
         spec = self.fault_injector.on_phase(self.worker_id, site, round_token)
         if spec is None:
             return
-        if spec.kind == "crash":
+        if spec.kind in ("crash", "host_loss"):
             raise InjectedWorkerCrash(
                 f"worker {self.worker_id} crashed (injected, at {site})",
                 worker_id=self.worker_id,
@@ -470,6 +470,7 @@ class Worker:
         }
 
     def pull_ospf_round(self) -> bool:
+        self._inject("pull_ospf_round", -1)
         changed = False
         with self.tracer.span("worker.ospf_pull", category="cpo") as span:
             for hostname in sorted(self.ospf):

@@ -31,7 +31,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..dist.controller import S2Controller, S2Options
-from ..dist.faults import FaultPlan, sample_network_plan, sample_plan
+from ..dist.faults import (
+    FaultPlan,
+    sample_host_loss_plan,
+    sample_network_plan,
+    sample_plan,
+)
 from ..dist.sharding import make_shards
 from ..routing.engine import BgpResult, SimulationEngine
 from ..routing.route import BgpRoute
@@ -165,6 +170,7 @@ class CheckPlan:
     include_threaded: bool = True
     include_process: bool = False    # real worker processes (slow)
     include_faults: bool = False     # recoverable injected faults
+    include_host_loss: bool = False  # one permanent worker loss mid-run
     include_socket: bool = False     # TCP workers + network faults (slow)
     fault_seed: int = 0
     check_dataplane: bool = False    # all-pair verdict comparison (slow)
@@ -238,6 +244,16 @@ class DifferentialOracle:
                  {"kind": "dist", "runtime": "sequential",
                   "num_shards": plan.shards,
                   "faults": True}),
+            )
+        if plan.include_host_loss:
+            # One worker dies permanently mid-run: its shards migrate to
+            # the survivors and the degraded run must still match the
+            # fault-free baseline bit for bit.
+            variants.append(
+                ("dist-host-loss",
+                 {"kind": "dist", "runtime": "sequential",
+                  "num_shards": plan.shards,
+                  "host_loss": True}),
             )
         if plan.include_process:
             variants.append(
@@ -412,6 +428,11 @@ class DifferentialOracle:
                     fault_plan = None
                     if params.get("faults"):
                         fault_plan = sample_plan(
+                            self.plan.fault_seed,
+                            min(self.plan.workers, max(1, spec.size)),
+                        )
+                    elif params.get("host_loss"):
+                        fault_plan = sample_host_loss_plan(
                             self.plan.fault_seed,
                             min(self.plan.workers, max(1, spec.size)),
                         )

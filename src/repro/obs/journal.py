@@ -38,6 +38,9 @@ EVENT_KINDS = frozenset(
         "drain",  # session started draining for shutdown
         "telemetry_gap",  # collector saw missing telemetry frames
         "load_shed",  # admission queue refused a delta
+        "worker_lost",  # respawn budget exhausted; worker left the fleet
+        "shard_reassigned",  # a lost worker's state migrated to a survivor
+        "worker_rejoined",  # a blacklisted host healed and was rebalanced in
     }
 )
 

@@ -223,4 +223,44 @@ def render_journal(events, top: Optional[int] = None) -> str:
     title = f"{len(records)} events ({summary})"
     if missing:
         title += f" — {missing} missing seq (trimmed or torn)"
-    return format_table(JOURNAL_HEADERS, rows, title=title)
+    report = format_table(JOURNAL_HEADERS, rows, title=title)
+    capacity = capacity_summary(records)
+    if capacity:
+        report += "\n" + capacity
+    return report
+
+
+def capacity_summary(records) -> Optional[str]:
+    """One degraded-capacity line from the loss/rebalance journal kinds.
+
+    Replays ``worker_lost`` / ``worker_rejoined`` to the current lost
+    set and totals the shard files moved by ``shard_reassigned``; None
+    when the journal never saw a capacity change.
+    """
+    lost: set = set()
+    losses = reassigned = rebalances = 0
+    for record in records:
+        if hasattr(record, "to_dict"):
+            record = record.to_dict()
+        kind = record.get("kind")
+        attrs = record.get("attrs") or {}
+        if kind == "worker_lost":
+            losses += 1
+            lost.add(attrs.get("worker"))
+        elif kind == "worker_rejoined":
+            rebalances += 1
+            lost.discard(attrs.get("worker"))
+        elif kind == "shard_reassigned":
+            reassigned += int(attrs.get("shards", 0) or 0)
+    if not (losses or rebalances):
+        return None
+    still = (
+        ", ".join(f"worker{wid}" for wid in sorted(lost, key=str))
+        if lost
+        else "none"
+    )
+    return (
+        f"degraded capacity: {losses} loss(es), "
+        f"{reassigned} shard file(s) reassigned, "
+        f"{rebalances} rebalance(s); currently lost: {still}"
+    )

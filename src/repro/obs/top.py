@@ -95,6 +95,21 @@ def render_top(
     )
     if status.get("degraded_reason"):
         out.append(f"  DEGRADED: {status['degraded_reason']}")
+    capacity = status.get("capacity") or {}
+    if capacity.get("lost_workers"):
+        lost = capacity.get("lost") or {}
+        total = (
+            capacity.get("active_workers", 0)
+            + capacity.get("lost_workers", 0)
+        )
+        out.append(
+            f"  REDUCED CAPACITY: {capacity.get('active_workers', '?')}/"
+            f"{total} workers "
+            f"(ratio={capacity.get('capacity_ratio', 0.0):.2f})  lost: "
+            + ", ".join(
+                f"worker{wid}" for wid in sorted(lost, key=int)
+            )
+        )
     commit_age = status.get("last_commit_age_seconds")
     journal = status.get("journal") or {}
     out.append(

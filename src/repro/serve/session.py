@@ -124,6 +124,10 @@ class DeltaResult:
 
 _STOP = object()
 
+# Internal queue item: the heal-probe thread asking the mutator to
+# rebalance healed hosts back in (fleet mutation stays single-threaded).
+_REBALANCE = object()
+
 
 class VerifierSession:
     """A persistent, delta-accepting verifier over one worker fleet."""
@@ -190,6 +194,13 @@ class VerifierSession:
             target=self._mutate_loop, name="serve-mutator", daemon=True
         )
         self._mutator.start()
+        # Heal probe: while any worker is lost, periodically (with
+        # backoff) ask the mutator to try rebalancing it back in.
+        self._heal_stop = threading.Event()
+        self._heal_thread = threading.Thread(
+            target=self._heal_loop, name="serve-heal", daemon=True
+        )
+        self._heal_thread.start()
 
     # -- boot --------------------------------------------------------------
 
@@ -223,6 +234,9 @@ class VerifierSession:
         if tag is None or tag != manifest.epoch:
             raise EpochMismatchError(manifest.epoch, tag)
         controller = S2Controller.resume(self.snapshot, self.options)
+        # Attach the journal before any control-plane work: a worker
+        # permanently lost *during boot* must still leave a record.
+        controller.supervisor.journal = self.journal
         self.epoch = manifest.epoch
         controller.begin_epoch(self.epoch)
         controller.run_control_plane()
@@ -231,6 +245,7 @@ class VerifierSession:
 
     def _cold_start(self) -> S2Controller:
         controller = S2Controller(self.snapshot, self.options)
+        controller.supervisor.journal = self.journal
         self.epoch = 0
         controller.begin_epoch(0)
         controller.run_control_plane()
@@ -320,10 +335,14 @@ class VerifierSession:
         )
 
     def _publish_gauges(self) -> None:
+        capacity = self._controller.capacity()
         gauges = {
             "serve.epoch": self.epoch,
             "serve.queue_depth": self._queue.qsize(),
             "serve.degraded": 1 if self.degraded else 0,
+            "active_workers": capacity["active_workers"],
+            "lost_workers": capacity["lost_workers"],
+            "serve.capacity_ratio": capacity["capacity_ratio"],
         }
         if self.last_ground_truth is not None:
             # -1 flags an audit that failed to run at all.
@@ -389,6 +408,7 @@ class VerifierSession:
         else:
             status = "serving"
         supervisor = self._controller.supervisor
+        capacity = self._controller.capacity()
         now = time.time()
         return {
             "status": status,
@@ -399,7 +419,8 @@ class VerifierSession:
             "boot_fallback": self.boot_fallback,
             "endpoints": len(view.endpoints) if view is not None else 0,
             "snapshot": self.snapshot.name,
-            "workers": self.options.num_workers,
+            "workers": capacity["active_workers"],
+            "capacity": capacity,
             "runtime": self.options.runtime,
             "ground_truth": self.last_ground_truth,
             # Machine-monitorable liveness: a scraper can alert on a
@@ -480,6 +501,25 @@ class VerifierSession:
             delta, future = item
             if not future.set_running_or_notify_cancel():
                 continue
+            if delta is _REBALANCE:
+                # Capacity change is an epoch event; run it on the same
+                # thread as deltas so fleet mutation is never concurrent.
+                self._recomputing = True
+                try:
+                    future.set_result(self._rebalance())
+                except BaseException as exc:  # noqa: BLE001 — same ladder
+                    self.degraded = True
+                    self.degraded_reason = f"{type(exc).__name__}: {exc}"
+                    self.journal.record(
+                        "degraded",
+                        reason=self.degraded_reason,
+                        epoch=self.epoch,
+                    )
+                    self._publish_gauges()
+                    future.set_exception(exc)
+                finally:
+                    self._recomputing = False
+                continue
             if self.degraded:
                 future.set_exception(
                     SessionDegradedError(
@@ -551,6 +591,52 @@ class VerifierSession:
                 else ()
             ),
         )
+
+    def _rebalance(self) -> bool:
+        """Probe every lost worker; rebalance each healed one back in.
+
+        Runs on the mutator thread.  A successful rejoin is a capacity
+        change, so it lands as a fresh committed epoch; a host that is
+        still down simply keeps the session at reduced capacity.
+        """
+        controller = self._controller
+        healed = False
+        for worker_id in sorted(controller.lost):
+            epoch = self.epoch + 1
+            if not controller.rejoin_worker(worker_id, epoch=epoch):
+                continue
+            self.epoch = epoch
+            healed = True
+        if healed:
+            controller.rebuild_data_plane()
+            self._commit_view()
+        return healed
+
+    def _heal_loop(self) -> None:
+        """Backoff timer that retries blacklisted hosts via the mutator."""
+        policy = self.options.retry_policy
+        delay = policy.heal_probe_base
+        while not self._heal_stop.wait(delay):
+            if self._closed or self.degraded:
+                continue
+            if not self._controller.lost:
+                delay = policy.heal_probe_base
+                continue
+            future: Future = Future()
+            try:
+                self._queue.put_nowait((_REBALANCE, future))
+            except queue.Full:
+                # Deltas keep priority; try again next tick.
+                delay = min(delay * policy.heal_probe_factor, policy.heal_probe_max)
+                continue
+            try:
+                healed = future.result(timeout=300)
+            except BaseException:  # noqa: BLE001 — probe must never crash
+                healed = False
+            if healed:
+                delay = policy.heal_probe_base
+            else:
+                delay = min(delay * policy.heal_probe_factor, policy.heal_probe_max)
 
     def _prepare_incremental(
         self,
@@ -663,8 +749,10 @@ class VerifierSession:
         self.journal.record(
             "drain", epoch=self.epoch, queued=self._queue.qsize()
         )
+        self._heal_stop.set()
         self._queue.put(_STOP)  # drains queued deltas first
         self._mutator.join(timeout=120)
+        self._heal_thread.join(timeout=5)
         self._draining = False
         try:
             self._controller.close()

@@ -174,9 +174,10 @@ def test_crash_after_send_is_recovered(fattree4, baseline):
     assert ribs == base_ribs
 
 
-def test_respawn_failure_degrades_to_sequential(fattree4, baseline):
-    """When the respawn itself fails, the controller falls back to the
-    monolithic engine and still produces identical RIBs."""
+def test_transient_respawn_failure_heals_within_budget(fattree4, baseline):
+    """One failed respawn is *not* a lost worker: the budget (default 2)
+    covers it, the second attempt succeeds, and the run stays fully
+    distributed with identical RIBs."""
     _, base_ribs = baseline
     plan = FaultPlan(
         [
@@ -189,8 +190,168 @@ def test_respawn_failure_degrades_to_sequential(fattree4, baseline):
     ) as c:
         stats = c.run_control_plane()
         ribs = normalize_ribs(c.collected_ribs())
+        capacity = c.capacity()
+        respawns = c.report().total_respawns
+    assert not stats.sequential_fallback
+    assert stats.workers_lost == 0
+    assert capacity["lost_workers"] == 0
+    assert respawns >= 1
+    assert ribs == base_ribs
+
+
+@pytest.mark.parametrize("runtime", ["process", "socket"])
+def test_respawn_failure_degrades_to_sequential(runtime, fattree4, baseline):
+    """When *every* worker's host dies permanently there is nobody left
+    to adopt the shards: the controller falls back to the monolithic
+    engine and still produces identical RIBs."""
+    _, base_ribs = baseline
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="host_loss", worker=w, command="pull_round",
+                heal_after=100,
+            )
+            for w in range(3)
+        ]
+    )
+    with S2Controller(
+        fattree4, _options(runtime=runtime, fault_plan=plan)
+    ) as c:
+        stats = c.run_control_plane()
+        ribs = normalize_ribs(c.collected_ribs())
     assert stats.sequential_fallback
     assert ribs == base_ribs
+
+
+# -- permanent loss: shard reassignment ------------------------------------
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("site", ["compute_exports", "pull_round", "drain"])
+def test_permanent_loss_matrix(site, runtime, fattree4, baseline):
+    """Killing one worker's host for good — mid-BGP-round or mid-query —
+    migrates its shards to the survivors and the run completes
+    *distributed* (no sequential fallback) with bit-identical results."""
+    base_result, base_ribs = baseline
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="host_loss", worker=1, command=site, heal_after=100
+            )
+        ]
+    )
+    options = _options(runtime=runtime, fault_plan=plan)
+    with S2Verifier(fattree4, options) as verifier:
+        result = verifier.verify()
+        ribs = normalize_ribs(verifier.collected_ribs())
+        capacity = verifier.controller.capacity()
+    cp_stats = result.cp_stats
+    assert plan.count("host_loss") == 1, "the injected loss never fired"
+    assert result.status == "ok"
+    assert not cp_stats.sequential_fallback
+    assert cp_stats.workers_lost == 1
+    assert capacity["active_workers"] == 2
+    assert capacity["lost_workers"] == 1
+    assert capacity["capacity_ratio"] == pytest.approx(2 / 3)
+    assert result.reachable_pairs == base_result.reachable_pairs
+    assert ribs == base_ribs
+    if site == "drain":
+        # The loss hit after the shards were flushed, so the survivors
+        # adopted real store files.
+        assert cp_stats.shards_reassigned >= 1
+
+
+def test_loss_mid_ospf_is_bit_identical():
+    """A host lost during the OSPF phase: the survivors replay the union
+    of the checkpoints and converge to the same mixed OSPF+BGP RIBs."""
+    from tests.test_distributed_ospf import mixed_snapshot
+
+    snapshot = mixed_snapshot()
+    options = S2Options(num_workers=2, num_shards=2)
+    with S2Controller(snapshot, options) as c:
+        c.run_control_plane()
+        base_ribs = normalize_ribs(c.collected_ribs())
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="host_loss", worker=1, command="pull_ospf_round",
+                heal_after=100,
+            )
+        ]
+    )
+    with S2Controller(
+        snapshot,
+        S2Options(num_workers=2, num_shards=2, fault_plan=plan),
+    ) as c:
+        stats = c.run_control_plane()
+        ribs = normalize_ribs(c.collected_ribs())
+        capacity = c.capacity()
+    assert plan.count("host_loss") == 1, "the OSPF-phase loss never fired"
+    assert not stats.sequential_fallback
+    assert capacity["lost_workers"] == 1
+    assert ribs == base_ribs
+
+
+def test_lost_worker_rejoins_after_heal(fattree4, baseline):
+    """Once the blacklisted host heals, ``rejoin_worker`` rebalances the
+    shards back across the full fleet — and the RIBs survive the loss
+    *and* the rejoin untouched."""
+    _, base_ribs = baseline
+    # heal_after=2 == the respawn budget: the host is dead long enough
+    # to be declared lost, then heals.
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="host_loss", worker=1, command="pull_round",
+                heal_after=2,
+            )
+        ]
+    )
+    with S2Controller(
+        fattree4, _options(runtime="process", fault_plan=plan)
+    ) as c:
+        stats = c.run_control_plane()
+        assert not stats.sequential_fallback
+        assert c.capacity() == {
+            "active_workers": 2,
+            "lost_workers": 1,
+            "capacity_ratio": pytest.approx(2 / 3),
+            "lost": {"1": c.lost_reasons[1]},
+        }
+        assert c.rejoin_worker(1)
+        capacity = c.capacity()
+        assert capacity["active_workers"] == 3
+        assert capacity["lost_workers"] == 0
+        assert set(c.partition.assignment.values()) == {0, 1, 2}
+        assert normalize_ribs(c.collected_ribs()) == base_ribs
+
+
+def test_loss_freezes_worker_accounting(fattree4):
+    """A lost worker's resource totals and transport counters stay in
+    the report — frozen at their last values and tagged ``lost`` — so
+    the communication bill never silently shrinks."""
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="host_loss", worker=1, command="pull_round",
+                heal_after=100,
+            )
+        ]
+    )
+    with S2Controller(
+        fattree4, _options(runtime="socket", fault_plan=plan)
+    ) as c:
+        c.run_control_plane()
+        report = c.report()
+        snapshot = c.metrics_snapshot()
+    assert len(report.workers) == 3       # nobody vanishes from the bill
+    workers = {entry["name"]: entry for entry in snapshot["workers"]}
+    assert workers["worker1"]["lost"] and not workers["worker0"]["lost"]
+    assert snapshot["capacity"]["lost_workers"] == 1
+    transport = snapshot["transport"]
+    assert transport["worker1"].get("lost")
+    assert not transport["worker0"].get("lost")
+    assert "lost" not in transport["total"]
 
 
 def test_unrecoverable_dataplane_failure_is_reported(fattree4):

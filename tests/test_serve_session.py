@@ -371,6 +371,90 @@ def test_full_admission_queue_sheds_with_busy(
         assert second.result(timeout=300).epoch == 2
 
 
+def test_loss_during_reconfigure_commits_at_reduced_capacity(ft4):
+    """A host lost while a full-recompute delta is mid-``reconfigure``:
+    the delta's epoch still commits on the survivors — the session never
+    goes read-only while at least one worker is up — and the verdicts
+    match a cold start of the new snapshot."""
+    from repro.dist.faults import FaultPlan, FaultSpec
+
+    link = next(iter(ft4.topology.links()))
+    # An armed plan with no specs yet: boot runs fault-free, then the
+    # loss is primed to fire inside the delta's recompute.
+    plan = FaultPlan([])
+    with VerifierSession(
+        ft4, _options(fault_plan=plan, runtime="process")
+    ) as session:
+        assert session.health()["capacity"]["lost_workers"] == 0
+        plan.add(
+            FaultSpec(
+                kind="host_loss", worker=1, command="pull_round",
+                heal_after=100,
+            )
+        )
+        result = session.apply_delta(
+            LinkDelta(a=link.a.node, b=link.b.node), timeout=300
+        )
+        assert plan.count("host_loss") == 1, "the loss never fired"
+        assert result.epoch == 1
+        assert not result.sequential_fallback
+        assert not session.degraded
+        health = session.health()
+        assert health["status"] == "serving"
+        assert health["capacity"]["lost_workers"] == 1
+        assert health["workers"] == NUM_WORKERS - 1
+        _assert_equivalent(session)
+        kinds = [event.kind for event in session.journal.tail(100)]
+        assert "worker_lost" in kinds
+        assert "epoch_commit" in kinds
+
+
+def test_healed_host_is_rebalanced_back_at_an_epoch_boundary(ft4):
+    """Once the blacklisted host heals, the heal prober rejoins it via
+    the mutator queue: capacity returns to 1.0 as a fresh committed
+    epoch, and the verdicts survive the loss *and* the rejoin."""
+    import time as _time
+
+    from repro.dist.faults import FaultPlan, FaultSpec
+
+    # heal_after=2 == the respawn budget: dead long enough to be
+    # declared lost at boot, healed by the time the prober dials.
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="host_loss", worker=1, command="pull_round",
+                heal_after=2,
+            )
+        ]
+    )
+    with VerifierSession(
+        ft4, _options(fault_plan=plan, runtime="process")
+    ) as session:
+        assert session.health()["capacity"]["lost_workers"] == 1
+        deadline = _time.time() + 60
+        while _time.time() < deadline:
+            health = session.health()
+            if (
+                health["capacity"]["lost_workers"] == 0
+                and health["epoch"] >= 1
+            ):
+                break
+            _time.sleep(0.1)
+        health = session.health()
+        assert health["capacity"] == {
+            "active_workers": NUM_WORKERS,
+            "lost_workers": 0,
+            "capacity_ratio": 1.0,
+            "lost": {},
+        }
+        assert health["epoch"] >= 1  # the rebalance was an epoch event
+        assert not session.degraded
+        _assert_equivalent(session)
+        kinds = [event.kind for event in session.journal.tail(100)]
+        assert "worker_lost" in kinds
+        assert "worker_rejoined" in kinds
+
+
 def test_terminal_failure_degrades_to_read_only(
     ft4, ft4_texts, announce_host
 ):
